@@ -1,0 +1,1 @@
+bench/ablation.ml: Cin Float Format Gen Harness Index_notation Inputs Kernel List Lower Printf Schedule Suite Taco Taco_kernels Taco_support Tensor

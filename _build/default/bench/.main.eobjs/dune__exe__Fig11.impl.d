@@ -1,0 +1,1 @@
+bench/fig11.ml: Harness Inputs Kernel List Printf Suite Taco Taco_kernels Tensor

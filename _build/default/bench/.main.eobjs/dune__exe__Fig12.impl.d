@@ -1,0 +1,1 @@
+bench/fig12.ml: Array Harness Inputs Kernel List Printf String Suite Taco Taco_exec Taco_kernels Tensor

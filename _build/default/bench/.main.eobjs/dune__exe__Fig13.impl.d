@@ -1,0 +1,1 @@
+bench/fig13.ml: Format Harness Inputs Kernel List Lower Printf Taco Taco_kernels Taco_support Tensor

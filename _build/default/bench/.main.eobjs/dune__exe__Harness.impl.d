@@ -1,0 +1,1 @@
+bench/harness.ml: Cin Format Index_notation Kernel List Lower Printf Schedule Taco Taco_support

@@ -1,0 +1,1 @@
+bench/inputs.ml: Array Format Gen List Suite Taco Taco_support Tensor

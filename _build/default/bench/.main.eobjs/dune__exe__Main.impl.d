@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Arg Cmd Cmdliner Fig11 Fig12 Fig13 Micro Table1 Term

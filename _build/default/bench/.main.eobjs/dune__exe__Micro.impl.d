@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Format Gen Harness Hashtbl Inputs Instance Kernel List Lower Measure Printf Staged Taco Taco_kernels Taco_support Test Time Toolkit

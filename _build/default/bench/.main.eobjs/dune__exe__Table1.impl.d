@@ -1,0 +1,1 @@
+bench/table1.ml: Array Harness Inputs List Printf String Suite Taco Tensor

@@ -1,0 +1,142 @@
+(* Fig. 13: chained sparse matrix additions.
+
+   Left plot: total time to assemble and compute n additions (n+1
+   operands) with
+   - taco-binop: the generated pairwise kernel applied n times with
+     temporaries (how a library is used);
+   - taco: one generated fused multi-way merge kernel;
+   - workspace: the dense-row-accumulator kernel (Fig. 5b generalized);
+   - eigen-like and mkl-like: the hand-written pairwise baselines.
+
+   Right table: assembly/compute breakdown when adding 7 operands. *)
+
+open Taco
+module K = Taco_kernels
+
+let fused_mode = Lower.Assemble { emit_values = true; sorted = true }
+
+let assemble_mode = Lower.Assemble { emit_values = false; sorted = true }
+
+let pairwise_chain kern bvar cvar ops dims =
+  match ops with
+  | [] -> invalid_arg "no operands"
+  | first :: rest ->
+      List.fold_left
+        (fun acc op -> Kernel.run_assemble kern ~inputs:[ (bvar, acc); (cvar, op) ] ~dims)
+        first rest
+
+let run ~seed ~dim ~reps =
+  Harness.header "Fig. 13 (left): chained sparse additions";
+  Printf.printf
+    "(%dx%d operands, densities uniform in [1e-4, 0.01]; total seconds for n additions)\n\n"
+    dim dim;
+  (* Pairwise kernels (prepared once). *)
+  let bv = tensor "B" Format.csr and cv = tensor "C" Format.csr in
+  let pair_stmt = Harness.addition_merge_stmt [ bv; cv ] in
+  let pair = Kernel.prepare (Harness.get (Lower.lower ~mode:fused_mode pair_stmt)) in
+  let eigen = Kernel.prepare K.Spadd.eigen_like in
+  let mkl = Kernel.prepare K.Spadd.mkl_like in
+  let max_ops = 7 in
+  let all_ops = Inputs.addition_operands ~seed ~n:max_ops ~dim in
+  let dims = [| dim; dim |] in
+  Harness.row "%-4s | %10s %10s %10s %10s %10s" "n" "taco-binop" "taco" "workspace"
+    "eigen-like" "mkl-like";
+  for n = 1 to max_ops - 1 do
+    let ops = List.filteri (fun q _ -> q <= n) all_ops in
+    let op_vars = Harness.addition_vars (n + 1) in
+    let bindings = List.combine op_vars ops in
+    let merge_kernel =
+      Kernel.prepare
+        (Harness.get (Lower.lower ~mode:fused_mode (Harness.addition_merge_stmt op_vars)))
+    in
+    let ws_kernel =
+      Kernel.prepare
+        (Harness.get (Lower.lower ~mode:fused_mode (Harness.addition_workspace_stmt op_vars)))
+    in
+    let t_binop =
+      Harness.time_median ~reps (fun () -> ignore (pairwise_chain pair bv cv ops dims))
+    in
+    let t_taco =
+      Harness.time_median ~reps (fun () ->
+          ignore (Kernel.run_assemble merge_kernel ~inputs:bindings ~dims))
+    in
+    let t_ws =
+      Harness.time_median ~reps (fun () ->
+          ignore (Kernel.run_assemble ws_kernel ~inputs:bindings ~dims))
+    in
+    let t_eigen =
+      Harness.time_median ~reps (fun () ->
+          ignore (pairwise_chain eigen K.Spadd.b_var K.Spadd.c_var ops dims))
+    in
+    let t_mkl =
+      Harness.time_median ~reps (fun () ->
+          ignore (pairwise_chain mkl K.Spadd.b_var K.Spadd.c_var ops dims))
+    in
+    Harness.row "%-4d | %10.3f %10.3f %10.3f %10.3f %10.3f" n t_binop t_taco t_ws t_eigen
+      t_mkl
+  done;
+  print_endline
+    "\n(paper: workspace overtakes the merge codes beyond ~4 additions; taco beats";
+  print_endline " MKL by 2.8x on average; Eigen and taco are competitive)";
+
+  (* Right table: assembly/compute breakdown for 7 operands. *)
+  Harness.header "Fig. 13 (right): assembly/compute breakdown, 7 operands";
+  let op_vars = Harness.addition_vars max_ops in
+  let bindings = List.combine op_vars all_ops in
+  (* taco-binop: sum of per-step assembly and compute. *)
+  let pair_asm = Kernel.prepare (Harness.get (Lower.lower ~mode:assemble_mode pair_stmt)) in
+  let pair_cmp = Kernel.prepare (Harness.get (Lower.lower ~mode:Lower.Compute pair_stmt)) in
+  let binop_split () =
+    let asm_total = ref 0. and cmp_total = ref 0. in
+    let acc = ref (List.hd all_ops) in
+    List.iter
+      (fun op ->
+        let inputs = [ (bv, !acc); (cv, op) ] in
+        let structure = ref (Tensor.zero dims Format.csr) in
+        let _, t_asm =
+          Taco_support.Util.time (fun () ->
+              structure := Kernel.run_assemble pair_asm ~inputs ~dims)
+        in
+        let _, t_cmp =
+          Taco_support.Util.time (fun () ->
+              Kernel.run_compute pair_cmp ~inputs ~output:!structure)
+        in
+        asm_total := !asm_total +. t_asm;
+        cmp_total := !cmp_total +. t_cmp;
+        acc := !structure)
+      (List.tl all_ops);
+    (!asm_total, !cmp_total)
+  in
+  let split stmt =
+    let asm = Kernel.prepare (Harness.get (Lower.lower ~mode:assemble_mode stmt)) in
+    let cmp = Kernel.prepare (Harness.get (Lower.lower ~mode:Lower.Compute stmt)) in
+    let structure = ref (Tensor.zero dims Format.csr) in
+    let _, t_asm =
+      Taco_support.Util.time (fun () ->
+          structure := Kernel.run_assemble asm ~inputs:bindings ~dims)
+    in
+    let _, t_cmp =
+      Taco_support.Util.time (fun () -> Kernel.run_compute cmp ~inputs:bindings ~output:!structure)
+    in
+    (t_asm, t_cmp)
+  in
+  let binop_asm, binop_cmp = binop_split () in
+  let taco_asm, taco_cmp = split (Harness.addition_merge_stmt op_vars) in
+  let ws_asm, ws_cmp = split (Harness.addition_workspace_stmt op_vars) in
+  let t_eigen =
+    Harness.time_median ~reps (fun () ->
+        ignore (pairwise_chain eigen K.Spadd.b_var K.Spadd.c_var all_ops dims))
+  in
+  let t_mkl =
+    Harness.time_median ~reps (fun () ->
+        ignore (pairwise_chain mkl K.Spadd.b_var K.Spadd.c_var all_ops dims))
+  in
+  Harness.row "%-11s %12s %12s" "code" "assembly(ms)" "compute(ms)";
+  Harness.row "%-11s %12.1f %12.1f" "taco bin" (1000. *. binop_asm) (1000. *. binop_cmp);
+  Harness.row "%-11s %12.1f %12.1f" "taco" (1000. *. taco_asm) (1000. *. taco_cmp);
+  Harness.row "%-11s %12.1f %12.1f" "workspace" (1000. *. ws_asm) (1000. *. ws_cmp);
+  Harness.row "%-11s %12s %12.1f" "eigen-like" "-" (1000. *. t_eigen);
+  Harness.row "%-11s %12s %12.1f" "mkl-like" "-" (1000. *. t_mkl);
+  print_endline
+    "\n(paper, ms: taco bin 247/211, taco 190/182, workspace 190/93, Eigen 436, MKL 1141;";
+  print_endline " assembly dominates, and the workspace halves compute time)"

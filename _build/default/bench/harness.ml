@@ -1,0 +1,154 @@
+(* Shared benchmark machinery: timing, schedules for the benchmarked
+   kernels, and table printing. *)
+
+open Taco
+module Util = Taco_support.Util
+
+let get = function Ok x -> x | Error e -> failwith e
+
+(* Median wall-clock seconds of [reps] runs. *)
+let time_median ~reps f =
+  let runs =
+    List.init (max 1 reps) (fun _ ->
+        let _, t = Util.time f in
+        t)
+  in
+  Util.median runs
+
+let pct a b = 100. *. ((a /. b) -. 1.)
+
+let header title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+let row fmt = Printf.printf (fmt ^^ "\n%!")
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ -> exp (List.fold_left (fun acc x -> acc +. log x) 0. xs /. float_of_int (List.length xs))
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark schedules (shared between figures)                        *)
+(* ------------------------------------------------------------------ *)
+
+let vi = ivar "i"
+
+let vj = ivar "j"
+
+let vk = ivar "k"
+
+let vl = ivar "l"
+
+(* SpGEMM: A = B·C, all CSR, workspace transformation applied. *)
+let spgemm_stmt () =
+  let a = tensor "A" Format.csr in
+  let b = tensor "B" Format.csr in
+  let c = tensor "C" Format.csr in
+  let open Index_notation in
+  let stmt = assign a [ vi; vj ] (sum vk (Mul (access b [ vi; vk ], access c [ vk; vj ]))) in
+  let sched = get (Schedule.of_index_notation stmt) in
+  let sched = get (Schedule.reorder vk vj sched) in
+  let w = workspace "w" Format.dense_vector in
+  let e = Cin.Mul (Cin.Access (Cin.access b [ vi; vk ]), Cin.Access (Cin.access c [ vk; vj ])) in
+  let sched = get (Schedule.precompute_simple ~expr:e ~over:[ vj ] ~workspace:w sched) in
+  (Schedule.stmt sched, b, c)
+
+let spgemm_kernel ~sorted =
+  let stmt, b, c = spgemm_stmt () in
+  let info =
+    get (Lower.lower ~name:"spgemm_ws" ~mode:(Lower.Assemble { emit_values = true; sorted }) stmt)
+  in
+  (Kernel.prepare info, b, c)
+
+(* MTTKRP with dense A, C, D: merge ("taco") and workspace variants. *)
+let mttkrp_vars () =
+  let a = tensor "A" Format.dense_matrix in
+  let b = tensor "B" (Format.csf 3) in
+  let c = tensor "C" Format.dense_matrix in
+  let d = tensor "D" Format.dense_matrix in
+  (a, b, c, d)
+
+let mttkrp_sched ~use_workspace =
+  let a, b, c, d = mttkrp_vars () in
+  let open Index_notation in
+  let stmt =
+    assign a [ vi; vj ]
+      (sum vk (sum vl (Mul (Mul (access b [ vi; vk; vl ], access c [ vl; vj ]), access d [ vk; vj ]))))
+  in
+  let sched = get (Schedule.of_index_notation stmt) in
+  let sched = get (Schedule.reorder vj vk sched) in
+  let sched = get (Schedule.reorder vj vl sched) in
+  let sched =
+    if use_workspace then begin
+      let w = workspace "w" Format.dense_vector in
+      let e = Cin.Mul (Cin.Access (Cin.access b [ vi; vk; vl ]), Cin.Access (Cin.access c [ vl; vj ])) in
+      get (Schedule.precompute_simple ~expr:e ~over:[ vj ] ~workspace:w sched)
+    end
+    else sched
+  in
+  (Schedule.stmt sched, b, c, d)
+
+let mttkrp_kernel ~use_workspace =
+  let stmt, b, c, d = mttkrp_sched ~use_workspace in
+  (Kernel.prepare (get (Lower.lower ~name:"mttkrp" ~mode:Lower.Compute stmt)), b, c, d)
+
+(* MTTKRP with sparse A, C, D (paper §VIII-D): both precomputes, fused. *)
+let mttkrp_sparse_kernel () =
+  let a = tensor "A" Format.csr in
+  let b = tensor "B" (Format.csf 3) in
+  let c = tensor "C" Format.csr in
+  let d = tensor "D" Format.csr in
+  let open Index_notation in
+  let stmt =
+    assign a [ vi; vj ]
+      (sum vk (sum vl (Mul (Mul (access b [ vi; vk; vl ], access c [ vl; vj ]), access d [ vk; vj ]))))
+  in
+  let sched = get (Schedule.of_index_notation stmt) in
+  let sched = get (Schedule.reorder vj vk sched) in
+  let sched = get (Schedule.reorder vj vl sched) in
+  let w = workspace "w" Format.dense_vector in
+  let e = Cin.Mul (Cin.Access (Cin.access b [ vi; vk; vl ]), Cin.Access (Cin.access c [ vl; vj ])) in
+  let sched = get (Schedule.precompute_simple ~expr:e ~over:[ vj ] ~workspace:w sched) in
+  let v = workspace "v" Format.dense_vector in
+  let e2 = Cin.Mul (Cin.Access (Cin.access w [ vj ]), Cin.Access (Cin.access d [ vk; vj ])) in
+  let sched = get (Schedule.precompute_simple ~expr:e2 ~over:[ vj ] ~workspace:v sched) in
+  let info =
+    get
+      (Lower.lower ~name:"mttkrp_sparse"
+         ~mode:(Lower.Assemble { emit_values = true; sorted = true })
+         (Schedule.stmt sched))
+  in
+  (Kernel.prepare info, b, c, d)
+
+(* n-operand addition statement A = B0 + ... + B(n-1). *)
+let addition_vars n = List.init n (fun q -> tensor (Printf.sprintf "B%d" q) Format.csr)
+
+let addition_merge_stmt ops =
+  let a = tensor "A" Format.csr in
+  let rhs =
+    match List.map (fun tv -> Index_notation.access tv [ vi; vj ]) ops with
+    | [] -> invalid_arg "no operands"
+    | e :: rest -> List.fold_left (fun x y -> Index_notation.Add (x, y)) e rest
+  in
+  Schedule.stmt (get (Schedule.of_index_notation (Index_notation.assign a [ vi; vj ] rhs)))
+
+(* Workspace addition: ∀i (∀j A = w) where (∀j w = B0 ; ∀j w += Bq ; …) —
+   the n-operand generalization of Fig. 5b via result reuse. *)
+let addition_workspace_stmt ops =
+  let a = tensor "A" Format.csr in
+  let w = workspace "w" Format.dense_vector in
+  let acc tv = Cin.Access (Cin.access tv [ vi; vj ]) in
+  let producer =
+    match ops with
+    | [] -> invalid_arg "no operands"
+    | first :: rest ->
+        List.fold_left
+          (fun s tv ->
+            Cin.Sequence (s, Cin.Forall (vj, Cin.accumulate (Cin.access w [ vj ]) (acc tv))))
+          (Cin.Forall (vj, Cin.assign (Cin.access w [ vj ]) (acc first)))
+          rest
+  in
+  let consumer =
+    Cin.Forall (vj, Cin.assign (Cin.access a [ vi; vj ]) (Cin.Access (Cin.access w [ vj ])))
+  in
+  Cin.Forall (vi, Cin.Where (consumer, producer))

@@ -1,0 +1,49 @@
+(* Benchmark inputs: scaled Table I stand-ins and synthetic operands. *)
+
+open Taco
+module Prng = Taco_support.Prng
+
+(* The eleven SuiteSparse stand-ins, scaled (dims / scale, nnz / scale²,
+   density preserved). *)
+let matrices ~seed ~scale =
+  List.map
+    (fun e -> (Suite.scaled_matrix_entry ~scale e, Suite.generate_matrix ~seed ~scale e))
+    Suite.matrices
+
+let uniform_matrix ~seed ~rows ~cols ~density =
+  let prng = Prng.create seed in
+  Gen.random_density prng ~dims:[| rows; cols |] ~density Format.csr
+
+(* FROSTT stand-ins, further scaled for the bench budget:
+   dims / scale, nnz / scale². *)
+let scaled_tensor_entry ~scale (e : Suite.tensor_entry) =
+  if scale <= 1 then e
+  else
+    {
+      e with
+      Suite.t_dims = Array.map (fun d -> max 16 (d / scale)) e.Suite.t_dims;
+      t_nnz = max 256 (e.Suite.t_nnz / (scale * scale));
+    }
+
+let tensors ~seed ~scale =
+  List.map
+    (fun e ->
+      let e = scaled_tensor_entry ~scale e in
+      (e, Suite.generate_tensor ~seed e))
+    Suite.tensor_standins
+
+let dense_factor ~seed ~rows ~cols =
+  let prng = Prng.create seed in
+  Tensor.of_dense (Gen.random_dense prng [| rows; cols |]) Format.dense_matrix
+
+let sparse_factor ~seed ~rows ~cols ~density =
+  let prng = Prng.create seed in
+  Gen.random_density prng ~dims:[| rows; cols |] ~density Format.csr
+
+(* Fig. 13 operands: random matrices with target sparsities drawn
+   uniformly from [1e-4, 0.01]. *)
+let addition_operands ~seed ~n ~dim =
+  let prng = Prng.create seed in
+  List.init n (fun _ ->
+      let density = 1e-4 +. (Prng.float prng *. (0.01 -. 1e-4)) in
+      Gen.random_density prng ~dims:[| dim; dim |] ~density Format.csr)

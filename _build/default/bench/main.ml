@@ -1,0 +1,122 @@
+(* Benchmark harness reproducing every table and figure of the paper's
+   evaluation (§VIII). See DESIGN.md for the per-experiment index and
+   EXPERIMENTS.md for recorded paper-vs-measured results.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, default scales
+     dune exec bench/main.exe -- fig11        # one experiment
+     dune exec bench/main.exe -- fig11 --scale 16 --reps 1
+     dune exec bench/main.exe -- micro        # bechamel micro-benchmarks *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 2019 & info [ "seed" ] ~doc:"PRNG seed for all synthetic inputs.")
+
+let scale_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "scale" ]
+        ~doc:"Divide Table I matrix dimensions by this factor (nnz by its square).")
+
+let tensor_scale_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "tensor-scale" ]
+        ~doc:"Extra scaling of the FROSTT stand-ins (dims / s, nnz / s^2).")
+
+let reps_arg =
+  Arg.(value & opt int 3 & info [ "reps" ] ~doc:"Repetitions per measurement (median).")
+
+let add_dim_arg =
+  Arg.(
+    value & opt int 4000
+    & info [ "add-dim" ] ~doc:"Matrix dimension for the Fig. 13 addition chains.")
+
+let table1_cmd =
+  let run seed scale tensor_scale = Table1.run ~seed ~scale ~tensor_scale in
+  Cmd.v (Cmd.info "table1" ~doc:"Print the Table I input inventory.")
+    Term.(const run $ seed_arg $ scale_arg $ tensor_scale_arg)
+
+let fig11_cmd =
+  let run seed scale reps = Fig11.run ~seed ~scale ~reps in
+  Cmd.v (Cmd.info "fig11" ~doc:"SpGEMM vs Eigen-like and MKL-like baselines.")
+    Term.(const run $ seed_arg $ scale_arg $ reps_arg)
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~doc:"Run the MTTKRP variants data-parallel over this many OCaml domains.")
+
+let fig12left_cmd =
+  let run seed tensor_scale reps domains =
+    Fig12.left ~domains ~seed ~scale:tensor_scale ~reps ()
+  in
+  Cmd.v (Cmd.info "fig12left" ~doc:"MTTKRP with dense output vs SPLATT-like baseline.")
+    Term.(const run $ seed_arg $ tensor_scale_arg $ reps_arg $ domains_arg)
+
+let fig12right_cmd =
+  let run seed tensor_scale reps = Fig12.right ~seed ~scale:tensor_scale ~reps in
+  Cmd.v
+    (Cmd.info "fig12right" ~doc:"MTTKRP sparse vs dense output across operand densities.")
+    Term.(const run $ seed_arg $ tensor_scale_arg $ reps_arg)
+
+let fig13_cmd =
+  let run seed dim reps = Fig13.run ~seed ~dim ~reps in
+  Cmd.v (Cmd.info "fig13" ~doc:"Chained sparse matrix additions.")
+    Term.(const run $ seed_arg $ add_dim_arg $ reps_arg)
+
+let ablation_cmd =
+  let run seed scale reps =
+    Ablation.run ~seed ~scale ~reps;
+    Ablation.tiling ~seed ~reps;
+    Ablation.inner_vs_gustavson ~seed ~reps
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Design-choice ablations: hash vs dense workspace, result reuse, sorting.")
+    Term.(const run $ seed_arg $ scale_arg $ reps_arg)
+
+let micro_cmd =
+  Cmd.v (Cmd.info "micro" ~doc:"Bechamel micro-benchmarks of the individual kernels.")
+    Term.(const Micro.run $ const ())
+
+let all ~seed ~scale ~tensor_scale ~reps ~add_dim =
+  Table1.run ~seed ~scale ~tensor_scale;
+  Fig11.run ~seed ~scale ~reps;
+  Fig12.left ~seed ~scale:tensor_scale ~reps ();
+  Fig12.right ~seed ~scale:tensor_scale ~reps;
+  Fig13.run ~seed ~dim:add_dim ~reps
+
+let all_cmd =
+  let run seed scale tensor_scale reps add_dim =
+    all ~seed ~scale ~tensor_scale ~reps ~add_dim
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment (the default).")
+    Term.(const run $ seed_arg $ scale_arg $ tensor_scale_arg $ reps_arg $ add_dim_arg)
+
+let default =
+  let run seed scale tensor_scale reps add_dim =
+    all ~seed ~scale ~tensor_scale ~reps ~add_dim
+  in
+  Term.(const run $ seed_arg $ scale_arg $ tensor_scale_arg $ reps_arg $ add_dim_arg)
+
+let () =
+  let info =
+    Cmd.info "taco-workspaces-bench"
+      ~doc:"Reproduce the evaluation of 'Tensor Algebra Compilation with Workspaces'."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            table1_cmd;
+            fig11_cmd;
+            fig12left_cmd;
+            fig12right_cmd;
+            fig13_cmd;
+            ablation_cmd;
+            micro_cmd;
+            all_cmd;
+          ]))

@@ -1,0 +1,28 @@
+(* Table I: the benchmark input inventory — published sizes and the
+   synthetic stand-ins actually generated at the chosen scale. *)
+
+open Taco
+
+let run ~seed ~scale ~tensor_scale =
+  Harness.header "Table I: test matrices and tensors (synthetic stand-ins)";
+  Printf.printf "(published sizes on the left; generated stand-ins at scale 1/%d on the right)\n\n" scale;
+  Harness.row "%-3s %-12s %-18s %10s %9s | %10s %10s %9s" "#" "name" "domain"
+    "nnz" "density" "gen rows" "gen nnz" "density";
+  List.iter
+    (fun (e : Suite.matrix_entry) ->
+      let scaled = Suite.scaled_matrix_entry ~scale e in
+      let t = Suite.generate_matrix ~seed ~scale e in
+      Harness.row "%-3d %-12s %-18s %10d %9.0e | %10d %10d %9.0e" e.Suite.id e.Suite.name
+        e.Suite.domain e.Suite.nnz (Suite.density e) scaled.Suite.rows (Tensor.stored t)
+        (float_of_int (Tensor.stored t)
+        /. (float_of_int scaled.Suite.rows *. float_of_int scaled.Suite.cols)))
+    Suite.matrices;
+  print_newline ();
+  Harness.row "%-12s %-18s %12s | %-18s %10s" "tensor" "domain" "pub. nnz" "gen dims" "gen nnz";
+  List.iter
+    (fun ((published : Suite.tensor_entry), (e, t)) ->
+      Harness.row "%-12s %-18s %12d | %-18s %10d" e.Suite.t_name e.Suite.t_domain
+        published.Suite.t_nnz
+        (String.concat "x" (Array.to_list (Array.map string_of_int e.Suite.t_dims)))
+        (Tensor.stored t))
+    (List.combine Suite.tensors (Inputs.tensors ~seed ~scale:tensor_scale))

@@ -1,0 +1,291 @@
+(* A command-line tensor algebra compiler in the spirit of the taco tool
+   [Kjolstad et al., ASE 2017], extended with the workspace scheduling of
+   the CGO 2019 paper.
+
+   Examples:
+
+     # show concrete index notation and generated C for CSR matmul with
+     # an automatically found schedule
+     tacocli "A(i,j) = B(i,k) * C(k,j)" -f A:ds -f B:ds -f C:ds --auto --print-c
+
+     # schedule manually, like the paper's Fig. 2
+     tacocli "A(i,j) = B(i,k) * C(k,j)" -f A:ds -f B:ds -f C:ds \
+        --reorder k,j --precompute "B(i,k) * C(k,j)|j|w" --print-cin
+
+     # generate random inputs, run, and time the kernel
+     tacocli "y(i) = B(i,j) * x(j)" -f B:ds -d B:5000,5000 --density 0.001 --time
+*)
+
+open Taco
+module P = Taco_frontend.Parser
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("tacocli: " ^ s); exit 1) fmt
+
+let get = function Ok v -> v | Error e -> die "%s" e
+
+(* ------------------------------------------------------------------ *)
+(* Pre-scan the expression for tensor names and orders.                *)
+(* ------------------------------------------------------------------ *)
+
+let prescan expr_str =
+  let n = String.length expr_str in
+  let tensors = ref [] in
+  let is_ident c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' in
+  let i = ref 0 in
+  while !i < n do
+    if is_ident expr_str.[!i] && (!i = 0 || not (is_ident expr_str.[!i - 1])) then begin
+      let start = !i in
+      while !i < n && is_ident expr_str.[!i] do
+        incr i
+      done;
+      let name = String.sub expr_str start (!i - start) in
+      let j = ref !i in
+      while !j < n && expr_str.[!j] = ' ' do
+        incr j
+      done;
+      if name <> "sum" && String.length name > 0 && not (name.[0] >= '0' && name.[0] <= '9')
+      then
+        if !j < n && expr_str.[!j] = '(' then begin
+          (* Count top-level commas to find the order. *)
+          let depth = ref 1 and commas = ref 0 and k = ref (!j + 1) in
+          while !depth > 0 && !k < n do
+            (match expr_str.[!k] with
+            | '(' -> incr depth
+            | ')' -> decr depth
+            | ',' -> if !depth = 1 then incr commas
+            | _ -> ());
+            incr k
+          done;
+          if not (List.mem_assoc name !tensors) then
+            tensors := (name, !commas + 1) :: !tensors
+        end
+        (* Identifiers without parentheses are index variables (the CLI
+           does not support order-0 tensors). *)
+    end
+    else incr i
+  done;
+  List.rev !tensors
+
+let parse_format name order spec =
+  let spec = if spec = "" then String.make (max order 1) 'd' else spec in
+  if String.length spec <> order then
+    die "format %s for %s has %d levels but the tensor has order %d" spec name
+      (String.length spec) order;
+  let levels =
+    List.init order (fun l ->
+        match spec.[l] with
+        | 'd' -> Level.Dense
+        | 's' -> Level.Compressed
+        | c -> die "unknown level format %c in %s (use d or s)" c spec)
+  in
+  Format.of_levels levels
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cli expr_str formats dims density seed reorders precomputes split_specs auto
+    print_cin print_c do_run do_time =
+  let parse_pair what s =
+    match String.index_opt s ':' with
+    | Some k -> (String.sub s 0 k, String.sub s (k + 1) (String.length s - k - 1))
+    | None -> die "malformed %s %S (expected NAME:SPEC)" what s
+  in
+  let formats = List.map (parse_pair "-f") formats in
+  let dims_spec = List.map (parse_pair "-d") dims in
+  (* Build tensor variables. *)
+  let names = prescan expr_str in
+  if names = [] then die "no tensors found in %S" expr_str;
+  let tensors =
+    List.map
+      (fun (name, order) ->
+        let fmt_spec = Option.value ~default:"" (List.assoc_opt name formats) in
+        (name, Tensor_var.make name ~order ~format:(parse_format name order fmt_spec)))
+      names
+  in
+  let stmt = get (P.parse_statement ~tensors expr_str) in
+  Printf.printf "statement:   %s\n" (Index_notation.to_string stmt);
+  let sched = ref (get (Schedule.of_index_notation stmt)) in
+  (* Manual schedule commands. *)
+  List.iter
+    (fun spec ->
+      match String.split_on_char ',' spec with
+      | [ a; b ] ->
+          sched := get (Schedule.reorder (ivar (String.trim a)) (ivar (String.trim b)) !sched)
+      | _ -> die "malformed --reorder %S (expected a,b)" spec)
+    reorders;
+  List.iteri
+    (fun q spec ->
+      match String.split_on_char '|' spec with
+      | [ e; vars; ws ] ->
+          let e = get (P.parse_expr ~tensors e) in
+          let e = get (Schedule.expr_of_index_notation e) in
+          let over = List.map (fun v -> ivar (String.trim v)) (String.split_on_char ',' vars) in
+          let w =
+            Tensor_var.workspace
+              (if ws = "" then Printf.sprintf "w%d" q else String.trim ws)
+              ~order:(List.length over)
+              ~format:(Format.dense (List.length over))
+          in
+          sched := get (Schedule.precompute_simple ~expr:e ~over ~workspace:w !sched)
+      | _ -> die "malformed --precompute %S (expected EXPR|VARS|NAME)" spec)
+    precomputes;
+  let splits =
+    List.map
+      (fun spec ->
+        match String.split_on_char ':' spec with
+        | [ v; f ] -> (ivar (String.trim v), int_of_string (String.trim f))
+        | _ -> die "malformed --split %S (expected VAR:FACTOR)" spec)
+      split_specs
+  in
+  (* Compile, automatically scheduling if requested (or if needed and
+     nothing manual was given). *)
+  let compiled, steps =
+    if auto then
+      let c, steps = get (auto_compile !sched) in
+      (c, steps)
+    else
+      match compile ~splits !sched with
+      | Ok c -> (c, [])
+      | Error e ->
+          die "%s\n(hint: pass --auto to search for a schedule automatically)" e
+  in
+  List.iter (fun s -> Printf.printf "auto:        %s\n" (Autoschedule.step_to_string s)) steps;
+  Printf.printf "concrete:    %s\n" (cin_string compiled);
+  if print_cin then ();
+  if print_c then begin
+    print_endline "";
+    print_string (c_source compiled)
+  end;
+  if do_run || do_time then begin
+    (* Random inputs: dimensions from -d (default 1000 per mode). *)
+    let prng = Taco_support.Prng.create seed in
+    let result_name =
+      Tensor_var.name (Kernel.info (kernel compiled)).Lower.result
+    in
+    let dim_env : (string, int array) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (name, spec) ->
+        let ds = String.split_on_char ',' spec |> List.map int_of_string |> Array.of_list in
+        Hashtbl.replace dim_env name ds)
+      dims_spec;
+    (* Unify index variable ranges across accesses. *)
+    let ranges : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let rec walk = function
+      | Index_notation.Access (tv, idxs) ->
+          let name = Tensor_var.name tv in
+          List.iteri
+            (fun m v ->
+              let key = Index_var.name v in
+              let from_spec =
+                match Hashtbl.find_opt dim_env name with
+                | Some ds when Array.length ds > m -> Some ds.(m)
+                | Some _ | None -> None
+              in
+              match (from_spec, Hashtbl.find_opt ranges key) with
+              | Some d, _ -> Hashtbl.replace ranges key d
+              | None, Some _ -> ()
+              | None, None -> Hashtbl.replace ranges key 1000)
+            idxs
+      | Index_notation.Literal _ -> ()
+      | Index_notation.Neg e | Index_notation.Sum (_, e) -> walk e
+      | Index_notation.Add (a, b)
+      | Index_notation.Sub (a, b)
+      | Index_notation.Mul (a, b)
+      | Index_notation.Div (a, b) ->
+          walk a;
+          walk b
+    in
+    walk stmt.Index_notation.rhs;
+    List.iteri
+      (fun m v -> Hashtbl.replace ranges (Index_var.name v)
+          (match Hashtbl.find_opt dim_env result_name with
+          | Some ds when Array.length ds > m -> ds.(m)
+          | Some _ | None ->
+              Option.value ~default:1000 (Hashtbl.find_opt ranges (Index_var.name v))))
+      stmt.Index_notation.lhs_indices;
+    let inputs =
+      List.filter_map
+        (fun (name, tv) ->
+          if name = result_name then None
+          else begin
+            (* Reconstruct dims from the access. *)
+            let rec find_access = function
+              | Index_notation.Access (t, idxs) when Tensor_var.equal t tv -> Some idxs
+              | Index_notation.Access _ | Index_notation.Literal _ -> None
+              | Index_notation.Neg e | Index_notation.Sum (_, e) -> find_access e
+              | Index_notation.Add (a, b)
+              | Index_notation.Sub (a, b)
+              | Index_notation.Mul (a, b)
+              | Index_notation.Div (a, b) -> (
+                  match find_access a with Some r -> Some r | None -> find_access b)
+            in
+            match find_access stmt.Index_notation.rhs with
+            | None -> None
+            | Some idxs ->
+                let ds =
+                  Array.of_list
+                    (List.map (fun v -> Hashtbl.find ranges (Index_var.name v)) idxs)
+                in
+                let t =
+                  if Format.is_all_dense (Tensor_var.format tv) then
+                    Tensor.of_dense (Gen.random_dense prng ds) (Tensor_var.format tv)
+                  else Gen.random_density prng ~dims:ds ~density (Tensor_var.format tv)
+                in
+                Printf.printf "input %s: %s\n" name (Stdlib.Format.asprintf "%a" Tensor.pp t);
+                Some (tv, t)
+          end)
+        tensors
+    in
+    let (result, elapsed) = Taco_support.Util.time (fun () -> get (run compiled ~inputs)) in
+    Printf.printf "result %s: %s\n" result_name (Stdlib.Format.asprintf "%a" Tensor.pp result);
+    if do_time then Printf.printf "time: %.6f s\n" elapsed
+  end
+
+open Cmdliner
+
+let expr_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Index notation statement.")
+
+let formats_arg =
+  Arg.(value & opt_all string [] & info [ "f" ] ~docv:"NAME:FMT" ~doc:"Tensor format, one d(ense)/s(parse) letter per mode, e.g. A:ds for CSR.")
+
+let dims_arg =
+  Arg.(value & opt_all string [] & info [ "d" ] ~docv:"NAME:DIMS" ~doc:"Tensor dimensions for --run, e.g. B:5000,5000.")
+
+let density_arg =
+  Arg.(value & opt float 0.01 & info [ "density" ] ~doc:"Density of random sparse inputs.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let reorder_arg =
+  Arg.(value & opt_all string [] & info [ "reorder" ] ~docv:"A,B" ~doc:"Exchange two index variables (repeatable).")
+
+let precompute_arg =
+  Arg.(value & opt_all string [] & info [ "precompute" ] ~docv:"EXPR|VARS|NAME" ~doc:"Precompute EXPR over VARS into workspace NAME (repeatable).")
+
+let split_arg =
+  Arg.(value & opt_all string [] & info [ "split" ] ~docv:"VAR:FACTOR" ~doc:"Strip-mine a dense loop (repeatable).")
+
+let auto_arg = Arg.(value & flag & info [ "auto" ] ~doc:"Search for a schedule automatically.")
+
+let print_cin_arg = Arg.(value & flag & info [ "print-cin" ] ~doc:"Print concrete index notation (always shown).")
+
+let print_c_arg = Arg.(value & flag & info [ "print-c" ] ~doc:"Print the generated C code.")
+
+let run_arg = Arg.(value & flag & info [ "run" ] ~doc:"Run the kernel on random inputs.")
+
+let time_arg = Arg.(value & flag & info [ "time" ] ~doc:"Run and report wall-clock time.")
+
+let () =
+  let term =
+    Term.(
+      const run_cli $ expr_arg $ formats_arg $ dims_arg $ density_arg $ seed_arg
+      $ reorder_arg $ precompute_arg $ split_arg $ auto_arg $ print_cin_arg $ print_c_arg
+      $ run_arg $ time_arg)
+  in
+  let info =
+    Cmd.info "tacocli"
+      ~doc:"Compile and run sparse tensor algebra expressions with workspaces."
+  in
+  exit (Cmd.eval (Cmd.v info term))

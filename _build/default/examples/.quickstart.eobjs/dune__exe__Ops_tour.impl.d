@@ -1,0 +1,1 @@
+examples/ops_tour.ml: Autoschedule Filename Format Gen Index_notation Io List Printf Schedule Stdlib Sys Taco Taco_ops Taco_support Tensor

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cin Format Gen Index_notation Printf Schedule Stdlib Taco Taco_frontend Taco_support Tensor

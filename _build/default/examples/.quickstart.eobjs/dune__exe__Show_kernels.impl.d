@@ -1,0 +1,1 @@
+examples/show_kernels.ml: Cin Format Index_notation Kernel Lower Printf Schedule Taco

@@ -1,0 +1,1 @@
+examples/show_kernels.mli:

@@ -1,0 +1,1 @@
+examples/sparse_addition_chain.ml: Cin Format Gen Index_notation Kernel List Lower Printf Schedule String Taco Taco_support Tensor Tensor_var

@@ -1,0 +1,1 @@
+examples/spgemm_pipeline.ml: Array Cin Format Gen Heuristics Index_notation Kernel List Lower Printf Schedule Suite Taco Taco_kernels Taco_support Tensor

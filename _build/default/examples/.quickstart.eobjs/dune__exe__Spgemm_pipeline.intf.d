@@ -1,0 +1,1 @@
+examples/spgemm_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/tensor_decomposition.ml: Array Cin Coo Dense Float Format Fun Gen Index_notation Kernel Lower Printf Schedule Taco Taco_kernels Taco_support Tensor

@@ -1,0 +1,66 @@
+(* A tour of the high-level layers built on the compiler:
+
+   - Taco_ops: pre-packaged operations (matmul, add, spmv, sddmm, mttkrp,
+     inner) that schedule themselves via the autoscheduler;
+   - Io: Matrix Market files in and out;
+   - auto_compile: the policy system finding the paper's schedules.
+
+   Run with: dune exec examples/ops_tour.exe *)
+
+open Taco
+module Ops = Taco_ops.Ops
+
+let get = function Ok x -> x | Error e -> failwith e
+
+let () =
+  let prng = Taco_support.Prng.create 7 in
+
+  (* A small sparse linear-algebra computation without writing a single
+     schedule: y = (B·C + B)ᵀ x. *)
+  let b = Gen.random_density prng ~dims:[| 300; 300 |] ~density:0.01 Format.csr in
+  let c = Gen.random_density prng ~dims:[| 300; 300 |] ~density:0.01 Format.csr in
+  let x = Tensor.of_dense (Gen.random_dense prng [| 300 |]) Format.dense_vector in
+  let bc = get (Ops.matmul b c) in
+  let s = get (Ops.add bc b) in
+  let y = get (Ops.spmv (Ops.transpose s) x) in
+  Printf.printf "B:      %s\n" (Stdlib.Format.asprintf "%a" Tensor.pp b);
+  Printf.printf "B*C:    %s\n" (Stdlib.Format.asprintf "%a" Tensor.pp bc);
+  Printf.printf "B*C+B:  %s\n" (Stdlib.Format.asprintf "%a" Tensor.pp s);
+  Printf.printf "y:      %s\n\n" (Stdlib.Format.asprintf "%a" Tensor.pp y);
+
+  (* SDDMM: sample a dense product at B's sparsity (used in graph
+     attention and factorization residuals). *)
+  let u = Tensor.of_dense (Gen.random_dense prng [| 300; 16 |]) Format.dense_matrix in
+  let v = Tensor.of_dense (Gen.random_dense prng [| 16; 300 |]) Format.dense_matrix in
+  let sampled = get (Ops.sddmm b u v) in
+  Printf.printf "sddmm(B, U, V): %s (pattern of B)\n\n"
+    (Stdlib.Format.asprintf "%a" Tensor.pp sampled);
+
+  (* Round-trip through a Matrix Market file. *)
+  let path = Filename.temp_file "ops_tour" ".mtx" in
+  Io.write_matrix_market path s;
+  let reread = Tensor.pack (get (Io.read_matrix_market path)) Format.csr in
+  assert (Tensor.equal s reread);
+  Printf.printf "matrix market round-trip through %s: ok\n\n" path;
+  Sys.remove path;
+
+  (* The autoscheduler explaining itself. *)
+  let a = tensor "A" Format.csr in
+  let bv = tensor "B" Format.csr in
+  let cv = tensor "C" Format.csr in
+  let i = ivar "i" and j = ivar "j" and k = ivar "k" in
+  let stmt =
+    Index_notation.assign a [ i; j ]
+      (Index_notation.sum k
+         (Index_notation.Mul (Index_notation.access bv [ i; k ], Index_notation.access cv [ k; j ])))
+  in
+  let sched = get (Schedule.of_index_notation stmt) in
+  let compiled, steps = get (auto_compile sched) in
+  print_endline "autoscheduler on the raw SpGEMM statement:";
+  List.iter (fun s -> Printf.printf "  %s\n" (Autoschedule.step_to_string s)) steps;
+  Printf.printf "  final: %s\n" (cin_string compiled);
+
+  (* The scalar inner product ties it together: ||y||² via the compiler. *)
+  let norm2 = get (Ops.inner y y) in
+  Printf.printf "\n||y||^2 = %.6f (computed by a generated kernel with an order-0 result)\n"
+    norm2

@@ -1,0 +1,1 @@
+lib/exec/compile.ml: Array Float Hashtbl Int32 List Printf Taco_lower

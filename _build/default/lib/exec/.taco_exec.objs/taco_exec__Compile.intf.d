@@ -1,0 +1,1 @@
+lib/exec/compile.mli: Taco_lower

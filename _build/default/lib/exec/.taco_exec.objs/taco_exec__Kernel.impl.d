@@ -1,0 +1,1 @@
+lib/exec/kernel.ml: Array Compile List Printf Taco_ir Taco_lower Taco_support Taco_tensor Tensor_var

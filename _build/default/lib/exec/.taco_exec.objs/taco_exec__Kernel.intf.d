@@ -1,0 +1,1 @@
+lib/exec/kernel.mli: Compile Taco_ir Taco_lower Taco_tensor Tensor_var

@@ -1,0 +1,1 @@
+lib/exec/parallel.ml: Array Domain Kernel List Taco_ir Taco_tensor Tensor_var

@@ -1,0 +1,1 @@
+lib/exec/parallel.mli: Kernel Taco_ir Taco_tensor Tensor_var

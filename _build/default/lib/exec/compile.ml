@@ -1,0 +1,446 @@
+module Imp = Taco_lower.Imp
+
+type arg =
+  | Aint of int
+  | Afloat of float
+  | Aint_array of int array
+  | Afloat_array of float array
+
+type env = {
+  ints : int array;
+  floats : float array;
+  bools : bool array;
+  iarr : int array array;
+  farr : float array array;
+  barr : bool array array;
+}
+
+type slot = { s_dtype : Imp.dtype; s_array : bool; s_index : int }
+
+type compiled = {
+  c_kernel : Imp.kernel;
+  slots : (string, slot) Hashtbl.t;
+  n_ints : int;
+  n_floats : int;
+  n_bools : int;
+  n_iarr : int;
+  n_farr : int;
+  n_barr : int;
+  code : env -> unit;
+}
+
+let kernel c = c.c_kernel
+
+exception Type_error of string
+
+let terror fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Slot assignment                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let assign_slots (k : Imp.kernel) =
+  let slots = Hashtbl.create 64 in
+  let counters = [| 0; 0; 0; 0; 0; 0 |] in
+  let category dtype arr =
+    match (dtype, arr) with
+    | Imp.Int, false -> 0
+    | Imp.Float, false -> 1
+    | Imp.Bool, false -> 2
+    | Imp.Int, true -> 3
+    | Imp.Float, true -> 4
+    | Imp.Bool, true -> 5
+  in
+  let declare name dtype arr =
+    match Hashtbl.find_opt slots name with
+    | Some s ->
+        if s.s_dtype <> dtype || s.s_array <> arr then
+          terror "variable %s redeclared with a different type" name
+    | None ->
+        let c = category dtype arr in
+        Hashtbl.replace slots name { s_dtype = dtype; s_array = arr; s_index = counters.(c) };
+        counters.(c) <- counters.(c) + 1
+  in
+  List.iter (fun p -> declare p.Imp.p_name p.Imp.p_dtype p.Imp.p_array) k.k_params;
+  let rec scan = function
+    | Imp.Decl (t, v, _) -> declare v t false
+    | Imp.Alloc (t, v, _) -> declare v t true
+    | Imp.For (v, _, _, body) ->
+        declare v Imp.Int false;
+        List.iter scan body
+    | Imp.While (_, body) -> List.iter scan body
+    | Imp.If (_, a, b) ->
+        List.iter scan a;
+        List.iter scan b
+    | Imp.Assign _ | Imp.Store _ | Imp.Store_add _ | Imp.Realloc _ | Imp.Memset _
+    | Imp.Sort _ | Imp.Comment _ -> ()
+  in
+  List.iter scan k.k_body;
+  (slots, counters)
+
+let find_slot slots v =
+  match Hashtbl.find_opt slots v with
+  | Some s -> s
+  | None -> terror "unknown variable %s" v
+
+(* ------------------------------------------------------------------ *)
+(* Typing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec infer slots = function
+  | Imp.Var v -> (
+      match Hashtbl.find_opt slots v with
+      | Some s when not s.s_array -> s.s_dtype
+      | Some _ -> terror "array %s used as a scalar" v
+      | None -> terror "unknown variable %s" v)
+  | Imp.Int_lit _ -> Imp.Int
+  | Imp.Float_lit _ -> Imp.Float
+  | Imp.Bool_lit _ -> Imp.Bool
+  | Imp.Load (a, _) -> (
+      match Hashtbl.find_opt slots a with
+      | Some s when s.s_array -> s.s_dtype
+      | Some _ -> terror "scalar %s indexed as an array" a
+      | None -> terror "unknown array %s" a)
+  | Imp.Binop ((Imp.Add | Imp.Sub | Imp.Mul | Imp.Div | Imp.Min | Imp.Max), a, b) -> (
+      match (infer slots a, infer slots b) with
+      | Imp.Int, Imp.Int -> Imp.Int
+      | Imp.Float, Imp.Float -> Imp.Float
+      | ta, tb ->
+          if ta <> tb then terror "arithmetic on mixed types" else terror "arithmetic on bools")
+  | Imp.Binop ((Imp.Eq | Imp.Ne | Imp.Lt | Imp.Le | Imp.Gt | Imp.Ge), a, b) ->
+      if infer slots a <> infer slots b then terror "comparison on mixed types" else Imp.Bool
+  | Imp.Binop ((Imp.And | Imp.Or), a, b) ->
+      if infer slots a <> Imp.Bool || infer slots b <> Imp.Bool then
+        terror "logical operator on non-bool"
+      else Imp.Bool
+  | Imp.Not e -> if infer slots e <> Imp.Bool then terror "not on non-bool" else Imp.Bool
+  | Imp.Round_single e ->
+      if infer slots e <> Imp.Float then terror "round_single on non-float" else Imp.Float
+  | Imp.Ternary (c, a, b) ->
+      if infer slots c <> Imp.Bool then terror "ternary condition not bool"
+      else
+        let ta = infer slots a in
+        if ta <> infer slots b then terror "ternary branches of mixed type" else ta
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec cint slots (e : Imp.expr) : env -> int =
+  match e with
+  | Imp.Var v ->
+      let s = find_slot slots v in
+      if s.s_dtype <> Imp.Int || s.s_array then terror "expected int scalar %s" v;
+      let i = s.s_index in
+      fun env -> Array.unsafe_get env.ints i
+  | Imp.Int_lit n -> fun _ -> n
+  | Imp.Load (a, idx) ->
+      let s = find_slot slots a in
+      if s.s_dtype <> Imp.Int || not s.s_array then terror "expected int array %s" a;
+      let i = s.s_index in
+      let cidx = cint slots idx in
+      fun env -> (Array.unsafe_get env.iarr i).(cidx env)
+  | Imp.Binop (op, a, b) -> (
+      let ca = cint slots a and cb = cint slots b in
+      match op with
+      | Imp.Add -> fun env -> ca env + cb env
+      | Imp.Sub -> fun env -> ca env - cb env
+      | Imp.Mul -> fun env -> ca env * cb env
+      | Imp.Div -> fun env -> ca env / cb env
+      | Imp.Min -> fun env -> min (ca env) (cb env)
+      | Imp.Max -> fun env -> max (ca env) (cb env)
+      | Imp.Eq | Imp.Ne | Imp.Lt | Imp.Le | Imp.Gt | Imp.Ge | Imp.And | Imp.Or ->
+          terror "boolean expression in int context")
+  | Imp.Ternary (c, a, b) ->
+      let cc = cbool slots c and ca = cint slots a and cb = cint slots b in
+      fun env -> if cc env then ca env else cb env
+  | Imp.Float_lit _ | Imp.Bool_lit _ | Imp.Not _ | Imp.Round_single _ ->
+      terror "expected an int expression"
+
+and cfloat slots (e : Imp.expr) : env -> float =
+  match e with
+  | Imp.Var v ->
+      let s = find_slot slots v in
+      if s.s_dtype <> Imp.Float || s.s_array then terror "expected float scalar %s" v;
+      let i = s.s_index in
+      fun env -> Array.unsafe_get env.floats i
+  | Imp.Float_lit v -> fun _ -> v
+  | Imp.Load (a, idx) ->
+      let s = find_slot slots a in
+      if s.s_dtype <> Imp.Float || not s.s_array then terror "expected float array %s" a;
+      let i = s.s_index in
+      let cidx = cint slots idx in
+      fun env -> (Array.unsafe_get env.farr i).(cidx env)
+  | Imp.Binop (op, a, b) -> (
+      let ca = cfloat slots a and cb = cfloat slots b in
+      match op with
+      | Imp.Add -> fun env -> ca env +. cb env
+      | Imp.Sub -> fun env -> ca env -. cb env
+      | Imp.Mul -> fun env -> ca env *. cb env
+      | Imp.Div -> fun env -> ca env /. cb env
+      | Imp.Min -> fun env -> Float.min (ca env) (cb env)
+      | Imp.Max -> fun env -> Float.max (ca env) (cb env)
+      | Imp.Eq | Imp.Ne | Imp.Lt | Imp.Le | Imp.Gt | Imp.Ge | Imp.And | Imp.Or ->
+          terror "boolean expression in float context")
+  | Imp.Ternary (c, a, b) ->
+      let cc = cbool slots c and ca = cfloat slots a and cb = cfloat slots b in
+      fun env -> if cc env then ca env else cb env
+  | Imp.Round_single e ->
+      let ce = cfloat slots e in
+      fun env -> Int32.float_of_bits (Int32.bits_of_float (ce env))
+  | Imp.Int_lit _ | Imp.Bool_lit _ | Imp.Not _ -> terror "expected a float expression"
+
+and cbool slots (e : Imp.expr) : env -> bool =
+  match e with
+  | Imp.Var v ->
+      let s = find_slot slots v in
+      if s.s_dtype <> Imp.Bool || s.s_array then terror "expected bool scalar %s" v;
+      let i = s.s_index in
+      fun env -> Array.unsafe_get env.bools i
+  | Imp.Bool_lit b -> fun _ -> b
+  | Imp.Load (a, idx) ->
+      let s = find_slot slots a in
+      if s.s_dtype <> Imp.Bool || not s.s_array then terror "expected bool array %s" a;
+      let i = s.s_index in
+      let cidx = cint slots idx in
+      fun env -> (Array.unsafe_get env.barr i).(cidx env)
+  | Imp.Binop ((Imp.And | Imp.Or) as op, a, b) -> (
+      let ca = cbool slots a and cb = cbool slots b in
+      match op with
+      | Imp.And -> fun env -> ca env && cb env
+      | Imp.Or -> fun env -> ca env || cb env
+      | _ -> assert false)
+  | Imp.Binop (((Imp.Eq | Imp.Ne | Imp.Lt | Imp.Le | Imp.Gt | Imp.Ge) as op), a, b) -> (
+      match infer slots a with
+      | Imp.Int -> (
+          let ca = cint slots a and cb = cint slots b in
+          match op with
+          | Imp.Eq -> fun env -> ca env = cb env
+          | Imp.Ne -> fun env -> ca env <> cb env
+          | Imp.Lt -> fun env -> ca env < cb env
+          | Imp.Le -> fun env -> ca env <= cb env
+          | Imp.Gt -> fun env -> ca env > cb env
+          | Imp.Ge -> fun env -> ca env >= cb env
+          | _ -> assert false)
+      | Imp.Float -> (
+          let ca = cfloat slots a and cb = cfloat slots b in
+          match op with
+          | Imp.Eq -> fun env -> ca env = cb env
+          | Imp.Ne -> fun env -> ca env <> cb env
+          | Imp.Lt -> fun env -> ca env < cb env
+          | Imp.Le -> fun env -> ca env <= cb env
+          | Imp.Gt -> fun env -> ca env > cb env
+          | Imp.Ge -> fun env -> ca env >= cb env
+          | _ -> assert false)
+      | Imp.Bool -> terror "comparison on bools")
+  | Imp.Not e ->
+      let ce = cbool slots e in
+      fun env -> not (ce env)
+  | Imp.Ternary (c, a, b) ->
+      let cc = cbool slots c and ca = cbool slots a and cb = cbool slots b in
+      fun env -> if cc env then ca env else cb env
+  | Imp.Int_lit _ | Imp.Float_lit _ | Imp.Binop _ | Imp.Round_single _ ->
+      terror "expected a bool expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let seq (fs : (env -> unit) array) : env -> unit =
+  match Array.length fs with
+  | 0 -> fun _ -> ()
+  | 1 -> fs.(0)
+  | 2 ->
+      let a = fs.(0) and b = fs.(1) in
+      fun env -> a env; b env
+  | _ ->
+      fun env ->
+        for i = 0 to Array.length fs - 1 do
+          (Array.unsafe_get fs i) env
+        done
+
+let rec cstmt slots (s : Imp.stmt) : env -> unit =
+  match s with
+  | Imp.Decl (_, v, e) | Imp.Assign (v, e) -> (
+      let s = find_slot slots v in
+      let i = s.s_index in
+      match s.s_dtype with
+      | Imp.Int ->
+          let ce = cint slots e in
+          fun env -> Array.unsafe_set env.ints i (ce env)
+      | Imp.Float ->
+          let ce = cfloat slots e in
+          fun env -> Array.unsafe_set env.floats i (ce env)
+      | Imp.Bool ->
+          let ce = cbool slots e in
+          fun env -> Array.unsafe_set env.bools i (ce env))
+  | Imp.Store (a, idx, v) -> (
+      let s = find_slot slots a in
+      let i = s.s_index in
+      let cidx = cint slots idx in
+      match s.s_dtype with
+      | Imp.Float ->
+          let cv = cfloat slots v in
+          fun env -> (Array.unsafe_get env.farr i).(cidx env) <- cv env
+      | Imp.Int ->
+          let cv = cint slots v in
+          fun env -> (Array.unsafe_get env.iarr i).(cidx env) <- cv env
+      | Imp.Bool ->
+          let cv = cbool slots v in
+          fun env -> (Array.unsafe_get env.barr i).(cidx env) <- cv env)
+  | Imp.Store_add (a, idx, v) -> (
+      let s = find_slot slots a in
+      let i = s.s_index in
+      let cidx = cint slots idx in
+      match s.s_dtype with
+      | Imp.Float ->
+          let cv = cfloat slots v in
+          fun env ->
+            let arr = Array.unsafe_get env.farr i in
+            let k = cidx env in
+            arr.(k) <- arr.(k) +. cv env
+      | Imp.Int ->
+          let cv = cint slots v in
+          fun env ->
+            let arr = Array.unsafe_get env.iarr i in
+            let k = cidx env in
+            arr.(k) <- arr.(k) + cv env
+      | Imp.Bool -> terror "+= on bool array %s" a)
+  | Imp.Alloc (t, v, n) -> (
+      let i = (find_slot slots v).s_index in
+      let cn = cint slots n in
+      match t with
+      | Imp.Int -> fun env -> env.iarr.(i) <- Array.make (max 1 (cn env)) 0
+      | Imp.Float -> fun env -> env.farr.(i) <- Array.make (max 1 (cn env)) 0.
+      | Imp.Bool -> fun env -> env.barr.(i) <- Array.make (max 1 (cn env)) false)
+  | Imp.Realloc (v, n) -> (
+      let s = find_slot slots v in
+      let i = s.s_index in
+      let cn = cint slots n in
+      match s.s_dtype with
+      | Imp.Int ->
+          fun env ->
+            let old = env.iarr.(i) in
+            let fresh = Array.make (max (Array.length old) (cn env)) 0 in
+            Array.blit old 0 fresh 0 (Array.length old);
+            env.iarr.(i) <- fresh
+      | Imp.Float ->
+          fun env ->
+            let old = env.farr.(i) in
+            let fresh = Array.make (max (Array.length old) (cn env)) 0. in
+            Array.blit old 0 fresh 0 (Array.length old);
+            env.farr.(i) <- fresh
+      | Imp.Bool ->
+          fun env ->
+            let old = env.barr.(i) in
+            let fresh = Array.make (max (Array.length old) (cn env)) false in
+            Array.blit old 0 fresh 0 (Array.length old);
+            env.barr.(i) <- fresh)
+  | Imp.Memset (v, n) -> (
+      let s = find_slot slots v in
+      let i = s.s_index in
+      let cn = cint slots n in
+      match s.s_dtype with
+      | Imp.Float -> fun env -> Array.fill env.farr.(i) 0 (cn env) 0.
+      | Imp.Int -> fun env -> Array.fill env.iarr.(i) 0 (cn env) 0
+      | Imp.Bool -> fun env -> Array.fill env.barr.(i) 0 (cn env) false)
+  | Imp.For (v, lo, hi, body) ->
+      let i = (find_slot slots v).s_index in
+      let clo = cint slots lo and chi = cint slots hi in
+      let cbody = seq (Array.of_list (List.map (cstmt slots) body)) in
+      fun env ->
+        let hi = chi env in
+        let x = ref (clo env) in
+        while !x < hi do
+          Array.unsafe_set env.ints i !x;
+          cbody env;
+          (* The loop variable may be read but not written by the body. *)
+          incr x
+        done
+  | Imp.While (c, body) ->
+      let cc = cbool slots c in
+      let cbody = seq (Array.of_list (List.map (cstmt slots) body)) in
+      fun env ->
+        while cc env do
+          cbody env
+        done
+  | Imp.If (c, t, []) ->
+      let cc = cbool slots c in
+      let ct = seq (Array.of_list (List.map (cstmt slots) t)) in
+      fun env -> if cc env then ct env
+  | Imp.If (c, t, e) ->
+      let cc = cbool slots c in
+      let ct = seq (Array.of_list (List.map (cstmt slots) t)) in
+      let ce = seq (Array.of_list (List.map (cstmt slots) e)) in
+      fun env -> if cc env then ct env else ce env
+  | Imp.Sort (v, lo, hi) ->
+      let s = find_slot slots v in
+      if s.s_dtype <> Imp.Int || not s.s_array then terror "sort expects an int array";
+      let i = s.s_index in
+      let clo = cint slots lo and chi = cint slots hi in
+      fun env ->
+        let arr = env.iarr.(i) in
+        let lo = clo env and hi = chi env in
+        let slice = Array.sub arr lo (hi - lo) in
+        Array.sort compare slice;
+        Array.blit slice 0 arr lo (hi - lo)
+  | Imp.Comment _ -> fun _ -> ()
+
+let compile k =
+  match
+    let slots, counters = assign_slots k in
+    let code = seq (Array.of_list (List.map (cstmt slots) k.Imp.k_body)) in
+    {
+      c_kernel = k;
+      slots;
+      n_ints = counters.(0);
+      n_floats = counters.(1);
+      n_bools = counters.(2);
+      n_iarr = counters.(3);
+      n_farr = counters.(4);
+      n_barr = counters.(5);
+      code;
+    }
+  with
+  | c -> c
+  | exception Type_error msg -> invalid_arg ("Compile.compile: " ^ msg)
+
+let empty_int_array : int array = [||]
+
+let empty_float_array : float array = [||]
+
+let run c ~args =
+  let env =
+    {
+      ints = Array.make (max 1 c.n_ints) 0;
+      floats = Array.make (max 1 c.n_floats) 0.;
+      bools = Array.make (max 1 c.n_bools) false;
+      iarr = Array.make (max 1 c.n_iarr) empty_int_array;
+      farr = Array.make (max 1 c.n_farr) empty_float_array;
+      barr = Array.make (max 1 c.n_barr) [||];
+    }
+  in
+  List.iter
+    (fun p ->
+      let name = p.Imp.p_name in
+      match (List.assoc_opt name args, p.Imp.p_dtype, p.Imp.p_array) with
+      | Some (Aint v), Imp.Int, false -> env.ints.((Hashtbl.find c.slots name).s_index) <- v
+      | Some (Aint_array v), Imp.Int, true ->
+          env.iarr.((Hashtbl.find c.slots name).s_index) <- v
+      | Some (Afloat_array v), Imp.Float, true ->
+          env.farr.((Hashtbl.find c.slots name).s_index) <- v
+      | Some _, _, _ -> invalid_arg (Printf.sprintf "Compile.run: bad binding for %s" name)
+      | None, _, _ -> invalid_arg (Printf.sprintf "Compile.run: missing binding for %s" name))
+    c.c_kernel.k_params;
+  c.code env;
+  fun name ->
+    match Hashtbl.find_opt c.slots name with
+    | None -> invalid_arg (Printf.sprintf "Compile.run: unknown variable %s" name)
+    | Some s -> (
+        match (s.s_dtype, s.s_array) with
+        | Imp.Int, false -> Aint env.ints.(s.s_index)
+        | Imp.Int, true -> Aint_array env.iarr.(s.s_index)
+        | Imp.Float, true -> Afloat_array env.farr.(s.s_index)
+        | Imp.Bool, false -> Aint (if env.bools.(s.s_index) then 1 else 0)
+        | Imp.Float, false -> Afloat env.floats.(s.s_index)
+        | Imp.Bool, true -> invalid_arg "Compile.run: bool array read-back unsupported")

@@ -1,0 +1,30 @@
+(** Executing imperative IR kernels.
+
+    The paper compiles emitted C with a system compiler; in this sealed
+    reproduction the imperative IR is instead compiled to OCaml closures
+    over a slot-based environment (variable names resolve to array slots
+    at compile time, so no hashing happens in loops). All benchmarked
+    variants — generated and hand-written baselines — run through this
+    same executor, so relative comparisons are apples-to-apples. *)
+
+type compiled
+
+(** Values bound to kernel parameters (arrays are shared, not copied:
+    output arrays are written in place). *)
+type arg =
+  | Aint of int
+  | Afloat of float
+  | Aint_array of int array
+  | Afloat_array of float array
+
+(** Typecheck and compile a kernel. Raises [Invalid_argument] on malformed
+    IR (unknown variables, type mismatches). *)
+val compile : Taco_lower.Imp.kernel -> compiled
+
+val kernel : compiled -> Taco_lower.Imp.kernel
+
+(** [run compiled ~args] binds parameters by name and executes. Returns a
+    reader for variables left in the environment (used to retrieve arrays
+    the kernel allocated, e.g. assembled indices). Missing or ill-typed
+    bindings raise [Invalid_argument]. *)
+val run : compiled -> args:(string * arg) list -> (string -> arg)

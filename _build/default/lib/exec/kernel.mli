@@ -1,0 +1,46 @@
+(** Binding packed tensors to lowered kernels and running them.
+
+    Parameter names follow the conventions of {!Taco_lower.Lower}. *)
+
+open Taco_ir.Var
+module Tensor = Taco_tensor.Tensor
+
+type t
+
+(** Compile a lowered kernel once; it can be run many times. *)
+val prepare : Taco_lower.Lower.kernel_info -> t
+
+val info : t -> Taco_lower.Lower.kernel_info
+
+(** The C rendering of the kernel (for inspection). *)
+val c_source : t -> string
+
+(** Arguments for one tensor: dimension scalars, pos/crd arrays of
+    compressed levels and the value array. *)
+val tensor_args : Tensor_var.t -> Tensor.t -> (string * Compile.arg) list
+
+(** [run_compute t ~inputs ~output] executes a [Compute]-mode kernel.
+    [output] must be pre-assembled (its index structure covers the
+    result's nonzeros); its value array is overwritten in place. Raises
+    [Invalid_argument] on arity/format mismatches. *)
+val run_compute :
+  t -> inputs:(Tensor_var.t * Tensor.t) list -> output:Tensor.t -> unit
+
+(** [run_assemble t ~inputs ~dims] executes an [Assemble]-mode kernel and
+    builds the result tensor from the assembled arrays. With
+    [~emit_values:false] kernels the returned tensor has the assembled
+    structure and zero values (the symbolic/numeric split common in
+    numerical code, paper §VI). *)
+val run_assemble :
+  t -> inputs:(Tensor_var.t * Tensor.t) list -> dims:int array -> Tensor.t
+
+(** Execute an [Assemble]-mode kernel without reading back or wrapping
+    the result (no trimming, no sorting of unsorted rows): the timing
+    entry point used by benchmarks that measure kernel execution alone. *)
+val run_assemble_raw :
+  t -> inputs:(Tensor_var.t * Tensor.t) list -> dims:int array -> unit
+
+(** Convenience for compute kernels with dense results: allocates the
+    output, runs, returns it. *)
+val run_dense :
+  t -> inputs:(Tensor_var.t * Tensor.t) list -> dims:int array -> Tensor.t

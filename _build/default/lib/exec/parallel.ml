@@ -1,0 +1,37 @@
+open Taco_ir.Var
+module Tensor = Taco_tensor.Tensor
+
+let run_dense kern ~inputs ~dims ~split ~domains =
+  if domains <= 0 then invalid_arg "Parallel.run_dense: domains must be positive";
+  if domains = 1 then Kernel.run_dense kern ~inputs ~dims
+  else begin
+    let to_split =
+      match List.find_opt (fun (tv, _) -> Tensor_var.equal tv split) inputs with
+      | Some (_, t) -> t
+      | None -> invalid_arg "Parallel.run_dense: split tensor not among the inputs"
+    in
+    let others = List.filter (fun (tv, _) -> not (Tensor_var.equal tv split)) inputs in
+    let parts = Tensor.split_rows to_split ~parts:domains in
+    let workers =
+      List.map
+        (fun part ->
+          Domain.spawn (fun () ->
+              Kernel.run_dense kern ~inputs:((split, part) :: others) ~dims))
+        parts
+    in
+    let results = List.map Domain.join workers in
+    (* Sum the dense partials (partitions touch disjoint output rows for
+       row-major kernels, but addition is correct regardless). *)
+    match results with
+    | [] -> invalid_arg "Parallel.run_dense: no partitions"
+    | first :: rest ->
+        let acc = Tensor.vals first in
+        List.iter
+          (fun r ->
+            let v = Tensor.vals r in
+            for k = 0 to Array.length acc - 1 do
+              acc.(k) <- acc.(k) +. v.(k)
+            done)
+          rest;
+        first
+  end

@@ -1,0 +1,26 @@
+(** Data-parallel kernel execution over OCaml 5 domains.
+
+    The paper's MTTKRP measurements (§VIII-C) run parallel on a single
+    socket, parallelizing the outer loop with per-thread workspaces. The
+    equivalent here is data decomposition: one operand is partitioned
+    into contiguous level-0 coordinate ranges ({!Taco_tensor.Tensor.split_rows}),
+    each domain runs the unchanged kernel on its partition (getting its
+    own private workspaces, since those are allocated inside the kernel),
+    and the dense partial results are summed.
+
+    Correctness requires the kernel to be linear in the partitioned
+    operand (every multilinear tensor algebra kernel is, in each operand),
+    and the result to be dense. *)
+
+open Taco_ir.Var
+
+(** [run_dense t ~inputs ~dims ~split ~domains] — [split] names the input
+    tensor to partition. With [domains = 1] this is exactly
+    {!Kernel.run_dense}. *)
+val run_dense :
+  Kernel.t ->
+  inputs:(Tensor_var.t * Taco_tensor.Tensor.t) list ->
+  dims:int array ->
+  split:Tensor_var.t ->
+  domains:int ->
+  Taco_tensor.Tensor.t

@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Index_notation Index_var List Printf String Taco_ir Tensor_var

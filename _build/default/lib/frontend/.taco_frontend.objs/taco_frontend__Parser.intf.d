@@ -1,0 +1,1 @@
+lib/frontend/parser.mli: Index_notation Taco_ir Var

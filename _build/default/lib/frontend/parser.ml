@@ -1,0 +1,249 @@
+open Taco_ir
+open Taco_ir.Var
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | Lparen
+  | Rparen
+  | Comma
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Equals
+  | Plus_equals
+  | Eof
+
+type lexed = { tok : token; pos : int }
+
+exception Parse_error of int * string
+
+let error pos fmt = Printf.ksprintf (fun s -> raise (Parse_error (pos, s))) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let lex (src : string) : lexed list =
+  let n = String.length src in
+  let toks = ref [] in
+  let push tok pos = toks := { tok; pos } :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (Ident (String.sub src start (!i - start))) pos
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let start = !i in
+      while
+        !i < n
+        && (is_digit src.[!i] || src.[!i] = '.' || src.[!i] = 'e' || src.[!i] = 'E'
+           || ((src.[!i] = '+' || src.[!i] = '-')
+              && !i > start
+              && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')))
+      do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      match float_of_string_opt text with
+      | Some v -> push (Number v) pos
+      | None -> error pos "malformed number %s" text
+    end
+    else begin
+      (match c with
+      | '(' -> push Lparen pos
+      | ')' -> push Rparen pos
+      | ',' -> push Comma pos
+      | '+' ->
+          if !i + 1 < n && src.[!i + 1] = '=' then begin
+            push Plus_equals pos;
+            incr i
+          end
+          else push Plus pos
+      | '-' -> push Minus pos
+      | '*' -> push Star pos
+      | '/' -> push Slash pos
+      | '=' -> push Equals pos
+      | _ -> error pos "unexpected character %c" c);
+      incr i
+    end
+  done;
+  push Eof n;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable toks : lexed list }
+
+let peek s = match s.toks with [] -> { tok = Eof; pos = 0 } | t :: _ -> t
+
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let expect s tok what =
+  let t = peek s in
+  if t.tok = tok then advance s else error t.pos "expected %s" what
+
+let lookup tensors pos name =
+  match List.assoc_opt name tensors with
+  | Some tv -> tv
+  | None -> error pos "unknown tensor %s (not in the environment)" name
+
+let parse_access tensors s name pos =
+  if (peek s).tok = Lparen then begin
+    advance s;
+    let rec indices acc =
+      match (peek s).tok with
+      | Ident id ->
+          advance s;
+          let acc = Index_var.make id :: acc in
+          if (peek s).tok = Comma then begin
+            advance s;
+            indices acc
+          end
+          else acc
+      | _ -> error (peek s).pos "expected an index variable"
+    in
+    let idx = List.rev (indices []) in
+    expect s Rparen "')'";
+    let tv = lookup tensors pos name in
+    if Tensor_var.order tv <> List.length idx then
+      error pos "tensor %s has order %d but %d indices were given" name
+        (Tensor_var.order tv) (List.length idx);
+    Index_notation.Access (tv, idx)
+  end
+  else begin
+    let tv = lookup tensors pos name in
+    if Tensor_var.order tv <> 0 then
+      error pos "tensor %s has order %d; indices required" name (Tensor_var.order tv);
+    Index_notation.Access (tv, [])
+  end
+
+let rec parse_expr_prec tensors s =
+  let lhs = ref (parse_term tensors s) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek s).tok with
+    | Plus ->
+        advance s;
+        lhs := Index_notation.Add (!lhs, parse_term tensors s)
+    | Minus ->
+        advance s;
+        lhs := Index_notation.Sub (!lhs, parse_term tensors s)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_term tensors s =
+  let lhs = ref (parse_factor tensors s) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek s).tok with
+    | Star ->
+        advance s;
+        lhs := Index_notation.Mul (!lhs, parse_factor tensors s)
+    | Slash ->
+        advance s;
+        lhs := Index_notation.Div (!lhs, parse_factor tensors s)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_factor tensors s =
+  let t = peek s in
+  match t.tok with
+  | Number v ->
+      advance s;
+      Index_notation.Literal v
+  | Minus ->
+      advance s;
+      Index_notation.Neg (parse_factor tensors s)
+  | Lparen ->
+      advance s;
+      let e = parse_expr_prec tensors s in
+      expect s Rparen "')'";
+      e
+  | Ident "sum" ->
+      advance s;
+      expect s Lparen "'(' after sum";
+      let v =
+        match (peek s).tok with
+        | Ident id ->
+            advance s;
+            Index_var.make id
+        | _ -> error (peek s).pos "expected an index variable after sum("
+      in
+      expect s Comma "','";
+      let e = parse_expr_prec tensors s in
+      expect s Rparen "')'";
+      Index_notation.Sum (v, e)
+  | Ident name ->
+      advance s;
+      parse_access tensors s name t.pos
+  | Rparen | Comma | Plus | Star | Slash | Equals | Plus_equals | Eof ->
+      error t.pos "expected an expression"
+
+let with_errors f =
+  match f () with
+  | v -> Ok v
+  | exception Parse_error (pos, msg) ->
+      Error (Printf.sprintf "parse error at position %d: %s" pos msg)
+
+let parse_expr ~tensors src =
+  with_errors (fun () ->
+      let s = { toks = lex src } in
+      let e = parse_expr_prec tensors s in
+      (match (peek s).tok with
+      | Eof -> ()
+      | _ -> error (peek s).pos "trailing input");
+      e)
+
+let parse_statement ~tensors src =
+  with_errors (fun () ->
+      let s = { toks = lex src } in
+      let t = peek s in
+      let lhs =
+        match t.tok with
+        | Ident name ->
+            advance s;
+            parse_access tensors s name t.pos
+        | _ -> error t.pos "expected the result tensor access"
+      in
+      let tv, idx =
+        match lhs with
+        | Index_notation.Access (tv, idx) -> (tv, idx)
+        | _ -> assert false
+      in
+      let op =
+        match (peek s).tok with
+        | Equals ->
+            advance s;
+            Index_notation.Assign
+        | Plus_equals ->
+            advance s;
+            Index_notation.Accumulate
+        | _ -> error (peek s).pos "expected '=' or '+='"
+      in
+      let rhs = parse_expr_prec tensors s in
+      (match (peek s).tok with
+      | Eof -> ()
+      | _ -> error (peek s).pos "trailing input");
+      let stmt = { Index_notation.lhs = tv; lhs_indices = idx; op; rhs } in
+      match Index_notation.validate stmt with
+      | Ok () -> stmt
+      | Error e -> error 0 "%s" e)

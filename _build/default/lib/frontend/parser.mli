@@ -1,0 +1,33 @@
+(** A small frontend for tensor index notation strings, e.g.
+
+    {[ "A(i,j) = B(i,k) * C(k,j)" ]}
+    {[ "a(i) += sum(j, B(i,j) * c(j))" ]}
+
+    Tensor names resolve against a caller-supplied environment binding
+    names to {!Taco_ir.Var.Tensor_var.t} (which carry order and storage
+    format); index variables are created on first use. Reductions may be
+    written explicitly with [sum(var, expr)] or left implicit (variables
+    on the right that do not appear on the left are summed).
+
+    Grammar:
+    {v
+    stmt   := access ("=" | "+=") expr
+    expr   := term (("+" | "-") term)*
+    term   := factor (("*" | "/") factor)*
+    factor := number | "-" factor | "(" expr ")"
+            | "sum" "(" ident "," expr ")" | access
+    access := ident [ "(" ident ("," ident)* ")" ]
+    v}
+
+    (Menhir is not available in this environment, so the parser is a
+    hand-written recursive-descent parser over a hand-written lexer.) *)
+
+open Taco_ir
+
+(** Parse a full statement. Errors carry a position and message. *)
+val parse_statement :
+  tensors:(string * Var.Tensor_var.t) list -> string -> (Index_notation.t, string) result
+
+(** Parse an expression only (e.g. the [expr] argument of precompute). *)
+val parse_expr :
+  tensors:(string * Var.Tensor_var.t) list -> string -> (Index_notation.expr, string) result

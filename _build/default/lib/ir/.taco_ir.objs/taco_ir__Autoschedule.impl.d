@@ -1,0 +1,1 @@
+lib/ir/autoschedule.ml: Cin Hashtbl Heuristics Index_var List Printf Queue Reorder Stdlib String Taco_tensor Tensor_var Var Workspace

@@ -1,0 +1,1 @@
+lib/ir/autoschedule.mli: Cin Heuristics Index_var Tensor_var Var

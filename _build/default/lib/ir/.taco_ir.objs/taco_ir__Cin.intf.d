@@ -1,0 +1,1 @@
+lib/ir/cin.mli: Format Index_var Tensor_var Var

@@ -1,0 +1,1 @@
+lib/ir/cin_eval.ml: Array Cin Hashtbl Index_var List Printf Taco_tensor Tensor_var Var

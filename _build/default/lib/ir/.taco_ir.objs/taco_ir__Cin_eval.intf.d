@@ -1,0 +1,1 @@
+lib/ir/cin_eval.mli: Cin Index_var Taco_tensor Tensor_var Var

@@ -1,0 +1,1 @@
+lib/ir/concretize.ml: Cin Index_notation Index_var List Taco_tensor Tensor_var Var

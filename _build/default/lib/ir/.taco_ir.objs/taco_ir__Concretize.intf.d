@@ -1,0 +1,1 @@
+lib/ir/concretize.mli: Cin Index_notation

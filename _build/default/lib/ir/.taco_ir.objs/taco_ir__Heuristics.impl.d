@@ -1,0 +1,1 @@
+lib/ir/heuristics.ml: Cin Index_var List Printf Stdlib String Taco_support Taco_tensor Tensor_var Var Workspace

@@ -1,0 +1,1 @@
+lib/ir/heuristics.mli: Cin Index_var Var

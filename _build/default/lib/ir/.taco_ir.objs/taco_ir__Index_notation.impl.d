@@ -1,0 +1,1 @@
+lib/ir/index_notation.ml: Format Index_var List Printf Result String Taco_support Tensor_var Var

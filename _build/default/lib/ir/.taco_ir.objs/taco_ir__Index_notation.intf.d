@@ -1,0 +1,1 @@
+lib/ir/index_notation.mli: Format Index_var Tensor_var Var

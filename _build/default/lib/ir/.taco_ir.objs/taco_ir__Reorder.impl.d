@@ -1,0 +1,1 @@
+lib/ir/reorder.ml: Cin Index_var List Printf Tensor_var Var

@@ -1,0 +1,1 @@
+lib/ir/reorder.mli: Cin Index_var Var

@@ -1,0 +1,1 @@
+lib/ir/schedule.ml: Cin Concretize Index_notation Index_var List Reorder Result Tensor_var Var Workspace

@@ -1,0 +1,1 @@
+lib/ir/schedule.mli: Cin Format Index_notation Index_var Tensor_var Var

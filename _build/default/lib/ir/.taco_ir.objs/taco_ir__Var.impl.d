@@ -1,0 +1,1 @@
+lib/ir/var.ml: Format Printf String Taco_tensor

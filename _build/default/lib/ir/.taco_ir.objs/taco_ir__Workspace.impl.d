@@ -1,0 +1,1 @@
+lib/ir/workspace.ml: Cin Index_var List Option Printf Result Tensor_var Var

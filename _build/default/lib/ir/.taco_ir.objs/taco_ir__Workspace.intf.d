@@ -1,0 +1,1 @@
+lib/ir/workspace.mli: Cin Index_var Tensor_var Var

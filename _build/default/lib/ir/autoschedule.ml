@@ -1,0 +1,94 @@
+open Var
+
+type step =
+  | Reordered of Index_var.t * Index_var.t
+  | Precomputed of Heuristics.suggestion * Tensor_var.t
+
+let step_to_string = function
+  | Reordered (a, b) ->
+      Printf.sprintf "reorder(%s, %s)" (Index_var.name a) (Index_var.name b)
+  | Precomputed (s, w) ->
+      Printf.sprintf "precompute(%s, {%s}, %s)  [%s]"
+        (Stdlib.Format.asprintf "%a" Cin.pp_expr s.Heuristics.expr)
+        (String.concat "," (List.map Index_var.name s.Heuristics.over))
+        (Tensor_var.name w)
+        (Heuristics.reason_to_string s.Heuristics.reason)
+
+let ws_counter = ref 0
+
+let fresh_workspace over =
+  incr ws_counter;
+  Tensor_var.workspace
+    (Printf.sprintf "ws%d" !ws_counter)
+    ~order:(List.length over)
+    ~format:(Taco_tensor.Format.dense (List.length over))
+
+(* Candidate moves from a statement: workspace heuristics first (they
+   remove scatters, which reorders cannot), then loop interchanges. *)
+let candidates stmt =
+  let from_heuristics =
+    List.filter_map
+      (fun (s : Heuristics.suggestion) ->
+        let w = fresh_workspace s.Heuristics.over in
+        match
+          Workspace.precompute stmt ~expr:s.Heuristics.expr ~over:s.Heuristics.over
+            ~workspace:w
+        with
+        | Ok stmt' -> Some (stmt', Precomputed (s, w))
+        | Error _ -> None)
+      (Heuristics.suggest stmt)
+  in
+  let vars = Cin.stmt_vars stmt in
+  let from_reorders =
+    List.concat_map
+      (fun v1 ->
+        List.filter_map
+          (fun v2 ->
+            if Index_var.compare v1 v2 >= 0 then None
+            else
+              match Reorder.reorder v1 v2 stmt with
+              | Ok stmt' -> Some (stmt', Reordered (v1, v2))
+              | Error _ -> None)
+          vars)
+      vars
+  in
+  from_heuristics @ from_reorders
+
+let run ~lowerable stmt =
+  match Cin.validate stmt with
+  | Error e -> Error e
+  | Ok () -> (
+      (* Breadth-first search over schedules, bounded and deduplicated. *)
+      let visited = Hashtbl.create 64 in
+      let queue = Queue.create () in
+      let budget = ref 500 in
+      Queue.add (stmt, []) queue;
+      Hashtbl.replace visited (Cin.to_string stmt) ();
+      let first_error = ref None in
+      let rec search () =
+        if Queue.is_empty queue || !budget <= 0 then
+          Error
+            (Printf.sprintf "autoschedule: no lowerable schedule found%s"
+               (match !first_error with
+               | Some e -> " (first lowering error: " ^ e ^ ")"
+               | None -> ""))
+        else begin
+          let s, steps = Queue.pop queue in
+          decr budget;
+          match lowerable s with
+          | Ok () -> Ok (s, List.rev steps)
+          | Error e ->
+              if !first_error = None then first_error := Some e;
+              if List.length steps < 6 then
+                List.iter
+                  (fun (s', step) ->
+                    let key = Cin.to_string s' in
+                    if not (Hashtbl.mem visited key) then begin
+                      Hashtbl.replace visited key ();
+                      Queue.add (s', step :: steps) queue
+                    end)
+                  (candidates s);
+              search ()
+        end
+      in
+      search ())

@@ -1,0 +1,29 @@
+(** A simple scheduling policy system (the future work the paper's §I
+    proposes building on top of the scheduling API): drive a statement to
+    a lowerable, efficient form automatically.
+
+    The policy iterates:
+    + fix format/loop-order incompatibilities by reordering (the compiled
+      error messages name the offending variable);
+    + apply the §V-C workspace heuristics (scatter into sparse results,
+      wide merges, loop-invariant sub-products);
+    until the supplied [lowerable] check accepts the statement or no rule
+    fires. The result records which steps were taken, so users can audit
+    (and replay through the manual API) what the policy chose. *)
+
+open Var
+
+type step =
+  | Reordered of Index_var.t * Index_var.t
+  | Precomputed of Heuristics.suggestion * Tensor_var.t  (** and its workspace *)
+
+val step_to_string : step -> string
+
+(** [run ~lowerable stmt] — [lowerable] returns [Ok ()] or the lowering
+    error message for a candidate statement (pass
+    [fun s -> Result.map ignore (Lower.lower ~mode s)] from the caller;
+    this module cannot depend on the lowering library). *)
+val run :
+  lowerable:(Cin.stmt -> (unit, string) result) ->
+  Cin.stmt ->
+  (Cin.stmt * step list, string) result

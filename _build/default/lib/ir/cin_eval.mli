@@ -1,0 +1,34 @@
+(** Reference interpreter for concrete index notation over dense tensors.
+
+    Direct implementation of the loop-nest semantics shown in gray in the
+    paper's examples: foralls iterate dimension ranges, where statements
+    zero their workspaces, run the producer, then the consumer. Used as
+    the semantic oracle when testing that reorder and the workspace
+    transformation preserve meaning. *)
+
+open Var
+
+(** [var_ranges stmt ~inputs] infers every index variable's range from the
+    dimensions of the bound (non-workspace) tensors it indexes. Fails when
+    a variable only indexes workspaces or two tensors disagree. *)
+val var_ranges :
+  Cin.stmt ->
+  inputs:(Tensor_var.t * Taco_tensor.Dense.t) list ->
+  ((Index_var.t * int) list, string) result
+
+(** [eval stmt ~inputs] runs the statement. [inputs] binds every
+    non-workspace tensor read before being written; written non-workspace
+    tensors (the results) are allocated and zero-initialized, workspaces
+    are allocated from their index variables' ranges and zeroed at each
+    where statement. Returns the written non-workspace tensors by name. *)
+val eval :
+  Cin.stmt ->
+  inputs:(Tensor_var.t * Taco_tensor.Dense.t) list ->
+  ((string * Taco_tensor.Dense.t) list, string) result
+
+(** Single-result convenience: evaluate and return the one result tensor.
+    Fails if the statement writes no or several non-workspace tensors. *)
+val eval1 :
+  Cin.stmt ->
+  inputs:(Tensor_var.t * Taco_tensor.Dense.t) list ->
+  (Taco_tensor.Dense.t, string) result

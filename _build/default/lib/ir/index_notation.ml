@@ -1,0 +1,145 @@
+open Var
+
+type expr =
+  | Literal of float
+  | Access of Tensor_var.t * Index_var.t list
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Sum of Index_var.t * expr
+
+type op = Assign | Accumulate
+
+type t = {
+  lhs : Tensor_var.t;
+  lhs_indices : Index_var.t list;
+  op : op;
+  rhs : expr;
+}
+
+let access tv indices = Access (tv, indices)
+
+let assign lhs lhs_indices rhs = { lhs; lhs_indices; op = Assign; rhs }
+
+let accumulate lhs lhs_indices rhs = { lhs; lhs_indices; op = Accumulate; rhs }
+
+let sum v e = Sum (v, e)
+
+let dedup = Taco_support.Util.dedup_stable
+
+let rec vars_acc ~include_bound bound e =
+  match e with
+  | Literal _ -> []
+  | Access (_, indices) ->
+      List.filter (fun v -> not (List.exists (Index_var.equal v) bound)) indices
+  | Neg a -> vars_acc ~include_bound bound a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      vars_acc ~include_bound bound a @ vars_acc ~include_bound bound b
+  | Sum (v, a) ->
+      if include_bound then v :: vars_acc ~include_bound bound a
+      else vars_acc ~include_bound (v :: bound) a
+
+let free_vars e = dedup (vars_acc ~include_bound:false [] e)
+
+let all_vars e = dedup (vars_acc ~include_bound:true [] e)
+
+let rec sum_bound_vars = function
+  | Literal _ | Access _ -> []
+  | Neg a -> sum_bound_vars a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      sum_bound_vars a @ sum_bound_vars b
+  | Sum (v, a) -> v :: sum_bound_vars a
+
+let reduction_vars t =
+  let on_lhs v = List.exists (Index_var.equal v) t.lhs_indices in
+  dedup (List.filter (fun v -> not (on_lhs v)) (all_vars t.rhs))
+
+let rec tensors_of_expr = function
+  | Literal _ -> []
+  | Access (tv, _) -> [ tv ]
+  | Neg a -> tensors_of_expr a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      tensors_of_expr a @ tensors_of_expr b
+  | Sum (_, a) -> tensors_of_expr a
+
+let tensors t = dedup (t.lhs :: tensors_of_expr t.rhs)
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let rec check_expr bound = function
+    | Literal _ -> Ok ()
+    | Access (tv, indices) ->
+        if List.length indices <> Tensor_var.order tv then
+          Error
+            (Printf.sprintf "access to %s has %d indices but order is %d"
+               (Tensor_var.name tv) (List.length indices) (Tensor_var.order tv))
+        else if Tensor_var.equal tv t.lhs then
+          Error
+            (Printf.sprintf "result tensor %s may not appear on the right-hand side"
+               (Tensor_var.name tv))
+        else Ok ()
+    | Neg a -> check_expr bound a
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+        let* () = check_expr bound a in
+        check_expr bound b
+    | Sum (v, a) ->
+        if List.exists (Index_var.equal v) bound then
+          Error (Printf.sprintf "sum variable %s shadows an enclosing binder" (Index_var.name v))
+        else check_expr (v :: bound) a
+  in
+  let* () =
+    if List.length t.lhs_indices <> Tensor_var.order t.lhs then
+      Error
+        (Printf.sprintf "left-hand side of %s has %d indices but order is %d"
+           (Tensor_var.name t.lhs) (List.length t.lhs_indices)
+           (Tensor_var.order t.lhs))
+    else Ok ()
+  in
+  let* () =
+    if List.length (dedup t.lhs_indices) <> List.length t.lhs_indices then
+      Error "repeated index variable on the left-hand side"
+    else Ok ()
+  in
+  let* () =
+    let bound = sum_bound_vars t.rhs in
+    if List.length (dedup bound) <> List.length bound then
+      Error "repeated sum binder"
+    else if List.exists (fun v -> List.exists (Index_var.equal v) t.lhs_indices) bound
+    then Error "sum binder shadows a left-hand side index"
+    else Ok ()
+  in
+  check_expr [] t.rhs
+
+let prec = function
+  | Literal _ | Access _ | Sum _ -> 3
+  | Neg _ -> 2
+  | Mul _ | Div _ -> 1
+  | Add _ | Sub _ -> 0
+
+let rec pp_expr fmt e =
+  let child parent fmt e =
+    if prec e < prec parent then Format.fprintf fmt "(%a)" pp_expr e
+    else pp_expr fmt e
+  in
+  match e with
+  | Literal v -> Format.fprintf fmt "%g" v
+  | Access (tv, []) -> Tensor_var.pp fmt tv
+  | Access (tv, indices) ->
+      Format.fprintf fmt "%a(%s)" Tensor_var.pp tv
+        (String.concat "," (List.map Index_var.name indices))
+  | Neg a -> Format.fprintf fmt "-%a" (child e) a
+  | Add (a, b) -> Format.fprintf fmt "%a + %a" (child e) a (child e) b
+  | Sub (a, b) -> Format.fprintf fmt "%a - %a" (child e) a (child e) b
+  | Mul (a, b) -> Format.fprintf fmt "%a * %a" (child e) a (child e) b
+  | Div (a, b) -> Format.fprintf fmt "%a / %a" (child e) a (child e) b
+  | Sum (v, a) -> Format.fprintf fmt "sum(%a, %a)" Index_var.pp v pp_expr a
+
+let pp fmt t =
+  let op = match t.op with Assign -> "=" | Accumulate -> "+=" in
+  Format.fprintf fmt "%a %s %a" pp_expr
+    (Access (t.lhs, t.lhs_indices))
+    op pp_expr t.rhs
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,68 @@
+(** Tensor index notation: the input language (paper §IV).
+
+    Index notation describes {e what} a tensor operation computes,
+    independent of loop order and temporaries. It is concretized into
+    {!Cin} before scheduling and lowering. *)
+
+open Var
+
+type expr =
+  | Literal of float
+  | Access of Tensor_var.t * Index_var.t list
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Sum of Index_var.t * expr  (** explicit reduction, [sum(k, e)] *)
+
+type op = Assign | Accumulate  (** [=] and [+=] *)
+
+type t = {
+  lhs : Tensor_var.t;
+  lhs_indices : Index_var.t list;
+  op : op;
+  rhs : expr;
+}
+
+(** {2 Construction} *)
+
+val access : Tensor_var.t -> Index_var.t list -> expr
+
+val assign : Tensor_var.t -> Index_var.t list -> expr -> t
+
+val accumulate : Tensor_var.t -> Index_var.t list -> expr -> t
+
+val sum : Index_var.t -> expr -> expr
+
+(** {2 Analysis} *)
+
+(** Index variables of an expression, free occurrences only (bound
+    [Sum] variables excluded), in first-use order. *)
+val free_vars : expr -> Index_var.t list
+
+(** All index variables including [Sum]-bound ones, in first-use order. *)
+val all_vars : expr -> Index_var.t list
+
+(** Reduction variables of a statement: variables used on the right-hand
+    side but absent from the left-hand side, plus [Sum]-bound variables,
+    in first-use order. *)
+val reduction_vars : t -> Index_var.t list
+
+val tensors_of_expr : expr -> Tensor_var.t list
+
+(** Every tensor of the statement, result first. *)
+val tensors : t -> Tensor_var.t list
+
+(** Checks well-formedness: access arities match tensor orders, the result
+    tensor does not occur on the right-hand side, no shadowing or repeated
+    [Sum] binders, left-hand side indices are distinct. *)
+val validate : t -> (unit, string) result
+
+(** {2 Printing} *)
+
+val pp_expr : Format.formatter -> expr -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,133 @@
+open Var
+
+let uses_tensor s tv = List.exists (Tensor_var.equal tv) (Cin.tensors s)
+
+let uses_any_written s other =
+  List.exists (uses_tensor s) (Cin.tensors_written other)
+
+(* True when the statement's leaves are plain or incrementing assignments
+   (increment operator + is associative), with no sequences. *)
+let rec assignment_like = function
+  | Cin.Assignment _ -> true
+  | Cin.Forall (_, s) -> assignment_like s
+  | Cin.Where (c, p) -> assignment_like c && assignment_like p
+  | Cin.Sequence _ -> false
+
+let exchange_foralls = function
+  | Cin.Forall (i, Cin.Forall (j, s)) when assignment_like s ->
+      Ok (Cin.Forall (j, Cin.Forall (i, s)))
+  | Cin.Forall (_, Cin.Forall (_, s)) when not (assignment_like s) ->
+      Error "exchange_foralls: body contains a sequence statement"
+  | Cin.Forall _ | Cin.Assignment _ | Cin.Where _ | Cin.Sequence _ ->
+      Error "exchange_foralls: statement is not a forall of a forall"
+
+let hoist_producer = function
+  | Cin.Forall (j, Cin.Where (s1, s2)) ->
+      if Cin.uses_var s2 j then
+        Error "hoist_producer: the producer uses the forall variable"
+      else Ok (Cin.Where (Cin.Forall (j, s1), s2))
+  | Cin.Forall _ | Cin.Assignment _ | Cin.Where _ | Cin.Sequence _ ->
+      Error "hoist_producer: statement is not ∀j (S1 where S2)"
+
+let sink_forall = function
+  | Cin.Where (Cin.Forall (j, s1), s2) ->
+      if Cin.uses_var s2 j then
+        Error "sink_forall: the producer uses the forall variable"
+      else Ok (Cin.Forall (j, Cin.Where (s1, s2)))
+  | Cin.Where _ | Cin.Assignment _ | Cin.Forall _ | Cin.Sequence _ ->
+      Error "sink_forall: statement is not (∀j S1) where S2"
+
+(* The producer must modify its tensor with a plain assignment: splitting
+   the loop then reads workspace values after the j loop instead of
+   immediately, which is only equivalent when each element is written
+   once. *)
+let rec assigns_only = function
+  | Cin.Assignment { op = Cin.Assign; _ } -> true
+  | Cin.Assignment { op = Cin.Accumulate; _ } -> false
+  | Cin.Forall (_, s) -> assigns_only s
+  | Cin.Where (c, p) -> assigns_only c && assigns_only p
+  | Cin.Sequence _ -> false
+
+let split_forall = function
+  | Cin.Forall (j, Cin.Where (s1, s2)) ->
+      if not (assigns_only s2) then
+        Error "split_forall: the producer must use plain assignment"
+      else Ok (Cin.Where (Cin.Forall (j, s1), Cin.Forall (j, s2)))
+  | Cin.Forall _ | Cin.Assignment _ | Cin.Where _ | Cin.Sequence _ ->
+      Error "split_forall: statement is not ∀j (S1 where S2)"
+
+let fuse_forall = function
+  | Cin.Where (Cin.Forall (j, s1), Cin.Forall (j', s2)) ->
+      if not (Index_var.equal j j') then
+        Error "fuse_forall: forall variables differ"
+      else if not (assigns_only s2) then
+        Error "fuse_forall: the producer must use plain assignment"
+      else Ok (Cin.Forall (j, Cin.Where (s1, s2)))
+  | Cin.Where _ | Cin.Assignment _ | Cin.Forall _ | Cin.Sequence _ ->
+      Error "fuse_forall: statement is not (∀j S1) where (∀j S2)"
+
+let where_reassoc = function
+  | Cin.Where (Cin.Where (s1, s2), s3) ->
+      if uses_any_written s1 s3 then
+        Error "where_reassoc: S1 uses the tensor modified by S3"
+      else Ok (Cin.Where (s1, Cin.Where (s2, s3)))
+  | Cin.Where _ | Cin.Assignment _ | Cin.Forall _ | Cin.Sequence _ ->
+      Error "where_reassoc: statement is not (S1 where S2) where S3"
+
+let where_unassoc = function
+  | Cin.Where (s1, Cin.Where (s2, s3)) ->
+      if uses_any_written s1 s3 then
+        Error "where_unassoc: S1 uses the tensor modified by S3"
+      else Ok (Cin.Where (Cin.Where (s1, s2), s3))
+  | Cin.Where _ | Cin.Assignment _ | Cin.Forall _ | Cin.Sequence _ ->
+      Error "where_unassoc: statement is not S1 where (S2 where S3)"
+
+let where_swap = function
+  | Cin.Where (Cin.Where (s1, s2), s3) ->
+      if uses_any_written s2 s3 then
+        Error "where_swap: S2 uses the tensor modified by S3"
+      else if uses_any_written s3 s2 then
+        Error "where_swap: S3 uses the tensor modified by S2"
+      else Ok (Cin.Where (Cin.Where (s1, s3), s2))
+  | Cin.Where _ | Cin.Assignment _ | Cin.Forall _ | Cin.Sequence _ ->
+      Error "where_swap: statement is not (S1 where S2) where S3"
+
+let reorder v1 v2 stmt =
+  let swap vars =
+    List.map
+      (fun v ->
+        if Index_var.equal v v1 then v2
+        else if Index_var.equal v v2 then v1
+        else v)
+      vars
+  in
+  let rec go stmt =
+    let vars, body = Cin.peel_foralls stmt in
+    let has v = List.exists (Index_var.equal v) vars in
+    if has v1 && has v2 then
+      if assignment_like body then Ok (Cin.foralls (swap vars) body)
+      else Error "reorder: the loop body contains a sequence statement"
+    else
+      (* Search deeper: the nest may live inside a where or sequence. *)
+      match body with
+      | Cin.Assignment _ ->
+          Error
+            (Printf.sprintf "reorder: no forall nest binds both %s and %s"
+               (Index_var.name v1) (Index_var.name v2))
+      | Cin.Forall _ -> assert false (* peeled *)
+      | Cin.Where (c, p) -> (
+          match go c with
+          | Ok c' -> Ok (Cin.foralls vars (Cin.Where (c', p)))
+          | Error _ -> (
+              match go p with
+              | Ok p' -> Ok (Cin.foralls vars (Cin.Where (c, p')))
+              | Error _ as e -> e))
+      | Cin.Sequence (a, b) -> (
+          match go a with
+          | Ok a' -> Ok (Cin.foralls vars (Cin.Sequence (a', b)))
+          | Error _ -> (
+              match go b with
+              | Ok b' -> Ok (Cin.foralls vars (Cin.Sequence (a, b')))
+              | Error _ as e -> e))
+  in
+  go stmt

@@ -1,0 +1,46 @@
+(** Reordering transformations on concrete index notation (paper §IV-B).
+
+    Each primitive applies at the root of the given statement and returns
+    [Error] when its precondition fails. Semantic equivalence of each rule
+    is property-tested against {!Cin_eval}. None of the statements being
+    reordered may contain sequence statements. *)
+
+open Var
+
+(** [∀i ∀j S → ∀j ∀i S]. Requires [S] sequence-free (incrementing
+    assignments use the associative [+]). *)
+val exchange_foralls : Cin.stmt -> (Cin.stmt, string) result
+
+(** [∀j (S1 where S2) → (∀j S1) where S2] when [S2] does not use [j]
+    (loop-invariant code motion). *)
+val hoist_producer : Cin.stmt -> (Cin.stmt, string) result
+
+(** [(∀j S1) where S2 → ∀j (S1 where S2)] when [S2] does not use [j]. *)
+val sink_forall : Cin.stmt -> (Cin.stmt, string) result
+
+(** [∀j (S1 where S2) → (∀j S1) where (∀j S2)] when [S2] assigns (does not
+    increment); changes reuse distance. *)
+val split_forall : Cin.stmt -> (Cin.stmt, string) result
+
+(** [(∀j S1) where (∀j S2) → ∀j (S1 where S2)], inverse of
+    {!split_forall}. *)
+val fuse_forall : Cin.stmt -> (Cin.stmt, string) result
+
+(** [(S1 where S2) where S3 → S1 where (S2 where S3)] when [S1] does not
+    use the tensor modified by [S3]. *)
+val where_reassoc : Cin.stmt -> (Cin.stmt, string) result
+
+(** [S1 where (S2 where S3) → (S1 where S2) where S3], inverse of
+    {!where_reassoc}. *)
+val where_unassoc : Cin.stmt -> (Cin.stmt, string) result
+
+(** [(S1 where S2) where S3 → (S1 where S3) where S2] when [S2] and [S3]
+    do not use each other's modified tensors. *)
+val where_swap : Cin.stmt -> (Cin.stmt, string) result
+
+(** User-level reorder (the paper's [reorder(k, j)] scheduling command):
+    swap two index variables in the forall nest that binds both. The nest
+    must bind both variables contiguously-scoped (any statements between
+    them are foralls) and the body must be sequence-free. Searches where
+    and sequence children recursively for the nest. *)
+val reorder : Index_var.t -> Index_var.t -> Cin.stmt -> (Cin.stmt, string) result

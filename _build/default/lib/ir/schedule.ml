@@ -1,0 +1,87 @@
+open Var
+
+type t = { stmt : Cin.stmt }
+
+let of_index_notation ?scalar_temps stmt =
+  Result.map (fun s -> { stmt = s }) (Concretize.run ?scalar_temps stmt)
+
+let of_stmt stmt = { stmt }
+
+let stmt t = t.stmt
+
+let reorder v1 v2 t = Result.map (fun s -> { stmt = s }) (Reorder.reorder v1 v2 t.stmt)
+
+let rec binds v = function
+  | Cin.Assignment _ -> false
+  | Cin.Forall (w, s) -> Index_var.equal v w || binds v s
+  | Cin.Where (c, p) -> binds v c || binds v p
+  | Cin.Sequence (a, b) -> binds v a || binds v b
+
+(* Rename [old] to [fresh] within a side, but only when that side rebinds
+   [old] with its own forall (otherwise the variable is bound outside the
+   split and must keep its name). *)
+let rename_side old fresh side =
+  if Index_var.equal old fresh then side
+  else if binds old side then Cin.rename_var ~from:old ~into:fresh side
+  else side
+
+(* Locate the where (or, for result reuse, sequence) introduced for
+   [workspace] and rename the triplets on each side. *)
+let apply_renames stmt ~workspace vars =
+  let writes_ws s =
+    List.exists (Tensor_var.equal workspace) (Cin.tensors_written s)
+  in
+  let rename_split consumer producer =
+    List.fold_left
+      (fun (c, p) (old, cvar, pvar) ->
+        (rename_side old cvar c, rename_side old pvar p))
+      (consumer, producer) vars
+  in
+  let found = ref false in
+  let rec go s =
+    if !found then s
+    else
+      match s with
+      | Cin.Assignment _ -> s
+      | Cin.Forall (v, body) -> Cin.Forall (v, go body)
+      | Cin.Where (c, p) when writes_ws p && not (writes_ws c) ->
+          found := true;
+          let c, p = rename_split c p in
+          Cin.Where (c, p)
+      | Cin.Where (c, p) -> Cin.Where (go c, go p)
+      | Cin.Sequence (a, b) when writes_ws a && writes_ws b ->
+          found := true;
+          let a, b = rename_split a b in
+          Cin.Sequence (a, b)
+      | Cin.Sequence (a, b) -> Cin.Sequence (go a, go b)
+  in
+  go stmt
+
+let precompute_simple ~expr ~over ~workspace t =
+  Result.map (fun s -> { stmt = s }) (Workspace.precompute t.stmt ~expr ~over ~workspace)
+
+let precompute ~expr ~vars ~workspace t =
+  let over = List.map (fun (old, _, _) -> old) vars in
+  match Workspace.precompute t.stmt ~expr ~over ~workspace with
+  | Error e -> Error e
+  | Ok stmt -> Ok { stmt = apply_renames stmt ~workspace vars }
+
+let expr_of_index_notation e =
+  let rec go = function
+    | Index_notation.Literal v -> Ok (Cin.Literal v)
+    | Index_notation.Access (tv, indices) -> Ok (Cin.Access (Cin.access tv indices))
+    | Index_notation.Neg a -> Result.map (fun a -> Cin.Neg a) (go a)
+    | Index_notation.Add (a, b) -> both (fun a b -> Cin.Add (a, b)) a b
+    | Index_notation.Sub (a, b) -> both (fun a b -> Cin.Sub (a, b)) a b
+    | Index_notation.Mul (a, b) -> both (fun a b -> Cin.Mul (a, b)) a b
+    | Index_notation.Div (a, b) -> both (fun a b -> Cin.Div (a, b)) a b
+    | Index_notation.Sum _ ->
+        Error "expr_of_index_notation: reductions cannot be precomputed directly"
+  and both mk a b =
+    match go a with
+    | Error e -> Error e
+    | Ok a -> ( match go b with Error e -> Error e | Ok b -> Ok (mk a b))
+  in
+  go e
+
+let pp fmt t = Cin.pp fmt t.stmt

@@ -1,0 +1,45 @@
+(** The scheduling API of paper §III: [reorder] and [precompute] commands
+    applied to an index statement, in the spirit of Halide.
+
+    A schedule wraps a concrete index notation statement; commands
+    transform it and report precondition failures as [Error]. The result
+    is handed to the lowering stage. *)
+
+open Var
+
+type t
+
+(** Concretize an index notation statement into a fresh schedule. *)
+val of_index_notation : ?scalar_temps:bool -> Index_notation.t -> (t, string) result
+
+val of_stmt : Cin.stmt -> t
+
+val stmt : t -> Cin.stmt
+
+(** The paper's [reorder(k, j)]: exchange two loop variables. *)
+val reorder : Index_var.t -> Index_var.t -> t -> (t, string) result
+
+(** The paper's [precompute(expr, {{old, consumer, producer}, …}, w)]:
+    apply the workspace transformation over the [old] variables, then
+    rename each [old] to [consumer] on the consumer side and [producer]
+    on the producer side (when that side rebinds it). *)
+val precompute :
+  expr:Cin.expr ->
+  vars:(Index_var.t * Index_var.t * Index_var.t) list ->
+  workspace:Tensor_var.t ->
+  t ->
+  (t, string) result
+
+(** [precompute] without the renaming triplets. *)
+val precompute_simple :
+  expr:Cin.expr ->
+  over:Index_var.t list ->
+  workspace:Tensor_var.t ->
+  t ->
+  (t, string) result
+
+(** Translate a [Sum]-free index notation expression for use as the
+    [expr] argument of {!precompute}. *)
+val expr_of_index_notation : Index_notation.expr -> (Cin.expr, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+module Index_var = struct
+  type t = string
+
+  let make name =
+    if name = "" then invalid_arg "Index_var.make: empty name";
+    name
+
+  let counter = ref 0
+
+  let fresh base =
+    incr counter;
+    Printf.sprintf "%s_%d" base !counter
+
+  let name t = t
+
+  let equal = String.equal
+
+  let compare = String.compare
+
+  let pp fmt t = Format.pp_print_string fmt t
+end
+
+module Tensor_var = struct
+  type t = {
+    name : string;
+    order : int;
+    format : Taco_tensor.Format.t;
+    is_workspace : bool;
+  }
+
+  let check name ~order ~format =
+    if name = "" then invalid_arg "Tensor_var: empty name";
+    if order < 0 then invalid_arg "Tensor_var: negative order";
+    if Taco_tensor.Format.order format <> order then
+      invalid_arg "Tensor_var: format order mismatch"
+
+  let make name ~order ~format =
+    check name ~order ~format;
+    { name; order; format; is_workspace = false }
+
+  let workspace name ~order ~format =
+    check name ~order ~format;
+    { name; order; format; is_workspace = true }
+
+  let name t = t.name
+
+  let order t = t.order
+
+  let format t = t.format
+
+  let is_workspace t = t.is_workspace
+
+  let equal a b = String.equal a.name b.name
+
+  let compare a b = String.compare a.name b.name
+
+  let pp fmt t = Format.pp_print_string fmt t.name
+end

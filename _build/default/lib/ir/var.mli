@@ -1,0 +1,47 @@
+(** Index variables and tensor variables of (concrete) index notation. *)
+
+module Index_var : sig
+  (** An index variable such as [i], [j], [k] in [A(i,j) = B(i,k)*C(k,j)]. *)
+  type t
+
+  val make : string -> t
+
+  (** A fresh variable whose name extends [base] with a unique suffix. *)
+  val fresh : string -> t
+
+  val name : t -> string
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Tensor_var : sig
+  (** An abstract tensor: a name, an order and a storage format. Dimensions
+      are bound later, when a kernel is specialized to concrete tensors, so
+      transformations and lowering stay size-generic (as in taco). *)
+  type t
+
+  (** [make name ~order ~format] — [format] must have order [order]. *)
+  val make : string -> order:int -> format:Taco_tensor.Format.t -> t
+
+  (** A workspace tensor variable (introduced by [precompute]). *)
+  val workspace : string -> order:int -> format:Taco_tensor.Format.t -> t
+
+  val name : t -> string
+
+  val order : t -> int
+
+  val format : t -> Taco_tensor.Format.t
+
+  val is_workspace : t -> bool
+
+  (** Equality is by name: a tensor variable denotes one runtime tensor. *)
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,241 @@
+open Var
+
+type mode = Product | Addend of Cin.op | Reuse
+
+type state = Pushing of mode | Done
+
+let rec flatten_mul = function
+  | Cin.Mul (a, b) -> flatten_mul a @ flatten_mul b
+  | (Cin.Literal _ | Cin.Access _ | Cin.Neg _ | Cin.Add _ | Cin.Sub _ | Cin.Div _) as e ->
+      [ e ]
+
+let rec flatten_add = function
+  | Cin.Add (a, b) -> flatten_add a @ flatten_add b
+  | (Cin.Literal _ | Cin.Access _ | Cin.Neg _ | Cin.Mul _ | Cin.Sub _ | Cin.Div _) as e ->
+      [ e ]
+
+let rebuild rebuild_op = function
+  | [] -> invalid_arg "Workspace.rebuild: empty"
+  | x :: rest -> List.fold_left rebuild_op x rest
+
+(* Remove the factors of [needles] from [haystack] (multiset, structural
+   equality, first match). *)
+let remove_factors haystack needles =
+  let rec remove_one x = function
+    | [] -> None
+    | y :: rest ->
+        if Cin.equal_expr x y then Some rest
+        else Option.map (fun r -> y :: r) (remove_one x rest)
+  in
+  List.fold_left
+    (fun acc x -> Option.bind acc (remove_one x))
+    (Some haystack) needles
+
+let remove_addend haystack needle =
+  let rec go = function
+    | [] -> None
+    | y :: rest ->
+        if Cin.equal_expr needle y then Some rest
+        else Option.map (fun r -> y :: r) (go rest)
+  in
+  go haystack
+
+let uses_any_written s other =
+  List.exists
+    (fun tv -> List.exists (Tensor_var.equal tv) (Cin.tensors s))
+    (Cin.tensors_written other)
+
+(* Re-associate a left-nested where spine, (S1 where S2) where S3 into
+   S1 where (S2 where S3), so that producers attached before the
+   transformation travel with the statements that use their tensors. *)
+let rec normalize node =
+  match node with
+  | Cin.Where (Cin.Where (s1, s2), s3) when not (uses_any_written s1 s3) ->
+      normalize (Cin.Where (s1, Cin.Where (s2, s3)))
+  | Cin.Where _ | Cin.Assignment _ | Cin.Forall _ | Cin.Sequence _ -> node
+
+let rec stmt_contains_target ~expr = function
+  | Cin.Assignment { rhs; _ } -> Cin.contains_expr rhs expr
+  | Cin.Forall (_, s) -> stmt_contains_target ~expr s
+  | Cin.Where (c, p) ->
+      stmt_contains_target ~expr c || stmt_contains_target ~expr p
+  | Cin.Sequence (a, b) ->
+      stmt_contains_target ~expr a || stmt_contains_target ~expr b
+
+let rec count_targets ~expr = function
+  | Cin.Assignment { rhs; _ } -> if Cin.contains_expr rhs expr then 1 else 0
+  | Cin.Forall (_, s) -> count_targets ~expr s
+  | Cin.Where (c, p) -> count_targets ~expr c + count_targets ~expr p
+  | Cin.Sequence (a, b) -> count_targets ~expr a + count_targets ~expr b
+
+let split ~expr ~over ~workspace (lhs : Cin.access) op rhs =
+  let w_access = Cin.access workspace over in
+  if Tensor_var.equal workspace lhs.tensor then begin
+    (* Result reuse (§V-B): expr must be an addend of the right-hand side. *)
+    match remove_addend (flatten_add rhs) expr with
+    | None ->
+        Error
+          "precompute: result reuse requires the expression to be an addend \
+           of the right-hand side"
+    | Some [] -> Error "precompute: nothing remains after removing the addend"
+    | Some rest ->
+        let s1 = Cin.Assignment { lhs; op; rhs = expr } in
+        let s2 =
+          Cin.Assignment { lhs; op = Cin.Accumulate; rhs = rebuild (fun a b -> Cin.Add (a, b)) rest }
+        in
+        Ok (Cin.Sequence (s1, s2), Reuse)
+  end
+  else if Cin.equal_expr rhs expr then
+    let consumer = Cin.Assignment { lhs; op; rhs = Cin.Access w_access } in
+    let producer = Cin.Assignment { lhs = w_access; op; rhs = expr } in
+    Ok (Cin.Where (consumer, producer), Product)
+  else
+    match remove_factors (flatten_mul rhs) (flatten_mul expr) with
+    | Some remaining when List.length remaining < List.length (flatten_mul rhs) ->
+        let rhs' = rebuild (fun a b -> Cin.Mul (a, b)) (Cin.Access w_access :: remaining) in
+        let consumer = Cin.Assignment { lhs; op; rhs = rhs' } in
+        let producer = Cin.Assignment { lhs = w_access; op; rhs = expr } in
+        Ok (Cin.Where (consumer, producer), Product)
+    | Some _ | None -> (
+        match remove_addend (flatten_add rhs) expr with
+        | Some rest when rest <> [] ->
+            let rhs' =
+              rebuild (fun a b -> Cin.Add (a, b)) (Cin.Access w_access :: rest)
+            in
+            let consumer = Cin.Assignment { lhs; op; rhs = rhs' } in
+            let producer =
+              Cin.Assignment { lhs = w_access; op = Cin.Assign; rhs = expr }
+            in
+            Ok (Cin.Where (consumer, producer), Addend op)
+        | Some _ | None ->
+            Error
+              "precompute: the expression is neither the whole right-hand \
+               side, a factor of a product, nor an addend of a sum")
+
+let push j node mode ~over =
+  let in_over = List.exists (Index_var.equal j) over in
+  let stop () = Ok (Cin.Forall (j, node), Done) in
+  match mode with
+  | Reuse -> (
+      match node with
+      | Cin.Sequence (a, b) ->
+          if Cin.uses_var a j && Cin.uses_var b j && in_over then
+            Ok (Cin.Sequence (Cin.Forall (j, a), Cin.Forall (j, b)), Pushing Reuse)
+          else stop ()
+      | Cin.Assignment _ | Cin.Forall _ | Cin.Where _ -> stop ())
+  | Product | Addend _ -> (
+      match normalize node with
+      | Cin.Where (c, p) -> (
+          let uc = Cin.uses_var c j and up = Cin.uses_var p j in
+          match (uc, up) with
+          | true, true when in_over ->
+              Ok (Cin.Where (Cin.Forall (j, c), Cin.Forall (j, p)), Pushing mode)
+          | true, false -> Ok (Cin.Where (Cin.Forall (j, c), p), Pushing mode)
+          | false, true -> (
+              match mode with
+              | Addend Cin.Accumulate ->
+                  Error
+                    (Printf.sprintf
+                       "precompute: cannot move the reduction over %s into an \
+                        addend producer (+ does not distribute over +); \
+                        reorder first or precompute a factor"
+                       (Index_var.name j))
+              | Addend Cin.Assign | Product | Reuse ->
+                  Ok (Cin.Where (c, Cin.Forall (j, p)), Pushing mode))
+          | true, true | false, false -> stop ())
+      | Cin.Assignment _ | Cin.Forall _ | Cin.Sequence _ -> stop ())
+
+(* Convert the consumer [A(K) += w(I)·…] to a plain assignment when every
+   enclosing forall binds a variable of K (each element incremented once). *)
+let convert_consumer stmt ~workspace ~over =
+  let reads_workspace rhs =
+    Cin.contains_expr rhs (Cin.Access (Cin.access workspace over))
+  in
+  let rec go enclosing = function
+    | Cin.Assignment { lhs; op = Cin.Accumulate; rhs }
+      when (not (Tensor_var.equal lhs.tensor workspace)) && reads_workspace rhs ->
+        let covered =
+          List.for_all
+            (fun v -> List.exists (Index_var.equal v) lhs.indices)
+            enclosing
+        in
+        if covered then Cin.Assignment { lhs; op = Cin.Assign; rhs }
+        else Cin.Assignment { lhs; op = Cin.Accumulate; rhs }
+    | Cin.Assignment _ as a -> a
+    | Cin.Forall (v, s) -> Cin.Forall (v, go (v :: enclosing) s)
+    | Cin.Where (c, p) -> Cin.Where (go enclosing c, go enclosing p)
+    | Cin.Sequence (a, b) -> Cin.Sequence (go enclosing a, go enclosing b)
+  in
+  go [] stmt
+
+let precompute stmt ~expr ~over ~workspace =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    if Cin.contains_sequence stmt then
+      Error "precompute: the statement contains a sequence statement"
+    else Ok ()
+  in
+  let* () =
+    if Tensor_var.order workspace <> List.length over then
+      Error
+        (Printf.sprintf
+           "precompute: workspace %s has order %d but %d index variables were \
+            given"
+           (Tensor_var.name workspace) (Tensor_var.order workspace)
+           (List.length over))
+    else Ok ()
+  in
+  let* () =
+    match count_targets ~expr stmt with
+    | 0 -> Error "precompute: no assignment's right-hand side contains the expression"
+    | 1 -> Ok ()
+    | n -> Error (Printf.sprintf "precompute: the expression occurs in %d assignments" n)
+  in
+  let reuse_possible tv = Tensor_var.equal tv workspace in
+  let* () =
+    let occurs = List.exists (Tensor_var.equal workspace) (Cin.tensors stmt) in
+    let is_reuse =
+      (* Reuse iff the workspace is the target assignment's result. *)
+      let rec target_lhs = function
+        | Cin.Assignment { lhs; rhs; _ } ->
+            if Cin.contains_expr rhs expr then Some lhs.tensor else None
+        | Cin.Forall (_, s) -> target_lhs s
+        | Cin.Where (c, p) -> (
+            match target_lhs c with Some t -> Some t | None -> target_lhs p)
+        | Cin.Sequence (a, b) -> (
+            match target_lhs a with Some t -> Some t | None -> target_lhs b)
+      in
+      match target_lhs stmt with Some t -> reuse_possible t | None -> false
+    in
+    if occurs && not is_reuse then
+      Error
+        (Printf.sprintf
+           "precompute: workspace %s already occurs in the statement (use the \
+            target's result tensor for result reuse)"
+           (Tensor_var.name workspace))
+    else Ok ()
+  in
+  let rec go s =
+    match s with
+    | Cin.Assignment { lhs; op; rhs } ->
+        let* node, mode = split ~expr ~over ~workspace lhs op rhs in
+        Ok (node, Pushing mode)
+    | Cin.Forall (j, body) ->
+        let* body', st = go body in
+        (match st with
+        | Done -> Ok (Cin.Forall (j, body'), Done)
+        | Pushing mode -> push j body' mode ~over)
+    | Cin.Where (c, p) ->
+        if stmt_contains_target ~expr c then
+          let* c', st = go c in
+          Ok (Cin.Where (c', p), st)
+        else
+          let* p', st = go p in
+          Ok (Cin.Where (c, p'), st)
+    | Cin.Sequence _ -> Error "precompute: unexpected sequence statement"
+  in
+  let* transformed, _ = go stmt in
+  let result = convert_consumer transformed ~workspace ~over in
+  match Cin.validate result with
+  | Ok () -> Ok result
+  | Error e -> Error ("precompute: internal error, produced invalid statement: " ^ e)

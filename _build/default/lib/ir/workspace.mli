@@ -1,0 +1,39 @@
+(** The workspace transformation (paper §V).
+
+    [precompute stmt ~expr ~over ~workspace] rewrites [stmt] so that the
+    subexpression [expr] is computed separately into [workspace], indexed
+    by the variables [over] (the set I of §V-A). The target assignment is
+    split into a consumer and a producer joined by a where statement, and
+    the surrounding foralls are pushed into the side(s) that use them,
+    from innermost to outermost. Foralls whose variable is used on both
+    sides but is not in [over] stop the push-down and remain surrounding
+    the where statement (so the workspace is recomputed per iteration, as
+    in the paper's examples, e.g. the per-row workspace of Fig. 1d).
+
+    When [workspace] is the target assignment's own result tensor and
+    [expr] is an addend of its right-hand side, the result-reuse rule of
+    §V-B applies instead and produces a sequence statement, e.g.
+    [∀i a(i) = b(i) + c(i)] into [∀i a(i) = b(i) ; ∀i a(i) += c(i)].
+
+    After the rewrite, a consumer [A(K) += w(I)] becomes a plain
+    assignment when every forall enclosing it binds a variable of [K]
+    (each element of [A] is then incremented once, §V-A).
+
+    Preconditions checked (each failure returns [Error _]):
+    - [stmt] contains no sequence statements;
+    - exactly one assignment's right-hand side contains [expr];
+    - [expr] is the whole right-hand side, a factor (sub-product) of a
+      product, or — with result reuse — an addend of a sum;
+    - [workspace] has order [length over] (and, unless reusing the result,
+      does not already occur in [stmt]);
+    - distributing a reduction into the producer is rejected when [expr]
+      is an addend (+ does not distribute over +). *)
+
+open Var
+
+val precompute :
+  Cin.stmt ->
+  expr:Cin.expr ->
+  over:Index_var.t list ->
+  workspace:Tensor_var.t ->
+  (Cin.stmt, string) result

@@ -1,0 +1,1 @@
+lib/kernels/build.ml: Imp Lower Printf Taco_lower

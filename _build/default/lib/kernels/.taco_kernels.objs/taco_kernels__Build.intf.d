@@ -1,0 +1,1 @@
+lib/kernels/build.mli: Imp Lower Taco_ir Taco_lower

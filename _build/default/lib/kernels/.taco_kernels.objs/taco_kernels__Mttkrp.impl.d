@@ -1,0 +1,1 @@
+lib/kernels/mttkrp.ml: Array Build Imp Lower Taco_ir Taco_lower Taco_tensor

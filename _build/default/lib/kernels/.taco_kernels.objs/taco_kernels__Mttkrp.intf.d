@@ -1,0 +1,1 @@
+lib/kernels/mttkrp.mli: Taco_ir Taco_lower Taco_tensor

@@ -1,0 +1,1 @@
+lib/kernels/spadd.ml: Array Build Imp Lower Stdlib Taco_ir Taco_lower Taco_support Taco_tensor

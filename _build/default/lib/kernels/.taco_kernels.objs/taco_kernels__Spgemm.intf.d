@@ -1,0 +1,1 @@
+lib/kernels/spgemm.mli: Taco_ir Taco_lower Taco_tensor

@@ -1,0 +1,25 @@
+(** MTTKRP baselines (paper §VII, §VIII-C).
+
+    {!splatt_like} hand-writes the SPLATT library's loop structure in
+    imperative IR: the partial product [B(i,k,:)·C] accumulates into a
+    dense row workspace hoisted out of the fiber loop, exactly the code
+    the paper's first workspace transformation recreates (Fig. 9).
+
+    [A(i,j) = Σ_{k,l} B(i,k,l) · C(l,j) · D(k,j)] with a CSF tensor [B]
+    and dense matrices [A], [C], [D].
+
+    {!reference} is a plain-OCaml oracle over the packed CSF tensor. *)
+
+val a_var : Taco_ir.Var.Tensor_var.t
+
+val b_var : Taco_ir.Var.Tensor_var.t
+
+val c_var : Taco_ir.Var.Tensor_var.t
+
+val d_var : Taco_ir.Var.Tensor_var.t
+
+val splatt_like : Taco_lower.Lower.kernel_info
+
+(** [reference b c d] computes MTTKRP with dense output in plain OCaml. *)
+val reference :
+  Taco_tensor.Tensor.t -> Taco_tensor.Dense.t -> Taco_tensor.Dense.t -> Taco_tensor.Dense.t

@@ -1,0 +1,27 @@
+(** Sparse matrix addition baselines (paper §VIII-E, Fig. 13).
+
+    Libraries add two operands at a time; chained additions build
+    intermediate temporaries. Both baselines are pairwise [A = B + C]
+    CSR kernels in imperative IR:
+
+    - {!eigen_like}: single-pass two-way merge with geometric result
+      growth (Eigen-style; the paper finds Eigen competitive with taco's
+      pairwise code);
+    - {!mkl_like}: two-pass inspector-executor (symbolic row sizing, then
+      a numeric merge), modeling MKL's sparse add — the double merge is
+      its measured ≈2.8× disadvantage.
+
+    {!merge_add} is the plain-OCaml oracle. *)
+
+val a_var : Taco_ir.Var.Tensor_var.t
+
+val b_var : Taco_ir.Var.Tensor_var.t
+
+val c_var : Taco_ir.Var.Tensor_var.t
+
+val eigen_like : Taco_lower.Lower.kernel_info
+
+val mkl_like : Taco_lower.Lower.kernel_info
+
+(** Reference CSR addition in plain OCaml (sorted two-way merge). *)
+val merge_add : Taco_tensor.Tensor.t -> Taco_tensor.Tensor.t -> Taco_tensor.Tensor.t

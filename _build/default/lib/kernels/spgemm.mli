@@ -1,0 +1,41 @@
+(** Sparse matrix-matrix multiplication baselines (paper §VIII-B).
+
+    Two hand-written imperative-IR kernels model the libraries the paper
+    compares against, each implementing Gustavson's linear-combination-of-
+    rows algorithm [Gustavson 1978] with a dense workspace:
+
+    - {!eigen_like}: sorted output. Models Eigen's AmbiVector strategy:
+      dense accumulation with coordinate collection, a per-row sort, and
+      a drain through a temporary buffer before insertBack-style appends —
+      the double-buffering and sorting are the constant-factor
+      disadvantage the paper measures (≈4×).
+    - {!mkl_like}: unsorted output. Models MKL's two-stage
+      inspector-executor [mkl_sparse_spmm]: a symbolic pass sizes each
+      row exactly, then a numeric pass fills values; the double traversal
+      is its constant-factor cost (paper measures taco 1.16–1.28× faster).
+
+    {!gustavson} is a direct OCaml implementation used as the oracle in
+    tests. *)
+
+(** Imperative-IR kernel [A = B·C], all CSR, fused assembly, sorted. *)
+val eigen_like : Taco_lower.Lower.kernel_info
+
+(** Imperative-IR kernel [A = B·C], all CSR, two-pass, unsorted. *)
+val mkl_like : Taco_lower.Lower.kernel_info
+
+(** Tensor variables the two kernels are written against. *)
+val a_var : Taco_ir.Var.Tensor_var.t
+
+val b_var : Taco_ir.Var.Tensor_var.t
+
+val c_var : Taco_ir.Var.Tensor_var.t
+
+(** Reference CSR SpGEMM in plain OCaml (Gustavson, sorted). *)
+val gustavson : Taco_tensor.Tensor.t -> Taco_tensor.Tensor.t -> Taco_tensor.Tensor.t
+
+(** Ablation: Gustavson SpGEMM with an open-addressing hash-map workspace
+    instead of the dense array (the alternative §III mentions; Patwary et
+    al., cited by the paper, report it underperforms — this kernel lets
+    the benchmark confirm that). Capacity is fixed per kernel; rows must
+    stay below half the capacity. *)
+val hash_workspace : capacity:int -> Taco_lower.Lower.kernel_info

@@ -1,0 +1,1 @@
+lib/lower/codegen_c.ml: Buffer Float Imp List Printf String

@@ -1,0 +1,1 @@
+lib/lower/codegen_c.mli: Imp

@@ -1,0 +1,1 @@
+lib/lower/imp.ml: Format Hashtbl List Printf String

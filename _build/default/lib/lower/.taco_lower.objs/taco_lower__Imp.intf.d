@@ -1,0 +1,1 @@
+lib/lower/imp.mli: Format

@@ -1,0 +1,1 @@
+lib/lower/lower.ml: Hashtbl Imp Index_var List Merge_lattice Option Printf Taco_ir Taco_support Taco_tensor Tensor_var

@@ -1,0 +1,1 @@
+lib/lower/lower.mli: Imp Taco_ir Tensor_var

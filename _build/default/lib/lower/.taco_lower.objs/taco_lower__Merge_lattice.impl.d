@@ -1,0 +1,1 @@
+lib/lower/merge_lattice.ml: Format List String Taco_ir Taco_support

@@ -1,0 +1,1 @@
+lib/lower/merge_lattice.mli: Format Taco_ir

@@ -1,0 +1,123 @@
+let ctype = function Imp.Int -> "int32_t" | Imp.Float -> "double" | Imp.Bool -> "bool"
+
+let binop_str = function
+  | Imp.Add -> "+"
+  | Imp.Sub -> "-"
+  | Imp.Mul -> "*"
+  | Imp.Div -> "/"
+  | Imp.Min -> "TACO_MIN"
+  | Imp.Max -> "TACO_MAX"
+  | Imp.Eq -> "=="
+  | Imp.Ne -> "!="
+  | Imp.Lt -> "<"
+  | Imp.Le -> "<="
+  | Imp.Gt -> ">"
+  | Imp.Ge -> ">="
+  | Imp.And -> "&&"
+  | Imp.Or -> "||"
+
+let rec expr buf = function
+  | Imp.Var v -> Buffer.add_string buf v
+  | Imp.Int_lit n -> Buffer.add_string buf (string_of_int n)
+  | Imp.Float_lit v ->
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" v)
+      else Buffer.add_string buf (Printf.sprintf "%.17g" v)
+  | Imp.Bool_lit b -> Buffer.add_string buf (if b then "1" else "0")
+  | Imp.Load (a, i) ->
+      Buffer.add_string buf a;
+      Buffer.add_char buf '[';
+      expr buf i;
+      Buffer.add_char buf ']'
+  | Imp.Binop (((Imp.Min | Imp.Max) as op), a, b) ->
+      Buffer.add_string buf (binop_str op);
+      Buffer.add_char buf '(';
+      expr buf a;
+      Buffer.add_string buf ", ";
+      expr buf b;
+      Buffer.add_char buf ')'
+  | Imp.Binop (op, a, b) ->
+      Buffer.add_char buf '(';
+      expr buf a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (binop_str op);
+      Buffer.add_char buf ' ';
+      expr buf b;
+      Buffer.add_char buf ')'
+  | Imp.Not e ->
+      Buffer.add_string buf "!(";
+      expr buf e;
+      Buffer.add_char buf ')'
+  | Imp.Ternary (c, a, b) ->
+      Buffer.add_char buf '(';
+      expr buf c;
+      Buffer.add_string buf " ? ";
+      expr buf a;
+      Buffer.add_string buf " : ";
+      expr buf b;
+      Buffer.add_char buf ')'
+  | Imp.Round_single e ->
+      Buffer.add_string buf "(double)(float)(";
+      expr buf e;
+      Buffer.add_char buf ')'
+
+let estr e =
+  let buf = Buffer.create 32 in
+  expr buf e;
+  Buffer.contents buf
+
+let rec stmt buf ind s =
+  let pad () = Buffer.add_string buf (String.make (2 * ind) ' ') in
+  let line fmt = Printf.ksprintf (fun s -> pad (); Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  match s with
+  | Imp.Decl (t, v, e) -> line "%s %s = %s;" (ctype t) v (estr e)
+  | Imp.Assign (v, e) -> line "%s = %s;" v (estr e)
+  | Imp.Store (a, i, v) -> line "%s[%s] = %s;" a (estr i) (estr v)
+  | Imp.Store_add (a, i, v) -> line "%s[%s] += %s;" a (estr i) (estr v)
+  | Imp.Alloc (t, v, n) -> line "%s* %s = (%s*)calloc(%s, sizeof(%s));" (ctype t) v (ctype t) (estr n) (ctype t)
+  | Imp.Realloc (v, n) -> line "%s = realloc(%s, %s * sizeof(*%s));" v v (estr n) v
+  | Imp.Memset (v, n) -> line "memset(%s, 0, %s * sizeof(*%s));" v (estr n) v
+  | Imp.For (v, lo, hi, body) ->
+      line "for (int32_t %s = %s; %s < %s; %s++) {" v (estr lo) v (estr hi) v;
+      List.iter (stmt buf (ind + 1)) body;
+      line "}"
+  | Imp.While (c, body) ->
+      line "while (%s) {" (estr c);
+      List.iter (stmt buf (ind + 1)) body;
+      line "}"
+  | Imp.If (c, t, []) ->
+      line "if (%s) {" (estr c);
+      List.iter (stmt buf (ind + 1)) t;
+      line "}"
+  | Imp.If (c, t, e) ->
+      line "if (%s) {" (estr c);
+      List.iter (stmt buf (ind + 1)) t;
+      line "} else {";
+      List.iter (stmt buf (ind + 1)) e;
+      line "}"
+  | Imp.Sort (v, lo, hi) -> line "qsort(%s + %s, %s - %s, sizeof(int32_t), cmp_int32);" v (estr lo) (estr hi) (estr lo)
+  | Imp.Comment c -> line "// %s" c
+
+let emit_body kernel =
+  let buf = Buffer.create 1024 in
+  List.iter (stmt buf 1) kernel.Imp.k_body;
+  Buffer.contents buf
+
+let emit kernel =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "#include <stdint.h>\n#include <stdbool.h>\n#include <stdlib.h>\n#include <string.h>\n";
+  Buffer.add_string buf "#define TACO_MIN(a, b) ((a) < (b) ? (a) : (b))\n";
+  Buffer.add_string buf "#define TACO_MAX(a, b) ((a) > (b) ? (a) : (b))\n";
+  Buffer.add_string buf
+    "static int cmp_int32(const void* a, const void* b) { return *(const int32_t*)a - *(const int32_t*)b; }\n\n";
+  let param p =
+    let t = ctype p.Imp.p_dtype in
+    if p.Imp.p_array then Printf.sprintf "%s* restrict %s" t p.Imp.p_name
+    else Printf.sprintf "%s %s" t p.Imp.p_name
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "int %s(%s) {\n" kernel.Imp.k_name
+       (String.concat ", " (List.map param kernel.Imp.k_params)));
+  Buffer.add_string buf (emit_body kernel);
+  Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.contents buf

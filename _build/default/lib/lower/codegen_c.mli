@@ -1,0 +1,10 @@
+(** C source emission for lowered kernels (the paper's target, Fig. 6
+    "Target Code"). Used for inspection and for the listing-fidelity tests
+    that compare generated code structure against the paper's figures;
+    execution happens through {!Taco_exec}. *)
+
+(** Render a kernel as a self-contained C function. *)
+val emit : Imp.kernel -> string
+
+(** Render only the body statements (no signature), e.g. for diffs. *)
+val emit_body : Imp.kernel -> string

@@ -1,0 +1,234 @@
+type dtype = Int | Float | Bool
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Min
+  | Max
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr =
+  | Var of string
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | Load of string * expr
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Ternary of expr * expr * expr
+  | Round_single of expr
+
+type stmt =
+  | Decl of dtype * string * expr
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | Store_add of string * expr * expr
+  | Alloc of dtype * string * expr
+  | Realloc of string * expr
+  | Memset of string * expr
+  | For of string * expr * expr * stmt list
+  | While of expr * stmt list
+  | If of expr * stmt list * stmt list
+  | Sort of string * expr * expr
+  | Comment of string
+
+type param = { p_name : string; p_dtype : dtype; p_array : bool; p_output : bool }
+
+type kernel = { k_name : string; k_params : param list; k_body : stmt list }
+
+let add a b =
+  match (a, b) with
+  | Int_lit 0, e | e, Int_lit 0 -> e
+  | Int_lit x, Int_lit y -> Int_lit (x + y)
+  | a, b -> Binop (Add, a, b)
+
+let sub a b =
+  match (a, b) with
+  | e, Int_lit 0 -> e
+  | Int_lit x, Int_lit y -> Int_lit (x - y)
+  | a, b -> Binop (Sub, a, b)
+
+let mul a b =
+  match (a, b) with
+  | Int_lit 0, _ | _, Int_lit 0 -> Int_lit 0
+  | Int_lit 1, e | e, Int_lit 1 -> e
+  | Int_lit x, Int_lit y -> Int_lit (x * y)
+  | a, b -> Binop (Mul, a, b)
+
+let min_ a b = if a = b then a else Binop (Min, a, b)
+
+let eq a b = Binop (Eq, a, b)
+
+let lt a b = Binop (Lt, a, b)
+
+let and_ a b =
+  match (a, b) with
+  | Bool_lit true, e | e, Bool_lit true -> e
+  | a, b -> Binop (And, a, b)
+
+let or_ a b =
+  match (a, b) with
+  | Bool_lit false, e | e, Bool_lit false -> e
+  | a, b -> Binop (Or, a, b)
+
+let min_list = function
+  | [] -> invalid_arg "Imp.min_list: empty"
+  | x :: rest -> List.fold_left min_ x rest
+
+let and_list = function
+  | [] -> invalid_arg "Imp.and_list: empty"
+  | x :: rest -> List.fold_left and_ x rest
+
+let rec expr_vars = function
+  | Var v -> [ v ]
+  | Int_lit _ | Float_lit _ | Bool_lit _ -> []
+  | Load (a, i) -> a :: expr_vars i
+  | Binop (_, a, b) -> expr_vars a @ expr_vars b
+  | Not e | Round_single e -> expr_vars e
+  | Ternary (c, a, b) -> expr_vars c @ expr_vars a @ expr_vars b
+
+let rec declared_stmt = function
+  | Decl (_, v, _) | Alloc (_, v, _) -> [ v ]
+  | For (v, _, _, body) -> v :: declared body
+  | While (_, body) -> declared body
+  | If (_, t, e) -> declared t @ declared e
+  | Assign _ | Store _ | Store_add _ | Realloc _ | Memset _ | Sort _ | Comment _ -> []
+
+and declared stmts = List.concat_map declared_stmt stmts
+
+let check kernel =
+  let exception Problem of string in
+  let known = Hashtbl.create 32 in
+  List.iter (fun p -> Hashtbl.replace known p.p_name ()) kernel.k_params;
+  let use_expr e =
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem known v) then
+          raise (Problem (Printf.sprintf "variable %s used before declaration" v)))
+      (expr_vars e)
+  in
+  let use_var v =
+    if not (Hashtbl.mem known v) then
+      raise (Problem (Printf.sprintf "variable %s used before declaration" v))
+  in
+  let declare v =
+    (* Loop variables and block-scoped declarations may shadow/repeat on
+       sibling paths; we only require definition before use. *)
+    Hashtbl.replace known v ()
+  in
+  let rec go_stmt = function
+    | Decl (_, v, e) ->
+        use_expr e;
+        declare v
+    | Assign (v, e) ->
+        use_expr e;
+        use_var v
+    | Store (a, i, v) | Store_add (a, i, v) ->
+        use_var a;
+        use_expr i;
+        use_expr v
+    | Alloc (_, v, n) ->
+        use_expr n;
+        declare v
+    | Realloc (v, n) ->
+        use_var v;
+        use_expr n
+    | Memset (v, n) ->
+        use_var v;
+        use_expr n
+    | For (v, lo, hi, body) ->
+        use_expr lo;
+        use_expr hi;
+        declare v;
+        List.iter go_stmt body
+    | While (c, body) ->
+        use_expr c;
+        List.iter go_stmt body
+    | If (c, t, e) ->
+        use_expr c;
+        List.iter go_stmt t;
+        List.iter go_stmt e
+    | Sort (v, lo, hi) ->
+        use_var v;
+        use_expr lo;
+        use_expr hi
+    | Comment _ -> ()
+  in
+  match List.iter go_stmt kernel.k_body with
+  | () -> Ok ()
+  | exception Problem msg -> Error msg
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Min -> "min"
+  | Max -> "max"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let rec pp_expr fmt = function
+  | Var v -> Format.pp_print_string fmt v
+  | Int_lit n -> Format.pp_print_int fmt n
+  | Float_lit v -> Format.fprintf fmt "%g" v
+  | Bool_lit b -> Format.pp_print_bool fmt b
+  | Load (a, i) -> Format.fprintf fmt "%s[%a]" a pp_expr i
+  | Binop ((Min | Max) as op, a, b) ->
+      Format.fprintf fmt "%s(%a, %a)" (binop_str op) pp_expr a pp_expr b
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Not e -> Format.fprintf fmt "!(%a)" pp_expr e
+  | Round_single e -> Format.fprintf fmt "(double)(float)(%a)" pp_expr e
+  | Ternary (c, a, b) ->
+      Format.fprintf fmt "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+
+let rec pp_stmt fmt s = pp_stmt_indent fmt 0 s
+
+and pp_stmt_indent fmt n s =
+  let ind = String.make (2 * n) ' ' in
+  match s with
+  | Decl (_, v, e) -> Format.fprintf fmt "%s%s = %a;@." ind v pp_expr e
+  | Assign (v, e) -> Format.fprintf fmt "%s%s = %a;@." ind v pp_expr e
+  | Store (a, i, v) -> Format.fprintf fmt "%s%s[%a] = %a;@." ind a pp_expr i pp_expr v
+  | Store_add (a, i, v) ->
+      Format.fprintf fmt "%s%s[%a] += %a;@." ind a pp_expr i pp_expr v
+  | Alloc (_, v, e) -> Format.fprintf fmt "%s%s = alloc(%a);@." ind v pp_expr e
+  | Realloc (v, e) -> Format.fprintf fmt "%s%s = realloc(%a);@." ind v pp_expr e
+  | Memset (v, e) -> Format.fprintf fmt "%smemset(%s, 0, %a);@." ind v pp_expr e
+  | For (v, lo, hi, body) ->
+      Format.fprintf fmt "%sfor (%s = %a; %s < %a; %s++) {@." ind v pp_expr lo v
+        pp_expr hi v;
+      List.iter (pp_stmt_indent fmt (n + 1)) body;
+      Format.fprintf fmt "%s}@." ind
+  | While (c, body) ->
+      Format.fprintf fmt "%swhile (%a) {@." ind pp_expr c;
+      List.iter (pp_stmt_indent fmt (n + 1)) body;
+      Format.fprintf fmt "%s}@." ind
+  | If (c, t, []) ->
+      Format.fprintf fmt "%sif (%a) {@." ind pp_expr c;
+      List.iter (pp_stmt_indent fmt (n + 1)) t;
+      Format.fprintf fmt "%s}@." ind
+  | If (c, t, e) ->
+      Format.fprintf fmt "%sif (%a) {@." ind pp_expr c;
+      List.iter (pp_stmt_indent fmt (n + 1)) t;
+      Format.fprintf fmt "%s} else {@." ind;
+      List.iter (pp_stmt_indent fmt (n + 1)) e;
+      Format.fprintf fmt "%s}@." ind
+  | Sort (v, lo, hi) -> Format.fprintf fmt "%ssort(%s, %a, %a);@." ind v pp_expr lo pp_expr hi
+  | Comment c -> Format.fprintf fmt "%s// %s@." ind c

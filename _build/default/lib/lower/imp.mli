@@ -1,0 +1,103 @@
+(** Imperative low-level IR (paper Fig. 6, bottom box).
+
+    The target of lowering: scalar declarations, array loads/stores,
+    for/while loops, conditionals and the memory operations sparse
+    assembly needs (alloc, geometric realloc, memset, sort). It
+    pretty-prints to C ({!Codegen_c}) and compiles to closures for
+    execution ({!Taco_exec.Compile}). *)
+
+type dtype = Int | Float | Bool
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Min
+  | Max
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr =
+  | Var of string
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | Load of string * expr  (** array variable, index *)
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Ternary of expr * expr * expr  (** [cond ? a : b] *)
+  | Round_single of expr
+      (** Round a double to the nearest IEEE single (mixed-precision
+          storage, paper §III). *)
+
+type stmt =
+  | Decl of dtype * string * expr
+  | Assign of string * expr
+  | Store of string * expr * expr  (** [arr[idx] = v] *)
+  | Store_add of string * expr * expr  (** [arr[idx] += v] *)
+  | Alloc of dtype * string * expr  (** array of [size] elements, zeroed *)
+  | Realloc of string * expr  (** grow array to a new capacity, keeping contents *)
+  | Memset of string * expr  (** zero the first [n] elements *)
+  | For of string * expr * expr * stmt list  (** [for (v = lo; v < hi; v++)] *)
+  | While of expr * stmt list
+  | If of expr * stmt list * stmt list
+  | Sort of string * expr * expr  (** sort the int array slice [lo, hi) *)
+  | Comment of string
+
+type param = {
+  p_name : string;
+  p_dtype : dtype;
+  p_array : bool;
+  p_output : bool;  (** written by the kernel *)
+}
+
+type kernel = { k_name : string; k_params : param list; k_body : stmt list }
+
+(** {2 Smart constructors with constant folding} *)
+
+val add : expr -> expr -> expr
+
+val sub : expr -> expr -> expr
+
+val mul : expr -> expr -> expr
+
+val min_ : expr -> expr -> expr
+
+val eq : expr -> expr -> expr
+
+val lt : expr -> expr -> expr
+
+val and_ : expr -> expr -> expr
+
+val or_ : expr -> expr -> expr
+
+(** Fold a non-empty list with [min_]. *)
+val min_list : expr list -> expr
+
+(** Conjunction of a non-empty list. *)
+val and_list : expr list -> expr
+
+(** {2 Analysis} *)
+
+(** Free variables of an expression (scalars and array names). *)
+val expr_vars : expr -> string list
+
+(** All variable names declared in a statement list (scalars, loop
+    variables and arrays). *)
+val declared : stmt list -> string list
+
+(** Check the kernel: every used variable is a parameter or declared
+    before use, declarations are unique per scope path, loop variables
+    fresh. Returns the first problem found. *)
+val check : kernel -> (unit, string) result
+
+val pp_expr : Format.formatter -> expr -> unit
+
+val pp_stmt : Format.formatter -> stmt -> unit

@@ -1,0 +1,1036 @@
+open Taco_ir.Var
+module Cin = Taco_ir.Cin
+module F = Taco_tensor.Format
+module L = Taco_tensor.Level
+module Util = Taco_support.Util
+
+type mode = Compute | Assemble of { emit_values : bool; sorted : bool }
+
+type kernel_info = {
+  kernel : Imp.kernel;
+  inputs : Tensor_var.t list;
+  result : Tensor_var.t;
+  mode : mode;
+}
+
+exception Lower_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Lower_error s)) fmt
+
+let dimension_var tv l = Printf.sprintf "%s%d_dimension" (Tensor_var.name tv) (l + 1)
+
+let pos_var tv l = Printf.sprintf "%s%d_pos" (Tensor_var.name tv) (l + 1)
+
+let crd_var tv l = Printf.sprintf "%s%d_crd" (Tensor_var.name tv) (l + 1)
+
+let vals_var tv = Tensor_var.name tv ^ "_vals"
+
+let scalar_var tv = Tensor_var.name tv ^ "_val"
+
+(* Initial capacity of assembled crd/vals arrays, grown by doubling. *)
+let initial_capacity = 1024
+
+type append_info = { counter : string; assemble : bool; emit_values : bool; coord : Imp.expr }
+
+type ctx = {
+  bound : (string * Imp.expr) list;  (* index var -> coordinate *)
+  cpos : ((string * int) * Imp.expr) list;  (* (tensor, level) -> position *)
+  append : append_info option;  (* active append target for the result *)
+  track : string option;  (* workspace with coordinate-list tracking (producer side) *)
+  wlist : string option;  (* workspace whose list drives the consumer loop *)
+}
+
+type state = {
+  mutable top : Imp.stmt list;  (* kernel-top statements, in order *)
+  mutable allocated : string list;  (* workspaces already allocated *)
+  mutable reset_on_read : string list;  (* workspaces restored to zero after reads *)
+  mutable has_seen : string list;  (* workspaces with a guard array *)
+  mutable counter_declared : bool;
+  mutable pos_close : (string option * Imp.stmt) list;
+      (* pos-finalize statements keyed by the parent loop variable *)
+  ranges : (string, Imp.expr) Hashtbl.t;
+  ws_dims : (string, Imp.expr list) Hashtbl.t;
+  mode : mode;
+  result : Tensor_var.t;
+}
+
+let rec stmt_accesses = function
+  | Cin.Assignment { lhs; rhs; _ } -> lhs :: expr_accesses rhs
+  | Cin.Forall (_, s) -> stmt_accesses s
+  | Cin.Where (c, p) -> stmt_accesses c @ stmt_accesses p
+  | Cin.Sequence (a, b) -> stmt_accesses a @ stmt_accesses b
+
+and expr_accesses = function
+  | Cin.Literal _ -> []
+  | Cin.Access a -> [ a ]
+  | Cin.Neg e -> expr_accesses e
+  | Cin.Add (a, b) | Cin.Sub (a, b) | Cin.Mul (a, b) | Cin.Div (a, b) ->
+      expr_accesses a @ expr_accesses b
+
+let rec rhs_accesses = function
+  | Cin.Assignment { rhs; _ } -> expr_accesses rhs
+  | Cin.Forall (_, s) -> rhs_accesses s
+  | Cin.Where (c, p) -> rhs_accesses c @ rhs_accesses p
+  | Cin.Sequence (a, b) -> rhs_accesses a @ rhs_accesses b
+
+let rec assignments = function
+  | Cin.Assignment { lhs; op; rhs } -> [ (lhs, op, rhs) ]
+  | Cin.Forall (_, s) -> assignments s
+  | Cin.Where (c, p) -> assignments c @ assignments p
+  | Cin.Sequence (a, b) -> assignments a @ assignments b
+
+let var_at_level (acc : Cin.access) l =
+  List.nth acc.indices (F.mode_of_level (Tensor_var.format acc.tensor) l)
+
+(* Storage level of [acc] indexed by variable [v], if any. *)
+let level_of_var (acc : Cin.access) v =
+  match Util.list_index_of v acc.indices with
+  | None -> None
+  | Some mode -> Some (F.level_of_mode (Tensor_var.format acc.tensor) mode)
+
+let compressed_at (acc : Cin.access) v =
+  match level_of_var acc v with
+  | None -> false
+  | Some l -> L.equal (F.level (Tensor_var.format acc.tensor) l) L.Compressed
+
+(* Position of [acc] within storage level [level], derived from resolved
+   compressed positions and bound dense coordinates. *)
+let rec pos_at ctx acc level =
+  if level < 0 then Imp.Int_lit 0
+  else
+    match List.assoc_opt (Tensor_var.name acc.Cin.tensor, level) ctx.cpos with
+    | Some p -> p
+    | None -> (
+        let tv = acc.Cin.tensor in
+        match F.level (Tensor_var.format tv) level with
+        | L.Dense -> (
+            let parent = pos_at ctx acc (level - 1) in
+            let v = var_at_level acc level in
+            match List.assoc_opt (Index_var.name v) ctx.bound with
+            | Some coord ->
+                Imp.add (Imp.mul parent (Imp.Var (dimension_var tv level))) coord
+            | None ->
+                fail
+                  "index variable %s of %s is not yet bound: the loop order is \
+                   incompatible with the tensor's storage order (reorder first)"
+                  (Index_var.name v) (Tensor_var.name tv))
+        | L.Compressed ->
+            fail
+              "compressed level %d of %s is not driven by a loop; if the \
+               statement reduces into a sparse result, apply the workspace \
+               transformation (precompute) first"
+              (level + 1) (Tensor_var.name tv))
+
+let value_of_access ctx (acc : Cin.access) =
+  let tv = acc.Cin.tensor in
+  if Tensor_var.order tv = 0 && Tensor_var.is_workspace tv then Imp.Var (scalar_var tv)
+  else Imp.Load (vals_var tv, pos_at ctx acc (Tensor_var.order tv - 1))
+
+let rec compile_expr ctx = function
+  | Cin.Literal v -> Imp.Float_lit v
+  | Cin.Access a -> value_of_access ctx a
+  | Cin.Neg e -> Imp.Binop (Imp.Sub, Imp.Float_lit 0., compile_expr ctx e)
+  | Cin.Add (a, b) -> Imp.Binop (Imp.Add, compile_expr ctx a, compile_expr ctx b)
+  | Cin.Sub (a, b) -> Imp.Binop (Imp.Sub, compile_expr ctx a, compile_expr ctx b)
+  | Cin.Mul (a, b) -> Imp.Binop (Imp.Mul, compile_expr ctx a, compile_expr ctx b)
+  | Cin.Div (a, b) -> Imp.Binop (Imp.Div, compile_expr ctx a, compile_expr ctx b)
+
+(* Symbolically exhaust an access in a statement (merge-lattice branch
+   bodies): its reads become zero and the statement simplifies. *)
+let rec zero_access (acc : Cin.access) = function
+  | Cin.Assignment { lhs; op; rhs } ->
+      Cin.Assignment
+        {
+          lhs;
+          op;
+          rhs =
+            Cin.simplify (Cin.subst_expr ~from:(Cin.Access acc) ~into:(Cin.Literal 0.) rhs);
+        }
+  | Cin.Forall (v, s) -> Cin.Forall (v, zero_access acc s)
+  | Cin.Where (c, p) -> Cin.Where (zero_access acc c, zero_access acc p)
+  | Cin.Sequence (a, b) -> Cin.Sequence (zero_access acc a, zero_access acc b)
+
+(* Drop statements that became no-ops after zero substitution. *)
+let rec prune = function
+  | Cin.Assignment { op = Cin.Accumulate; rhs = Cin.Literal 0.; _ } -> None
+  | Cin.Assignment _ as a -> Some a
+  | Cin.Forall (v, s) -> Option.map (fun s -> Cin.Forall (v, s)) (prune s)
+  | Cin.Where (c, p) -> (
+      match prune c with
+      | None -> None
+      | Some c -> (
+          match prune p with None -> Some c | Some p -> Some (Cin.Where (c, p))))
+  | Cin.Sequence (a, b) -> (
+      match (prune a, prune b) with
+      | None, None -> None
+      | Some a, None -> Some a
+      | None, Some b -> Some b
+      | Some a, Some b -> Some (Cin.Sequence (a, b)))
+
+let dims_product tv order =
+  let rec go l acc =
+    if l >= order then acc
+    else go (l + 1) (Imp.mul acc (Imp.Var (dimension_var tv l)))
+  in
+  go 0 (Imp.Int_lit 1)
+
+let crd_capacity_var tv l = Printf.sprintf "%s%d_crd_capacity" (Tensor_var.name tv) (l + 1)
+
+let append_counter_var tv l = Printf.sprintf "p%s%d" (Tensor_var.name tv) (l + 1)
+
+let seen_var name = name ^ "_seen"
+
+let list_var name = name ^ "_list"
+
+let list_size_var name = name ^ "_list_size"
+
+(* The result's single compressed level in Compute/Assemble append mode;
+   earlier levels must be dense for assembly. *)
+let result_compressed_level tv =
+  let fmt = Tensor_var.format tv in
+  let order = Tensor_var.order tv in
+  let rec go l acc =
+    if l >= order then acc
+    else
+      match F.level fmt l with
+      | L.Dense -> go (l + 1) acc
+      | L.Compressed -> go (l + 1) (l :: acc)
+  in
+  match go 0 [] with [] -> None | [ l ] -> Some l | _ :: _ :: _ -> Some (-2)
+
+let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ~mode stmt =
+  let build () =
+    (match Cin.validate stmt with Ok () -> () | Error e -> fail "invalid statement: %s" e);
+    let result =
+      match
+        List.filter (fun tv -> not (Tensor_var.is_workspace tv)) (Cin.tensors_written stmt)
+      with
+      | [ r ] -> r
+      | [] -> fail "the statement writes no result tensor"
+      | rs ->
+          fail "the statement writes %d result tensors; expected one" (List.length rs)
+    in
+    let all_accesses = Util.dedup_stable (stmt_accesses stmt) in
+    let inputs =
+      Util.dedup_stable
+        (List.filter_map
+           (fun (a : Cin.access) ->
+             if Tensor_var.is_workspace a.tensor || Tensor_var.equal a.tensor result
+             then None
+             else Some a.tensor)
+           all_accesses)
+    in
+    (* Index variable ranges from non-workspace accesses. *)
+    let ranges : (string, Imp.expr) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (a : Cin.access) ->
+        if not (Tensor_var.is_workspace a.tensor) then
+          List.iteri
+            (fun mode_idx v ->
+              let key = Index_var.name v in
+              if not (Hashtbl.mem ranges key) then
+                let l = F.level_of_mode (Tensor_var.format a.tensor) mode_idx in
+                Hashtbl.replace ranges key (Imp.Var (dimension_var a.tensor l)))
+            a.indices)
+      all_accesses;
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem ranges (Index_var.name v)) then
+          fail "cannot infer the range of index variable %s" (Index_var.name v))
+      (Cin.stmt_vars stmt);
+    let range v =
+      Hashtbl.find ranges (Index_var.name v)
+    in
+    (* Workspace dimensions (used for allocation and dense offsets). *)
+    let ws_dims : (string, Imp.expr list) Hashtbl.t = Hashtbl.create 4 in
+    List.iter
+      (fun (a : Cin.access) ->
+        if Tensor_var.is_workspace a.tensor && Tensor_var.order a.tensor > 0 then
+          let key = Tensor_var.name a.tensor in
+          if not (Hashtbl.mem ws_dims key) then
+            Hashtbl.replace ws_dims key (List.map range a.indices))
+      all_accesses;
+    let st =
+      {
+        top = [];
+        allocated = [];
+        reset_on_read = [];
+        has_seen = [];
+        counter_declared = false;
+        pos_close = [];
+        ranges;
+        ws_dims;
+        mode;
+        result;
+      }
+    in
+    let push_top s = st.top <- st.top @ [ s ] in
+    (* --- assignment emission ------------------------------------------- *)
+    let lower_assignment ctx (lhs : Cin.access) op rhs_cin =
+      let rhs = compile_expr ctx rhs_cin in
+      let tv = lhs.tensor in
+      let single = List.exists (Tensor_var.equal tv) single_precision in
+      let rhs = if single then Imp.Round_single rhs else rhs in
+      (* Restore hoisted workspaces to zero after their values are read. *)
+      let resets =
+        List.concat_map
+          (fun (a : Cin.access) ->
+            let wname = Tensor_var.name a.tensor in
+            if
+              Tensor_var.is_workspace a.tensor
+              && List.mem wname st.reset_on_read
+              && Tensor_var.order a.tensor > 0
+            then begin
+              let off = pos_at ctx a (Tensor_var.order a.tensor - 1) in
+              Imp.Store (vals_var a.tensor, off, Imp.Float_lit 0.)
+              ::
+              (if List.mem wname st.has_seen then
+                 [ Imp.Store (seen_var wname, off, Imp.Bool_lit false) ]
+               else [])
+            end
+            else [])
+          (Util.dedup_stable (expr_accesses rhs_cin))
+      in
+      let main =
+        if Tensor_var.order tv = 0 && Tensor_var.is_workspace tv then
+          match (op, single) with
+          | Cin.Assign, _ -> [ Imp.Assign (scalar_var tv, rhs) ]
+          | Cin.Accumulate, false ->
+              [ Imp.Assign (scalar_var tv, Imp.Binop (Imp.Add, Imp.Var (scalar_var tv), rhs)) ]
+          | Cin.Accumulate, true ->
+              [
+                Imp.Assign
+                  ( scalar_var tv,
+                    Imp.Round_single (Imp.Binop (Imp.Add, Imp.Var (scalar_var tv), rhs)) );
+              ]
+        else if F.is_all_dense (Tensor_var.format tv) then begin
+          let off = pos_at ctx lhs (Tensor_var.order tv - 1) in
+          let store =
+            match (op, single) with
+            | Cin.Assign, _ -> Imp.Store (vals_var tv, off, rhs)
+            | Cin.Accumulate, false -> Imp.Store_add (vals_var tv, off, rhs)
+            | Cin.Accumulate, true ->
+                (* Round after every accumulation, as 32-bit storage would. *)
+                Imp.Store
+                  ( vals_var tv,
+                    off,
+                    Imp.Round_single (Imp.Binop (Imp.Add, Imp.Load (vals_var tv, off), rhs)) )
+          in
+          (* Workspace coordinate tracking during assembly (Fig. 8). *)
+          let wname = Tensor_var.name tv in
+          if ctx.track = Some wname then
+            [
+              Imp.If
+                ( Imp.Not (Imp.Load (seen_var wname, off)),
+                  [
+                    Imp.Store (seen_var wname, off, Imp.Bool_lit true);
+                    Imp.Store (list_var wname, Imp.Var (list_size_var wname), off);
+                    Imp.Assign
+                      (list_size_var wname, Imp.add (Imp.Var (list_size_var wname)) (Imp.Int_lit 1));
+                  ],
+                  [] );
+              store;
+            ]
+          else [ store ]
+        end
+        else
+          (* Compressed result. *)
+          match ctx.append with
+          | Some ap ->
+              let l =
+                match result_compressed_level tv with
+                | Some l when l >= 0 -> l
+                | Some _ | None -> fail "unsupported result format for append"
+              in
+              (if op = Cin.Accumulate then
+                 fail
+                   "cannot accumulate into a sparse result while appending; \
+                    apply the workspace transformation (precompute)");
+              let grow =
+                if ap.assemble then
+                  [
+                    Imp.If
+                      ( Imp.Binop (Imp.Ge, Imp.Var ap.counter, Imp.Var (crd_capacity_var tv l)),
+                        [
+                          Imp.Assign
+                            (crd_capacity_var tv l, Imp.mul (Imp.Var (crd_capacity_var tv l)) (Imp.Int_lit 2));
+                          Imp.Realloc (crd_var tv l, Imp.Var (crd_capacity_var tv l));
+                        ]
+                        @ (if ap.emit_values then
+                             [ Imp.Realloc (vals_var tv, Imp.Var (crd_capacity_var tv l)) ]
+                           else []),
+                        [] );
+                    Imp.Store (crd_var tv l, Imp.Var ap.counter, ap.coord);
+                  ]
+                else []
+              in
+              let value =
+                if ap.emit_values then [ Imp.Store (vals_var tv, Imp.Var ap.counter, rhs) ]
+                else []
+              in
+              grow @ value
+              @ [ Imp.Assign (ap.counter, Imp.add (Imp.Var ap.counter) (Imp.Int_lit 1)) ]
+          | None -> (
+              let pos = pos_at ctx lhs (Tensor_var.order tv - 1) in
+              match (op, single) with
+              | Cin.Assign, _ -> [ Imp.Store (vals_var tv, pos, rhs) ]
+              | Cin.Accumulate, false -> [ Imp.Store_add (vals_var tv, pos, rhs) ]
+              | Cin.Accumulate, true ->
+                  [
+                    Imp.Store
+                      ( vals_var tv,
+                        pos,
+                        Imp.Round_single
+                          (Imp.Binop (Imp.Add, Imp.Load (vals_var tv, pos), rhs)) );
+                  ])
+      in
+      main @ resets
+    in
+    (* --- forall lowering ------------------------------------------------ *)
+    let rec lower_stmt ctx = function
+      | Cin.Assignment { lhs; op; rhs } -> lower_assignment ctx lhs op rhs
+      | Cin.Forall (v, body) -> lower_forall ctx v body
+      | Cin.Where (c, p) -> lower_where ctx c p
+      | Cin.Sequence (a, b) -> lower_stmt ctx a @ lower_stmt ctx b
+    and lower_forall ctx v body =
+      let vname = Index_var.name v in
+      let body_accs = Util.dedup_stable (stmt_accesses body) in
+      (* Sparse iterators at v among the operands. *)
+      let sparse_iters =
+        List.filter
+          (fun (a : Cin.access) ->
+            (not (Tensor_var.equal a.tensor st.result)) && compressed_at a v)
+          body_accs
+      in
+      let result_acc =
+        List.find_opt (fun (a : Cin.access) -> Tensor_var.equal a.tensor st.result) body_accs
+      in
+      let result_level_at_v =
+        match result_acc with
+        | Some a when compressed_at a v -> level_of_var a v
+        | Some _ | None -> None
+      in
+      let bind_coord coord = (vname, coord) :: ctx.bound in
+      (* Lower a lattice-branch body: exhaust absent iterators, prune. *)
+      let branch ctx' present =
+        let absent =
+          List.filter
+            (fun (a : Cin.access) -> not (List.memq a present))
+            sparse_iters
+        in
+        let body' = List.fold_left (fun b a -> zero_access a b) body absent in
+        match prune body' with None -> [] | Some b -> lower_stmt ctx' b
+      in
+      (* Close a pending pos-finalize whose parent loop is v. *)
+      let closes () =
+        let mine, rest =
+          List.partition (fun (parent, _) -> parent = Some vname) st.pos_close
+        in
+        st.pos_close <- rest;
+        List.map snd mine
+      in
+      (* Create the append state for a compressed result driven by v. *)
+      let make_append (lhs_acc : Cin.access) coord =
+        let tv = lhs_acc.tensor in
+        let l =
+          match result_compressed_level tv with
+          | Some l when l >= 0 -> l
+          | Some _ -> fail "results with several compressed levels are not supported"
+          | None -> fail "internal: append into dense result"
+        in
+        (* Scatter check: an enclosing loop that is not a result index
+           would revisit positions (taco's unsupported case; fixed by the
+           workspace transformation). *)
+        List.iter
+          (fun (bv, _) ->
+            if not (List.exists (fun iv -> Index_var.name iv = bv) lhs_acc.indices) then
+              fail
+                "assignment into compressed result %s under loop %s scatters \
+                 into sparse storage; apply the workspace transformation \
+                 (precompute)"
+                (Tensor_var.name tv) bv)
+          ctx.bound;
+        let counter = append_counter_var tv l in
+        if not st.counter_declared then begin
+          st.counter_declared <- true;
+          push_top (Imp.Decl (Imp.Int, counter, Imp.Int_lit 0))
+        end;
+        (* Register the pos finalize in the parent loop. *)
+        let parent_key, parent_pos =
+          if l = 0 then (None, Imp.Int_lit 0)
+          else
+            let pv = var_at_level lhs_acc (l - 1) in
+            (Some (Index_var.name pv), pos_at ctx lhs_acc (l - 1))
+        in
+        if not (List.exists (fun (k, _) -> k = parent_key) st.pos_close) then
+          st.pos_close <-
+            ( parent_key,
+              Imp.Store (pos_var tv l, Imp.add parent_pos (Imp.Int_lit 1), Imp.Var counter) )
+            :: st.pos_close;
+        let assemble, emit_values =
+          match st.mode with
+          | Compute -> (false, true)
+          | Assemble { emit_values; _ } -> (true, emit_values)
+        in
+        { counter; assemble; emit_values; coord }
+      in
+      let iter_names =
+        List.map
+          (fun (a : Cin.access) ->
+            let l = Option.get (level_of_var a v) in
+            (a, l, Printf.sprintf "p%s%d" (Tensor_var.name a.Cin.tensor) (l + 1)))
+          sparse_iters
+      in
+      let pos_load (a, l, _) side =
+        let parent = pos_at ctx a (l - 1) in
+        let idx = if side = `Lo then parent else Imp.add parent (Imp.Int_lit 1) in
+        Imp.Load (pos_var a.Cin.tensor l, idx)
+      in
+      match iter_names with
+      | [] -> (
+          match result_level_at_v with
+          | Some l when l >= 0 -> (
+              let lhs_acc = Option.get result_acc in
+              match st.mode with
+              | Compute ->
+                  (* Result-index-driven loop (Fig. 1d consumer). *)
+                  let pvar = Printf.sprintf "p%s%d" (Tensor_var.name st.result) (l + 1) in
+                  let parent = pos_at ctx lhs_acc (l - 1) in
+                  let ctx' =
+                    {
+                      ctx with
+                      bound = bind_coord (Imp.Var vname);
+                      cpos = ((Tensor_var.name st.result, l), Imp.Var pvar) :: ctx.cpos;
+                    }
+                  in
+                  let inner = lower_stmt ctx' body in
+                  let cl = closes () in
+                  [
+                    Imp.For
+                      ( pvar,
+                        Imp.Load (pos_var st.result l, parent),
+                        Imp.Load (pos_var st.result l, Imp.add parent (Imp.Int_lit 1)),
+                        (Imp.Decl (Imp.Int, vname, Imp.Load (crd_var st.result l, Imp.Var pvar))
+                         :: inner)
+                        @ cl );
+                  ]
+              | Assemble { sorted; _ } -> (
+                  (* Workspace-coordinate-list-driven loop (Fig. 8). *)
+                  match ctx.wlist with
+                  | None ->
+                      fail
+                        "cannot assemble the index of %s from a dense expression \
+                         without a workspace; precompute into a workspace first"
+                        (Tensor_var.name st.result)
+                  | Some w ->
+                      let q = Printf.sprintf "p%s_list" w in
+                      let ap = make_append lhs_acc (Imp.Var vname) in
+                      let ctx' =
+                        { ctx with bound = bind_coord (Imp.Var vname); append = Some ap }
+                      in
+                      let inner = lower_stmt ctx' body in
+                      let cl = closes () in
+                      (if sorted then
+                         [ Imp.Sort (list_var w, Imp.Int_lit 0, Imp.Var (list_size_var w)) ]
+                       else [])
+                      @ [
+                          Imp.For
+                            ( q,
+                              Imp.Int_lit 0,
+                              Imp.Var (list_size_var w),
+                              (Imp.Decl (Imp.Int, vname, Imp.Load (list_var w, Imp.Var q))
+                               :: inner)
+                              @ cl );
+                        ]))
+          | Some _ | None -> (
+              (* Dense loop over the variable's range, optionally
+                 strip-mined. *)
+              let ctx' = { ctx with bound = bind_coord (Imp.Var vname) } in
+              let inner = lower_stmt ctx' body in
+              let cl = closes () in
+              match List.find_opt (fun (w, _) -> Index_var.equal w v) splits with
+              | None -> [ Imp.For (vname, Imp.Int_lit 0, range v, inner @ cl) ]
+              | Some (_, factor) when factor <= 0 ->
+                  fail "split factor for %s must be positive" vname
+              | Some (_, factor) ->
+                  let outer = vname ^ "_o" and inner_v = vname ^ "_i" in
+                  let n = range v in
+                  let trip =
+                    Imp.Binop
+                      (Imp.Div, Imp.add n (Imp.Int_lit (factor - 1)), Imp.Int_lit factor)
+                  in
+                  [
+                    Imp.For
+                      ( outer,
+                        Imp.Int_lit 0,
+                        trip,
+                        [
+                          Imp.For
+                            ( inner_v,
+                              Imp.Int_lit 0,
+                              Imp.Int_lit factor,
+                              [
+                                Imp.Decl
+                                  ( Imp.Int,
+                                    vname,
+                                    Imp.add
+                                      (Imp.mul (Imp.Var outer) (Imp.Int_lit factor))
+                                      (Imp.Var inner_v) );
+                                Imp.If (Imp.lt (Imp.Var vname) n, inner @ cl, []);
+                              ] );
+                        ] );
+                  ]))
+      | _ :: _ when List.exists (fun (w, _) -> Index_var.equal w v) splits ->
+          fail
+            "cannot strip-mine %s: it drives sparse iteration (only dense loops \
+             can be split)"
+            vname
+      | _ :: _ -> (
+          (* Coiteration: find the one assignment whose rhs merges them. *)
+          let lattice_expr =
+            let holding =
+              List.filter
+                (fun (_, _, rhs) ->
+                  let rhs_accs = expr_accesses rhs in
+                  List.exists
+                    (fun (a : Cin.access) ->
+                      List.exists
+                        (fun (b : Cin.access) -> Cin.equal_expr (Cin.Access a) (Cin.Access b))
+                        rhs_accs)
+                    sparse_iters)
+                (assignments body)
+            in
+            match holding with
+            | [ (_, _, rhs) ] -> rhs
+            | [] -> fail "internal: sparse iterators not found in any assignment"
+            | _ ->
+                fail
+                  "sparse operands of %s are merged across several assignments; \
+                   restructure the schedule (split_forall)"
+                  vname
+          in
+          let sparse_id (a : Cin.access) =
+            let rec idx i = function
+              | [] -> None
+              | (b, _, _) :: rest ->
+                  if Cin.equal_expr (Cin.Access a) (Cin.Access b) then Some i
+                  else idx (i + 1) rest
+            in
+            idx 0 iter_names
+          in
+          let lattice = Merge_lattice.build ~sparse_id lattice_expr in
+          let nth_iter i = List.nth iter_names i in
+          let point_accs p = List.map (fun i -> let a, _, _ = nth_iter i in a) p in
+          let pos_decls =
+            List.map (fun it -> let _, _, pv = it in Imp.Decl (Imp.Int, pv, pos_load it `Lo)) iter_names
+          in
+          let in_bounds it = Imp.lt (Imp.Var (let _, _, pv = it in pv)) (pos_load it `Hi) in
+          let coord_of it =
+            let a, l, pv = it in
+            Imp.Load (crd_var a.Cin.tensor l, Imp.Var pv)
+          in
+          let ctx_for point coord_expr append =
+            let cpos =
+              List.fold_left
+                (fun cp i ->
+                  let a, l, pv = nth_iter i in
+                  ((Tensor_var.name a.Cin.tensor, l), Imp.Var pv) :: cp)
+                ctx.cpos point
+            in
+            { ctx with bound = bind_coord coord_expr; cpos; append }
+          in
+          if lattice.needs_full then begin
+            match (result_level_at_v, st.mode) with
+            | Some _, Assemble _ ->
+                fail
+                  "cannot assemble a compressed result from an expression with \
+                   a dense term; use a dense result or a workspace"
+            | Some l, Compute ->
+                (* Result-driven loop with tracked sparse operands. *)
+                let lhs_acc = Option.get result_acc in
+                let pvar = Printf.sprintf "p%s%d" (Tensor_var.name st.result) (l + 1) in
+                let parent = pos_at ctx lhs_acc (l - 1) in
+                let advances =
+                  List.map
+                    (fun it ->
+                      let _, _, pv = it in
+                      Imp.While
+                        ( Imp.and_ (in_bounds it) (Imp.lt (coord_of it) (Imp.Var vname)),
+                          [ Imp.Assign (pv, Imp.add (Imp.Var pv) (Imp.Int_lit 1)) ] ))
+                    iter_names
+                in
+                let match_flag it = Imp.and_ (in_bounds it) (Imp.eq (coord_of it) (Imp.Var vname)) in
+                let with_result_pos c =
+                  { c with cpos = ((Tensor_var.name st.result, l), Imp.Var pvar) :: c.cpos }
+                in
+                let chain =
+                  let rec chain_of = function
+                    | [] -> branch (with_result_pos (ctx_for [] (Imp.Var vname) None)) []
+                    | p :: rest ->
+                        let cond = Imp.and_list (List.map (fun i -> match_flag (nth_iter i)) p) in
+                        let ctxp = with_result_pos (ctx_for p (Imp.Var vname) None) in
+                        let body_p = branch ctxp (point_accs p) in
+                        [ Imp.If (cond, body_p, chain_of rest) ]
+                  in
+                  chain_of lattice.points
+                in
+                let cl = closes () in
+                pos_decls
+                @ [
+                    Imp.For
+                      ( pvar,
+                        Imp.Load (pos_var st.result l, parent),
+                        Imp.Load (pos_var st.result l, Imp.add parent (Imp.Int_lit 1)),
+                        (Imp.Decl (Imp.Int, vname, Imp.Load (crd_var st.result l, Imp.Var pvar))
+                         :: advances)
+                        @ chain @ cl );
+                  ]
+            | None, _ ->
+                (* Dense loop with conditional advancement of the sparse
+                   operands. *)
+                let flag_name it = let a, _, _ = it in Printf.sprintf "%s%s_match" vname (Tensor_var.name a.Cin.tensor) in
+                let flags =
+                  List.map
+                    (fun it ->
+                      Imp.Decl
+                        ( Imp.Bool,
+                          flag_name it,
+                          Imp.and_ (in_bounds it) (Imp.eq (coord_of it) (Imp.Var vname)) ))
+                    iter_names
+                in
+                let rec chain_of = function
+                  | [] -> branch (ctx_for [] (Imp.Var vname) ctx.append) []
+                  | p :: rest ->
+                      let cond =
+                        Imp.and_list (List.map (fun i -> Imp.Var (flag_name (nth_iter i))) p)
+                      in
+                      let body_p = branch (ctx_for p (Imp.Var vname) ctx.append) (point_accs p) in
+                      [ Imp.If (cond, body_p, chain_of rest) ]
+                in
+                let advances =
+                  List.map
+                    (fun it ->
+                      let _, _, pv = it in
+                      Imp.If
+                        ( Imp.Var (flag_name it),
+                          [ Imp.Assign (pv, Imp.add (Imp.Var pv) (Imp.Int_lit 1)) ],
+                          [] ))
+                    iter_names
+                in
+                let chain = chain_of lattice.points in
+                let cl = closes () in
+                pos_decls
+                @ [ Imp.For (vname, Imp.Int_lit 0, range v, flags @ chain @ advances @ cl) ]
+          end
+          else begin
+            (* Sparse-driven merge loops, one per lattice point. *)
+            let append =
+              match result_level_at_v with
+              | Some _ ->
+                  let lhs_acc = Option.get result_acc in
+                  Some (make_append lhs_acc (Imp.Var vname))
+              | None -> ctx.append
+            in
+            let loop_for_point p =
+              let its = List.map nth_iter p in
+              match (lattice.points, its) with
+              | [ _ ], [ it ] ->
+                  (* Single sparse operand: a plain positional for loop. *)
+                  let a, l, pv = it in
+                  let ctx' = ctx_for p (Imp.Var vname) append in
+                  [
+                    Imp.For
+                      ( pv,
+                        pos_load it `Lo,
+                        pos_load it `Hi,
+                        Imp.Decl (Imp.Int, vname, Imp.Load (crd_var a.Cin.tensor l, Imp.Var pv))
+                        :: branch ctx' (point_accs p) );
+                  ]
+              | _ ->
+                  let cvar it = let a, _, _ = it in vname ^ Tensor_var.name a.Cin.tensor in
+                  let cdecls = List.map (fun it -> Imp.Decl (Imp.Int, cvar it, coord_of it)) its in
+                  let vdecl =
+                    Imp.Decl (Imp.Int, vname, Imp.min_list (List.map (fun it -> Imp.Var (cvar it)) its))
+                  in
+                  let rec chain_of = function
+                    | [] -> []
+                    | q :: rest ->
+                        let cond =
+                          Imp.and_list
+                            (List.map
+                               (fun i ->
+                                 let it = nth_iter i in
+                                 Imp.eq (Imp.Var (cvar it)) (Imp.Var vname))
+                               q)
+                        in
+                        let ctxq = ctx_for q (Imp.Var vname) append in
+                        [ Imp.If (cond, branch ctxq (point_accs q), chain_of rest) ]
+                  in
+                  let subs = Merge_lattice.sub_points lattice p in
+                  let advances =
+                    List.map
+                      (fun it ->
+                        let _, _, pv = it in
+                        Imp.If
+                          ( Imp.eq (Imp.Var (cvar it)) (Imp.Var vname),
+                            [ Imp.Assign (pv, Imp.add (Imp.Var pv) (Imp.Int_lit 1)) ],
+                            [] ))
+                      its
+                  in
+                  [
+                    Imp.While
+                      ( Imp.and_list (List.map in_bounds its),
+                        cdecls @ [ vdecl ] @ chain_of subs @ advances );
+                  ]
+            in
+            let loops = List.concat_map loop_for_point lattice.points in
+            let cl = closes () in
+            let inject = function
+              | Imp.For (x, lo, hi, body) -> Imp.For (x, lo, hi, body @ cl)
+              | Imp.While (c, body) -> Imp.While (c, body @ cl)
+              | s -> s
+            in
+            (* The single-operand for loop declares its own position. *)
+            let simple_for =
+              match (lattice.points, iter_names) with [ _ ], [ _ ] -> true | _ -> false
+            in
+            (if simple_for then [] else pos_decls)
+            @ (if cl = [] then loops else List.map inject loops)
+          end)
+    and lower_where ctx c p =
+      (* A workspace belongs to the innermost where whose producer writes
+         it; skip workspaces owned by a where nested inside [p]. *)
+      let rec owned_by_nested tv = function
+        | Cin.Assignment _ -> false
+        | Cin.Forall (_, s) -> owned_by_nested tv s
+        | Cin.Where (c', p') ->
+            List.exists (Tensor_var.equal tv) (Cin.tensors_written p')
+            || owned_by_nested tv c'
+        | Cin.Sequence (a, b) -> owned_by_nested tv a || owned_by_nested tv b
+      in
+      let workspaces =
+        List.filter
+          (fun tv -> Tensor_var.is_workspace tv && not (owned_by_nested tv p))
+          (Cin.tensors_written p)
+      in
+      let consumer_input_accesses =
+        List.filter
+          (fun (a : Cin.access) ->
+            (not (Tensor_var.is_workspace a.tensor))
+            && not (Tensor_var.equal a.tensor st.result))
+          (rhs_accesses c)
+      in
+      let prelude = ref [] in
+      let emit s = prelude := !prelude @ [ s ] in
+      let track = ref ctx.track and wlist = ref ctx.wlist in
+      List.iter
+        (fun w ->
+          let wname = Tensor_var.name w in
+          if Tensor_var.order w = 0 then begin
+            if not (List.mem wname st.allocated) then begin
+              st.allocated <- wname :: st.allocated;
+              push_top (Imp.Decl (Imp.Float, scalar_var w, Imp.Float_lit 0.))
+            end;
+            emit (Imp.Assign (scalar_var w, Imp.Float_lit 0.))
+          end
+          else begin
+            let dims =
+              match Hashtbl.find_opt st.ws_dims wname with
+              | Some d -> d
+              | None -> fail "internal: workspace %s has no inferred dimensions" wname
+            in
+            let size = dims_product w (Tensor_var.order w) in
+            if not (List.mem wname st.allocated) then begin
+              st.allocated <- wname :: st.allocated;
+              List.iteri
+                (fun l d -> push_top (Imp.Decl (Imp.Int, dimension_var w l, d)))
+                dims;
+              push_top (Imp.Alloc (Imp.Float, vals_var w, size))
+            end;
+            (* The workspace's producer access (for its index variables). *)
+            let w_vars =
+              match
+                List.find_opt
+                  (fun (a : Cin.access) -> Tensor_var.equal a.tensor w)
+                  (stmt_accesses p)
+              with
+              | Some a -> a.indices
+              | None -> []
+            in
+            (* Covered: the consumer visits every workspace position the
+               producer wrote (it copies into the result's index or loops
+               densely), so the memset hoists to the kernel top and the
+               consumer restores zeros after reading (Fig. 5b). Otherwise
+               the workspace is re-zeroed here, inside the enclosing loops
+               (Fig. 10). *)
+            let covered =
+              not
+                (List.exists
+                   (fun (a : Cin.access) ->
+                     List.exists (fun v -> compressed_at a v) w_vars)
+                   consumer_input_accesses)
+            in
+            if covered then begin
+              if not (List.mem wname st.reset_on_read) then begin
+                st.reset_on_read <- wname :: st.reset_on_read;
+                push_top (Imp.Memset (vals_var w, size))
+              end
+            end
+            else emit (Imp.Memset (vals_var w, size));
+            (* Coordinate tracking for assembly: the consumer copies this
+               workspace into the compressed result. *)
+            (match st.mode with
+            | Assemble _ ->
+                let consumer_copies =
+                  List.exists
+                    (fun ((lhs : Cin.access), _, rhs) ->
+                      Tensor_var.equal lhs.tensor st.result
+                      && (not (F.is_all_dense (Tensor_var.format st.result)))
+                      && List.exists
+                           (fun (a : Cin.access) -> Tensor_var.equal a.tensor w)
+                           (expr_accesses rhs))
+                    (assignments c)
+                in
+                if consumer_copies then begin
+                  if Tensor_var.order w <> 1 then
+                    fail "assembly tracking supports order-1 workspaces only";
+                  if not (List.mem wname st.has_seen) then begin
+                    st.has_seen <- wname :: st.has_seen;
+                    let dim = List.hd dims in
+                    push_top (Imp.Alloc (Imp.Bool, seen_var wname, dim));
+                    push_top (Imp.Alloc (Imp.Int, list_var wname, dim));
+                    push_top (Imp.Decl (Imp.Int, list_size_var wname, Imp.Int_lit 0))
+                  end;
+                  emit (Imp.Assign (list_size_var wname, Imp.Int_lit 0));
+                  track := Some wname;
+                  wlist := Some wname
+                end
+            | Compute -> ())
+          end)
+        workspaces;
+      let stmts_p = lower_stmt { ctx with track = !track } p in
+      let stmts_c = lower_stmt { ctx with wlist = !wlist } c in
+      !prelude @ stmts_p @ stmts_c
+    in
+    let ctx0 = { bound = []; cpos = []; append = None; track = None; wlist = None } in
+    let body = lower_stmt ctx0 stmt in
+    (* Kernel prelude for the result. *)
+    let result_prelude =
+      if F.is_all_dense (Tensor_var.format result) then
+        if Tensor_var.order result = 0 then []
+        else [ Imp.Memset (vals_var result, dims_product result (Tensor_var.order result)) ]
+      else
+        match st.mode with
+        | Compute -> []
+        | Assemble { emit_values; _ } -> (
+            match result_compressed_level result with
+            | Some l when l >= 0 ->
+                let parent_size =
+                  let rec go lvl acc =
+                    if lvl >= l then acc
+                    else go (lvl + 1) (Imp.mul acc (Imp.Var (dimension_var result lvl)))
+                  in
+                  go 0 (Imp.Int_lit 1)
+                in
+                [
+                  Imp.Alloc (Imp.Int, pos_var result l, Imp.add parent_size (Imp.Int_lit 1));
+                  Imp.Store (pos_var result l, Imp.Int_lit 0, Imp.Int_lit 0);
+                  Imp.Decl (Imp.Int, crd_capacity_var result l, Imp.Int_lit initial_capacity);
+                  Imp.Alloc (Imp.Int, crd_var result l, Imp.Var (crd_capacity_var result l));
+                ]
+                @
+                if emit_values then
+                  [ Imp.Alloc (Imp.Float, vals_var result, Imp.Var (crd_capacity_var result l)) ]
+                else []
+            | Some _ -> fail "results with several compressed levels cannot be assembled"
+            | None -> fail "internal: compressed result without compressed level")
+    in
+    (* Pending pos closes at the root (sparse vector results). *)
+    let root_closes =
+      let mine, rest = List.partition (fun (parent, _) -> parent = None) st.pos_close in
+      st.pos_close <- rest;
+      List.map snd mine
+    in
+    if st.pos_close <> [] then fail "internal: unplaced pos finalization";
+    (* When the parent loop is itself sparse (e.g. the row loop iterates a
+       compressed operand mode), rows absent from the operand are never
+       visited and their pos entries stay zero; a monotonic fix-up sweep
+       closes them. *)
+    let pos_fixup =
+      match (st.mode, result_compressed_level result) with
+      | Assemble _, Some l when l > 0 && st.counter_declared ->
+          let parent_size =
+            let rec go lvl acc =
+              if lvl >= l then acc
+              else go (lvl + 1) (Imp.mul acc (Imp.Var (dimension_var result lvl)))
+            in
+            go 0 (Imp.Int_lit 1)
+          in
+          [
+            Imp.For
+              ( "pfix",
+                Imp.Int_lit 0,
+                parent_size,
+                [
+                  Imp.If
+                    ( Imp.lt
+                        (Imp.Load (pos_var result l, Imp.add (Imp.Var "pfix") (Imp.Int_lit 1)))
+                        (Imp.Load (pos_var result l, Imp.Var "pfix")),
+                      [
+                        Imp.Store
+                          ( pos_var result l,
+                            Imp.add (Imp.Var "pfix") (Imp.Int_lit 1),
+                            Imp.Load (pos_var result l, Imp.Var "pfix") );
+                      ],
+                      [] );
+                ] );
+          ]
+      | (Assemble _ | Compute), _ -> []
+    in
+    let root_closes = root_closes @ pos_fixup in
+    (* Parameters. *)
+    let params_of_tensor tv ~output =
+      let fmt = Tensor_var.format tv in
+      let order = Tensor_var.order tv in
+      let assembled_result =
+        output && (match st.mode with Assemble _ -> true | Compute -> false)
+        && not (F.is_all_dense fmt)
+      in
+      let level_params =
+        List.concat
+          (List.init order (fun l ->
+               let dim =
+                 { Imp.p_name = dimension_var tv l; p_dtype = Imp.Int; p_array = false; p_output = false }
+               in
+               match F.level fmt l with
+               | L.Dense -> [ dim ]
+               | L.Compressed ->
+                   if assembled_result then [ dim ]
+                   else
+                     [
+                       dim;
+                       { Imp.p_name = pos_var tv l; p_dtype = Imp.Int; p_array = true; p_output = output };
+                       { Imp.p_name = crd_var tv l; p_dtype = Imp.Int; p_array = true; p_output = output };
+                     ]))
+      in
+      let vals =
+        if assembled_result then []
+        else [ { Imp.p_name = vals_var tv; p_dtype = Imp.Float; p_array = true; p_output = output } ]
+      in
+      level_params @ vals
+    in
+    let params =
+      params_of_tensor result ~output:true
+      @ List.concat_map (fun tv -> params_of_tensor tv ~output:false) inputs
+    in
+    let kernel =
+      { Imp.k_name = name; k_params = params; k_body = result_prelude @ st.top @ body @ root_closes }
+    in
+    (match Imp.check kernel with
+    | Ok () -> ()
+    | Error e -> fail "internal: generated kernel fails the check: %s" e);
+    { kernel; inputs; result; mode }
+  in
+  match build () with
+  | info -> Ok info
+  | exception Lower_error msg -> Error msg

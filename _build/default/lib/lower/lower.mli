@@ -1,0 +1,79 @@
+(** Lowering concrete index notation to imperative sparse code (paper §VI).
+
+    Forall statements become loops over the tensor modes their variable
+    indexes: dense loops, single sparse loops, coiterating merge loops
+    (driven by {!Merge_lattice}), result-index-driven loops, or
+    workspace-coordinate-list loops. Where statements lower to producer
+    code followed by consumer code, with workspace allocation, memset
+    hoisting (when the consumer covers every written position, the memset
+    moves to the kernel top and the consumer restores zeros after
+    reading — compare the paper's Fig. 5b and Fig. 10), and, during
+    assembly, the coordinate-list/guard-array tracking of Fig. 8.
+
+    Three kernel modes:
+    - [Compute]: result indices pre-assembled (Fig. 1d, 5b, 9, 10);
+    - [Assemble ~emit_values:false]: assemble result [pos]/[crd] only
+      (Fig. 8);
+    - [Assemble ~emit_values:true]: fused assembly and compute.
+
+    Reproduced taco limitation, by design: lowering an incrementing
+    assignment that scatters into a compressed result (an enclosing
+    reduction loop) fails with an error directing the user to the
+    workspace transformation — this is the kernel class the paper's
+    transformation newly enables. *)
+
+open Taco_ir.Var
+
+type mode =
+  | Compute
+  | Assemble of { emit_values : bool; sorted : bool }
+
+type kernel_info = {
+  kernel : Imp.kernel;
+  inputs : Tensor_var.t list;  (** operand tensors, in parameter order *)
+  result : Tensor_var.t;
+  mode : mode;
+}
+
+(** [lower ?name ?splits ~mode stmt] — [stmt] must be validated concrete
+    index notation with exactly one non-workspace result tensor.
+
+    [splits] strip-mines the named index variables by the given factors
+    (the loop-splitting the paper's conclusion proposes growing concrete
+    index notation towards): a dense loop [for v in 0..n) becomes
+    [for v_o in 0..ceil(n/f)) for v_i in 0..f) { v = v_o*f + v_i; if (v < n) ... }].
+    Only loops that lower densely can be strip-mined; a split on a
+    variable that drives sparse iteration is an error. *)
+val lower :
+  ?name:string ->
+  ?splits:(Taco_ir.Var.Index_var.t * int) list ->
+  ?single_precision:Tensor_var.t list ->
+  mode:mode ->
+  Taco_ir.Cin.stmt ->
+  (kernel_info, string) result
+
+(** [single_precision] lists tensors (typically workspaces) whose stored
+    values are rounded to IEEE single precision on every write — the
+    mixed-precision facility of paper §III (e.g. accumulate a single
+    precision product stream in a double workspace, or vice versa).
+    Storage stays 64-bit; only the value range is narrowed, which is what
+    determines the numerics. *)
+
+(** {2 Parameter naming conventions}
+
+    For a tensor [T] with storage levels 1-based:
+    - every level has an [T<l>_dimension] int parameter;
+    - compressed levels add [T<l>_pos] and [T<l>_crd] int arrays;
+    - values live in [T_vals].
+
+    In [Assemble] mode the result's [pos]/[crd]/[vals] arrays are
+    allocated inside the kernel and read back by name; its dimensions
+    remain parameters. *)
+
+val dimension_var : Tensor_var.t -> int -> string
+
+val pos_var : Tensor_var.t -> int -> string
+
+val crd_var : Tensor_var.t -> int -> string
+
+val vals_var : Tensor_var.t -> string

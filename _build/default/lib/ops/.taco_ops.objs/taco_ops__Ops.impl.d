@@ -1,0 +1,1 @@
+lib/ops/ops.ml: Array Hashtbl Index_var List Printf Result String Taco Taco_ir Taco_tensor Tensor_var

@@ -1,0 +1,1 @@
+lib/ops/ops.mli: Taco_tensor

@@ -1,0 +1,1 @@
+lib/support/dyn_array.ml: Array

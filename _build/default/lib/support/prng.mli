@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every random workload in the repository (synthetic matrices, tensors,
+    qcheck-independent fuzzing) draws from an explicitly seeded [t] so that
+    tests and benchmarks are reproducible run to run. *)
+
+type t
+
+val create : int -> t
+
+(** Raw next value, full 64-bit state advance. *)
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t p] is true with probability [p]. *)
+val bool : t -> float -> bool
+
+(** Fisher-Yates shuffle of a prefix-free array, in place. *)
+val shuffle : t -> 'a array -> unit
+
+(** [sample_without_replacement t ~n ~k] draws [k] distinct values from
+    [0, n) in increasing order. Requires [k <= n]. Uses Floyd's algorithm,
+    O(k) expected time and memory. *)
+val sample_without_replacement : t -> n:int -> k:int -> int array
+
+(** [split t] derives an independent generator; advancing one does not
+    affect the other. *)
+val split : t -> t

@@ -1,0 +1,37 @@
+(** Assorted helpers shared across the compiler and the tensor substrate. *)
+
+(** [binary_search a lo hi x] returns the position of [x] in the sorted
+    slice [a.(lo) .. a.(hi-1)], or [None] when absent. *)
+val binary_search : int array -> int -> int -> int -> int option
+
+(** [lower_bound a lo hi x] is the first position in the sorted slice at
+    which [x] could be inserted while keeping it sorted. *)
+val lower_bound : int array -> int -> int -> int -> int
+
+(** Sort [keys.(lo) .. keys.(hi-1)] in increasing order, permuting the
+    corresponding slice of [payload] in lock step. *)
+val sort_paired : int array -> float array -> int -> int -> unit
+
+(** Timing helper: wall-clock seconds spent in the thunk. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** [median xs] of a non-empty list. *)
+val median : float list -> float
+
+(** Least element of a non-empty list under [compare]. *)
+val min_float_list : float list -> float
+
+(** [string_of_list f sep xs]. *)
+val string_of_list : ('a -> string) -> string -> 'a list -> string
+
+(** [list_index_of x xs] is the position of the first occurrence. *)
+val list_index_of : 'a -> 'a list -> int option
+
+(** Deduplicate while preserving first-occurrence order. *)
+val dedup_stable : 'a list -> 'a list
+
+(** All subsets of a list, each subset preserving element order. *)
+val subsets : 'a list -> 'a list list
+
+(** Round [x] to [digits] decimal digits (for stable printed output). *)
+val round_to : int -> float -> float

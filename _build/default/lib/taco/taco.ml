@@ -1,0 +1,191 @@
+module Format = Taco_tensor.Format
+module Level = Taco_tensor.Level
+module Dense = Taco_tensor.Dense
+module Coo = Taco_tensor.Coo
+module Tensor = Taco_tensor.Tensor
+module Gen = Taco_tensor.Gen
+module Suite = Taco_tensor.Suite
+module Io = Taco_tensor.Io
+module Index_var = Taco_ir.Var.Index_var
+module Tensor_var = Taco_ir.Var.Tensor_var
+module Index_notation = Taco_ir.Index_notation
+module Cin = Taco_ir.Cin
+module Cin_eval = Taco_ir.Cin_eval
+module Concretize = Taco_ir.Concretize
+module Reorder = Taco_ir.Reorder
+module Workspace = Taco_ir.Workspace
+module Heuristics = Taco_ir.Heuristics
+module Schedule = Taco_ir.Schedule
+module Autoschedule = Taco_ir.Autoschedule
+module Imp = Taco_lower.Imp
+module Merge_lattice = Taco_lower.Merge_lattice
+module Lower = Taco_lower.Lower
+module Codegen_c = Taco_lower.Codegen_c
+module Compile = Taco_exec.Compile
+module Kernel = Taco_exec.Kernel
+module Parallel = Taco_exec.Parallel
+
+let ivar = Index_var.make
+
+let tensor name fmt = Tensor_var.make name ~order:(Format.order fmt) ~format:fmt
+
+let workspace name fmt = Tensor_var.workspace name ~order:(Format.order fmt) ~format:fmt
+
+type compiled = { sched : Schedule.t; kern : Kernel.t }
+
+let default_mode stmt =
+  match
+    List.find_opt
+      (fun tv -> not (Tensor_var.is_workspace tv))
+      (Cin.tensors_written stmt)
+  with
+  | Some result when not (Format.is_all_dense (Tensor_var.format result)) ->
+      Lower.Assemble { emit_values = true; sorted = true }
+  | Some _ | None -> Lower.Compute
+
+let compile ?(name = "kernel") ?mode ?splits sched =
+  let stmt = Schedule.stmt sched in
+  let mode = match mode with Some m -> m | None -> default_mode stmt in
+  match Lower.lower ~name ?splits ~mode stmt with
+  | Error e -> Error e
+  | Ok info -> Ok { sched; kern = Kernel.prepare info }
+
+let kernel c = c.kern
+
+let c_source c = Kernel.c_source c.kern
+
+let cin_string c = Cin.to_string (Schedule.stmt c.sched)
+
+let infer_result_dims stmt ~inputs =
+  let rec accesses = function
+    | Cin.Assignment { lhs; rhs; _ } ->
+        let rec e_acc = function
+          | Cin.Literal _ -> []
+          | Cin.Access a -> [ a ]
+          | Cin.Neg e -> e_acc e
+          | Cin.Add (a, b) | Cin.Sub (a, b) | Cin.Mul (a, b) | Cin.Div (a, b) ->
+              e_acc a @ e_acc b
+        in
+        lhs :: e_acc rhs
+    | Cin.Forall (_, s) -> accesses s
+    | Cin.Where (c, p) -> accesses c @ accesses p
+    | Cin.Sequence (a, b) -> accesses a @ accesses b
+  in
+  let ranges : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Cin.access) ->
+      match List.find_opt (fun (tv, _) -> Tensor_var.equal tv a.tensor) inputs with
+      | None -> ()
+      | Some (_, t) ->
+          let dims = Tensor.dims t in
+          List.iteri
+            (fun m v -> Hashtbl.replace ranges (Index_var.name v) dims.(m))
+            a.indices)
+    (accesses stmt);
+  (* Propagate ranges through workspace modes: the consumer and producer
+     may index the same workspace with different (renamed) variables,
+     e.g. w(jc) and w(jp) after a precompute with renaming triplets. *)
+  for _pass = 1 to 2 do
+    let ws_mode_range : (string * int, int) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (a : Cin.access) ->
+        if Tensor_var.is_workspace a.tensor then
+          List.iteri
+            (fun m v ->
+              match Hashtbl.find_opt ranges (Index_var.name v) with
+              | Some r -> Hashtbl.replace ws_mode_range (Tensor_var.name a.tensor, m) r
+              | None -> ())
+            a.indices)
+      (accesses stmt);
+    List.iter
+      (fun (a : Cin.access) ->
+        if Tensor_var.is_workspace a.tensor then
+          List.iteri
+            (fun m v ->
+              if not (Hashtbl.mem ranges (Index_var.name v)) then
+                match Hashtbl.find_opt ws_mode_range (Tensor_var.name a.tensor, m) with
+                | Some r -> Hashtbl.replace ranges (Index_var.name v) r
+                | None -> ())
+            a.indices)
+      (accesses stmt)
+  done;
+  match
+    List.find_opt
+      (fun tv -> not (Tensor_var.is_workspace tv))
+      (Cin.tensors_written stmt)
+  with
+  | None -> Error "the statement writes no result tensor"
+  | Some result -> (
+      let lhs =
+        List.find_opt
+          (fun (a : Cin.access) -> Tensor_var.equal a.tensor result)
+          (accesses stmt)
+      in
+      match lhs with
+      | None -> Error "internal: result access not found"
+      | Some a -> (
+          let dims =
+            List.map
+              (fun v -> Hashtbl.find_opt ranges (Index_var.name v))
+              a.indices
+          in
+          if List.for_all Option.is_some dims then
+            Ok (Array.of_list (List.map Option.get dims))
+          else
+            Error
+              "cannot infer the result's dimensions from the inputs (a result \
+               index variable indexes no input)"))
+
+let run c ~inputs =
+  let stmt = Schedule.stmt c.sched in
+  match infer_result_dims stmt ~inputs with
+  | Error e -> Error e
+  | Ok dims -> (
+      let info = Kernel.info c.kern in
+      match info.Lower.mode with
+      | Lower.Assemble _ -> (
+          match Kernel.run_assemble c.kern ~inputs ~dims with
+          | t -> Ok t
+          | exception Invalid_argument e -> Error e)
+      | Lower.Compute ->
+          if Format.is_all_dense (Tensor_var.format info.Lower.result) then (
+            match Kernel.run_dense c.kern ~inputs ~dims with
+            | t -> Ok t
+            | exception Invalid_argument e -> Error e)
+          else
+            Error
+              "compute-mode kernels with compressed results need a \
+               pre-assembled output; use run_with_output")
+
+let run_with_output c ~inputs ~output =
+  match Kernel.run_compute c.kern ~inputs ~output with
+  | () -> Ok ()
+  | exception Invalid_argument e -> Error e
+
+let auto_compile ?(name = "kernel") ?mode sched =
+  let stmt = Schedule.stmt sched in
+  let mode = match mode with Some m -> m | None -> default_mode stmt in
+  let lowerable s = Result.map (fun (_ : Lower.kernel_info) -> ()) (Lower.lower ~name ~mode s) in
+  match Autoschedule.run ~lowerable stmt with
+  | Error e -> Error e
+  | Ok (stmt', steps) -> (
+      match Lower.lower ~name ~mode stmt' with
+      | Error e -> Error e
+      | Ok info ->
+          Ok ({ sched = Schedule.of_stmt stmt'; kern = Kernel.prepare info }, steps))
+
+let auto_einsum stmt ~inputs =
+  match Schedule.of_index_notation stmt with
+  | Error e -> Error e
+  | Ok sched -> (
+      match auto_compile sched with
+      | Error e -> Error e
+      | Ok (c, _) -> run c ~inputs)
+
+let einsum stmt ~inputs =
+  match Schedule.of_index_notation stmt with
+  | Error e -> Error e
+  | Ok sched -> (
+      match compile sched with
+      | Error e -> Error e
+      | Ok c -> run c ~inputs)

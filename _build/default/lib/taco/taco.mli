@@ -1,0 +1,102 @@
+(** The user-facing API, mirroring the paper's Fig. 2 C++ snippet: declare
+    tensor and index variables, write an index notation statement,
+    schedule it with [reorder]/[precompute], then compile and run.
+
+    Re-exported submodules give access to every layer (formats, tensors,
+    IRs, lowering, execution) for advanced use. *)
+
+module Format = Taco_tensor.Format
+module Level = Taco_tensor.Level
+module Dense = Taco_tensor.Dense
+module Coo = Taco_tensor.Coo
+module Tensor = Taco_tensor.Tensor
+module Gen = Taco_tensor.Gen
+module Suite = Taco_tensor.Suite
+module Io = Taco_tensor.Io
+module Index_var = Taco_ir.Var.Index_var
+module Tensor_var = Taco_ir.Var.Tensor_var
+module Index_notation = Taco_ir.Index_notation
+module Cin = Taco_ir.Cin
+module Cin_eval = Taco_ir.Cin_eval
+module Concretize = Taco_ir.Concretize
+module Reorder = Taco_ir.Reorder
+module Workspace = Taco_ir.Workspace
+module Heuristics = Taco_ir.Heuristics
+module Schedule = Taco_ir.Schedule
+module Autoschedule = Taco_ir.Autoschedule
+module Imp = Taco_lower.Imp
+module Merge_lattice = Taco_lower.Merge_lattice
+module Lower = Taco_lower.Lower
+module Codegen_c = Taco_lower.Codegen_c
+module Compile = Taco_exec.Compile
+module Kernel = Taco_exec.Kernel
+module Parallel = Taco_exec.Parallel
+
+(** {2 Declarations} *)
+
+(** [ivar "i"] declares an index variable. *)
+val ivar : string -> Index_var.t
+
+(** [tensor "A" Format.csr] declares a tensor variable (order from the
+    format). *)
+val tensor : string -> Format.t -> Tensor_var.t
+
+(** [workspace "w" Format.dense_vector] declares a workspace tensor. *)
+val workspace : string -> Format.t -> Tensor_var.t
+
+(** {2 Pipeline} *)
+
+(** A compiled statement: a prepared kernel plus its schedule. *)
+type compiled
+
+(** [compile ?name ?mode ?splits sched] lowers and compiles. Default
+    mode: fused assemble-and-compute for compressed results (sorted),
+    compute for dense results. [splits] strip-mines dense loops (see
+    {!Lower.lower}). *)
+val compile :
+  ?name:string ->
+  ?mode:Lower.mode ->
+  ?splits:(Index_var.t * int) list ->
+  Schedule.t ->
+  (compiled, string) result
+
+val kernel : compiled -> Kernel.t
+
+(** The generated C source (paper-style, for inspection). *)
+val c_source : compiled -> string
+
+(** Concrete index notation of the compiled schedule, pretty-printed. *)
+val cin_string : compiled -> string
+
+(** [run compiled ~inputs] executes; result dimensions are inferred from
+    the input tensors' dimensions. For compressed results the kernel must
+    have been compiled in an [Assemble] mode (the default). *)
+val run : compiled -> inputs:(Tensor_var.t * Tensor.t) list -> (Tensor.t, string) result
+
+(** [run_with_output compiled ~inputs ~output] for [Compute]-mode kernels
+    with pre-assembled sparse outputs; the output's values are written in
+    place. *)
+val run_with_output :
+  compiled -> inputs:(Tensor_var.t * Tensor.t) list -> output:Tensor.t -> (unit, string) result
+
+(** One-shot convenience: parse nothing, schedule nothing — concretize,
+    compile and run an index notation statement. *)
+val einsum :
+  Index_notation.t -> inputs:(Tensor_var.t * Tensor.t) list -> (Tensor.t, string) result
+
+(** Like {!compile} but drives the statement to a lowerable form first
+    with the {!Autoschedule} policy (reorders + workspace heuristics),
+    returning the compiled kernel and the scheduling steps taken. This is
+    the "policy system built on top of the scheduling API" the paper
+    leaves as future work. *)
+val auto_compile :
+  ?name:string -> ?mode:Lower.mode -> Schedule.t -> (compiled * Autoschedule.step list, string) result
+
+(** {!einsum} with autoscheduling: handles statements (like sparse matrix
+    multiplication) that plain einsum rejects. *)
+val auto_einsum :
+  Index_notation.t -> inputs:(Tensor_var.t * Tensor.t) list -> (Tensor.t, string) result
+
+(** Infer the result's dimensions from the statement and input tensors. *)
+val infer_result_dims :
+  Cin.stmt -> inputs:(Tensor_var.t * Tensor.t) list -> (int array, string) result

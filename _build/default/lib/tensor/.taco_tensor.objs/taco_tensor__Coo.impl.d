@@ -1,0 +1,1 @@
+lib/tensor/coo.ml: Array Dense Fun List Taco_support

@@ -1,0 +1,1 @@
+lib/tensor/coo.mli: Dense

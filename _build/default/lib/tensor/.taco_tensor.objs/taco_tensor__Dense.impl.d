@@ -1,0 +1,1 @@
+lib/tensor/dense.ml: Array Float Stdlib Taco_support

@@ -1,0 +1,1 @@
+lib/tensor/format.ml: Array Fun Level List Printf Stdlib Taco_support

@@ -1,0 +1,1 @@
+lib/tensor/format.mli: Level Stdlib

@@ -1,0 +1,1 @@
+lib/tensor/gen.ml: Array Coo Dense Format Hashtbl Taco_support Tensor

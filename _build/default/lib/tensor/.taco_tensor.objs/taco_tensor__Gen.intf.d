@@ -1,0 +1,1 @@
+lib/tensor/gen.mli: Coo Dense Format Taco_support Tensor

@@ -1,0 +1,1 @@
+lib/tensor/io.ml: Array Coo List Printf String Tensor

@@ -1,0 +1,1 @@
+lib/tensor/io.mli: Coo Tensor

@@ -1,0 +1,1 @@
+lib/tensor/level.mli: Stdlib

@@ -1,0 +1,1 @@
+lib/tensor/suite.ml: Array Coo Format Gen Hashtbl Taco_support Tensor

@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array Coo Dense Format Level Printf Result Stdlib Taco_support

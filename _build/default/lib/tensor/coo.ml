@@ -1,0 +1,78 @@
+module Dyn = Taco_support.Dyn_array
+
+type t = {
+  dims : int array;
+  coords : Dyn.Int.t array; (* one growable column per mode *)
+  vals : Dyn.Float.t;
+}
+
+let create dims =
+  if Array.exists (fun d -> d <= 0) dims then invalid_arg "Coo.create: non-positive dim";
+  {
+    dims = Array.copy dims;
+    coords = Array.init (Array.length dims) (fun _ -> Dyn.Int.create ());
+    vals = Dyn.Float.create ();
+  }
+
+let dims t = Array.copy t.dims
+
+let order t = Array.length t.dims
+
+let length t = Dyn.Float.length t.vals
+
+let push t coord v =
+  if Array.length coord <> order t then invalid_arg "Coo.push: rank mismatch";
+  Array.iteri
+    (fun m c ->
+      if c < 0 || c >= t.dims.(m) then invalid_arg "Coo.push: coordinate out of bounds")
+    coord;
+  Array.iteri (fun m c -> Dyn.Int.push t.coords.(m) c) coord;
+  Dyn.Float.push t.vals v
+
+let entry t k = Array.map (fun col -> Dyn.Int.get col k) t.coords
+
+let iter f t =
+  for k = 0 to length t - 1 do
+    f (entry t k) (Dyn.Float.get t.vals k)
+  done
+
+let sorted_unique ~perm t =
+  let n = length t in
+  if Array.length perm <> order t then invalid_arg "Coo.sorted_unique: bad perm";
+  let idx = Array.init n Fun.id in
+  let cols = Array.map (fun m -> Dyn.Int.unsafe_backing t.coords.(m)) perm in
+  let compare_entries a b =
+    let rec go l =
+      if l = Array.length cols then 0
+      else
+        let c = compare cols.(l).(a) cols.(l).(b) in
+        if c <> 0 then c else go (l + 1)
+    in
+    go 0
+  in
+  Array.sort compare_entries idx;
+  (* Merge duplicates by summing their values. *)
+  let coords = ref [] and vals = ref [] in
+  let k = ref 0 in
+  while !k < n do
+    let first = idx.(!k) in
+    let v = ref (Dyn.Float.get t.vals first) in
+    incr k;
+    while !k < n && compare_entries first idx.(!k) = 0 do
+      v := !v +. Dyn.Float.get t.vals idx.(!k);
+      incr k
+    done;
+    coords := entry t first :: !coords;
+    vals := !v :: !vals
+  done;
+  (Array.of_list (List.rev !coords), Array.of_list (List.rev !vals))
+
+let of_dense d =
+  let t = create (Dense.dims d) in
+  Dense.iteri (fun coord v -> if v <> 0. then push t (Array.copy coord) v) d;
+  t
+
+let to_dense t =
+  let d = Dense.create t.dims in
+  iter (fun coord v -> Dense.add_at d coord v) t;
+  d

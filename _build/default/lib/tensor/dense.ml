@@ -1,0 +1,83 @@
+type t = { dims : int array; strides : int array; data : float array }
+
+let strides_of dims =
+  let n = Array.length dims in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  strides
+
+let create dims =
+  if Array.exists (fun d -> d <= 0) dims then invalid_arg "Dense.create: non-positive dim";
+  let size = Array.fold_left ( * ) 1 dims in
+  { dims = Array.copy dims; strides = strides_of dims; data = Array.make size 0. }
+
+let dims t = Array.copy t.dims
+
+let order t = Array.length t.dims
+
+let size t = Array.length t.data
+
+let offset t coord =
+  if Array.length coord <> Array.length t.dims then invalid_arg "Dense.offset: rank mismatch";
+  let off = ref 0 in
+  for i = 0 to Array.length coord - 1 do
+    let c = coord.(i) in
+    if c < 0 || c >= t.dims.(i) then invalid_arg "Dense.offset: out of bounds";
+    off := !off + (c * t.strides.(i))
+  done;
+  !off
+
+let get t coord = t.data.(offset t coord)
+
+let set t coord v = t.data.(offset t coord) <- v
+
+let add_at t coord v =
+  let off = offset t coord in
+  t.data.(off) <- t.data.(off) +. v
+
+let buffer t = t.data
+
+let of_buffer dims data =
+  let size = Array.fold_left ( * ) 1 dims in
+  if Array.length data <> size then invalid_arg "Dense.of_buffer: size mismatch";
+  { dims = Array.copy dims; strides = strides_of dims; data }
+
+let iteri f t =
+  let n = order t in
+  let coord = Array.make n 0 in
+  let rec go dim =
+    if dim = n then f coord (get t coord)
+    else
+      for c = 0 to t.dims.(dim) - 1 do
+        coord.(dim) <- c;
+        go (dim + 1)
+      done
+  in
+  if Array.length t.data > 0 then go 0
+
+let init dims f =
+  let t = create dims in
+  iteri (fun coord _ -> set t coord (f coord)) t;
+  t
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let copy t = { t with data = Array.copy t.data }
+
+let nnz t =
+  Array.fold_left (fun acc v -> if v <> 0. then acc + 1 else acc) 0 t.data
+
+let equal ?(eps = 1e-9) a b =
+  a.dims = b.dims
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps *. Float.max 1. (Float.max (Float.abs x) (Float.abs y))) a.data b.data
+
+let map2 f a b =
+  if a.dims <> b.dims then invalid_arg "Dense.map2: shape mismatch";
+  { a with data = Array.map2 f a.data b.data }
+
+let pp fmt t =
+  Stdlib.Format.fprintf fmt "dense[%s](%d nnz)"
+    (Taco_support.Util.string_of_list string_of_int "x" (Array.to_list t.dims))
+    (nnz t)

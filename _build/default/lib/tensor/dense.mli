@@ -1,0 +1,47 @@
+(** Row-major dense n-dimensional arrays.
+
+    The oracle representation used in tests to check sparse kernels and
+    compiler output against straightforward dense math. *)
+
+type t
+
+(** [create dims] is a zero tensor; every dimension must be positive. *)
+val create : int array -> t
+
+val dims : t -> int array
+
+val order : t -> int
+
+(** Total number of components. *)
+val size : t -> int
+
+val get : t -> int array -> float
+
+val set : t -> int array -> float -> unit
+
+val add_at : t -> int array -> float -> unit
+
+(** Underlying flat buffer (row-major). *)
+val buffer : t -> float array
+
+val of_buffer : int array -> float array -> t
+
+(** [init dims f] fills from a coordinate function. *)
+val init : int array -> (int array -> float) -> t
+
+val fill : t -> float -> unit
+
+val copy : t -> t
+
+val iteri : (int array -> float -> unit) -> t -> unit
+
+val nnz : t -> int
+
+val equal : ?eps:float -> t -> t -> bool
+
+(** Linear (flat, row-major) offset of a coordinate. *)
+val offset : t -> int array -> int
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val pp : Stdlib.Format.formatter -> t -> unit

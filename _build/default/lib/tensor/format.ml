@@ -1,0 +1,82 @@
+type t = { levels : Level.t array; mode_order : int array }
+
+let is_permutation a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun m ->
+      if m < 0 || m >= n || seen.(m) then false
+      else begin
+        seen.(m) <- true;
+        true
+      end)
+    a
+
+let make levels ~mode_order =
+  let levels = Array.of_list levels in
+  let mode_order = Array.of_list mode_order in
+  if Array.length levels <> Array.length mode_order then
+    invalid_arg "Format.make: levels and mode_order lengths differ";
+  if not (is_permutation mode_order) then
+    invalid_arg "Format.make: mode_order is not a permutation";
+  { levels; mode_order }
+
+let of_levels levels =
+  let n = List.length levels in
+  make levels ~mode_order:(List.init n Fun.id)
+
+let order t = Array.length t.levels
+
+let level t l =
+  if l < 0 || l >= order t then invalid_arg "Format.level";
+  t.levels.(l)
+
+let levels t = Array.to_list t.levels
+
+let mode_of_level t l =
+  if l < 0 || l >= order t then invalid_arg "Format.mode_of_level";
+  t.mode_order.(l)
+
+let level_of_mode t m =
+  let rec go l =
+    if l >= order t then invalid_arg "Format.level_of_mode"
+    else if t.mode_order.(l) = m then l
+    else go (l + 1)
+  in
+  go 0
+
+let mode_order t = Array.to_list t.mode_order
+
+let is_all_dense t = Array.for_all (Level.equal Level.Dense) t.levels
+
+let is_all_compressed t = Array.for_all (Level.equal Level.Compressed) t.levels
+
+let equal a b = a.levels = b.levels && a.mode_order = b.mode_order
+
+let to_string t =
+  let lvls =
+    Taco_support.Util.string_of_list Level.to_string ", " (levels t)
+  in
+  let id_order = Array.to_list t.mode_order = List.init (order t) Fun.id in
+  if id_order then Printf.sprintf "{%s}" lvls
+  else
+    Printf.sprintf "{%s; order %s}" lvls
+      (Taco_support.Util.string_of_list string_of_int "," (mode_order t))
+
+let pp fmt t = Stdlib.Format.pp_print_string fmt (to_string t)
+
+let csr = of_levels [ Level.Dense; Level.Compressed ]
+
+let csc = make [ Level.Dense; Level.Compressed ] ~mode_order:[ 1; 0 ]
+
+let dcsr = of_levels [ Level.Compressed; Level.Compressed ]
+
+let dense_matrix = of_levels [ Level.Dense; Level.Dense ]
+
+let dense_vector = of_levels [ Level.Dense ]
+
+let sparse_vector = of_levels [ Level.Compressed ]
+
+let csf n = of_levels (List.init n (fun _ -> Level.Compressed))
+
+let dense n = of_levels (List.init n (fun _ -> Level.Dense))

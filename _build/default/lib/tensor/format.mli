@@ -1,0 +1,69 @@
+(** Tensor storage formats: a level format per storage level plus a mode
+    ordering.
+
+    Storage level [l] stores logical mode [mode_order l]. CSR is
+    [{Dense; Compressed}] with the identity ordering; CSC is the same
+    levels with the modes swapped, i.e. stored column-major. *)
+
+type t
+
+(** [make levels ~mode_order] builds a format; [mode_order] must be a
+    permutation of [0 .. order-1] and have the same length as [levels].
+    Raises [Invalid_argument] otherwise. *)
+val make : Level.t list -> mode_order:int list -> t
+
+(** [of_levels levels] with the identity mode ordering. *)
+val of_levels : Level.t list -> t
+
+val order : t -> int
+
+(** Level format of storage level [l]. *)
+val level : t -> int -> Level.t
+
+val levels : t -> Level.t list
+
+(** Logical mode stored at storage level [l]. *)
+val mode_of_level : t -> int -> int
+
+(** Storage level at which logical mode [m] is stored. *)
+val level_of_mode : t -> int -> int
+
+val mode_order : t -> int list
+
+(** True when every level is [Dense]. *)
+val is_all_dense : t -> bool
+
+(** True when every level is [Compressed]. *)
+val is_all_compressed : t -> bool
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Stdlib.Format.formatter -> t -> unit
+
+(** {2 Common formats} *)
+
+(** Compressed sparse row: dense rows, compressed columns. *)
+val csr : t
+
+(** Compressed sparse column: CSR of the transpose. *)
+val csc : t
+
+(** Doubly compressed sparse row (both modes compressed). *)
+val dcsr : t
+
+(** Fully dense matrix. *)
+val dense_matrix : t
+
+(** Dense vector. *)
+val dense_vector : t
+
+(** Sparse (compressed) vector. *)
+val sparse_vector : t
+
+(** Compressed sparse fiber: all modes compressed, identity order. *)
+val csf : int -> t
+
+(** All-dense tensor of the given order. *)
+val dense : int -> t

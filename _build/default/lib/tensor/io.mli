@@ -1,0 +1,22 @@
+(** Tensor file I/O.
+
+    - Matrix Market coordinate format ([.mtx]) for matrices, the format
+      SuiteSparse distributes — so real Table I inputs can be dropped in
+      for the synthetic stand-ins when available.
+    - The FROSTT text format ([.tns]) for higher-order tensors: one line
+      per nonzero, 1-based coordinates followed by the value. *)
+
+(** [read_matrix_market path] reads a real-valued coordinate-format
+    matrix ([general] or [symmetric]) into a COO buffer. Pattern files
+    read as 1.0 values. *)
+val read_matrix_market : string -> (Coo.t, string) result
+
+(** [write_matrix_market path t] writes the stored nonzeros in
+    coordinate format ([general]). *)
+val write_matrix_market : string -> Tensor.t -> unit
+
+(** [read_frostt path ~dims] reads a FROSTT [.tns] file. When [dims] is
+    omitted they are inferred as the per-mode coordinate maxima. *)
+val read_frostt : ?dims:int array -> string -> (Coo.t, string) result
+
+val write_frostt : string -> Tensor.t -> unit

@@ -1,0 +1,10 @@
+type t = Dense | Compressed
+
+let equal a b =
+  match (a, b) with
+  | Dense, Dense | Compressed, Compressed -> true
+  | Dense, Compressed | Compressed, Dense -> false
+
+let to_string = function Dense -> "dense" | Compressed -> "compressed"
+
+let pp fmt t = Stdlib.Format.pp_print_string fmt (to_string t)

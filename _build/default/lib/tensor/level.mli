@@ -1,0 +1,14 @@
+(** Per-mode storage level formats.
+
+    The paper (like taco) composes tensor formats from one level format per
+    mode: [Dense] stores every coordinate of the dimension implicitly,
+    [Compressed] stores only the nonzero coordinates in [pos]/[crd] arrays
+    (paper Fig. 1b). *)
+
+type t = Dense | Compressed
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Stdlib.Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+module Prng = Taco_support.Prng
+
+type matrix_entry = {
+  id : int;
+  name : string;
+  domain : string;
+  rows : int;
+  cols : int;
+  nnz : int;
+}
+
+type tensor_entry = {
+  t_name : string;
+  t_domain : string;
+  t_dims : int array;
+  t_nnz : int;
+}
+
+let matrices =
+  [
+    { id = 0; name = "bcsstk17"; domain = "Structural"; rows = 10974; cols = 10974; nnz = 428_650 };
+    { id = 1; name = "pdb1HYS"; domain = "Protein data base"; rows = 36417; cols = 36417; nnz = 4_344_765 };
+    { id = 2; name = "rma10"; domain = "3D CFD"; rows = 46835; cols = 46835; nnz = 2_329_092 };
+    { id = 3; name = "cant"; domain = "FEM/Cantilever"; rows = 62451; cols = 62451; nnz = 4_007_383 };
+    { id = 4; name = "consph"; domain = "FEM/Spheres"; rows = 83334; cols = 83334; nnz = 6_010_480 };
+    { id = 5; name = "cop20k"; domain = "FEM/Accelerator"; rows = 121192; cols = 121192; nnz = 2_624_331 };
+    { id = 6; name = "shipsec1"; domain = "FEM"; rows = 140874; cols = 140874; nnz = 3_568_176 };
+    { id = 7; name = "scircuit"; domain = "Circuit"; rows = 170998; cols = 170998; nnz = 958_936 };
+    { id = 8; name = "mac-econ"; domain = "Economics"; rows = 206500; cols = 206500; nnz = 1_273_389 };
+    { id = 9; name = "pwtk"; domain = "Wind tunnel"; rows = 217918; cols = 217918; nnz = 11_524_432 };
+    { id = 10; name = "webbase-1M"; domain = "Web connectivity"; rows = 1_000_005; cols = 1_000_005; nnz = 3_105_536 };
+  ]
+
+let tensors =
+  [
+    { t_name = "Facebook"; t_domain = "Social Media"; t_dims = [| 1504; 42390; 39986 |]; t_nnz = 737_934 };
+    { t_name = "NELL-2"; t_domain = "Machine learning"; t_dims = [| 12092; 9184; 28818 |]; t_nnz = 76_879_419 };
+    { t_name = "NELL-1"; t_domain = "Machine learning"; t_dims = [| 2_902_330; 2_143_368; 25_495_389 |]; t_nnz = 143_599_552 };
+  ]
+
+let scaled_matrix_entry ~scale e =
+  if scale <= 0 then invalid_arg "Suite.scaled_matrix_entry: scale must be positive";
+  let rows = max 16 (e.rows / scale) and cols = max 16 (e.cols / scale) in
+  let nnz = max 64 (e.nnz / (scale * scale)) in
+  (* Never exceed what the scaled shape can hold. *)
+  let nnz = min nnz (rows * cols / 2) in
+  { e with rows; cols; nnz }
+
+let density e = float_of_int e.nnz /. (float_of_int e.rows *. float_of_int e.cols)
+
+let generate_matrix ~seed ~scale e =
+  let e = scaled_matrix_entry ~scale e in
+  let prng = Prng.create (seed + (31 * e.id)) in
+  (* A banded core gives FEM-like row locality; uniform fill supplies the
+     rest of the published nonzero count. *)
+  let per_row = max 1 (e.nnz / e.rows) in
+  let bandwidth = max 1 (per_row / 2) in
+  let coo = Coo.create [| e.rows; e.cols |] in
+  let placed = ref 0 in
+  for i = 0 to e.rows - 1 do
+    let lo = max 0 (i - bandwidth) and hi = min (e.cols - 1) (i + bandwidth) in
+    let j = ref lo in
+    while !j <= hi && !placed < e.nnz / 2 do
+      if Prng.bool prng 0.5 then begin
+        Coo.push coo [| i; !j |] (Prng.float prng);
+        incr placed
+      end;
+      incr j
+    done
+  done;
+  let remaining = e.nnz - !placed in
+  if remaining > 0 then begin
+    let uniform = Gen.random_coo prng ~dims:[| e.rows; e.cols |] ~nnz:remaining in
+    Coo.iter (fun coord v -> Coo.push coo (Array.copy coord) v) uniform
+  end;
+  Tensor.pack coo Format.csr
+
+(* Memory-bounded stand-ins: Facebook full size; NELL-2 dimensions / 4 and
+   nonzeros / 64 (density preserved); NELL-1 dimensions / 100 and nonzeros
+   / 100 (keeps its hyper-sparse, huge-mode character while fitting the
+   container). Recorded in DESIGN.md / EXPERIMENTS.md. *)
+let tensor_standins =
+  [
+    { t_name = "Facebook"; t_domain = "Social Media"; t_dims = [| 1504; 42390; 39986 |]; t_nnz = 737_934 };
+    { t_name = "NELL-2"; t_domain = "Machine learning"; t_dims = [| 3023; 2296; 7205 |]; t_nnz = 1_201_240 };
+    { t_name = "NELL-1"; t_domain = "Machine learning"; t_dims = [| 29024; 21434; 254954 |]; t_nnz = 1_435_995 };
+  ]
+
+(* Average (i,k)-fiber populations, chosen to reflect the published
+   tensors' character: Facebook is hyper-sparse with near-singleton
+   fibers (the paper finds merge MTTKRP faster there), the NELL tensors
+   have well-populated fibers (where hoisting the D multiplication out of
+   the fiber loop pays off). *)
+let avg_fiber name =
+  match name with "Facebook" -> 1.3 | "NELL-2" -> 10. | "NELL-1" -> 6. | _ -> 4.
+
+let generate_tensor ~seed e =
+  let prng = Prng.create (seed + Hashtbl.hash e.t_name) in
+  Tensor.pack
+    (Gen.clustered3 prng ~dims:e.t_dims ~nnz:e.t_nnz ~avg_fiber:(avg_fiber e.t_name))
+    (Format.csf 3)

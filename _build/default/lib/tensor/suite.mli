@@ -1,0 +1,47 @@
+(** Synthetic stand-ins for the paper's Table I inputs.
+
+    The SuiteSparse matrices and FROSTT tensors are not available offline,
+    so each entry is replaced by a synthetic input with the same dimensions
+    and nonzero count (optionally scaled down by [scale] to fit the bench
+    budget: dimensions divide by [scale], nonzero counts by [scale^2] for
+    matrices so density is preserved). The substitution is documented in
+    DESIGN.md. *)
+
+type matrix_entry = {
+  id : int;
+  name : string;
+  domain : string;
+  rows : int;
+  cols : int;
+  nnz : int;
+}
+
+type tensor_entry = {
+  t_name : string;
+  t_domain : string;
+  t_dims : int array;
+  t_nnz : int;
+}
+
+(** The eleven matrices of Table I, full published sizes. *)
+val matrices : matrix_entry list
+
+(** The three FROSTT tensors of Table I. [tensor_standins] below already
+    reflects the memory-bounded scaling recorded in DESIGN.md. *)
+val tensors : tensor_entry list
+
+(** Scaled stand-in dimensions of a matrix entry. *)
+val scaled_matrix_entry : scale:int -> matrix_entry -> matrix_entry
+
+(** Generate the CSR stand-in for a (possibly scaled) matrix entry. The
+    structure is a random band (FEM-like locality) topped up with uniform
+    nonzeros to reach the target count. *)
+val generate_matrix : seed:int -> scale:int -> matrix_entry -> Tensor.t
+
+(** Stand-in order-3 tensors (already scaled to container memory;
+    Facebook is full size). *)
+val tensor_standins : tensor_entry list
+
+val generate_tensor : seed:int -> tensor_entry -> Tensor.t
+
+val density : matrix_entry -> float

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Cin_eval Index_var List QCheck QCheck_alcotest Taco_exec Taco_ir Taco_lower Taco_support Taco_tensor Tensor_var

@@ -1,0 +1,1 @@
+test/test_cin.ml: Alcotest Buffer Cin Cin_eval Concretize Helpers Index_notation Index_var List Stdlib String Taco_ir Taco_tensor Tensor_var

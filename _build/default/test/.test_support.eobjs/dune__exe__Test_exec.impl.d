@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Taco_exec Taco_lower

@@ -1,0 +1,1 @@
+test/test_index_notation.ml: Alcotest Helpers Index_notation Index_var Taco_frontend Taco_ir Taco_tensor Tensor_var

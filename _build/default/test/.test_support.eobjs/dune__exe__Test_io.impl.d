@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Filename Helpers Sys Taco_kernels Taco_support Taco_tensor

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Hashtbl Helpers List QCheck Taco_exec Taco_kernels Taco_support Taco_tensor

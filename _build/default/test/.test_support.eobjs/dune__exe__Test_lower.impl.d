@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Array Cin Float Helpers List String Taco_exec Taco_ir Taco_lower Taco_tensor Tensor_var

@@ -1,0 +1,1 @@
+test/test_ops.ml: Alcotest Array Helpers Taco_kernels Taco_ops Taco_support Taco_tensor

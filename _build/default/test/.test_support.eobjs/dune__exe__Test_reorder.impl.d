@@ -1,0 +1,1 @@
+test/test_reorder.ml: Alcotest Array Cin Gen Helpers Index_var List QCheck Reorder Taco_ir Taco_tensor Tensor_var

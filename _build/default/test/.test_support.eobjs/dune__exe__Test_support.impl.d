@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Fun Gen Helpers List QCheck Taco_support

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Helpers List Printf QCheck Taco_support Taco_tensor

@@ -1,0 +1,1 @@
+test/test_workspace.ml: Alcotest Cin Concretize Helpers Heuristics Index_notation Index_var List QCheck Schedule Taco_frontend Taco_ir Taco_tensor Tensor_var Workspace

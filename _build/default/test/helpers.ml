@@ -1,0 +1,75 @@
+(* Shared helpers for the test suites. *)
+
+open Taco_ir
+open Taco_ir.Var
+module F = Taco_tensor.Format
+module T = Taco_tensor.Tensor
+module D = Taco_tensor.Dense
+module Gen = Taco_tensor.Gen
+module Prng = Taco_support.Prng
+module Lower = Taco_lower.Lower
+module Kernel = Taco_exec.Kernel
+
+let get = function Ok x -> x | Error e -> Alcotest.fail e
+
+let get_err what = function
+  | Error e -> e
+  | Ok _ -> Alcotest.fail (what ^ ": expected an error")
+
+let dense_testable = Alcotest.testable D.pp (D.equal ~eps:1e-9)
+
+let check_dense = Alcotest.check dense_testable
+
+(* Deterministic random tensors for tests. *)
+let random_tensor seed dims density fmt =
+  let prng = Prng.create seed in
+  Gen.random_density prng ~dims ~density fmt
+
+(* Evaluate a CIN statement with the reference interpreter. *)
+let eval_cin stmt inputs =
+  let dense_inputs = List.map (fun (tv, t) -> (tv, T.to_dense t)) inputs in
+  get (Cin_eval.eval1 stmt ~inputs:dense_inputs)
+
+(* Lower a CIN statement, execute it, and compare with the interpreter.
+   For Compute-mode kernels with a compressed result the output structure
+   is pre-assembled from the oracle. *)
+let run_lowered ?(name = "kernel") ~mode stmt inputs out_dims =
+  let info = get (Lower.lower ~name ~mode stmt) in
+  let kern = Kernel.prepare info in
+  match mode with
+  | Lower.Assemble _ -> Kernel.run_assemble kern ~inputs ~dims:out_dims
+  | Lower.Compute ->
+      let rfmt = Tensor_var.format info.Lower.result in
+      if F.is_all_dense rfmt then Kernel.run_dense kern ~inputs ~dims:out_dims
+      else begin
+        let oracle = eval_cin stmt inputs in
+        let out = T.of_dense oracle rfmt in
+        Array.fill (T.vals out) 0 (Array.length (T.vals out)) 0.;
+        Kernel.run_compute kern ~inputs ~output:out;
+        out
+      end
+
+let check_lowered ?name ~mode stmt inputs out_dims =
+  let oracle = eval_cin stmt inputs in
+  let result = run_lowered ?name ~mode stmt inputs out_dims in
+  check_dense "lowered kernel matches the interpreter" oracle (T.to_dense result)
+
+(* Common index variables. *)
+let vi = Index_var.make "i"
+
+let vj = Index_var.make "j"
+
+let vk = Index_var.make "k"
+
+let vl = Index_var.make "l"
+
+let csr_tv name = Tensor_var.make name ~order:2 ~format:F.csr
+
+let dense_mat_tv name = Tensor_var.make name ~order:2 ~format:F.dense_matrix
+
+let dense_vec_tv name = Tensor_var.make name ~order:1 ~format:F.dense_vector
+
+let ws_vec name = Tensor_var.workspace name ~order:1 ~format:F.dense_vector
+
+let qcheck_case ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)

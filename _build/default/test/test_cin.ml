@@ -1,0 +1,267 @@
+open Taco_ir
+open Taco_ir.Var
+module F = Taco_tensor.Format
+module D = Taco_tensor.Dense
+module T = Taco_tensor.Tensor
+module I = Index_notation
+
+let vi = Helpers.vi and vj = Helpers.vj and vk = Helpers.vk
+
+let a = Helpers.csr_tv "A"
+let b = Helpers.csr_tv "B"
+let c = Helpers.csr_tv "C"
+let ad = Helpers.dense_mat_tv "Ad"
+let w = Helpers.ws_vec "w"
+
+let acc tv vars = Cin.access tv vars
+
+let stmt_testable = Alcotest.testable Cin.pp Cin.equal_stmt
+
+(* Concretized form: free variables (i, j) outside the reduction (k). *)
+let matmul_cin =
+  Cin.foralls [ vi; vj; vk ]
+    (Cin.accumulate (acc a [ vi; vj ])
+       (Cin.Mul (Cin.Access (acc b [ vi; vk ]), Cin.Access (acc c [ vk; vj ]))))
+
+let test_peel_foralls () =
+  let vars, body = Cin.peel_foralls matmul_cin in
+  Alcotest.(check int) "three loops" 3 (List.length vars);
+  match body with Cin.Assignment _ -> () | _ -> Alcotest.fail "body not assignment"
+
+let test_tensors () =
+  Alcotest.(check (list string)) "written" [ "A" ]
+    (List.map Tensor_var.name (Cin.tensors_written matmul_cin));
+  Alcotest.(check (list string)) "read" [ "B"; "C" ]
+    (List.map Tensor_var.name (Cin.tensors_read matmul_cin))
+
+let test_uses_var () =
+  Alcotest.(check bool) "uses k" true (Cin.uses_var matmul_cin vk);
+  Alcotest.(check bool) "no l" false (Cin.uses_var matmul_cin Helpers.vl)
+
+let test_contains_sequence () =
+  Alcotest.(check bool) "no sequence" false (Cin.contains_sequence matmul_cin);
+  let seq = Cin.sequence (Cin.assign (acc w [ vj ]) (Cin.Literal 1.)) (Cin.assign (acc w [ vj ]) (Cin.Literal 2.)) in
+  Alcotest.(check bool) "sequence found" true (Cin.contains_sequence (Cin.forall vj seq))
+
+let test_subst () =
+  let from = Cin.Mul (Cin.Access (acc b [ vi; vk ]), Cin.Access (acc c [ vk; vj ])) in
+  let into = Cin.Access (acc w [ vj ]) in
+  let s = Cin.subst_stmt ~from ~into matmul_cin in
+  Alcotest.(check bool) "B gone" false
+    (List.exists (fun tv -> Tensor_var.name tv = "B") (Cin.tensors_read s));
+  Alcotest.(check bool) "w introduced" true
+    (List.exists (fun tv -> Tensor_var.name tv = "w") (Cin.tensors_read s))
+
+let test_rename () =
+  let jc = Index_var.make "jc" in
+  let s = Cin.rename_var ~from:vj ~into:jc matmul_cin in
+  Alcotest.(check bool) "j gone" false (Cin.uses_var s vj);
+  Alcotest.(check bool) "jc bound" true (Cin.uses_var s jc)
+
+let test_simplify () =
+  let x = Cin.Access (acc w [ vj ]) in
+  let checks =
+    [
+      (Cin.Mul (Cin.Literal 0., x), Cin.Literal 0.);
+      (Cin.Mul (Cin.Literal 1., x), x);
+      (Cin.Add (Cin.Literal 0., x), x);
+      (Cin.Sub (x, Cin.Literal 0.), x);
+      (Cin.Div (x, Cin.Literal 1.), x);
+      (Cin.Add (Cin.Literal 2., Cin.Literal 3.), Cin.Literal 5.);
+      (Cin.Neg (Cin.Literal 2.), Cin.Literal (-2.));
+      (Cin.Mul (Cin.Add (Cin.Literal 0., Cin.Literal 0.), x), Cin.Literal 0.);
+    ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      if not (Cin.equal_expr (Cin.simplify input) expected) then
+        Alcotest.failf "simplify %s" (Stdlib.Format.asprintf "%a" Cin.pp_expr input))
+    checks
+
+let test_zero_tensor () =
+  let e = Cin.Add (Cin.Mul (Cin.Access (acc b [ vi; vj ]), Cin.Access (acc c [ vi; vj ])), Cin.Access (acc c [ vi; vj ])) in
+  let z = Cin.zero_tensor b e in
+  Alcotest.(check bool) "B*C term vanished" true
+    (Cin.equal_expr z (Cin.Access (acc c [ vi; vj ])))
+
+let test_validate_unbound () =
+  let s = Cin.forall vi (Cin.assign (acc a [ vi; vj ]) (Cin.Literal 1.)) in
+  ignore (Helpers.get_err "unbound j" (Cin.validate s))
+
+let test_validate_duplicate_binder () =
+  let s = Cin.foralls [ vi; vi ] (Cin.assign (acc w [ vi ]) (Cin.Literal 1.)) in
+  ignore (Helpers.get_err "duplicate binder" (Cin.validate s))
+
+let test_validate_disconnected_where () =
+  let s =
+    Cin.foralls [ vi; vj ]
+      (Cin.where
+         ~consumer:(Cin.assign (acc a [ vi; vj ]) (Cin.Access (acc b [ vi; vj ])))
+         ~producer:(Cin.assign (acc w [ vj ]) (Cin.Literal 1.)))
+  in
+  ignore (Helpers.get_err "producer unused" (Cin.validate s))
+
+let test_pp_pseudocode () =
+  let buf = Buffer.create 64 in
+  let fmt = Stdlib.Format.formatter_of_buffer buf in
+  Cin.pp_pseudocode fmt matmul_cin;
+  Stdlib.Format.pp_print_flush fmt ();
+  let out = Buffer.contents buf in
+  List.iter
+    (fun needle ->
+      let contains =
+        let lh = String.length out and ln = String.length needle in
+        let rec go i = i + ln <= lh && (String.sub out i ln = needle || go (i + 1)) in
+        go 0
+      in
+      if not contains then Alcotest.failf "pseudocode missing %S in:\n%s" needle out)
+    [ "for i ∈ I"; "for k ∈ K"; "A(i,j) += B(i,k) * C(k,j)" ]
+
+let test_pp_forall_merge () =
+  Alcotest.(check string) "merged foralls"
+    "∀i,j,k A(i,j) += B(i,k) * C(k,j)" (Cin.to_string matmul_cin)
+
+let test_concretize_matmul () =
+  let stmt =
+    I.assign a [ vi; vj ] (I.sum vk (I.Mul (I.access b [ vi; vk ], I.access c [ vk; vj ])))
+  in
+  let cin = Helpers.get (Concretize.run stmt) in
+  Alcotest.check stmt_testable "matmul form" matmul_cin cin
+
+let test_concretize_implicit_reduction () =
+  let stmt = I.assign a [ vi; vj ] (I.Mul (I.access b [ vi; vk ], I.access c [ vk; vj ])) in
+  let cin = Helpers.get (Concretize.run stmt) in
+  Alcotest.check stmt_testable "implicit = explicit" matmul_cin cin
+
+let test_concretize_no_reduction_keeps_assign () =
+  let stmt = I.assign a [ vi; vj ] (I.Add (I.access b [ vi; vj ], I.access c [ vi; vj ])) in
+  match Helpers.get (Concretize.run stmt) with
+  | Cin.Forall (_, Cin.Forall (_, Cin.Assignment { op = Cin.Assign; _ })) -> ()
+  | s -> Alcotest.failf "unexpected shape %s" (Cin.to_string s)
+
+let test_concretize_scalar_temps () =
+  let stmt =
+    I.assign ad [ vi; vj ] (I.sum vk (I.Mul (I.access b [ vi; vk ], I.access c [ vk; vj ])))
+  in
+  let cin = Helpers.get (Concretize.run ~scalar_temps:true stmt) in
+  match cin with
+  | Cin.Forall (_, Cin.Forall (_, Cin.Where (Cin.Assignment { op = Cin.Assign; _ }, Cin.Forall (red, Cin.Assignment { op = Cin.Accumulate; lhs; _ }))))
+    ->
+      Alcotest.(check bool) "reduces over k" true (Index_var.equal red vk);
+      Alcotest.(check int) "scalar temp" 0 (Tensor_var.order lhs.Cin.tensor);
+      Alcotest.(check bool) "temp is workspace" true (Tensor_var.is_workspace lhs.Cin.tensor)
+  | s -> Alcotest.failf "unexpected shape %s" (Cin.to_string s)
+
+let test_concretize_modes_agree () =
+  let stmt =
+    I.assign ad [ vi; vj ] (I.sum vk (I.Mul (I.access b [ vi; vk ], I.access c [ vk; vj ])))
+  in
+  let plain = Helpers.get (Concretize.run stmt) in
+  let temps = Helpers.get (Concretize.run ~scalar_temps:true stmt) in
+  let bt = Helpers.random_tensor 21 [| 4; 5 |] 0.4 F.csr in
+  let ct = Helpers.random_tensor 22 [| 5; 3 |] 0.4 F.csr in
+  let inputs = [ (b, bt); (c, ct) ] in
+  Helpers.check_dense "same semantics" (Helpers.eval_cin plain inputs)
+    (Helpers.eval_cin temps inputs)
+
+let test_concretize_rejects_invalid () =
+  let stmt = I.assign a [ vi; vj ] (I.access a [ vi; vj ]) in
+  ignore (Helpers.get_err "invalid input" (Concretize.run stmt))
+
+let test_eval_matmul () =
+  let bt = Helpers.random_tensor 31 [| 4; 5 |] 0.5 F.csr in
+  let ct = Helpers.random_tensor 32 [| 5; 3 |] 0.5 F.csr in
+  let result = Helpers.eval_cin matmul_cin [ (b, bt); (c, ct) ] in
+  let bd = T.to_dense bt and cd = T.to_dense ct in
+  let expected = D.create [| 4; 3 |] in
+  for i = 0 to 3 do
+    for k = 0 to 4 do
+      for j = 0 to 2 do
+        D.add_at expected [| i; j |] (D.get bd [| i; k |] *. D.get cd [| k; j |])
+      done
+    done
+  done;
+  Helpers.check_dense "matmul" expected result
+
+let test_eval_where_zeroes_workspace () =
+  let s =
+    Cin.forall vi
+      (Cin.where
+         ~consumer:(Cin.forall vj (Cin.assign (acc a [ vi; vj ]) (Cin.Access (acc w [ vj ]))))
+         ~producer:(Cin.forall vj (Cin.accumulate (acc w [ vj ]) (Cin.Access (acc b [ vi; vj ])))))
+  in
+  let bt = Helpers.random_tensor 33 [| 4; 4 |] 0.4 F.csr in
+  let result = Helpers.eval_cin s [ (b, bt) ] in
+  Helpers.check_dense "copy through workspace" (T.to_dense bt) result
+
+let test_eval_sequence_updates () =
+  let av = Helpers.dense_vec_tv "a" in
+  let bv = Helpers.dense_vec_tv "bv" in
+  let cv = Helpers.dense_vec_tv "cv" in
+  let s =
+    Cin.sequence
+      (Cin.forall vi (Cin.assign (acc av [ vi ]) (Cin.Access (acc bv [ vi ]))))
+      (Cin.forall vi (Cin.accumulate (acc av [ vi ]) (Cin.Access (acc cv [ vi ]))))
+  in
+  let bt = Helpers.random_tensor 34 [| 6 |] 1.0 F.dense_vector in
+  let ct = Helpers.random_tensor 35 [| 6 |] 1.0 F.dense_vector in
+  let result = Helpers.eval_cin s [ (bv, bt); (cv, ct) ] in
+  let expected = D.map2 ( +. ) (T.to_dense bt) (T.to_dense ct) in
+  Helpers.check_dense "sequence add" expected result
+
+let test_eval_range_conflict () =
+  let bt = T.zero [| 4; 5 |] F.csr in
+  let ct = T.zero [| 6; 3 |] F.csr in
+  match
+    Cin_eval.eval1 matmul_cin
+      ~inputs:[ (b, T.to_dense bt); (c, T.to_dense ct) ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a range conflict error"
+
+let test_eval_unranged_var () =
+  let s = Cin.forall vi (Cin.assign (acc w [ vi ]) (Cin.Literal 1.)) in
+  match Cin_eval.eval1 s ~inputs:[] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an unranged variable error"
+
+let () =
+  Alcotest.run "cin"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "peel foralls" `Quick test_peel_foralls;
+          Alcotest.test_case "tensors read/written" `Quick test_tensors;
+          Alcotest.test_case "uses_var" `Quick test_uses_var;
+          Alcotest.test_case "contains_sequence" `Quick test_contains_sequence;
+          Alcotest.test_case "substitution" `Quick test_subst;
+          Alcotest.test_case "alpha renaming" `Quick test_rename;
+          Alcotest.test_case "simplify" `Quick test_simplify;
+          Alcotest.test_case "zero_tensor" `Quick test_zero_tensor;
+          Alcotest.test_case "pretty printing" `Quick test_pp_forall_merge;
+          Alcotest.test_case "pseudocode printing" `Quick test_pp_pseudocode;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "unbound variable" `Quick test_validate_unbound;
+          Alcotest.test_case "duplicate binder" `Quick test_validate_duplicate_binder;
+          Alcotest.test_case "disconnected where" `Quick test_validate_disconnected_where;
+        ] );
+      ( "concretize",
+        [
+          Alcotest.test_case "matmul" `Quick test_concretize_matmul;
+          Alcotest.test_case "implicit reductions" `Quick test_concretize_implicit_reduction;
+          Alcotest.test_case "assign preserved" `Quick test_concretize_no_reduction_keeps_assign;
+          Alcotest.test_case "scalar temps" `Quick test_concretize_scalar_temps;
+          Alcotest.test_case "both modes agree semantically" `Quick test_concretize_modes_agree;
+          Alcotest.test_case "invalid input rejected" `Quick test_concretize_rejects_invalid;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "matmul oracle" `Quick test_eval_matmul;
+          Alcotest.test_case "where zeroes workspaces" `Quick test_eval_where_zeroes_workspace;
+          Alcotest.test_case "sequence updates results" `Quick test_eval_sequence_updates;
+          Alcotest.test_case "range conflicts detected" `Quick test_eval_range_conflict;
+          Alcotest.test_case "unranged variables detected" `Quick test_eval_unranged_var;
+        ] );
+    ]

@@ -1,0 +1,154 @@
+open Taco_ir
+open Taco_ir.Var
+module F = Taco_tensor.Format
+module I = Index_notation
+module P = Taco_frontend.Parser
+
+let vi = Helpers.vi and vj = Helpers.vj and vk = Helpers.vk
+
+let a = Helpers.csr_tv "A"
+let b = Helpers.csr_tv "B"
+let c = Helpers.csr_tv "C"
+let x = Helpers.dense_vec_tv "x"
+
+let ivar_list = Alcotest.(list (testable Index_var.pp Index_var.equal))
+
+let test_free_vars () =
+  let e = I.Mul (I.access b [ vi; vk ], I.access c [ vk; vj ]) in
+  Alcotest.check ivar_list "free vars in order" [ vi; vk; vj ] (I.free_vars e);
+  let summed = I.sum vk e in
+  Alcotest.check ivar_list "sum binds k" [ vi; vj ] (I.free_vars summed);
+  Alcotest.check ivar_list "all vars include binder" [ vk; vi; vj ] (I.all_vars summed)
+
+let test_reduction_vars () =
+  let stmt = I.assign a [ vi; vj ] (I.sum vk (I.Mul (I.access b [ vi; vk ], I.access c [ vk; vj ]))) in
+  Alcotest.check ivar_list "explicit reduction" [ vk ] (I.reduction_vars stmt);
+  let implicit = I.assign a [ vi; vj ] (I.Mul (I.access b [ vi; vk ], I.access c [ vk; vj ])) in
+  Alcotest.check ivar_list "implicit reduction" [ vk ] (I.reduction_vars implicit)
+
+let test_validate_ok () =
+  let stmt = I.assign a [ vi; vj ] (I.Add (I.access b [ vi; vj ], I.access c [ vi; vj ])) in
+  Helpers.get (I.validate stmt)
+
+let test_validate_arity () =
+  let stmt = I.assign a [ vi; vj ] (I.access b [ vi ]) in
+  ignore (Helpers.get_err "arity" (I.validate stmt))
+
+let test_validate_lhs_on_rhs () =
+  let stmt = I.assign a [ vi; vj ] (I.access a [ vi; vj ]) in
+  ignore (Helpers.get_err "result on rhs" (I.validate stmt))
+
+let test_validate_repeated_lhs () =
+  let stmt = I.assign a [ vi; vi ] (I.access b [ vi; vi ]) in
+  ignore (Helpers.get_err "repeated lhs var" (I.validate stmt))
+
+let test_validate_shadowing () =
+  let stmt = I.assign x [ vi ] (I.sum vi (I.access b [ vi; vi ])) in
+  ignore (Helpers.get_err "binder shadows lhs" (I.validate stmt))
+
+let test_pretty () =
+  let stmt = I.assign a [ vi; vj ] (I.sum vk (I.Mul (I.access b [ vi; vk ], I.access c [ vk; vj ]))) in
+  Alcotest.(check string) "printing" "A(i,j) = sum(k, B(i,k) * C(k,j))" (I.to_string stmt)
+
+let test_pretty_precedence () =
+  let e = I.Mul (I.Add (I.access x [ vi ], I.access x [ vi ]), I.access x [ vi ]) in
+  let stmt = I.assign x [ vi ] (I.Div (e, I.Literal 2.)) in
+  Alcotest.(check string) "parens preserved"
+    "x(i) = (x(i) + x(i)) * x(i) / 2" (I.to_string stmt)
+    |> ignore
+
+(* parser *)
+
+let env = [ ("A", a); ("B", b); ("C", c); ("x", x) ]
+
+let test_parse_matmul () =
+  let stmt = Helpers.get (P.parse_statement ~tensors:env "A(i,j) = B(i,k) * C(k,j)") in
+  Alcotest.(check string) "roundtrip" "A(i,j) = B(i,k) * C(k,j)" (I.to_string stmt)
+
+let test_parse_sum () =
+  let stmt = Helpers.get (P.parse_statement ~tensors:env "A(i,j) = sum(k, B(i,k) * C(k,j))") in
+  Alcotest.(check string) "sum" "A(i,j) = sum(k, B(i,k) * C(k,j))" (I.to_string stmt)
+
+let test_parse_accumulate () =
+  let stmt = Helpers.get (P.parse_statement ~tensors:env "x(i) += B(i,j) * 2.5") in
+  Alcotest.(check bool) "accumulate op" true (stmt.I.op = I.Accumulate)
+
+let test_parse_precedence () =
+  let stmt = Helpers.get (P.parse_statement ~tensors:env "x(i) = B(i,j) + C(i,j) * 2") in
+  (match stmt.I.rhs with
+   | I.Add (_, I.Mul (_, I.Literal 2.)) -> ()
+   | _ -> Alcotest.fail "precedence wrong")
+
+let test_parse_neg_paren () =
+  let stmt = Helpers.get (P.parse_statement ~tensors:env "x(i) = -(B(i,j) - C(i,j))") in
+  (match stmt.I.rhs with I.Neg (I.Sub _) -> () | _ -> Alcotest.fail "neg/paren wrong")
+
+let test_parse_scientific () =
+  let stmt = Helpers.get (P.parse_statement ~tensors:env "x(i) = B(i,j) * 1.5e-3") in
+  (match stmt.I.rhs with
+   | I.Mul (_, I.Literal v) -> Alcotest.(check (float 1e-12)) "literal" 1.5e-3 v
+   | _ -> Alcotest.fail "literal missing")
+
+let test_parse_errors () =
+  ignore (Helpers.get_err "unknown tensor" (P.parse_statement ~tensors:env "Z(i) = x(i)"));
+  ignore (Helpers.get_err "bad arity" (P.parse_statement ~tensors:env "A(i) = x(i)"));
+  ignore (Helpers.get_err "trailing" (P.parse_statement ~tensors:env "x(i) = x(i) x"));
+  ignore (Helpers.get_err "missing op" (P.parse_statement ~tensors:env "x(i) x(i)"));
+  ignore (Helpers.get_err "empty expr" (P.parse_statement ~tensors:env "x(i) = "));
+  ignore (Helpers.get_err "bad char" (P.parse_statement ~tensors:env "x(i) = x(i) ^ 2"))
+
+let test_parse_expr_only () =
+  let e = Helpers.get (P.parse_expr ~tensors:env "B(i,k) * C(k,j)") in
+  (match e with I.Mul (I.Access _, I.Access _) -> () | _ -> Alcotest.fail "shape")
+
+let test_tensor_var_basics () =
+  Alcotest.(check bool) "workspace flag" true
+    (Tensor_var.is_workspace (Tensor_var.workspace "w" ~order:1 ~format:F.dense_vector));
+  Alcotest.(check bool) "equality by name" true
+    (Tensor_var.equal a (Tensor_var.make "A" ~order:2 ~format:F.csr));
+  Alcotest.check_raises "format order mismatch"
+    (Invalid_argument "Tensor_var: format order mismatch") (fun () ->
+      ignore (Tensor_var.make "T" ~order:3 ~format:F.csr))
+
+let test_fresh_vars_unique () =
+  let v1 = Index_var.fresh "t" and v2 = Index_var.fresh "t" in
+  Alcotest.(check bool) "fresh vars distinct" false (Index_var.equal v1 v2)
+
+let () =
+  Alcotest.run "index_notation"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "free vars" `Quick test_free_vars;
+          Alcotest.test_case "reduction vars" `Quick test_reduction_vars;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "well-formed" `Quick test_validate_ok;
+          Alcotest.test_case "arity mismatch" `Quick test_validate_arity;
+          Alcotest.test_case "result on rhs" `Quick test_validate_lhs_on_rhs;
+          Alcotest.test_case "repeated lhs index" `Quick test_validate_repeated_lhs;
+          Alcotest.test_case "binder shadowing" `Quick test_validate_shadowing;
+        ] );
+      ( "printing",
+        [
+          Alcotest.test_case "matmul" `Quick test_pretty;
+          Alcotest.test_case "precedence parens" `Quick test_pretty_precedence;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "matmul" `Quick test_parse_matmul;
+          Alcotest.test_case "explicit sum" `Quick test_parse_sum;
+          Alcotest.test_case "accumulate" `Quick test_parse_accumulate;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "negation and parens" `Quick test_parse_neg_paren;
+          Alcotest.test_case "scientific literals" `Quick test_parse_scientific;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "expression entry point" `Quick test_parse_expr_only;
+        ] );
+      ( "vars",
+        [
+          Alcotest.test_case "tensor var basics" `Quick test_tensor_var_basics;
+          Alcotest.test_case "fresh index vars" `Quick test_fresh_vars_unique;
+        ] );
+    ]

@@ -1,0 +1,211 @@
+(* Edge cases and cross-checks for the hand-written baseline kernels. *)
+
+module F = Taco_tensor.Format
+module T = Taco_tensor.Tensor
+module D = Taco_tensor.Dense
+module Kernel = Taco_exec.Kernel
+module Spgemm = Taco_kernels.Spgemm
+module Spadd = Taco_kernels.Spadd
+module Mttkrp = Taco_kernels.Mttkrp
+
+let spgemm_inputs bt ct = [ (Spgemm.b_var, bt); (Spgemm.c_var, ct) ]
+
+let spgemm_oracle bt ct = T.to_dense (Spgemm.gustavson bt ct)
+
+let run_spgemm info bt ct dims =
+  T.to_dense (Kernel.run_assemble (Kernel.prepare info) ~inputs:(spgemm_inputs bt ct) ~dims)
+
+let all_spgemm =
+  [
+    ("eigen", Spgemm.eigen_like);
+    ("mkl", Spgemm.mkl_like);
+    ("hash", Spgemm.hash_workspace ~capacity:256);
+  ]
+
+let test_spgemm_empty () =
+  let bt = T.zero [| 5; 6 |] F.csr and ct = T.zero [| 6; 4 |] F.csr in
+  List.iter
+    (fun (name, info) ->
+      Helpers.check_dense (name ^ " empty") (D.create [| 5; 4 |]) (run_spgemm info bt ct [| 5; 4 |]))
+    all_spgemm
+
+let test_spgemm_identity () =
+  (* B * I = B. *)
+  let n = 8 in
+  let eye =
+    let coo = Taco_tensor.Coo.create [| n; n |] in
+    for i = 0 to n - 1 do
+      Taco_tensor.Coo.push coo [| i; i |] 1.
+    done;
+    T.pack coo F.csr
+  in
+  let bt = Helpers.random_tensor 201 [| n; n |] 0.3 F.csr in
+  List.iter
+    (fun (name, info) ->
+      Helpers.check_dense (name ^ " identity") (T.to_dense bt) (run_spgemm info bt eye [| n; n |]))
+    all_spgemm
+
+let test_spgemm_single_dense_row () =
+  (* One fully dense row exercises workspace clearing. *)
+  let coo = Taco_tensor.Coo.create [| 3; 10 |] in
+  for j = 0 to 9 do
+    Taco_tensor.Coo.push coo [| 1; j |] (float_of_int (j + 1))
+  done;
+  let bt = T.pack coo F.csr in
+  let ct = Helpers.random_tensor 202 [| 10; 7 |] 0.4 F.csr in
+  let oracle = spgemm_oracle bt ct in
+  List.iter
+    (fun (name, info) ->
+      Helpers.check_dense (name ^ " dense row") oracle (run_spgemm info bt ct [| 3; 7 |]))
+    all_spgemm
+
+let test_spgemm_hash_matches_gustavson () =
+  let bt = Helpers.random_tensor 203 [| 20; 16 |] 0.25 F.csr in
+  let ct = Helpers.random_tensor 204 [| 16; 24 |] 0.25 F.csr in
+  Helpers.check_dense "hash workspace" (spgemm_oracle bt ct)
+    (run_spgemm (Spgemm.hash_workspace ~capacity:64) bt ct [| 20; 24 |])
+
+let test_spgemm_hash_collisions () =
+  (* Tiny capacity forces probe chains (row nnz up to 12 in 32 slots). *)
+  let bt = Helpers.random_tensor 205 [| 10; 12 |] 0.5 F.csr in
+  let ct = Helpers.random_tensor 206 [| 12; 12 |] 0.5 F.csr in
+  Helpers.check_dense "hash with collisions" (spgemm_oracle bt ct)
+    (run_spgemm (Spgemm.hash_workspace ~capacity:32) bt ct [| 10; 12 |])
+
+let test_spgemm_hash_bad_capacity () =
+  Alcotest.check_raises "power of two required"
+    (Invalid_argument "Spgemm.hash_workspace: capacity must be a power of two")
+    (fun () -> ignore (Spgemm.hash_workspace ~capacity:100))
+
+let test_spgemm_rectangular () =
+  let bt = Helpers.random_tensor 207 [| 3; 30 |] 0.2 F.csr in
+  let ct = Helpers.random_tensor 208 [| 30; 5 |] 0.2 F.csr in
+  let oracle = spgemm_oracle bt ct in
+  List.iter
+    (fun (name, info) ->
+      Helpers.check_dense (name ^ " rectangular") oracle (run_spgemm info bt ct [| 3; 5 |]))
+    all_spgemm
+
+let spadd_inputs bt ct = [ (Spadd.b_var, bt); (Spadd.c_var, ct) ]
+
+let test_spadd_disjoint () =
+  (* Disjoint patterns: pure tail-loop merges. *)
+  let coo1 = Taco_tensor.Coo.create [| 4; 10 |] in
+  let coo2 = Taco_tensor.Coo.create [| 4; 10 |] in
+  for i = 0 to 3 do
+    for j = 0 to 4 do
+      Taco_tensor.Coo.push coo1 [| i; j |] 1.;
+      Taco_tensor.Coo.push coo2 [| i; j + 5 |] 2.
+    done
+  done;
+  let bt = T.pack coo1 F.csr and ct = T.pack coo2 F.csr in
+  let expected = D.map2 ( +. ) (T.to_dense bt) (T.to_dense ct) in
+  List.iter
+    (fun (name, info) ->
+      let r = Kernel.run_assemble (Kernel.prepare info) ~inputs:(spadd_inputs bt ct) ~dims:[| 4; 10 |] in
+      Helpers.check_dense (name ^ " disjoint") expected (T.to_dense r))
+    [ ("eigen", Spadd.eigen_like); ("mkl", Spadd.mkl_like) ]
+
+let test_spadd_one_empty () =
+  let bt = Helpers.random_tensor 209 [| 6; 6 |] 0.3 F.csr in
+  let ct = T.zero [| 6; 6 |] F.csr in
+  List.iter
+    (fun (name, info) ->
+      let r = Kernel.run_assemble (Kernel.prepare info) ~inputs:(spadd_inputs bt ct) ~dims:[| 6; 6 |] in
+      Helpers.check_dense (name ^ " one empty") (T.to_dense bt) (T.to_dense r))
+    [ ("eigen", Spadd.eigen_like); ("mkl", Spadd.mkl_like) ]
+
+let test_spadd_cancellation () =
+  (* b + (-b) = explicit zeros; stored pattern is the union. *)
+  let bt = Helpers.random_tensor 210 [| 5; 5 |] 0.4 F.csr in
+  let neg =
+    let coo = Taco_tensor.Coo.create [| 5; 5 |] in
+    T.iteri_stored (fun c v -> if v <> 0. then Taco_tensor.Coo.push coo (Array.copy c) (-.v)) bt;
+    T.pack coo F.csr
+  in
+  let r =
+    Kernel.run_assemble (Kernel.prepare Spadd.eigen_like) ~inputs:(spadd_inputs bt neg)
+      ~dims:[| 5; 5 |]
+  in
+  Alcotest.(check int) "union pattern stored" (T.nnz bt) (T.stored r);
+  Helpers.check_dense "values cancel" (D.create [| 5; 5 |]) (T.to_dense r)
+
+let test_mttkrp_empty_tensor () =
+  let bt = T.zero [| 4; 5; 6 |] (F.csf 3) in
+  let c = Helpers.random_tensor 211 [| 6; 3 |] 1.0 F.dense_matrix in
+  let d = Helpers.random_tensor 212 [| 5; 3 |] 1.0 F.dense_matrix in
+  let r =
+    Kernel.run_dense (Kernel.prepare Mttkrp.splatt_like)
+      ~inputs:[ (Mttkrp.b_var, bt); (Mttkrp.c_var, c); (Mttkrp.d_var, d) ]
+      ~dims:[| 4; 3 |]
+  in
+  Helpers.check_dense "empty tensor" (D.create [| 4; 3 |]) (T.to_dense r)
+
+let test_mttkrp_single_fiber () =
+  let coo = Taco_tensor.Coo.create [| 3; 4; 5 |] in
+  Taco_tensor.Coo.push coo [| 1; 2; 3 |] 2.;
+  Taco_tensor.Coo.push coo [| 1; 2; 4 |] 3.;
+  let bt = T.pack coo (F.csf 3) in
+  let c = Helpers.random_tensor 213 [| 5; 2 |] 1.0 F.dense_matrix in
+  let d = Helpers.random_tensor 214 [| 4; 2 |] 1.0 F.dense_matrix in
+  let oracle = Mttkrp.reference bt (T.to_dense c) (T.to_dense d) in
+  let r =
+    Kernel.run_dense (Kernel.prepare Mttkrp.splatt_like)
+      ~inputs:[ (Mttkrp.b_var, bt); (Mttkrp.c_var, c); (Mttkrp.d_var, d) ]
+      ~dims:[| 3; 2 |]
+  in
+  Helpers.check_dense "single fiber" oracle (T.to_dense r)
+
+let test_clustered_generator () =
+  let prng = Taco_support.Prng.create 215 in
+  let coo = Taco_tensor.Gen.clustered3 prng ~dims:[| 50; 60; 70 |] ~nnz:2000 ~avg_fiber:6. in
+  let t = T.pack coo (F.csf 3) in
+  Helpers.get (T.validate t) |> ignore;
+  (* Count (i,k) fibers: average population should be well above 1. *)
+  let fibers = Hashtbl.create 512 in
+  T.iteri_stored (fun c _ -> Hashtbl.replace fibers (c.(0), c.(1)) ()) t;
+  let avg = float_of_int (T.stored t) /. float_of_int (Hashtbl.length fibers) in
+  if avg < 2. then Alcotest.failf "fibers too thin: %.2f" avg
+
+let prop_baselines_agree =
+  Helpers.qcheck_case ~count:20 "all spgemm baselines agree on random inputs"
+    QCheck.(0 -- 10000)
+    (fun seed ->
+      let bt = Helpers.random_tensor seed [| 9; 11 |] 0.25 F.csr in
+      let ct = Helpers.random_tensor (seed + 1) [| 11; 8 |] 0.25 F.csr in
+      let oracle = spgemm_oracle bt ct in
+      List.for_all
+        (fun (_, info) ->
+          D.equal ~eps:1e-9 oracle (run_spgemm info bt ct [| 9; 8 |]))
+        all_spgemm)
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "spgemm",
+        [
+          Alcotest.test_case "empty operands" `Quick test_spgemm_empty;
+          Alcotest.test_case "identity" `Quick test_spgemm_identity;
+          Alcotest.test_case "dense row" `Quick test_spgemm_single_dense_row;
+          Alcotest.test_case "rectangular" `Quick test_spgemm_rectangular;
+          prop_baselines_agree;
+        ] );
+      ( "hash workspace",
+        [
+          Alcotest.test_case "matches gustavson" `Quick test_spgemm_hash_matches_gustavson;
+          Alcotest.test_case "probe collisions" `Quick test_spgemm_hash_collisions;
+          Alcotest.test_case "capacity validation" `Quick test_spgemm_hash_bad_capacity;
+        ] );
+      ( "spadd",
+        [
+          Alcotest.test_case "disjoint patterns" `Quick test_spadd_disjoint;
+          Alcotest.test_case "one empty operand" `Quick test_spadd_one_empty;
+          Alcotest.test_case "cancellation keeps pattern" `Quick test_spadd_cancellation;
+        ] );
+      ( "mttkrp",
+        [
+          Alcotest.test_case "empty tensor" `Quick test_mttkrp_empty_tensor;
+          Alcotest.test_case "single fiber" `Quick test_mttkrp_single_fiber;
+          Alcotest.test_case "clustered generator" `Quick test_clustered_generator;
+        ] );
+    ]

@@ -1,0 +1,400 @@
+open Taco_ir
+open Taco_ir.Var
+module F = Taco_tensor.Format
+module ML = Taco_lower.Merge_lattice
+module Lower = Taco_lower.Lower
+module Imp = Taco_lower.Imp
+module C = Taco_lower.Codegen_c
+
+let vi = Helpers.vi and vj = Helpers.vj and vk = Helpers.vk
+
+let a = Helpers.csr_tv "A"
+let b = Helpers.csr_tv "B"
+let c = Helpers.csr_tv "C"
+let d = Helpers.csr_tv "D"
+let ad = Helpers.dense_mat_tv "Ad"
+let dd = Helpers.dense_mat_tv "Dd"
+let w = Helpers.ws_vec "w"
+let acc = Cin.access
+let av tv vars = Cin.Access (acc tv vars)
+let av_e = av
+
+(* Iterator ids: B -> 0, C -> 1, D -> 2; dense tensors have no id. *)
+let sparse_id (x : Cin.access) =
+  match Tensor_var.name x.Cin.tensor with
+  | "B" -> Some 0
+  | "C" -> Some 1
+  | "D" -> Some 2
+  | _ -> None
+
+let test_lattice_mul () =
+  let l = ML.build ~sparse_id (Cin.Mul (av b [ vi; vj ], av c [ vi; vj ])) in
+  Alcotest.(check bool) "no full" false l.ML.needs_full;
+  Alcotest.(check (list (list int))) "single intersection point" [ [ 0; 1 ] ] l.ML.points
+
+let test_lattice_add () =
+  let l = ML.build ~sparse_id (Cin.Add (av b [ vi; vj ], av c [ vi; vj ])) in
+  Alcotest.(check bool) "no full" false l.ML.needs_full;
+  Alcotest.(check (list (list int))) "union closure" [ [ 0; 1 ]; [ 0 ]; [ 1 ] ] l.ML.points
+
+let test_lattice_mixed () =
+  (* B*C + D: points {B,C,D}? no — product of sums: {BC} x {D} ∪ {BC} ∪ {D}. *)
+  let l =
+    ML.build ~sparse_id
+      (Cin.Add (Cin.Mul (av b [ vi; vj ], av c [ vi; vj ]), av d [ vi; vj ]))
+  in
+  Alcotest.(check (list (list int))) "sum of product"
+    [ [ 0; 1; 2 ]; [ 0; 1 ]; [ 2 ] ] l.ML.points
+
+let test_lattice_dense_union () =
+  (* B + dense: dense contributes the empty point -> needs_full. *)
+  let l = ML.build ~sparse_id (Cin.Add (av b [ vi; vj ], av ad [ vi; vj ])) in
+  Alcotest.(check bool) "needs full" true l.ML.needs_full;
+  Alcotest.(check (list (list int))) "sparse points remain" [ [ 0 ] ] l.ML.points
+
+let test_lattice_dense_mul () =
+  (* B * dense: intersection with a dense operand iterates B only. *)
+  let l = ML.build ~sparse_id (Cin.Mul (av b [ vi; vj ], av ad [ vi; vj ])) in
+  Alcotest.(check bool) "no full" false l.ML.needs_full;
+  Alcotest.(check (list (list int))) "B only" [ [ 0 ] ] l.ML.points
+
+let test_lattice_sub_points () =
+  let l = ML.build ~sparse_id (Cin.Add (av b [ vi; vj ], av c [ vi; vj ])) in
+  Alcotest.(check (list (list int))) "subs of {0,1}"
+    [ [ 0; 1 ]; [ 0 ]; [ 1 ] ] (ML.sub_points l [ 0; 1 ]);
+  Alcotest.(check (list (list int))) "subs of {0}" [ [ 0 ] ] (ML.sub_points l [ 0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Lowering structure                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let lower_ok ?(mode = Lower.Compute) stmt = Helpers.get (Lower.lower ~mode stmt)
+
+let csource ?mode stmt = C.emit (lower_ok ?mode stmt).Lower.kernel
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let index_of hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i =
+    if i + ln > lh then Alcotest.failf "pattern %S not found" needle
+    else if String.sub hay i ln = needle then i
+    else go (i + 1)
+  in
+  go 0
+
+let check_contains src pats =
+  List.iter
+    (fun p -> if not (contains src p) then Alcotest.failf "missing pattern %S in:\n%s" p src)
+    pats
+
+let test_scatter_rejected () =
+  let s =
+    Cin.foralls [ vi; vk; vj ]
+      (Cin.accumulate (acc a [ vi; vj ]) (Cin.Mul (av b [ vi; vk ], av c [ vk; vj ])))
+  in
+  let e = Helpers.get_err "scatter" (Lower.lower ~mode:Lower.Compute s) in
+  Alcotest.(check bool) "mentions precompute" true (contains e "precompute")
+
+let test_wrong_loop_order_rejected () =
+  (* CSC matrix iterated row-major without reorder. *)
+  let bcsc = Tensor_var.make "B" ~order:2 ~format:F.csc in
+  let s = Cin.foralls [ vi; vj ] (Cin.assign (acc ad [ vi; vj ]) (av bcsc [ vi; vj ])) in
+  let e = Helpers.get_err "format order" (Lower.lower ~mode:Lower.Compute s) in
+  Alcotest.(check bool) "mentions reorder" true (contains e "reorder")
+
+let test_fig1c_structure () =
+  (* Dense-result matmul: memset + dense i loop + two sparse loops + +=. *)
+  let s =
+    Cin.foralls [ vi; vk; vj ]
+      (Cin.accumulate (acc ad [ vi; vj ]) (Cin.Mul (av b [ vi; vk ], av c [ vk; vj ])))
+  in
+  check_contains (csource s)
+    [
+      "memset(Ad_vals";
+      "for (int32_t i = 0; i < Ad1_dimension; i++)";
+      "for (int32_t pB2 = B2_pos[i]; pB2 < B2_pos[(i + 1)]; pB2++)";
+      "int32_t k = B2_crd[pB2];";
+      "Ad_vals[((i * Ad2_dimension) + j)] += (B_vals[pB2] * C_vals[pC2]);";
+    ]
+
+let test_fig4a_merge_structure () =
+  (* Inner product of rows: while loop with min and all-match test. *)
+  let avec = Helpers.dense_vec_tv "a" in
+  let s =
+    Cin.foralls [ vi; vj ]
+      (Cin.accumulate (acc avec [ vi ]) (Cin.Mul (av b [ vi; vj ], av c [ vi; vj ])))
+  in
+  check_contains (csource s)
+    [
+      "while (((pB2 < B2_pos[(i + 1)]) && (pC2 < C2_pos[(i + 1)])))";
+      "int32_t j = TACO_MIN(jB, jC);";
+      "if (((jB == j) && (jC == j)))";
+      "if ((jB == j))";
+      "if ((jC == j))";
+    ]
+
+let test_fig5a_union_structure () =
+  let s =
+    Cin.foralls [ vi; vj ]
+      (Cin.assign (acc a [ vi; vj ]) (Cin.Add (av b [ vi; vj ], av c [ vi; vj ])))
+  in
+  let src = csource s in
+  check_contains src
+    [
+      "while (((pB2 < B2_pos[(i + 1)]) && (pC2 < C2_pos[(i + 1)])))";
+      "A_vals[pA2] = (B_vals[pB2] + C_vals[pC2]);";
+      "while ((pB2 < B2_pos[(i + 1)]))";
+      "while ((pC2 < C2_pos[(i + 1)]))";
+    ]
+
+let test_workspace_memset_hoisting () =
+  (* Fig 5b: covered workspace memset hoists to the top; the copy loop
+     restores zeros. *)
+  let s =
+    Cin.forall vi
+      (Cin.where
+         ~consumer:(Cin.forall vj (Cin.assign (acc a [ vi; vj ]) (av w [ vj ])))
+         ~producer:
+           (Cin.sequence
+              (Cin.forall vj (Cin.assign (acc w [ vj ]) (av b [ vi; vj ])))
+              (Cin.forall vj (Cin.accumulate (acc w [ vj ]) (av c [ vi; vj ])))))
+  in
+  let src = csource s in
+  check_contains src [ "memset(w_vals"; "w_vals[j] = 0.0;" ];
+  (* The memset must appear before the i loop, not inside it. *)
+  let memset_at = index_of src "memset(w_vals" in
+  let loop_at = index_of src "for (int32_t i" in
+  Alcotest.(check bool) "memset hoisted above the row loop" true (memset_at < loop_at)
+
+let test_workspace_memset_inside () =
+  (* Fig 10: a consumer that multiplies the workspace with another sparse
+     operand does not cover it; the memset stays inside the loops. *)
+  let v_ws = Tensor_var.workspace "v" ~order:1 ~format:F.dense_vector in
+  let s =
+    Cin.forall vi
+      (Cin.forall vk
+         (Cin.where
+            ~consumer:
+              (Cin.forall vj
+                 (Cin.accumulate (acc v_ws [ vj ]) (Cin.Mul (av w [ vj ], av d [ vk; vj ]))))
+            ~producer:(Cin.forall vj (Cin.accumulate (acc w [ vj ]) (av b [ vi; vj ])))))
+  in
+  (* v is the result here? No: v is a workspace; make a dense result read v. *)
+  let s =
+    Cin.forall vi
+      (Cin.where
+         ~consumer:(Cin.forall vj (Cin.assign (acc ad [ vi; vj ]) (av v_ws [ vj ])))
+         ~producer:(match s with Cin.Forall (_, inner) -> inner | _ -> assert false))
+  in
+  let src = csource s in
+  (* memset of w must be inside the k loop *)
+  let k_at = index_of src "for (int32_t k" in
+  let w_memset_at = index_of src "memset(w_vals" in
+  Alcotest.(check bool) "w memset inside the k loop" true (w_memset_at > k_at)
+
+let test_assembly_kernel_structure () =
+  (* Fig 8: guard array, coordinate list, sort, realloc doubling. *)
+  let s =
+    Cin.forall vi
+      (Cin.where
+         ~consumer:(Cin.forall vj (Cin.assign (acc a [ vi; vj ]) (av w [ vj ])))
+         ~producer:
+           (Cin.foralls [ vk; vj ]
+              (Cin.accumulate (acc w [ vj ]) (Cin.Mul (av b [ vi; vk ], av c [ vk; vj ])))))
+  in
+  let src = csource ~mode:(Lower.Assemble { emit_values = true; sorted = true }) s in
+  check_contains src
+    [
+      "if (!(w_seen[j]))";
+      "w_list[w_list_size] = j;";
+      "qsort(w_list";
+      "A2_crd_capacity = (A2_crd_capacity * 2);";
+      "A2_crd = realloc(";
+      "A2_pos[(i + 1)] = pA2;";
+    ]
+
+let test_assembly_only_kernel () =
+  (* emit_values:false must not touch A_vals. *)
+  let s =
+    Cin.forall vi
+      (Cin.where
+         ~consumer:(Cin.forall vj (Cin.assign (acc a [ vi; vj ]) (av w [ vj ])))
+         ~producer:
+           (Cin.foralls [ vk; vj ]
+              (Cin.accumulate (acc w [ vj ]) (Cin.Mul (av b [ vi; vk ], av c [ vk; vj ])))))
+  in
+  let src = csource ~mode:(Lower.Assemble { emit_values = false; sorted = true }) s in
+  Alcotest.(check bool) "no value stores" false (contains src "A_vals[pA2] =")
+
+let test_fig7_csf_structure () =
+  let a3 = Helpers.dense_mat_tv "Ad" in
+  let b3 = Tensor_var.make "B" ~order:3 ~format:(F.csf 3) in
+  let cv = Tensor_var.make "c" ~order:1 ~format:F.sparse_vector in
+  let s =
+    Cin.foralls [ vi; vj; vk ]
+      (Cin.accumulate (acc a3 [ vi; vj ]) (Cin.Mul (av b3 [ vi; vj; vk ], av cv [ vk ])))
+  in
+  check_contains (csource s)
+    [
+      "for (int32_t pB1 = B1_pos[0]; pB1 < B1_pos[1]; pB1++)";
+      "int32_t i = B1_crd[pB1];";
+      "while (((pB3 < B3_pos[(pB2 + 1)]) && (pc1 < c1_pos[1])))";
+      "int32_t k = TACO_MIN(kB, kc);";
+    ]
+
+let test_kernel_params () =
+  let s =
+    Cin.foralls [ vi; vj ] (Cin.assign (acc ad [ vi; vj ]) (av b [ vi; vj ]))
+  in
+  let info = lower_ok s in
+  let names = List.map (fun p -> p.Imp.p_name) info.Lower.kernel.Imp.k_params in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected names) then Alcotest.failf "missing param %s" expected)
+    [ "Ad1_dimension"; "Ad2_dimension"; "Ad_vals"; "B1_dimension"; "B2_dimension"; "B2_pos"; "B2_crd"; "B_vals" ];
+  Alcotest.(check string) "naming helpers" "B2_pos" (Lower.pos_var b 1);
+  Alcotest.(check string) "crd helper" "B2_crd" (Lower.crd_var b 1);
+  Alcotest.(check string) "dim helper" "B1_dimension" (Lower.dimension_var b 0);
+  Alcotest.(check string) "vals helper" "B_vals" (Lower.vals_var b)
+
+let test_imp_check_catches_undeclared () =
+  let k =
+    {
+      Imp.k_name = "bad";
+      k_params = [];
+      k_body = [ Imp.Assign ("x", Imp.Int_lit 1) ];
+    }
+  in
+  match Imp.check k with Error _ -> () | Ok () -> Alcotest.fail "expected check failure"
+
+let test_imp_smart_constructors () =
+  Alcotest.(check bool) "0+x" true (Imp.add (Imp.Int_lit 0) (Imp.Var "x") = Imp.Var "x");
+  Alcotest.(check bool) "x*1" true (Imp.mul (Imp.Var "x") (Imp.Int_lit 1) = Imp.Var "x");
+  Alcotest.(check bool) "0*x" true (Imp.mul (Imp.Int_lit 0) (Imp.Var "x") = Imp.Int_lit 0);
+  Alcotest.(check bool) "const fold" true (Imp.add (Imp.Int_lit 2) (Imp.Int_lit 3) = Imp.Int_lit 5)
+
+let test_strip_mining () =
+  (* Dense-result matmul with the j loop split by 4: the generated code
+     has the outer/inner loop pair with a bounds guard, and computes the
+     same values. *)
+  let s =
+    Cin.foralls [ vi; vk; vj ]
+      (Cin.accumulate (acc ad [ vi; vj ]) (Cin.Mul (av b [ vi; vk ], av dd [ vk; vj ])))
+  in
+  let info = Helpers.get (Lower.lower ~splits:[ (vj, 4) ] ~mode:Lower.Compute s) in
+  let src = C.emit info.Lower.kernel in
+  check_contains src
+    [ "for (int32_t j_o = 0;"; "for (int32_t j_i = 0; j_i < 4; j_i++)"; "if ((j <" ];
+  (* Same values as the unsplit kernel (dimension 6 is not a multiple of
+     4, exercising the guard). *)
+  let bt = Helpers.random_tensor 171 [| 5; 7 |] 0.4 Taco_tensor.Format.csr in
+  let dt = Helpers.random_tensor 172 [| 7; 6 |] 1.0 Taco_tensor.Format.dense_matrix in
+  let inputs = [ (b, bt); (dd, dt) ] in
+  let kern = Taco_exec.Kernel.prepare info in
+  let split_result = Taco_exec.Kernel.run_dense kern ~inputs ~dims:[| 5; 6 |] in
+  let oracle = Helpers.eval_cin s inputs in
+  Helpers.check_dense "strip-mined result" oracle (Taco_tensor.Tensor.to_dense split_result)
+
+let test_strip_mining_rejects_sparse () =
+  let avec = Helpers.dense_vec_tv "a" in
+  let s = Cin.foralls [ vi; vj ] (Cin.accumulate (acc avec [ vi ]) (av b [ vi; vj ])) in
+  let e = Helpers.get_err "sparse split" (Lower.lower ~splits:[ (vj, 8) ] ~mode:Lower.Compute s) in
+  Alcotest.(check bool) "mentions strip-mine" true (contains e "strip-mine")
+
+let test_strip_mining_bad_factor () =
+  let s = Cin.foralls [ vi; vj ] (Cin.assign (acc ad [ vi; vj ]) (av dd [ vi; vj ])) in
+  ignore (Helpers.get_err "bad factor" (Lower.lower ~splits:[ (vj, 0) ] ~mode:Lower.Compute s))
+
+let test_mixed_precision_workspace () =
+  (* §III: the workspace's component type can differ from operands and
+     result. Accumulating a long sum in a single-precision workspace
+     loses digits that a double workspace keeps. *)
+  let av = Helpers.dense_vec_tv "a" in
+  let w0 = Tensor_var.workspace "t" ~order:0 ~format:(Taco_tensor.Format.of_levels []) in
+  let s =
+    Cin.forall vi
+      (Cin.where
+         ~consumer:(Cin.assign (acc av [ vi ]) (Cin.Access (acc w0 [])))
+         ~producer:(Cin.forall vj (Cin.accumulate (acc w0 []) (av_e dd [ vi; vj ]))))
+  in
+  (* Values chosen so single-precision accumulation visibly drifts. *)
+  let n = 400 in
+  let d =
+    Taco_tensor.Dense.init [| 2; n |] (fun c ->
+        if c.(1) = 0 then 1e8 else 0.0625 +. (1e-4 *. float_of_int c.(1)))
+  in
+  let dt = Taco_tensor.Tensor.of_dense d Taco_tensor.Format.dense_matrix in
+  let run ~single =
+    let single_precision = if single then [ w0 ] else [] in
+    let info = Helpers.get (Lower.lower ~single_precision ~mode:Lower.Compute s) in
+    let kern = Taco_exec.Kernel.prepare info in
+    Taco_tensor.Tensor.vals (Taco_exec.Kernel.run_dense kern ~inputs:[ (dd, dt) ] ~dims:[| 2 |])
+  in
+  let double_result = (run ~single:false).(0) in
+  let single_result = (run ~single:true).(0) in
+  let exact = Taco_tensor.Dense.buffer d |> Array.to_list |> List.filteri (fun q _ -> q < n) |> List.fold_left ( +. ) 0. in
+  Alcotest.(check (float 1e-6)) "double accumulation is exact enough" exact double_result;
+  Alcotest.(check bool) "single accumulation drifts" true
+    (Float.abs (single_result -. exact) > Float.abs (double_result -. exact));
+  (* And the emitted C shows the rounding cast. *)
+  let info = Helpers.get (Lower.lower ~single_precision:[ w0 ] ~mode:Lower.Compute s) in
+  check_contains (C.emit info.Lower.kernel) [ "(double)(float)(" ]
+
+let test_two_results_rejected () =
+  let s =
+    Cin.forall vi
+      (Cin.sequence
+         (Cin.assign (acc (Helpers.dense_vec_tv "x") [ vi ]) (Cin.Literal 1.))
+         (Cin.assign (acc (Helpers.dense_vec_tv "y") [ vi ]) (Cin.Literal 2.)))
+  in
+  ignore (Helpers.get_err "two results" (Lower.lower ~mode:Lower.Compute s))
+
+let () =
+  ignore dd;
+  Alcotest.run "lower"
+    [
+      ( "merge_lattice",
+        [
+          Alcotest.test_case "multiplication intersects" `Quick test_lattice_mul;
+          Alcotest.test_case "addition unions" `Quick test_lattice_add;
+          Alcotest.test_case "sum of products" `Quick test_lattice_mixed;
+          Alcotest.test_case "dense operand in a union" `Quick test_lattice_dense_union;
+          Alcotest.test_case "dense operand in a product" `Quick test_lattice_dense_mul;
+          Alcotest.test_case "sub points" `Quick test_lattice_sub_points;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "scatter into sparse result" `Quick test_scatter_rejected;
+          Alcotest.test_case "loop order vs format order" `Quick test_wrong_loop_order_rejected;
+          Alcotest.test_case "two results" `Quick test_two_results_rejected;
+        ] );
+      ( "paper listings",
+        [
+          Alcotest.test_case "fig 1c dense-result matmul" `Quick test_fig1c_structure;
+          Alcotest.test_case "fig 4a merge loop" `Quick test_fig4a_merge_structure;
+          Alcotest.test_case "fig 5a union merge" `Quick test_fig5a_union_structure;
+          Alcotest.test_case "fig 5b memset hoisting" `Quick test_workspace_memset_hoisting;
+          Alcotest.test_case "fig 10 memset placement" `Quick test_workspace_memset_inside;
+          Alcotest.test_case "fig 8 assembly kernel" `Quick test_assembly_kernel_structure;
+          Alcotest.test_case "assembly-only kernels" `Quick test_assembly_only_kernel;
+          Alcotest.test_case "fig 7 csf tensor-vector" `Quick test_fig7_csf_structure;
+        ] );
+      ( "imp",
+        [
+          Alcotest.test_case "parameter naming" `Quick test_kernel_params;
+          Alcotest.test_case "check catches undeclared" `Quick test_imp_check_catches_undeclared;
+          Alcotest.test_case "smart constructors fold" `Quick test_imp_smart_constructors;
+        ] );
+      ( "mixed precision",
+        [ Alcotest.test_case "single vs double workspace" `Quick test_mixed_precision_workspace ] );
+      ( "strip mining",
+        [
+          Alcotest.test_case "splits dense loops" `Quick test_strip_mining;
+          Alcotest.test_case "rejects sparse loops" `Quick test_strip_mining_rejects_sparse;
+          Alcotest.test_case "rejects bad factors" `Quick test_strip_mining_bad_factor;
+        ] );
+    ]

@@ -1,0 +1,180 @@
+(* The pre-packaged operations library (Taco_ops). *)
+
+module F = Taco_tensor.Format
+module T = Taco_tensor.Tensor
+module D = Taco_tensor.Dense
+module Ops = Taco_ops.Ops
+
+let dense_oracle_matmul b c =
+  let bd = T.to_dense b and cd = T.to_dense c in
+  let m = (T.dims b).(0) and kk = (T.dims b).(1) and n = (T.dims c).(1) in
+  D.init [| m; n |] (fun coord ->
+      let acc = ref 0. in
+      for k = 0 to kk - 1 do
+        acc := !acc +. (D.get bd [| coord.(0); k |] *. D.get cd [| k; coord.(1) |])
+      done;
+      !acc)
+
+let test_matmul_sparse () =
+  let b = Helpers.random_tensor 401 [| 8; 9 |] 0.25 F.csr in
+  let c = Helpers.random_tensor 402 [| 9; 7 |] 0.25 F.csr in
+  let r = Helpers.get (Ops.matmul b c) in
+  Alcotest.(check bool) "sparse output by default" true
+    (F.equal (T.format r) F.csr);
+  Helpers.check_dense "values" (dense_oracle_matmul b c) (T.to_dense r)
+
+let test_matmul_dense () =
+  let b = T.of_dense (Taco_tensor.Gen.random_dense (Taco_support.Prng.create 403) [| 5; 6 |]) F.dense_matrix in
+  let c = T.of_dense (Taco_tensor.Gen.random_dense (Taco_support.Prng.create 404) [| 6; 4 |]) F.dense_matrix in
+  let r = Helpers.get (Ops.matmul b c) in
+  Alcotest.(check bool) "dense output" true (F.equal (T.format r) F.dense_matrix);
+  Helpers.check_dense "values" (dense_oracle_matmul b c) (T.to_dense r)
+
+let test_matmul_mixed_and_cache () =
+  (* Same formats twice: second call hits the kernel cache. *)
+  let b = Helpers.random_tensor 405 [| 6; 6 |] 0.3 F.csr in
+  let c = T.of_dense (Taco_tensor.Gen.random_dense (Taco_support.Prng.create 406) [| 6; 6 |]) F.dense_matrix in
+  let r1 = Helpers.get (Ops.matmul b c) in
+  let r2 = Helpers.get (Ops.matmul b c) in
+  Helpers.check_dense "repeat call" (T.to_dense r1) (T.to_dense r2)
+
+let test_matmul_dim_mismatch () =
+  let b = T.zero [| 3; 4 |] F.csr and c = T.zero [| 5; 3 |] F.csr in
+  match Ops.matmul b c with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dimension mismatch accepted"
+
+let test_add_and_mul () =
+  let b = Helpers.random_tensor 407 [| 7; 7 |] 0.3 F.csr in
+  let c = Helpers.random_tensor 408 [| 7; 7 |] 0.3 F.csr in
+  let sum = Helpers.get (Ops.add b c) in
+  Helpers.check_dense "add" (D.map2 ( +. ) (T.to_dense b) (T.to_dense c)) (T.to_dense sum);
+  let prod = Helpers.get (Ops.mul b c) in
+  Helpers.check_dense "hadamard" (D.map2 ( *. ) (T.to_dense b) (T.to_dense c)) (T.to_dense prod)
+
+let test_spmv () =
+  let b = Helpers.random_tensor 409 [| 9; 6 |] 0.3 F.csr in
+  let x = Helpers.random_tensor 410 [| 6 |] 1.0 F.dense_vector in
+  let y = Helpers.get (Ops.spmv b x) in
+  let expected =
+    D.init [| 9 |] (fun c ->
+        let acc = ref 0. in
+        for j = 0 to 5 do
+          acc := !acc +. (T.get b [| c.(0); j |] *. T.get x [| j |])
+        done;
+        !acc)
+  in
+  Helpers.check_dense "spmv" expected (T.to_dense y)
+
+let test_scale () =
+  let b = Helpers.random_tensor 411 [| 5; 5 |] 0.4 F.csr in
+  let r = Helpers.get (Ops.scale 2.5 b) in
+  Alcotest.(check bool) "format preserved" true (F.equal (T.format r) F.csr);
+  let expected = D.map2 (fun v _ -> 2.5 *. v) (T.to_dense b) (T.to_dense b) in
+  Helpers.check_dense "scaled" expected (T.to_dense r)
+
+let test_inner () =
+  let a = Helpers.random_tensor 412 [| 6; 7 |] 0.4 F.csr in
+  let b = Helpers.random_tensor 413 [| 6; 7 |] 0.4 F.csr in
+  let got = Helpers.get (Ops.inner a b) in
+  let expected = ref 0. in
+  D.iteri (fun c v -> expected := !expected +. (v *. D.get (T.to_dense b) c)) (T.to_dense a);
+  Alcotest.(check (float 1e-9)) "inner product" !expected got
+
+let test_inner_vectors () =
+  let a = Helpers.random_tensor 414 [| 40 |] 0.3 F.sparse_vector in
+  let b = Helpers.random_tensor 415 [| 40 |] 0.3 F.sparse_vector in
+  let got = Helpers.get (Ops.inner a b) in
+  let expected = ref 0. in
+  D.iteri (fun c v -> expected := !expected +. (v *. D.get (T.to_dense b) c)) (T.to_dense a);
+  Alcotest.(check (float 1e-9)) "sparse-sparse dot" !expected got
+
+let test_mttkrp () =
+  let x = Helpers.random_tensor 416 [| 6; 5; 7 |] 0.1 (F.csf 3) in
+  let c = T.of_dense (Taco_tensor.Gen.random_dense (Taco_support.Prng.create 417) [| 7; 4 |]) F.dense_matrix in
+  let d = T.of_dense (Taco_tensor.Gen.random_dense (Taco_support.Prng.create 418) [| 5; 4 |]) F.dense_matrix in
+  let r = Helpers.get (Ops.mttkrp x c d) in
+  let oracle = Taco_kernels.Mttkrp.reference x (T.to_dense c) (T.to_dense d) in
+  Helpers.check_dense "mttkrp" oracle (T.to_dense r)
+
+let test_sddmm () =
+  let b = Helpers.random_tensor 419 [| 8; 9 |] 0.2 F.csr in
+  let c = T.of_dense (Taco_tensor.Gen.random_dense (Taco_support.Prng.create 420) [| 8; 5 |]) F.dense_matrix in
+  let d = T.of_dense (Taco_tensor.Gen.random_dense (Taco_support.Prng.create 421) [| 5; 9 |]) F.dense_matrix in
+  let r = Helpers.get (Ops.sddmm b c d) in
+  Alcotest.(check bool) "sparse output" true (F.equal (T.format r) F.csr);
+  let cd = T.to_dense c and dd = T.to_dense d in
+  let expected =
+    D.init [| 8; 9 |] (fun coord ->
+        let bv = T.get b [| coord.(0); coord.(1) |] in
+        if bv = 0. then 0.
+        else begin
+          let acc = ref 0. in
+          for k = 0 to 4 do
+            acc := !acc +. (D.get cd [| coord.(0); k |] *. D.get dd [| k; coord.(1) |])
+          done;
+          bv *. !acc
+        end)
+  in
+  Helpers.check_dense "sddmm values" expected (T.to_dense r)
+
+let test_transpose () =
+  let b = Helpers.random_tensor 422 [| 4; 7 |] 0.3 F.csr in
+  let bt = Ops.transpose b in
+  Alcotest.(check (array int)) "dims swapped" [| 7; 4 |] (T.dims bt);
+  D.iteri
+    (fun c v ->
+      if T.get bt [| c.(1); c.(0) |] <> v then Alcotest.fail "transpose value mismatch")
+    (T.to_dense b)
+
+let test_chained_expression () =
+  (* (B·C + D)ᵀ·x through the ops API. *)
+  let b = Helpers.random_tensor 423 [| 6; 6 |] 0.3 F.csr in
+  let c = Helpers.random_tensor 424 [| 6; 6 |] 0.3 F.csr in
+  let d = Helpers.random_tensor 425 [| 6; 6 |] 0.3 F.csr in
+  let x = Helpers.random_tensor 426 [| 6 |] 1.0 F.dense_vector in
+  let bc = Helpers.get (Ops.matmul b c) in
+  let s = Helpers.get (Ops.add bc d) in
+  let st = Ops.transpose s in
+  let y = Helpers.get (Ops.spmv st x) in
+  (* oracle *)
+  let sd = D.map2 ( +. ) (dense_oracle_matmul b c) (T.to_dense d) in
+  let expected =
+    D.init [| 6 |] (fun cc ->
+        let acc = ref 0. in
+        for i = 0 to 5 do
+          acc := !acc +. (D.get sd [| i; cc.(0) |] *. T.get x [| i |])
+        done;
+        !acc)
+  in
+  Helpers.check_dense "chained expression" expected (T.to_dense y)
+
+let () =
+  Alcotest.run "ops"
+    [
+      ( "matmul",
+        [
+          Alcotest.test_case "sparse" `Quick test_matmul_sparse;
+          Alcotest.test_case "dense" `Quick test_matmul_dense;
+          Alcotest.test_case "mixed + cache" `Quick test_matmul_mixed_and_cache;
+          Alcotest.test_case "dimension mismatch" `Quick test_matmul_dim_mismatch;
+        ] );
+      ( "elementwise",
+        [
+          Alcotest.test_case "add and hadamard" `Quick test_add_and_mul;
+          Alcotest.test_case "scale" `Quick test_scale;
+        ] );
+      ( "contractions",
+        [
+          Alcotest.test_case "spmv" `Quick test_spmv;
+          Alcotest.test_case "inner (matrices)" `Quick test_inner;
+          Alcotest.test_case "inner (sparse vectors)" `Quick test_inner_vectors;
+          Alcotest.test_case "mttkrp" `Quick test_mttkrp;
+          Alcotest.test_case "sddmm" `Quick test_sddmm;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "chained expression" `Quick test_chained_expression;
+        ] );
+    ]

@@ -1,0 +1,324 @@
+open Taco_ir
+open Taco_ir.Var
+module F = Taco_tensor.Format
+
+let vi = Helpers.vi and vj = Helpers.vj and vk = Helpers.vk
+
+let a = Helpers.csr_tv "A"
+let b = Helpers.csr_tv "B"
+let c = Helpers.csr_tv "C"
+let ad = Helpers.dense_mat_tv "Ad"
+let w = Helpers.ws_vec "w"
+
+let acc = Cin.access
+
+let matmul vars =
+  Cin.foralls vars
+    (Cin.accumulate (acc ad [ vi; vj ])
+       (Cin.Mul (Cin.Access (acc b [ vi; vk ]), Cin.Access (acc c [ vk; vj ]))))
+
+let inputs seed =
+  [
+    (b, Helpers.random_tensor seed [| 4; 5 |] 0.4 F.csr);
+    (c, Helpers.random_tensor (seed + 1) [| 5; 3 |] 0.4 F.csr);
+  ]
+
+(* Check that a transformation preserves the reference semantics. *)
+let preserves name before after ins =
+  Helpers.check_dense name (Helpers.eval_cin before ins) (Helpers.eval_cin after ins)
+
+let test_exchange_semantics () =
+  let before = matmul [ vi; vj; vk ] in
+  let after = Helpers.get (Reorder.exchange_foralls before) in
+  (match after with
+  | Cin.Forall (v1, Cin.Forall (v2, _)) ->
+      Alcotest.(check bool) "outer is j" true (Index_var.equal v1 vj);
+      Alcotest.(check bool) "inner is i" true (Index_var.equal v2 vi)
+  | _ -> Alcotest.fail "shape");
+  preserves "exchange" before after (inputs 41)
+
+let test_exchange_rejects_sequence () =
+  let seq =
+    Cin.foralls [ vi; vj ]
+      (Cin.sequence
+         (Cin.assign (acc ad [ vi; vj ]) (Cin.Access (acc b [ vi; vj ])))
+         (Cin.accumulate (acc ad [ vi; vj ]) (Cin.Access (acc c [ vi; vj ]))))
+  in
+  ignore (Helpers.get_err "sequence inside" (Reorder.exchange_foralls seq))
+
+let test_exchange_rejects_non_nest () =
+  ignore
+    (Helpers.get_err "not a nest"
+       (Reorder.exchange_foralls (Cin.forall vi (Cin.assign (acc w [ vi ]) (Cin.Literal 1.)))))
+
+(* ∀i ((∀j consumer) where producer(i)) where producer does not use j. *)
+let hoistable =
+  Cin.forall vi
+    (Cin.forall vj
+       (Cin.where
+          ~consumer:(Cin.accumulate (acc ad [ vi; vj ]) (Cin.Access (acc w [ vi ])))
+          ~producer:(Cin.accumulate (acc w [ vi ]) (Cin.Access (acc b [ vi; vi ])))))
+
+let test_hoist_producer () =
+  (* Inner statement: ∀j (S1 where S2), S2 independent of j. *)
+  let inner =
+    match hoistable with Cin.Forall (_, s) -> s | _ -> assert false
+  in
+  let hoisted = Helpers.get (Reorder.hoist_producer inner) in
+  (match hoisted with
+  | Cin.Where (Cin.Forall (v, _), _) ->
+      Alcotest.(check bool) "forall moved to consumer" true (Index_var.equal v vj)
+  | _ -> Alcotest.fail "shape");
+  let before = Cin.forall vi inner and after = Cin.forall vi hoisted in
+  let square = [ (b, Helpers.random_tensor 43 [| 4; 4 |] 0.5 F.csr) ] in
+  (* Ad ranges need j: bind Ad's dims via c too... use b only; j ranges over Ad? *)
+  ignore square;
+  let ins =
+    [ (b, Helpers.random_tensor 43 [| 4; 4 |] 0.5 F.csr);
+      (ad, Taco_tensor.Tensor.zero [| 4; 4 |] F.dense_matrix) ]
+  in
+  preserves "hoist" before after ins
+
+let test_hoist_rejects_dependent_producer () =
+  let s =
+    Cin.forall vj
+      (Cin.where
+         ~consumer:(Cin.accumulate (acc ad [ vj; vj ]) (Cin.Access (acc w [ vj ])))
+         ~producer:(Cin.assign (acc w [ vj ]) (Cin.Literal 1.)))
+  in
+  ignore (Helpers.get_err "producer uses j" (Reorder.hoist_producer s))
+
+let test_sink_inverts_hoist () =
+  let inner =
+    match hoistable with Cin.Forall (_, s) -> s | _ -> assert false
+  in
+  let hoisted = Helpers.get (Reorder.hoist_producer inner) in
+  let back = Helpers.get (Reorder.sink_forall hoisted) in
+  Alcotest.(check bool) "sink . hoist = id" true (Cin.equal_stmt inner back)
+
+let split_fuse_subject =
+  (* ∀j (A(i=const? ...)) — use ∀i∀j (consumer where producer) with
+     assignment producer so split applies. *)
+  Cin.forall vj
+    (Cin.where
+       ~consumer:(Cin.assign (acc ad [ vj; vj ]) (Cin.Access (acc w [ vj ])))
+       ~producer:(Cin.assign (acc w [ vj ]) (Cin.Access (acc b [ vj; vj ]))))
+
+let test_split_forall () =
+  let split = Helpers.get (Reorder.split_forall split_fuse_subject) in
+  (match split with
+  | Cin.Where (Cin.Forall (_, _), Cin.Forall (_, _)) -> ()
+  | _ -> Alcotest.fail "shape");
+  let ins =
+    [ (b, Helpers.random_tensor 44 [| 5; 5 |] 0.5 F.csr);
+      (ad, Taco_tensor.Tensor.zero [| 5; 5 |] F.dense_matrix) ]
+  in
+  preserves "split" split_fuse_subject split ins
+
+let test_split_rejects_accumulating_producer () =
+  let s =
+    Cin.forall vj
+      (Cin.where
+         ~consumer:(Cin.assign (acc ad [ vj; vj ]) (Cin.Access (acc w [ vj ])))
+         ~producer:(Cin.accumulate (acc w [ vj ]) (Cin.Access (acc b [ vj; vj ]))))
+  in
+  ignore (Helpers.get_err "accumulating producer" (Reorder.split_forall s))
+
+let test_fuse_inverts_split () =
+  let split = Helpers.get (Reorder.split_forall split_fuse_subject) in
+  let fused = Helpers.get (Reorder.fuse_forall split) in
+  Alcotest.(check bool) "fuse . split = id" true
+    (Cin.equal_stmt split_fuse_subject fused)
+
+let test_fuse_rejects_different_vars () =
+  let s =
+    Cin.where
+      ~consumer:(Cin.forall vi (Cin.assign (acc ad [ vi; vi ]) (Cin.Access (acc w [ vi ]))))
+      ~producer:(Cin.forall vj (Cin.assign (acc w [ vj ]) (Cin.Literal 1.)))
+  in
+  ignore (Helpers.get_err "different vars" (Reorder.fuse_forall s))
+
+let v_ws = Tensor_var.workspace "v" ~order:1 ~format:F.dense_vector
+
+let nested_wheres =
+  (* (S1 where S2) where S3 with S1 = A += w, S2 = w += v*B, S3 = v = C. *)
+  Cin.forall vi
+    (Cin.forall vj
+       (Cin.where
+          ~consumer:
+            (Cin.where
+               ~consumer:(Cin.accumulate (acc ad [ vi; vj ]) (Cin.Access (acc w [ vj ])))
+               ~producer:
+                 (Cin.accumulate (acc w [ vj ])
+                    (Cin.Mul (Cin.Access (acc v_ws [ vj ]), Cin.Access (acc b [ vi; vj ])))))
+          ~producer:(Cin.assign (acc v_ws [ vj ]) (Cin.Access (acc c [ vi; vj ])))))
+
+let test_where_reassoc () =
+  let inner2 =
+    match nested_wheres with
+    | Cin.Forall (_, Cin.Forall (_, s)) -> s
+    | _ -> assert false
+  in
+  let re = Helpers.get (Reorder.where_reassoc inner2) in
+  (match re with
+  | Cin.Where (Cin.Assignment _, Cin.Where (_, _)) -> ()
+  | _ -> Alcotest.fail "shape");
+  let before = Cin.foralls [ vi; vj ] inner2 in
+  let after = Cin.foralls [ vi; vj ] re in
+  let ins =
+    [ (b, Helpers.random_tensor 45 [| 4; 4 |] 0.5 F.csr);
+      (c, Helpers.random_tensor 46 [| 4; 4 |] 0.5 F.csr) ]
+  in
+  preserves "reassoc" before after ins;
+  (* and back *)
+  let back = Helpers.get (Reorder.where_unassoc re) in
+  Alcotest.(check bool) "unassoc inverts" true (Cin.equal_stmt inner2 back)
+
+let test_where_reassoc_rejects_dependency () =
+  (* S1 reads the tensor S3 writes. *)
+  let s =
+    Cin.where
+      ~consumer:
+        (Cin.where
+           ~consumer:(Cin.accumulate (acc ad [ vi; vi ]) (Cin.Access (acc v_ws [ vi ])))
+           ~producer:(Cin.accumulate (acc w [ vi ]) (Cin.Access (acc v_ws [ vi ]))))
+      ~producer:(Cin.assign (acc v_ws [ vi ]) (Cin.Literal 1.))
+  in
+  ignore (Helpers.get_err "dependency" (Reorder.where_reassoc (Cin.forall vi s |> function Cin.Forall (_, x) -> x | _ -> assert false)))
+
+let test_where_swap () =
+  let inner2 =
+    match nested_wheres with
+    | Cin.Forall (_, Cin.Forall (_, s)) -> s
+    | _ -> assert false
+  in
+  (* S2 reads v (written by S3): swap must be rejected. *)
+  ignore (Helpers.get_err "S2 reads S3's tensor" (Reorder.where_swap inner2));
+  (* Independent producers swap fine. *)
+  let s =
+    Cin.where
+      ~consumer:
+        (Cin.where
+           ~consumer:
+             (Cin.accumulate (acc ad [ vi; vi ])
+                (Cin.Mul (Cin.Access (acc w [ vi ]), Cin.Access (acc v_ws [ vi ]))))
+           ~producer:(Cin.assign (acc w [ vi ]) (Cin.Access (acc b [ vi; vi ]))))
+      ~producer:(Cin.assign (acc v_ws [ vi ]) (Cin.Access (acc c [ vi; vi ])))
+  in
+  let swapped = Helpers.get (Reorder.where_swap s) in
+  let before = Cin.forall vi s and after = Cin.forall vi swapped in
+  let ins =
+    [ (b, Helpers.random_tensor 47 [| 4; 4 |] 0.5 F.csr);
+      (c, Helpers.random_tensor 48 [| 4; 4 |] 0.5 F.csr) ]
+  in
+  preserves "swap" before after ins
+
+let test_user_reorder () =
+  let before = matmul [ vi; vj; vk ] in
+  let after = Helpers.get (Reorder.reorder vk vj before) in
+  (match Cin.peel_foralls after with
+  | [ v1; v2; v3 ], _ ->
+      Alcotest.(check (list string)) "ikj order" [ "i"; "k"; "j" ]
+        (List.map Index_var.name [ v1; v2; v3 ])
+  | _ -> Alcotest.fail "shape");
+  preserves "reorder k j" before after (inputs 49)
+
+let test_user_reorder_inside_where () =
+  (* The nest to reorder lives in the producer of a where. *)
+  let s =
+    Cin.forall vi
+      (Cin.where
+         ~consumer:(Cin.forall vj (Cin.assign (acc a [ vi; vj ]) (Cin.Access (acc w [ vj ]))))
+         ~producer:
+           (Cin.foralls [ vk; vj ]
+              (Cin.accumulate (acc w [ vj ])
+                 (Cin.Mul (Cin.Access (acc b [ vi; vk ]), Cin.Access (acc c [ vk; vj ]))))))
+  in
+  let after = Helpers.get (Reorder.reorder vk vj s) in
+  Alcotest.(check bool) "something changed" false (Cin.equal_stmt s after);
+  preserves "reorder in producer" s after (inputs 50)
+
+let test_user_reorder_missing_var () =
+  let before = matmul [ vi; vj; vk ] in
+  ignore (Helpers.get_err "missing var" (Reorder.reorder vi Helpers.vl before))
+
+let prop_exchange_random_matrices =
+  Helpers.qcheck_case ~count:25 "forall exchange preserves semantics on random inputs"
+    QCheck.(0 -- 10000)
+    (fun seed ->
+      let before = matmul [ vi; vj; vk ] in
+      let after = Helpers.get (Reorder.reorder vi vk before) in
+      let ins = inputs seed in
+      Taco_tensor.Dense.equal ~eps:1e-9
+        (Helpers.eval_cin before ins) (Helpers.eval_cin after ins))
+
+(* Random sequences of legal reorders on the 4-deep MTTKRP nest keep the
+   reference semantics. *)
+let prop_reorder_sequences =
+  let b3 = Tensor_var.make "B3" ~order:3 ~format:(Taco_tensor.Format.csf 3) in
+  let acc = Cin.access in
+  let mttkrp =
+    Cin.foralls [ vi; vj; vk; Helpers.vl ]
+      (Cin.accumulate (acc ad [ vi; vj ])
+         (Cin.Mul
+            ( Cin.Mul (Cin.Access (acc b3 [ vi; vk; Helpers.vl ]), Cin.Access (acc b [ Helpers.vl; vj ])),
+              Cin.Access (acc c [ vk; vj ]) )))
+  in
+  Helpers.qcheck_case ~count:25 "random reorder sequences preserve semantics"
+    QCheck.(pair (0 -- 10000) (list_of_size Gen.(1 -- 4) (pair (0 -- 3) (0 -- 3))))
+    (fun (seed, swaps) ->
+      let vars = [| vi; vj; vk; Helpers.vl |] in
+      let after =
+        List.fold_left
+          (fun s (a, b) ->
+            if a = b then s
+            else match Reorder.reorder vars.(a) vars.(b) s with Ok s' -> s' | Error _ -> s)
+          mttkrp swaps
+      in
+      let ins =
+        [
+          (b3, Helpers.random_tensor seed [| 4; 5; 6 |] 0.15 (Taco_tensor.Format.csf 3));
+          (b, Helpers.random_tensor (seed + 1) [| 6; 3 |] 0.5 Taco_tensor.Format.csr);
+          (c, Helpers.random_tensor (seed + 2) [| 5; 3 |] 0.5 Taco_tensor.Format.csr);
+        ]
+      in
+      Taco_tensor.Dense.equal ~eps:1e-9 (Helpers.eval_cin mttkrp ins)
+        (Helpers.eval_cin after ins))
+
+let () =
+  Alcotest.run "reorder"
+    [
+      ( "exchange",
+        [
+          Alcotest.test_case "swaps and preserves semantics" `Quick test_exchange_semantics;
+          Alcotest.test_case "rejects sequences" `Quick test_exchange_rejects_sequence;
+          Alcotest.test_case "rejects non-nests" `Quick test_exchange_rejects_non_nest;
+          prop_exchange_random_matrices;
+          prop_reorder_sequences;
+        ] );
+      ( "hoist/sink",
+        [
+          Alcotest.test_case "hoists invariant producers" `Quick test_hoist_producer;
+          Alcotest.test_case "rejects dependent producers" `Quick test_hoist_rejects_dependent_producer;
+          Alcotest.test_case "sink inverts hoist" `Quick test_sink_inverts_hoist;
+        ] );
+      ( "split/fuse",
+        [
+          Alcotest.test_case "splits foralls into both sides" `Quick test_split_forall;
+          Alcotest.test_case "rejects accumulating producers" `Quick test_split_rejects_accumulating_producer;
+          Alcotest.test_case "fuse inverts split" `Quick test_fuse_inverts_split;
+          Alcotest.test_case "fuse rejects different vars" `Quick test_fuse_rejects_different_vars;
+        ] );
+      ( "where",
+        [
+          Alcotest.test_case "reassociation" `Quick test_where_reassoc;
+          Alcotest.test_case "reassociation dependency check" `Quick test_where_reassoc_rejects_dependency;
+          Alcotest.test_case "swap" `Quick test_where_swap;
+        ] );
+      ( "user reorder",
+        [
+          Alcotest.test_case "matmul k,j" `Quick test_user_reorder;
+          Alcotest.test_case "inside a where producer" `Quick test_user_reorder_inside_where;
+          Alcotest.test_case "missing variable" `Quick test_user_reorder_missing_var;
+        ] );
+    ]

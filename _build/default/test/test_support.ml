@@ -1,0 +1,167 @@
+module Dyn = Taco_support.Dyn_array
+module Prng = Taco_support.Prng
+module Util = Taco_support.Util
+
+let test_dyn_int_push () =
+  let t = Dyn.Int.create () in
+  for x = 0 to 99 do
+    Dyn.Int.push t x
+  done;
+  Alcotest.(check int) "length" 100 (Dyn.Int.length t);
+  Alcotest.(check int) "get 42" 42 (Dyn.Int.get t 42);
+  Alcotest.(check (array int)) "to_array" (Array.init 100 Fun.id) (Dyn.Int.to_array t)
+
+let test_dyn_int_ensure () =
+  let t = Dyn.Int.create () in
+  Dyn.Int.push t 7;
+  Dyn.Int.ensure t 5;
+  Alcotest.(check int) "length after ensure" 5 (Dyn.Int.length t);
+  Alcotest.(check (array int)) "zero fill" [| 7; 0; 0; 0; 0 |] (Dyn.Int.to_array t);
+  Dyn.Int.ensure t 3;
+  Alcotest.(check int) "ensure never shrinks" 5 (Dyn.Int.length t)
+
+let test_dyn_int_bounds () =
+  let t = Dyn.Int.create () in
+  Dyn.Int.push t 1;
+  Alcotest.check_raises "get out of range" (Invalid_argument "Dyn_array.Int.get")
+    (fun () -> ignore (Dyn.Int.get t 1));
+  Alcotest.check_raises "set out of range" (Invalid_argument "Dyn_array.Int.set")
+    (fun () -> Dyn.Int.set t 3 0)
+
+let test_dyn_int_sort () =
+  let t = Dyn.Int.of_array [| 5; 3; 9; 1 |] in
+  Dyn.Int.sort t;
+  Alcotest.(check (array int)) "sorted" [| 1; 3; 5; 9 |] (Dyn.Int.to_array t)
+
+let test_dyn_float_roundtrip () =
+  let t = Dyn.Float.of_array [| 1.5; -2.25 |] in
+  Dyn.Float.push t 3.75;
+  Alcotest.(check (array (float 0.))) "roundtrip" [| 1.5; -2.25; 3.75 |]
+    (Dyn.Float.to_array t);
+  Dyn.Float.clear t;
+  Alcotest.(check int) "cleared" 0 (Dyn.Float.length t)
+
+let test_prng_deterministic () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_bounds () =
+  let p = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Prng.int p 7 in
+    if x < 0 || x >= 7 then Alcotest.fail "int out of bounds";
+    let f = Prng.float p in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of bounds"
+  done
+
+let test_prng_split_independent () =
+  let p = Prng.create 9 in
+  let q = Prng.split p in
+  let a1 = Prng.int p 1000000 in
+  let b1 = Prng.int q 1000000 in
+  Alcotest.(check bool) "streams differ" true (a1 <> b1 || Prng.int p 1000000 <> Prng.int q 1000000)
+
+let test_sample_without_replacement () =
+  let p = Prng.create 11 in
+  let s = Prng.sample_without_replacement p ~n:100 ~k:30 in
+  Alcotest.(check int) "size" 30 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "already sorted" sorted s;
+  let distinct = List.sort_uniq compare (Array.to_list s) in
+  Alcotest.(check int) "distinct" 30 (List.length distinct);
+  Array.iter (fun x -> if x < 0 || x >= 100 then Alcotest.fail "out of range") s
+
+let test_sample_full_range () =
+  let p = Prng.create 13 in
+  let s = Prng.sample_without_replacement p ~n:10 ~k:10 in
+  Alcotest.(check (array int)) "k = n takes everything" (Array.init 10 Fun.id) s
+
+let test_binary_search () =
+  let a = [| 1; 3; 5; 7; 9; 11 |] in
+  Alcotest.(check (option int)) "found" (Some 2) (Util.binary_search a 0 6 5);
+  Alcotest.(check (option int)) "absent" None (Util.binary_search a 0 6 6);
+  Alcotest.(check (option int)) "outside slice" None (Util.binary_search a 0 2 5);
+  Alcotest.(check (option int)) "in slice" (Some 4) (Util.binary_search a 3 6 9)
+
+let test_lower_bound () =
+  let a = [| 2; 4; 4; 8 |] in
+  Alcotest.(check int) "before" 0 (Util.lower_bound a 0 4 1);
+  Alcotest.(check int) "first equal" 1 (Util.lower_bound a 0 4 4);
+  Alcotest.(check int) "between" 3 (Util.lower_bound a 0 4 5);
+  Alcotest.(check int) "after" 4 (Util.lower_bound a 0 4 100)
+
+let test_sort_paired () =
+  let keys = [| 9; 3; 7; 1 |] and payload = [| 9.; 3.; 7.; 1. |] in
+  Util.sort_paired keys payload 0 4;
+  Alcotest.(check (array int)) "keys" [| 1; 3; 7; 9 |] keys;
+  Alcotest.(check (array (float 0.))) "payload follows" [| 1.; 3.; 7.; 9. |] payload
+
+let test_sort_paired_slice () =
+  let keys = [| 9; 3; 7; 1 |] and payload = [| 9.; 3.; 7.; 1. |] in
+  Util.sort_paired keys payload 1 3;
+  Alcotest.(check (array int)) "only the slice" [| 9; 3; 7; 1 |] keys
+
+let test_median () =
+  Alcotest.(check (float 0.)) "odd" 3. (Util.median [ 5.; 1.; 3. ]);
+  Alcotest.(check (float 0.)) "even" 2.5 (Util.median [ 4.; 1.; 2.; 3. ])
+
+let test_dedup_subsets () =
+  Alcotest.(check (list int)) "dedup keeps order" [ 3; 1; 2 ]
+    (Util.dedup_stable [ 3; 1; 3; 2; 1 ]);
+  Alcotest.(check int) "subset count" 8 (List.length (Util.subsets [ 1; 2; 3 ]))
+
+let prop_binary_search_agrees =
+  Helpers.qcheck_case "binary_search agrees with linear search"
+    QCheck.(pair (list_of_size Gen.(1 -- 30) (0 -- 50)) (0 -- 50))
+    (fun (xs, x) ->
+      let a = Array.of_list (List.sort_uniq compare xs) in
+      let n = Array.length a in
+      let expected = Array.exists (( = ) x) a in
+      let got = Util.binary_search a 0 n x <> None in
+      expected = got)
+
+let prop_sample_distinct =
+  Helpers.qcheck_case "sample_without_replacement yields distinct sorted values"
+    QCheck.(pair (1 -- 200) (0 -- 200))
+    (fun (n, seed) ->
+      let p = Prng.create seed in
+      let k = min n (1 + (seed mod n)) in
+      let s = Prng.sample_without_replacement p ~n ~k in
+      Array.length s = k
+      && List.length (List.sort_uniq compare (Array.to_list s)) = k
+      && Array.for_all (fun x -> x >= 0 && x < n) s)
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "dyn_array",
+        [
+          Alcotest.test_case "int push/get/to_array" `Quick test_dyn_int_push;
+          Alcotest.test_case "int ensure zero-fills" `Quick test_dyn_int_ensure;
+          Alcotest.test_case "int bounds checking" `Quick test_dyn_int_bounds;
+          Alcotest.test_case "int sort" `Quick test_dyn_int_sort;
+          Alcotest.test_case "float roundtrip and clear" `Quick test_dyn_float_roundtrip;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic per seed" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounded outputs" `Quick test_prng_bounds;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "floyd sampling" `Quick test_sample_without_replacement;
+          Alcotest.test_case "sampling the full range" `Quick test_sample_full_range;
+          prop_sample_distinct;
+        ] );
+      ( "util",
+        [
+          Alcotest.test_case "binary_search" `Quick test_binary_search;
+          Alcotest.test_case "lower_bound" `Quick test_lower_bound;
+          Alcotest.test_case "sort_paired" `Quick test_sort_paired;
+          Alcotest.test_case "sort_paired slice only" `Quick test_sort_paired_slice;
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "dedup and subsets" `Quick test_dedup_subsets;
+          prop_binary_search_agrees;
+        ] );
+    ]
