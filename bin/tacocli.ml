@@ -23,6 +23,10 @@ let die fmt = Printf.ksprintf (fun s -> prerr_endline ("tacocli: " ^ s); exit 1)
 
 let get = function Ok v -> v | Error e -> die "%s" e
 
+let getd = function
+  | Ok v -> v
+  | Error d -> die "%s" (Taco_support.Diag.to_string d)
+
 (* ------------------------------------------------------------------ *)
 (* Pre-scan the expression for tensor names and orders.                *)
 (* ------------------------------------------------------------------ *)
@@ -103,7 +107,7 @@ let run_cli expr_str formats dims density seed reorders precomputes split_specs 
         (name, Tensor_var.make name ~order ~format:(parse_format name order fmt_spec)))
       names
   in
-  let stmt = get (P.parse_statement ~tensors expr_str) in
+  let stmt = getd (P.parse_statement ~tensors expr_str) in
   Printf.printf "statement:   %s\n" (Index_notation.to_string stmt);
   let sched = ref (get (Schedule.of_index_notation stmt)) in
   (* Manual schedule commands. *)
@@ -118,7 +122,7 @@ let run_cli expr_str formats dims density seed reorders precomputes split_specs 
     (fun q spec ->
       match String.split_on_char '|' spec with
       | [ e; vars; ws ] ->
-          let e = get (P.parse_expr ~tensors e) in
+          let e = getd (P.parse_expr ~tensors e) in
           let e = get (Schedule.expr_of_index_notation e) in
           let over = List.map (fun v -> ivar (String.trim v)) (String.split_on_char ',' vars) in
           let w =
@@ -142,13 +146,14 @@ let run_cli expr_str formats dims density seed reorders precomputes split_specs 
      nothing manual was given). *)
   let compiled, steps =
     if auto then
-      let c, steps = get (auto_compile !sched) in
+      let c, steps = getd (auto_compile !sched) in
       (c, steps)
     else
       match compile ~splits !sched with
       | Ok c -> (c, [])
       | Error e ->
-          die "%s\n(hint: pass --auto to search for a schedule automatically)" e
+          die "%s\n(hint: pass --auto to search for a schedule automatically)"
+            (Taco_support.Diag.to_string e)
   in
   List.iter (fun s -> Printf.printf "auto:        %s\n" (Autoschedule.step_to_string s)) steps;
   Printf.printf "concrete:    %s\n" (cin_string compiled);
@@ -237,7 +242,7 @@ let run_cli expr_str formats dims density seed reorders precomputes split_specs 
           end)
         tensors
     in
-    let (result, elapsed) = Taco_support.Util.time (fun () -> get (run compiled ~inputs)) in
+    let (result, elapsed) = Taco_support.Util.time (fun () -> getd (run compiled ~inputs)) in
     Printf.printf "result %s: %s\n" result_name (Stdlib.Format.asprintf "%a" Tensor.pp result);
     if do_time then Printf.printf "time: %.6f s\n" elapsed
   end

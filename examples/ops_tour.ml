@@ -12,6 +12,10 @@ module Ops = Taco_ops.Ops
 
 let get = function Ok x -> x | Error e -> failwith e
 
+let getd = function
+  | Ok x -> x
+  | Error d -> failwith (Taco_support.Diag.to_string d)
+
 let () =
   let prng = Taco_support.Prng.create 7 in
 
@@ -38,8 +42,8 @@ let () =
 
   (* Round-trip through a Matrix Market file. *)
   let path = Filename.temp_file "ops_tour" ".mtx" in
-  Io.write_matrix_market path s;
-  let reread = Tensor.pack (get (Io.read_matrix_market path)) Format.csr in
+  getd (Io.write_matrix_market path s);
+  let reread = Tensor.pack (getd (Io.read_matrix_market path)) Format.csr in
   assert (Tensor.equal s reread);
   Printf.printf "matrix market round-trip through %s: ok\n\n" path;
   Sys.remove path;
@@ -55,7 +59,7 @@ let () =
          (Index_notation.Mul (Index_notation.access bv [ i; k ], Index_notation.access cv [ k; j ])))
   in
   let sched = get (Schedule.of_index_notation stmt) in
-  let compiled, steps = get (auto_compile sched) in
+  let compiled, steps = getd (auto_compile sched) in
   print_endline "autoscheduler on the raw SpGEMM statement:";
   List.iter (fun s -> Printf.printf "  %s\n" (Autoschedule.step_to_string s)) steps;
   Printf.printf "  final: %s\n" (cin_string compiled);

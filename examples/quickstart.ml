@@ -11,6 +11,10 @@ open Taco
 
 let get = function Ok x -> x | Error e -> failwith e
 
+let getd = function
+  | Ok x -> x
+  | Error d -> failwith (Taco_support.Diag.to_string d)
+
 let () =
   (* Create three square CSR matrices (Fig. 2 lines 2-4). *)
   let a = tensor "A" Format.csr in
@@ -19,7 +23,7 @@ let () =
 
   (* A sparse matrix multiplication in index notation (lines 7-9). *)
   let matmul =
-    get
+    getd
       (Taco_frontend.Parser.parse_statement
          ~tensors:[ ("A", a); ("B", b); ("C", c) ]
          "A(i,j) = sum(k, B(i,k) * C(k,j))")
@@ -37,7 +41,7 @@ let () =
   (* Precompute the product into a dense row workspace (lines 15-18). *)
   let row = workspace "w" Format.dense_vector in
   let mul =
-    get
+    getd
       (Taco_frontend.Parser.parse_expr
          ~tensors:[ ("B", b); ("C", c) ]
          "B(i,k) * C(k,j)")
@@ -48,7 +52,7 @@ let () =
   Printf.printf "precomputed:     %s\n\n" (Cin.to_string (Schedule.stmt sched));
 
   (* Compile (fused assembly + compute, like Fig. 1d + Fig. 8). *)
-  let compiled = get (compile ~name:"spgemm" sched) in
+  let compiled = getd (compile ~name:"spgemm" sched) in
   print_endline "generated C:";
   print_string (c_source compiled);
 
@@ -56,7 +60,7 @@ let () =
   let prng = Taco_support.Prng.create 42 in
   let bt = Gen.random prng ~dims:[| 4; 5 |] ~nnz:8 Format.csr in
   let ct = Gen.random prng ~dims:[| 5; 4 |] ~nnz:8 Format.csr in
-  let result = get (run compiled ~inputs:[ (b, bt); (c, ct) ]) in
+  let result = getd (run compiled ~inputs:[ (b, bt); (c, ct) ]) in
   Printf.printf "\nB: %s\nC: %s\nA = B*C: %s\n"
     (Stdlib.Format.asprintf "%a" Tensor.pp bt)
     (Stdlib.Format.asprintf "%a" Tensor.pp ct)

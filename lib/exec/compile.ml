@@ -1,4 +1,5 @@
 module Imp = Taco_lower.Imp
+module Diag = Taco_support.Diag
 
 type arg =
   | Aint of int
@@ -19,6 +20,7 @@ type slot = { s_dtype : Imp.dtype; s_array : bool; s_index : int }
 
 type compiled = {
   c_kernel : Imp.kernel;
+  c_checked : bool;
   slots : (string, slot) Hashtbl.t;
   n_ints : int;
   n_floats : int;
@@ -31,9 +33,27 @@ type compiled = {
 
 let kernel c = c.c_kernel
 
+let is_checked c = c.c_checked
+
 exception Type_error of string
 
 let terror fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+(* Compilation context: the slot table plus the checked-execution flag
+   and kernel name (so bounds diagnostics can name their kernel). *)
+type ctx = { slots : (string, slot) Hashtbl.t; checked : bool; kname : string }
+
+(* Raised by checked closures on an out-of-bounds array access. *)
+let oob ~ctx ~var ~index ~len =
+  Diag.fail ~stage:Diag.Execute ~code:"E_EXEC_BOUNDS"
+    ~context:
+      [
+        ("kernel", ctx.kname);
+        ("variable", var);
+        ("index", string_of_int index);
+        ("length", string_of_int len);
+      ]
+    "array access out of bounds: %s[%d] with %d elements" var index len
 
 (* ------------------------------------------------------------------ *)
 (* Slot assignment                                                     *)
@@ -78,8 +98,8 @@ let assign_slots (k : Imp.kernel) =
   List.iter scan k.k_body;
   (slots, counters)
 
-let find_slot slots v =
-  match Hashtbl.find_opt slots v with
+let find_slot ctx v =
+  match Hashtbl.find_opt ctx.slots v with
   | Some s -> s
   | None -> terror "unknown variable %s" v
 
@@ -87,9 +107,9 @@ let find_slot slots v =
 (* Typing                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let rec infer slots = function
+let rec infer ctx = function
   | Imp.Var v -> (
-      match Hashtbl.find_opt slots v with
+      match Hashtbl.find_opt ctx.slots v with
       | Some s when not s.s_array -> s.s_dtype
       | Some _ -> terror "array %s used as a scalar" v
       | None -> terror "unknown variable %s" v)
@@ -97,51 +117,58 @@ let rec infer slots = function
   | Imp.Float_lit _ -> Imp.Float
   | Imp.Bool_lit _ -> Imp.Bool
   | Imp.Load (a, _) -> (
-      match Hashtbl.find_opt slots a with
+      match Hashtbl.find_opt ctx.slots a with
       | Some s when s.s_array -> s.s_dtype
       | Some _ -> terror "scalar %s indexed as an array" a
       | None -> terror "unknown array %s" a)
   | Imp.Binop ((Imp.Add | Imp.Sub | Imp.Mul | Imp.Div | Imp.Min | Imp.Max), a, b) -> (
-      match (infer slots a, infer slots b) with
+      match (infer ctx a, infer ctx b) with
       | Imp.Int, Imp.Int -> Imp.Int
       | Imp.Float, Imp.Float -> Imp.Float
       | ta, tb ->
           if ta <> tb then terror "arithmetic on mixed types" else terror "arithmetic on bools")
   | Imp.Binop ((Imp.Eq | Imp.Ne | Imp.Lt | Imp.Le | Imp.Gt | Imp.Ge), a, b) ->
-      if infer slots a <> infer slots b then terror "comparison on mixed types" else Imp.Bool
+      if infer ctx a <> infer ctx b then terror "comparison on mixed types" else Imp.Bool
   | Imp.Binop ((Imp.And | Imp.Or), a, b) ->
-      if infer slots a <> Imp.Bool || infer slots b <> Imp.Bool then
+      if infer ctx a <> Imp.Bool || infer ctx b <> Imp.Bool then
         terror "logical operator on non-bool"
       else Imp.Bool
-  | Imp.Not e -> if infer slots e <> Imp.Bool then terror "not on non-bool" else Imp.Bool
+  | Imp.Not e -> if infer ctx e <> Imp.Bool then terror "not on non-bool" else Imp.Bool
   | Imp.Round_single e ->
-      if infer slots e <> Imp.Float then terror "round_single on non-float" else Imp.Float
+      if infer ctx e <> Imp.Float then terror "round_single on non-float" else Imp.Float
   | Imp.Ternary (c, a, b) ->
-      if infer slots c <> Imp.Bool then terror "ternary condition not bool"
+      if infer ctx c <> Imp.Bool then terror "ternary condition not bool"
       else
-        let ta = infer slots a in
-        if ta <> infer slots b then terror "ternary branches of mixed type" else ta
+        let ta = infer ctx a in
+        if ta <> infer ctx b then terror "ternary branches of mixed type" else ta
 
 (* ------------------------------------------------------------------ *)
 (* Expression compilation                                              *)
 (* ------------------------------------------------------------------ *)
 
-let rec cint slots (e : Imp.expr) : env -> int =
+let rec cint ctx (e : Imp.expr) : env -> int =
   match e with
   | Imp.Var v ->
-      let s = find_slot slots v in
+      let s = find_slot ctx v in
       if s.s_dtype <> Imp.Int || s.s_array then terror "expected int scalar %s" v;
       let i = s.s_index in
       fun env -> Array.unsafe_get env.ints i
   | Imp.Int_lit n -> fun _ -> n
   | Imp.Load (a, idx) ->
-      let s = find_slot slots a in
+      let s = find_slot ctx a in
       if s.s_dtype <> Imp.Int || not s.s_array then terror "expected int array %s" a;
       let i = s.s_index in
-      let cidx = cint slots idx in
-      fun env -> (Array.unsafe_get env.iarr i).(cidx env)
+      let cidx = cint ctx idx in
+      if ctx.checked then
+        fun env ->
+          let arr = Array.unsafe_get env.iarr i in
+          let k = cidx env in
+          if k < 0 || k >= Array.length arr then
+            oob ~ctx ~var:a ~index:k ~len:(Array.length arr);
+          Array.unsafe_get arr k
+      else fun env -> (Array.unsafe_get env.iarr i).(cidx env)
   | Imp.Binop (op, a, b) -> (
-      let ca = cint slots a and cb = cint slots b in
+      let ca = cint ctx a and cb = cint ctx b in
       match op with
       | Imp.Add -> fun env -> ca env + cb env
       | Imp.Sub -> fun env -> ca env - cb env
@@ -152,27 +179,34 @@ let rec cint slots (e : Imp.expr) : env -> int =
       | Imp.Eq | Imp.Ne | Imp.Lt | Imp.Le | Imp.Gt | Imp.Ge | Imp.And | Imp.Or ->
           terror "boolean expression in int context")
   | Imp.Ternary (c, a, b) ->
-      let cc = cbool slots c and ca = cint slots a and cb = cint slots b in
+      let cc = cbool ctx c and ca = cint ctx a and cb = cint ctx b in
       fun env -> if cc env then ca env else cb env
   | Imp.Float_lit _ | Imp.Bool_lit _ | Imp.Not _ | Imp.Round_single _ ->
       terror "expected an int expression"
 
-and cfloat slots (e : Imp.expr) : env -> float =
+and cfloat ctx (e : Imp.expr) : env -> float =
   match e with
   | Imp.Var v ->
-      let s = find_slot slots v in
+      let s = find_slot ctx v in
       if s.s_dtype <> Imp.Float || s.s_array then terror "expected float scalar %s" v;
       let i = s.s_index in
       fun env -> Array.unsafe_get env.floats i
   | Imp.Float_lit v -> fun _ -> v
   | Imp.Load (a, idx) ->
-      let s = find_slot slots a in
+      let s = find_slot ctx a in
       if s.s_dtype <> Imp.Float || not s.s_array then terror "expected float array %s" a;
       let i = s.s_index in
-      let cidx = cint slots idx in
-      fun env -> (Array.unsafe_get env.farr i).(cidx env)
+      let cidx = cint ctx idx in
+      if ctx.checked then
+        fun env ->
+          let arr = Array.unsafe_get env.farr i in
+          let k = cidx env in
+          if k < 0 || k >= Array.length arr then
+            oob ~ctx ~var:a ~index:k ~len:(Array.length arr);
+          Array.unsafe_get arr k
+      else fun env -> (Array.unsafe_get env.farr i).(cidx env)
   | Imp.Binop (op, a, b) -> (
-      let ca = cfloat slots a and cb = cfloat slots b in
+      let ca = cfloat ctx a and cb = cfloat ctx b in
       match op with
       | Imp.Add -> fun env -> ca env +. cb env
       | Imp.Sub -> fun env -> ca env -. cb env
@@ -183,37 +217,44 @@ and cfloat slots (e : Imp.expr) : env -> float =
       | Imp.Eq | Imp.Ne | Imp.Lt | Imp.Le | Imp.Gt | Imp.Ge | Imp.And | Imp.Or ->
           terror "boolean expression in float context")
   | Imp.Ternary (c, a, b) ->
-      let cc = cbool slots c and ca = cfloat slots a and cb = cfloat slots b in
+      let cc = cbool ctx c and ca = cfloat ctx a and cb = cfloat ctx b in
       fun env -> if cc env then ca env else cb env
   | Imp.Round_single e ->
-      let ce = cfloat slots e in
+      let ce = cfloat ctx e in
       fun env -> Int32.float_of_bits (Int32.bits_of_float (ce env))
   | Imp.Int_lit _ | Imp.Bool_lit _ | Imp.Not _ -> terror "expected a float expression"
 
-and cbool slots (e : Imp.expr) : env -> bool =
+and cbool ctx (e : Imp.expr) : env -> bool =
   match e with
   | Imp.Var v ->
-      let s = find_slot slots v in
+      let s = find_slot ctx v in
       if s.s_dtype <> Imp.Bool || s.s_array then terror "expected bool scalar %s" v;
       let i = s.s_index in
       fun env -> Array.unsafe_get env.bools i
   | Imp.Bool_lit b -> fun _ -> b
   | Imp.Load (a, idx) ->
-      let s = find_slot slots a in
+      let s = find_slot ctx a in
       if s.s_dtype <> Imp.Bool || not s.s_array then terror "expected bool array %s" a;
       let i = s.s_index in
-      let cidx = cint slots idx in
-      fun env -> (Array.unsafe_get env.barr i).(cidx env)
+      let cidx = cint ctx idx in
+      if ctx.checked then
+        fun env ->
+          let arr = Array.unsafe_get env.barr i in
+          let k = cidx env in
+          if k < 0 || k >= Array.length arr then
+            oob ~ctx ~var:a ~index:k ~len:(Array.length arr);
+          Array.unsafe_get arr k
+      else fun env -> (Array.unsafe_get env.barr i).(cidx env)
   | Imp.Binop ((Imp.And | Imp.Or) as op, a, b) -> (
-      let ca = cbool slots a and cb = cbool slots b in
+      let ca = cbool ctx a and cb = cbool ctx b in
       match op with
       | Imp.And -> fun env -> ca env && cb env
       | Imp.Or -> fun env -> ca env || cb env
       | _ -> assert false)
   | Imp.Binop (((Imp.Eq | Imp.Ne | Imp.Lt | Imp.Le | Imp.Gt | Imp.Ge) as op), a, b) -> (
-      match infer slots a with
+      match infer ctx a with
       | Imp.Int -> (
-          let ca = cint slots a and cb = cint slots b in
+          let ca = cint ctx a and cb = cint ctx b in
           match op with
           | Imp.Eq -> fun env -> ca env = cb env
           | Imp.Ne -> fun env -> ca env <> cb env
@@ -223,7 +264,7 @@ and cbool slots (e : Imp.expr) : env -> bool =
           | Imp.Ge -> fun env -> ca env >= cb env
           | _ -> assert false)
       | Imp.Float -> (
-          let ca = cfloat slots a and cb = cfloat slots b in
+          let ca = cfloat ctx a and cb = cfloat ctx b in
           match op with
           | Imp.Eq -> fun env -> ca env = cb env
           | Imp.Ne -> fun env -> ca env <> cb env
@@ -234,10 +275,10 @@ and cbool slots (e : Imp.expr) : env -> bool =
           | _ -> assert false)
       | Imp.Bool -> terror "comparison on bools")
   | Imp.Not e ->
-      let ce = cbool slots e in
+      let ce = cbool ctx e in
       fun env -> not (ce env)
   | Imp.Ternary (c, a, b) ->
-      let cc = cbool slots c and ca = cbool slots a and cb = cbool slots b in
+      let cc = cbool ctx c and ca = cbool ctx a and cb = cbool ctx b in
       fun env -> if cc env then ca env else cb env
   | Imp.Int_lit _ | Imp.Float_lit _ | Imp.Binop _ | Imp.Round_single _ ->
       terror "expected a bool expression"
@@ -259,64 +300,103 @@ let seq (fs : (env -> unit) array) : env -> unit =
           (Array.unsafe_get fs i) env
         done
 
-let rec cstmt slots (s : Imp.stmt) : env -> unit =
+let rec cstmt ctx (s : Imp.stmt) : env -> unit =
   match s with
   | Imp.Decl (_, v, e) | Imp.Assign (v, e) -> (
-      let s = find_slot slots v in
+      let s = find_slot ctx v in
       let i = s.s_index in
       match s.s_dtype with
       | Imp.Int ->
-          let ce = cint slots e in
+          let ce = cint ctx e in
           fun env -> Array.unsafe_set env.ints i (ce env)
       | Imp.Float ->
-          let ce = cfloat slots e in
+          let ce = cfloat ctx e in
           fun env -> Array.unsafe_set env.floats i (ce env)
       | Imp.Bool ->
-          let ce = cbool slots e in
+          let ce = cbool ctx e in
           fun env -> Array.unsafe_set env.bools i (ce env))
   | Imp.Store (a, idx, v) -> (
-      let s = find_slot slots a in
+      let s = find_slot ctx a in
       let i = s.s_index in
-      let cidx = cint slots idx in
+      let cidx = cint ctx idx in
+      let guard env arr k =
+        if k < 0 || k >= Array.length arr then
+          oob ~ctx ~var:a ~index:k ~len:(Array.length arr);
+        ignore env
+      in
       match s.s_dtype with
       | Imp.Float ->
-          let cv = cfloat slots v in
-          fun env -> (Array.unsafe_get env.farr i).(cidx env) <- cv env
+          let cv = cfloat ctx v in
+          if ctx.checked then
+            fun env ->
+              let arr = Array.unsafe_get env.farr i in
+              let k = cidx env in
+              guard env arr k;
+              Array.unsafe_set arr k (cv env)
+          else fun env -> (Array.unsafe_get env.farr i).(cidx env) <- cv env
       | Imp.Int ->
-          let cv = cint slots v in
-          fun env -> (Array.unsafe_get env.iarr i).(cidx env) <- cv env
+          let cv = cint ctx v in
+          if ctx.checked then
+            fun env ->
+              let arr = Array.unsafe_get env.iarr i in
+              let k = cidx env in
+              guard env arr k;
+              Array.unsafe_set arr k (cv env)
+          else fun env -> (Array.unsafe_get env.iarr i).(cidx env) <- cv env
       | Imp.Bool ->
-          let cv = cbool slots v in
-          fun env -> (Array.unsafe_get env.barr i).(cidx env) <- cv env)
+          let cv = cbool ctx v in
+          if ctx.checked then
+            fun env ->
+              let arr = Array.unsafe_get env.barr i in
+              let k = cidx env in
+              guard env arr k;
+              Array.unsafe_set arr k (cv env)
+          else fun env -> (Array.unsafe_get env.barr i).(cidx env) <- cv env)
   | Imp.Store_add (a, idx, v) -> (
-      let s = find_slot slots a in
+      let s = find_slot ctx a in
       let i = s.s_index in
-      let cidx = cint slots idx in
+      let cidx = cint ctx idx in
       match s.s_dtype with
       | Imp.Float ->
-          let cv = cfloat slots v in
-          fun env ->
-            let arr = Array.unsafe_get env.farr i in
-            let k = cidx env in
-            arr.(k) <- arr.(k) +. cv env
+          let cv = cfloat ctx v in
+          if ctx.checked then
+            fun env ->
+              let arr = Array.unsafe_get env.farr i in
+              let k = cidx env in
+              if k < 0 || k >= Array.length arr then
+                oob ~ctx ~var:a ~index:k ~len:(Array.length arr);
+              Array.unsafe_set arr k (Array.unsafe_get arr k +. cv env)
+          else
+            fun env ->
+              let arr = Array.unsafe_get env.farr i in
+              let k = cidx env in
+              arr.(k) <- arr.(k) +. cv env
       | Imp.Int ->
-          let cv = cint slots v in
-          fun env ->
-            let arr = Array.unsafe_get env.iarr i in
-            let k = cidx env in
-            arr.(k) <- arr.(k) + cv env
+          let cv = cint ctx v in
+          if ctx.checked then
+            fun env ->
+              let arr = Array.unsafe_get env.iarr i in
+              let k = cidx env in
+              if k < 0 || k >= Array.length arr then
+                oob ~ctx ~var:a ~index:k ~len:(Array.length arr);
+              Array.unsafe_set arr k (Array.unsafe_get arr k + cv env)
+          else
+            fun env ->
+              let arr = Array.unsafe_get env.iarr i in
+              let k = cidx env in
+              arr.(k) <- arr.(k) + cv env
       | Imp.Bool -> terror "+= on bool array %s" a)
   | Imp.Alloc (t, v, n) -> (
-      let i = (find_slot slots v).s_index in
-      let cn = cint slots n in
+      let i = (find_slot ctx v).s_index in
+      let cn = cint ctx n in
       match t with
       | Imp.Int -> fun env -> env.iarr.(i) <- Array.make (max 1 (cn env)) 0
       | Imp.Float -> fun env -> env.farr.(i) <- Array.make (max 1 (cn env)) 0.
       | Imp.Bool -> fun env -> env.barr.(i) <- Array.make (max 1 (cn env)) false)
   | Imp.Realloc (v, n) -> (
-      let s = find_slot slots v in
+      let s = find_slot ctx v in
       let i = s.s_index in
-      let cn = cint slots n in
+      let cn = cint ctx n in
       match s.s_dtype with
       | Imp.Int ->
           fun env ->
@@ -337,17 +417,37 @@ let rec cstmt slots (s : Imp.stmt) : env -> unit =
             Array.blit old 0 fresh 0 (Array.length old);
             env.barr.(i) <- fresh)
   | Imp.Memset (v, n) -> (
-      let s = find_slot slots v in
+      let s = find_slot ctx v in
       let i = s.s_index in
-      let cn = cint slots n in
+      let cn = cint ctx n in
+      let checked_n env len =
+        let n = cn env in
+        if n < 0 || n > len then oob ~ctx ~var:v ~index:n ~len;
+        n
+      in
       match s.s_dtype with
-      | Imp.Float -> fun env -> Array.fill env.farr.(i) 0 (cn env) 0.
-      | Imp.Int -> fun env -> Array.fill env.iarr.(i) 0 (cn env) 0
-      | Imp.Bool -> fun env -> Array.fill env.barr.(i) 0 (cn env) false)
+      | Imp.Float ->
+          if ctx.checked then
+            fun env ->
+              let arr = env.farr.(i) in
+              Array.fill arr 0 (checked_n env (Array.length arr)) 0.
+          else fun env -> Array.fill env.farr.(i) 0 (cn env) 0.
+      | Imp.Int ->
+          if ctx.checked then
+            fun env ->
+              let arr = env.iarr.(i) in
+              Array.fill arr 0 (checked_n env (Array.length arr)) 0
+          else fun env -> Array.fill env.iarr.(i) 0 (cn env) 0
+      | Imp.Bool ->
+          if ctx.checked then
+            fun env ->
+              let arr = env.barr.(i) in
+              Array.fill arr 0 (checked_n env (Array.length arr)) false
+          else fun env -> Array.fill env.barr.(i) 0 (cn env) false)
   | Imp.For (v, lo, hi, body) ->
-      let i = (find_slot slots v).s_index in
-      let clo = cint slots lo and chi = cint slots hi in
-      let cbody = seq (Array.of_list (List.map (cstmt slots) body)) in
+      let i = (find_slot ctx v).s_index in
+      let clo = cint ctx lo and chi = cint ctx hi in
+      let cbody = seq (Array.of_list (List.map (cstmt ctx) body)) in
       fun env ->
         let hi = chi env in
         let x = ref (clo env) in
@@ -358,40 +458,49 @@ let rec cstmt slots (s : Imp.stmt) : env -> unit =
           incr x
         done
   | Imp.While (c, body) ->
-      let cc = cbool slots c in
-      let cbody = seq (Array.of_list (List.map (cstmt slots) body)) in
+      let cc = cbool ctx c in
+      let cbody = seq (Array.of_list (List.map (cstmt ctx) body)) in
       fun env ->
         while cc env do
           cbody env
         done
   | Imp.If (c, t, []) ->
-      let cc = cbool slots c in
-      let ct = seq (Array.of_list (List.map (cstmt slots) t)) in
+      let cc = cbool ctx c in
+      let ct = seq (Array.of_list (List.map (cstmt ctx) t)) in
       fun env -> if cc env then ct env
   | Imp.If (c, t, e) ->
-      let cc = cbool slots c in
-      let ct = seq (Array.of_list (List.map (cstmt slots) t)) in
-      let ce = seq (Array.of_list (List.map (cstmt slots) e)) in
+      let cc = cbool ctx c in
+      let ct = seq (Array.of_list (List.map (cstmt ctx) t)) in
+      let ce = seq (Array.of_list (List.map (cstmt ctx) e)) in
       fun env -> if cc env then ct env else ce env
   | Imp.Sort (v, lo, hi) ->
-      let s = find_slot slots v in
+      let s = find_slot ctx v in
       if s.s_dtype <> Imp.Int || not s.s_array then terror "sort expects an int array";
       let i = s.s_index in
-      let clo = cint slots lo and chi = cint slots hi in
+      let clo = cint ctx lo and chi = cint ctx hi in
+      let checked = ctx.checked in
+      let check_range env arr lo hi =
+        if lo < 0 || hi < lo || hi > Array.length arr then
+          oob ~ctx ~var:v ~index:hi ~len:(Array.length arr);
+        ignore env
+      in
       fun env ->
         let arr = env.iarr.(i) in
         let lo = clo env and hi = chi env in
+        if checked then check_range env arr lo hi;
         let slice = Array.sub arr lo (hi - lo) in
         Array.sort compare slice;
         Array.blit slice 0 arr lo (hi - lo)
   | Imp.Comment _ -> fun _ -> ()
 
-let compile k =
+let compile ?(checked = false) k =
   match
     let slots, counters = assign_slots k in
-    let code = seq (Array.of_list (List.map (cstmt slots) k.Imp.k_body)) in
+    let ctx = { slots; checked; kname = k.Imp.k_name } in
+    let code = seq (Array.of_list (List.map (cstmt ctx) k.Imp.k_body)) in
     {
       c_kernel = k;
+      c_checked = checked;
       slots;
       n_ints = counters.(0);
       n_floats = counters.(1);
@@ -404,6 +513,14 @@ let compile k =
   with
   | c -> c
   | exception Type_error msg -> invalid_arg ("Compile.compile: " ^ msg)
+
+let compile_res ?checked k =
+  match compile ?checked k with
+  | c -> Ok c
+  | exception Invalid_argument msg ->
+      Diag.error ~stage:Diag.Compile ~code:"E_COMPILE_TYPE"
+        ~context:[ ("kernel", k.Imp.k_name) ]
+        "%s" msg
 
 let empty_int_array : int array = [||]
 

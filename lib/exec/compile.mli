@@ -18,10 +18,26 @@ type arg =
   | Afloat_array of float array
 
 (** Typecheck and compile a kernel. Raises [Invalid_argument] on malformed
-    IR (unknown variables, type mismatches). *)
-val compile : Taco_lower.Imp.kernel -> compiled
+    IR (unknown variables, type mismatches).
+
+    With [~checked:true] the compiled closures bounds-check every array
+    load, store and memset; a violation raises
+    [Taco_support.Diag.Error] whose diagnostic names the kernel, the
+    array variable, the offending index and the array length (stage
+    [Execute], code [E_EXEC_BOUNDS]). Unchecked closures still get
+    OCaml's own array bounds safety, but failures surface as a bare
+    [Invalid_argument] with no kernel context. *)
+val compile : ?checked:bool -> Taco_lower.Imp.kernel -> compiled
+
+(** Like {!compile}, reporting malformed IR as a [Diag.t] result (stage
+    [Compile], code [E_COMPILE_TYPE]). *)
+val compile_res :
+  ?checked:bool -> Taco_lower.Imp.kernel -> (compiled, Taco_support.Diag.t) result
 
 val kernel : compiled -> Taco_lower.Imp.kernel
+
+(** Was the kernel compiled with [~checked:true]? *)
+val is_checked : compiled -> bool
 
 (** [run compiled ~args] binds parameters by name and executes. Returns a
     reader for variables left in the environment (used to retrieve arrays

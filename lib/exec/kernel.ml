@@ -6,7 +6,7 @@ module Lower = Taco_lower.Lower
 
 type t = { info : Taco_lower.Lower.kernel_info; compiled : Compile.compiled }
 
-let prepare info = { info; compiled = Compile.compile info.Lower.kernel }
+let prepare ?checked info = { info; compiled = Compile.compile ?checked info.Lower.kernel }
 
 let info t = t.info
 

@@ -7,8 +7,9 @@ module Tensor = Taco_tensor.Tensor
 
 type t
 
-(** Compile a lowered kernel once; it can be run many times. *)
-val prepare : Taco_lower.Lower.kernel_info -> t
+(** Compile a lowered kernel once; it can be run many times. [checked]
+    enables the bounds-checked execution mode of {!Compile.compile}. *)
+val prepare : ?checked:bool -> Taco_lower.Lower.kernel_info -> t
 
 val info : t -> Taco_lower.Lower.kernel_info
 

@@ -1,5 +1,6 @@
 open Taco_ir
 open Taco_ir.Var
+module Diag = Taco_support.Diag
 
 (* ------------------------------------------------------------------ *)
 (* Lexer                                                               *)
@@ -21,9 +22,11 @@ type token =
 
 type lexed = { tok : token; pos : int }
 
-exception Parse_error of int * string
+(* Internal control flow only; every entry point converts to Diag. *)
+exception Parse_error of { pos : int; code : string; msg : string }
 
-let error pos fmt = Printf.ksprintf (fun s -> raise (Parse_error (pos, s))) fmt
+let error ?(code = "E_PARSE_SYNTAX") pos fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error { pos; code; msg = s })) fmt
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
@@ -61,7 +64,7 @@ let lex (src : string) : lexed list =
       let text = String.sub src start (!i - start) in
       match float_of_string_opt text with
       | Some v -> push (Number v) pos
-      | None -> error pos "malformed number %s" text
+      | None -> error ~code:"E_PARSE_NUMBER" pos "malformed number %s" text
     end
     else begin
       (match c with
@@ -78,7 +81,7 @@ let lex (src : string) : lexed list =
       | '*' -> push Star pos
       | '/' -> push Slash pos
       | '=' -> push Equals pos
-      | _ -> error pos "unexpected character %c" c);
+      | _ -> error ~code:"E_PARSE_CHAR" pos "unexpected character %c" c);
       incr i
     end
   done;
@@ -102,9 +105,13 @@ let expect s tok what =
 let lookup tensors pos name =
   match List.assoc_opt name tensors with
   | Some tv -> tv
-  | None -> error pos "unknown tensor %s (not in the environment)" name
+  | None ->
+      error ~code:"E_PARSE_UNKNOWN_TENSOR" pos
+        "unknown tensor %s (not in the environment)" name
 
-let parse_access tensors s name pos =
+(* Parse [name] or [name(i,j,…)], resolving the tensor and checking its
+   order; returns the components so callers need no re-matching. *)
+let parse_access_parts tensors s name pos =
   if (peek s).tok = Lparen then begin
     advance s;
     let rec indices acc =
@@ -123,16 +130,22 @@ let parse_access tensors s name pos =
     expect s Rparen "')'";
     let tv = lookup tensors pos name in
     if Tensor_var.order tv <> List.length idx then
-      error pos "tensor %s has order %d but %d indices were given" name
+      error ~code:"E_PARSE_ARITY" pos
+        "tensor %s has order %d but %d indices were given" name
         (Tensor_var.order tv) (List.length idx);
-    Index_notation.Access (tv, idx)
+    (tv, idx)
   end
   else begin
     let tv = lookup tensors pos name in
     if Tensor_var.order tv <> 0 then
-      error pos "tensor %s has order %d; indices required" name (Tensor_var.order tv);
-    Index_notation.Access (tv, [])
+      error ~code:"E_PARSE_ARITY" pos "tensor %s has order %d; indices required"
+        name (Tensor_var.order tv);
+    (tv, [])
   end
+
+let parse_access tensors s name pos =
+  let tv, idx = parse_access_parts tensors s name pos in
+  Index_notation.Access (tv, idx)
 
 let rec parse_expr_prec tensors s =
   let lhs = ref (parse_term tensors s) in
@@ -201,8 +214,11 @@ and parse_factor tensors s =
 let with_errors f =
   match f () with
   | v -> Ok v
-  | exception Parse_error (pos, msg) ->
-      Error (Printf.sprintf "parse error at position %d: %s" pos msg)
+  | exception Parse_error { pos; code; msg } ->
+      Error
+        (Diag.make ~stage:Diag.Parse ~code
+           ~context:[ ("position", string_of_int pos) ]
+           msg)
 
 let parse_expr ~tensors src =
   with_errors (fun () ->
@@ -210,24 +226,19 @@ let parse_expr ~tensors src =
       let e = parse_expr_prec tensors s in
       (match (peek s).tok with
       | Eof -> ()
-      | _ -> error (peek s).pos "trailing input");
+      | _ -> error ~code:"E_PARSE_TRAILING" (peek s).pos "trailing input");
       e)
 
 let parse_statement ~tensors src =
   with_errors (fun () ->
       let s = { toks = lex src } in
       let t = peek s in
-      let lhs =
+      let tv, idx =
         match t.tok with
         | Ident name ->
             advance s;
-            parse_access tensors s name t.pos
+            parse_access_parts tensors s name t.pos
         | _ -> error t.pos "expected the result tensor access"
-      in
-      let tv, idx =
-        match lhs with
-        | Index_notation.Access (tv, idx) -> (tv, idx)
-        | _ -> assert false
       in
       let op =
         match (peek s).tok with
@@ -242,8 +253,8 @@ let parse_statement ~tensors src =
       let rhs = parse_expr_prec tensors s in
       (match (peek s).tok with
       | Eof -> ()
-      | _ -> error (peek s).pos "trailing input");
+      | _ -> error ~code:"E_PARSE_TRAILING" (peek s).pos "trailing input");
       let stmt = { Index_notation.lhs = tv; lhs_indices = idx; op; rhs } in
       match Index_notation.validate stmt with
       | Ok () -> stmt
-      | Error e -> error 0 "%s" e)
+      | Error e -> error ~code:"E_PARSE_VALIDATE" t.pos "%s" e)

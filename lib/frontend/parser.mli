@@ -24,10 +24,18 @@
 
 open Taco_ir
 
-(** Parse a full statement. Errors carry a position and message. *)
+(** Parse a full statement. Failures are stage-[Parse] diagnostics whose
+    context carries the source position ([("position", …)]); codes:
+    [E_PARSE_SYNTAX], [E_PARSE_CHAR], [E_PARSE_NUMBER],
+    [E_PARSE_UNKNOWN_TENSOR], [E_PARSE_ARITY], [E_PARSE_TRAILING] and
+    [E_PARSE_VALIDATE] (well-formed syntax, ill-formed statement). *)
 val parse_statement :
-  tensors:(string * Var.Tensor_var.t) list -> string -> (Index_notation.t, string) result
+  tensors:(string * Var.Tensor_var.t) list ->
+  string ->
+  (Index_notation.t, Taco_support.Diag.t) result
 
 (** Parse an expression only (e.g. the [expr] argument of precompute). *)
 val parse_expr :
-  tensors:(string * Var.Tensor_var.t) list -> string -> (Index_notation.expr, string) result
+  tensors:(string * Var.Tensor_var.t) list ->
+  string ->
+  (Index_notation.expr, Taco_support.Diag.t) result

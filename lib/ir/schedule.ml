@@ -9,7 +9,25 @@ let of_stmt stmt = { stmt }
 
 let stmt t = t.stmt
 
-let reorder v1 v2 t = Result.map (fun s -> { stmt = s }) (Reorder.reorder v1 v2 t.stmt)
+(* Every transformation is bracketed by the concrete-index-notation
+   verifier: a malformed input is reported before the transform touches
+   it, and a transform that produces a malformed statement is an internal
+   error (caught here rather than as a mysterious lowering failure). *)
+let checked_transform name f t =
+  match Cin.validate t.stmt with
+  | Error e -> Error (Printf.sprintf "%s: input statement is malformed: %s" name e)
+  | Ok () -> (
+      match f t.stmt with
+      | Error _ as e -> e
+      | Ok stmt' -> (
+          match Cin.validate stmt' with
+          | Ok () -> Ok { stmt = stmt' }
+          | Error e ->
+              Error
+                (Printf.sprintf "internal: %s produced a malformed statement: %s"
+                   name e)))
+
+let reorder v1 v2 t = checked_transform "reorder" (Reorder.reorder v1 v2) t
 
 let rec binds v = function
   | Cin.Assignment _ -> false
@@ -58,13 +76,16 @@ let apply_renames stmt ~workspace vars =
   go stmt
 
 let precompute_simple ~expr ~over ~workspace t =
-  Result.map (fun s -> { stmt = s }) (Workspace.precompute t.stmt ~expr ~over ~workspace)
+  checked_transform "precompute" (fun s -> Workspace.precompute s ~expr ~over ~workspace) t
 
 let precompute ~expr ~vars ~workspace t =
   let over = List.map (fun (old, _, _) -> old) vars in
-  match Workspace.precompute t.stmt ~expr ~over ~workspace with
-  | Error e -> Error e
-  | Ok stmt -> Ok { stmt = apply_renames stmt ~workspace vars }
+  checked_transform "precompute"
+    (fun s ->
+      match Workspace.precompute s ~expr ~over ~workspace with
+      | Error _ as e -> e
+      | Ok stmt -> Ok (apply_renames stmt ~workspace vars))
+    t
 
 let expr_of_index_notation e =
   let rec go = function

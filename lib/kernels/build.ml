@@ -60,7 +60,7 @@ let csr_params ?(output = false) t =
   ]
 
 let info ~mode ~result ~inputs kernel =
-  (match Imp.check kernel with
+  (match Imp.validate kernel with
   | Ok () -> ()
   | Error e -> invalid_arg (Printf.sprintf "Build.info: kernel %s: %s" kernel.Imp.k_name e));
   { Lower.kernel; inputs; result; mode }

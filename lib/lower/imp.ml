@@ -167,6 +167,124 @@ let check kernel =
   | () -> Ok ()
   | exception Problem msg -> Error msg
 
+(* ------------------------------------------------------------------ *)
+(* Typed validation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let dtype_str = function Int -> "int" | Float -> "float" | Bool -> "bool"
+
+let validate kernel =
+  let exception Problem of string in
+  let problem fmt = Printf.ksprintf (fun s -> raise (Problem s)) fmt in
+  (* name -> (dtype, is_array); populated in declaration order so the
+     pass checks def-before-use and typing together. *)
+  let env : (string, dtype * bool) Hashtbl.t = Hashtbl.create 32 in
+  let declare name dtype arr =
+    match Hashtbl.find_opt env name with
+    | Some (t, a) when t <> dtype || a <> arr ->
+        problem "variable %s redeclared as %s%s (was %s%s)" name (dtype_str dtype)
+          (if arr then " array" else "") (dtype_str t) (if a then " array" else "")
+    | Some _ | None -> Hashtbl.replace env name (dtype, arr)
+  in
+  List.iter (fun p -> declare p.p_name p.p_dtype p.p_array) kernel.k_params;
+  let scalar name =
+    match Hashtbl.find_opt env name with
+    | Some (t, false) -> t
+    | Some (_, true) -> problem "array %s used as a scalar" name
+    | None -> problem "variable %s used before declaration" name
+  in
+  let array name =
+    match Hashtbl.find_opt env name with
+    | Some (t, true) -> t
+    | Some (_, false) -> problem "scalar %s indexed as an array" name
+    | None -> problem "array %s used before declaration" name
+  in
+  let rec infer = function
+    | Var v -> scalar v
+    | Int_lit _ -> Int
+    | Float_lit _ -> Float
+    | Bool_lit _ -> Bool
+    | Load (a, i) ->
+        let t = array a in
+        expect Int i "array index";
+        t
+    | Binop ((Add | Sub | Mul | Div | Min | Max), a, b) -> (
+        match (infer a, infer b) with
+        | Int, Int -> Int
+        | Float, Float -> Float
+        | ta, tb ->
+            if ta <> tb then problem "arithmetic on mixed types (%s vs %s)" (dtype_str ta) (dtype_str tb)
+            else problem "arithmetic on bools")
+    | Binop ((Eq | Ne | Lt | Le | Gt | Ge), a, b) ->
+        let ta = infer a and tb = infer b in
+        if ta <> tb then problem "comparison on mixed types (%s vs %s)" (dtype_str ta) (dtype_str tb);
+        Bool
+    | Binop ((And | Or), a, b) ->
+        expect Bool a "logical operand";
+        expect Bool b "logical operand";
+        Bool
+    | Not e ->
+        expect Bool e "negated expression";
+        Bool
+    | Round_single e ->
+        expect Float e "round_single operand";
+        Float
+    | Ternary (c, a, b) ->
+        expect Bool c "ternary condition";
+        let ta = infer a and tb = infer b in
+        if ta <> tb then problem "ternary branches of mixed type (%s vs %s)" (dtype_str ta) (dtype_str tb);
+        ta
+  and expect t e what =
+    let t' = infer e in
+    if t' <> t then problem "%s has type %s, expected %s" what (dtype_str t') (dtype_str t)
+  in
+  let rec go_stmt = function
+    | Decl (t, v, e) ->
+        expect t e (Printf.sprintf "initializer of %s" v);
+        declare v t false
+    | Assign (v, e) ->
+        let t = scalar v in
+        expect t e (Printf.sprintf "assignment to %s" v)
+    | Store (a, i, v) ->
+        let t = array a in
+        expect Int i (Printf.sprintf "index into %s" a);
+        expect t v (Printf.sprintf "value stored into %s" a)
+    | Store_add (a, i, v) ->
+        let t = array a in
+        if t = Bool then problem "+= on bool array %s" a;
+        expect Int i (Printf.sprintf "index into %s" a);
+        expect t v (Printf.sprintf "value accumulated into %s" a)
+    | Alloc (t, v, n) ->
+        expect Int n (Printf.sprintf "allocation size of %s" v);
+        declare v t true
+    | Realloc (v, n) ->
+        ignore (array v : dtype);
+        expect Int n (Printf.sprintf "reallocation size of %s" v)
+    | Memset (v, n) ->
+        ignore (array v : dtype);
+        expect Int n (Printf.sprintf "memset length of %s" v)
+    | For (v, lo, hi, body) ->
+        expect Int lo "loop lower bound";
+        expect Int hi "loop upper bound";
+        declare v Int false;
+        List.iter go_stmt body
+    | While (c, body) ->
+        expect Bool c "while condition";
+        List.iter go_stmt body
+    | If (c, t, e) ->
+        expect Bool c "if condition";
+        List.iter go_stmt t;
+        List.iter go_stmt e
+    | Sort (v, lo, hi) ->
+        if array v <> Int then problem "sort on non-int array %s" v;
+        expect Int lo "sort lower bound";
+        expect Int hi "sort upper bound"
+    | Comment _ -> ()
+  in
+  match List.iter go_stmt kernel.k_body with
+  | () -> Ok ()
+  | exception Problem msg -> Error msg
+
 let binop_str = function
   | Add -> "+"
   | Sub -> "-"

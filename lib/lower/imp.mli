@@ -98,6 +98,14 @@ val declared : stmt list -> string list
     fresh. Returns the first problem found. *)
 val check : kernel -> (unit, string) result
 
+(** Full verifier pass over a lowered kernel: {!check}'s def-before-use
+    discipline plus type consistency (arithmetic/comparison/logical
+    operand types, declaration and store types) and array/scalar arity
+    (scalars never indexed, arrays never used bare). Runs after lowering
+    and before compilation so type errors name the offending variable at
+    the IR level instead of surfacing from the executor. *)
+val validate : kernel -> (unit, string) result
+
 val pp_expr : Format.formatter -> expr -> unit
 
 val pp_stmt : Format.formatter -> stmt -> unit

@@ -1026,9 +1026,9 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ~mode stmt 
     let kernel =
       { Imp.k_name = name; k_params = params; k_body = result_prelude @ st.top @ body @ root_closes }
     in
-    (match Imp.check kernel with
+    (match Imp.validate kernel with
     | Ok () -> ()
-    | Error e -> fail "internal: generated kernel fails the check: %s" e);
+    | Error e -> fail "internal: generated kernel fails the verifier: %s" e);
     { kernel; inputs; result; mode }
   in
   match build () with

@@ -8,6 +8,10 @@ open Taco_ir.Var
 
 let ( let* ) = Result.bind
 
+(* Ops keep the historical string-error API; structured diagnostics from
+   the facade are flattened at this boundary. *)
+let dflat r = Taco_support.Diag.flatten r
+
 let vi = Index_var.make "i"
 
 let vj = Index_var.make "j"
@@ -46,10 +50,10 @@ let binary_matrix_op ~opname ~rhs ?out b c =
     compiled ~key (fun () ->
         let stmt = I.assign av [ vi; vj ] (rhs bv cv) in
         let* sched = Schedule.of_index_notation stmt in
-        let* c, _steps = Taco.auto_compile ~name:opname sched in
+        let* c, _steps = dflat (Taco.auto_compile ~name:opname sched) in
         Ok c)
   in
-  Taco.run kern ~inputs:[ (bv, b); (cv, c) ]
+  dflat (Taco.run kern ~inputs:[ (bv, b); (cv, c) ])
 
 let matmul ?out b c =
   if (Tensor.dims b).(1) <> (Tensor.dims c).(0) then
@@ -88,10 +92,10 @@ let spmv b x =
             I.assign yv [ vi ] (I.sum vj (I.Mul (I.access bv [ vi; vj ], I.access xv [ vj ])))
           in
           let* sched = Schedule.of_index_notation stmt in
-          let* c, _ = Taco.auto_compile ~name:"spmv" sched in
+          let* c, _ = dflat (Taco.auto_compile ~name:"spmv" sched) in
           Ok c)
     in
-    Taco.run kern ~inputs:[ (bv, b); (xv, x) ]
+    dflat (Taco.run kern ~inputs:[ (bv, b); (xv, x) ])
   end
 
 (* Scaling touches every stored value once and cannot change the pattern;
@@ -126,10 +130,10 @@ let inner a b =
             in
             let stmt = I.assign alpha [] rhs in
             let* sched = Schedule.of_index_notation stmt in
-            let* c, _ = Taco.auto_compile ~name:"inner" sched in
+            let* c, _ = dflat (Taco.auto_compile ~name:"inner" sched) in
             Ok c)
       in
-      let* result = Taco.run kern ~inputs:[ (av, a); (bv, b) ] in
+      let* result = dflat (Taco.run kern ~inputs:[ (av, a); (bv, b) ]) in
       Ok (Tensor.vals result).(0)
     end
   end
@@ -168,9 +172,9 @@ let mttkrp x c d =
                 (Cin.Access (Cin.access xv [ vi; vk; vl ]), Cin.Access (Cin.access cv [ vl; vj ]))
             in
             let* sched = Schedule.precompute_simple ~expr:e ~over:[ vj ] ~workspace:w sched in
-            Taco.compile ~name:"mttkrp" sched)
+            dflat (Taco.compile ~name:"mttkrp" sched))
       in
-      Taco.run kern ~inputs:[ (xv, x); (cv, c); (dv, d) ]
+      dflat (Taco.run kern ~inputs:[ (xv, x); (cv, c); (dv, d) ])
     end
   end
 
@@ -202,10 +206,10 @@ let sddmm b c d =
                    I.sum vk (I.Mul (I.access cv [ vi; vk ], I.access dv [ vk; vj ])) ))
           in
           let* sched = Schedule.of_index_notation stmt in
-          let* c, _ = Taco.auto_compile ~name:"sddmm" sched in
+          let* c, _ = dflat (Taco.auto_compile ~name:"sddmm" sched) in
           Ok c)
     in
-    Taco.run kern ~inputs:[ (bv, b); (cv, c); (dv, d) ]
+    dflat (Taco.run kern ~inputs:[ (bv, b); (cv, c); (dv, d) ])
   end
 
 let transpose t =

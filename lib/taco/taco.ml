@@ -24,6 +24,7 @@ module Codegen_c = Taco_lower.Codegen_c
 module Compile = Taco_exec.Compile
 module Kernel = Taco_exec.Kernel
 module Parallel = Taco_exec.Parallel
+module Diag = Taco_support.Diag
 
 let ivar = Index_var.make
 
@@ -43,14 +44,27 @@ let default_mode stmt =
       Lower.Assemble { emit_values = true; sorted = true }
   | Some _ | None -> Lower.Compute
 
-let compile ?(name = "kernel") ?mode ?splits sched =
+let prepare_res ?checked info =
+  match Kernel.prepare ?checked info with
+  | kern -> Ok kern
+  | exception Invalid_argument msg ->
+      Diag.error ~stage:Diag.Compile ~code:"E_COMPILE_TYPE"
+        ~context:[ ("kernel", info.Lower.kernel.Imp.k_name) ]
+        "%s" msg
+
+let compile ?(name = "kernel") ?mode ?splits ?checked sched =
   let stmt = Schedule.stmt sched in
   let mode = match mode with Some m -> m | None -> default_mode stmt in
-  match Lower.lower ~name ?splits ~mode stmt with
+  match Diag.of_msg ~stage:Diag.Lower ~code:"E_LOWER" (Lower.lower ~name ?splits ~mode stmt) with
   | Error e -> Error e
-  | Ok info -> Ok { sched; kern = Kernel.prepare info }
+  | Ok info -> (
+      match prepare_res ?checked info with
+      | Error e -> Error e
+      | Ok kern -> Ok { sched; kern })
 
 let kernel c = c.kern
+
+let schedule_of c = c.sched
 
 let c_source c = Kernel.c_source c.kern
 
@@ -114,7 +128,9 @@ let infer_result_dims stmt ~inputs =
       (fun tv -> not (Tensor_var.is_workspace tv))
       (Cin.tensors_written stmt)
   with
-  | None -> Error "the statement writes no result tensor"
+  | None ->
+      Diag.error ~stage:Diag.Execute ~code:"E_EXEC_DIMS"
+        "the statement writes no result tensor"
   | Some result -> (
       let lhs =
         List.find_opt
@@ -122,7 +138,9 @@ let infer_result_dims stmt ~inputs =
           (accesses stmt)
       in
       match lhs with
-      | None -> Error "internal: result access not found"
+      | None ->
+          Diag.error ~stage:Diag.Execute ~code:"E_EXEC_DIMS"
+            "internal: result access not found"
       | Some a -> (
           let dims =
             List.map
@@ -132,9 +150,21 @@ let infer_result_dims stmt ~inputs =
           if List.for_all Option.is_some dims then
             Ok (Array.of_list (List.map Option.get dims))
           else
-            Error
+            Diag.error ~stage:Diag.Execute ~code:"E_EXEC_DIMS"
               "cannot infer the result's dimensions from the inputs (a result \
                index variable indexes no input)"))
+
+(* Execution errors surface three ways: [Invalid_argument] for binding
+   arity/format/type mismatches, [Diag.Error] from the bounds-checked
+   execution mode, and plain dimension-inference failures. *)
+let exec_ctx c = [ ("kernel", (Kernel.info c.kern).Lower.kernel.Imp.k_name) ]
+
+let run_exec c f =
+  match f () with
+  | v -> Ok v
+  | exception Invalid_argument e ->
+      Diag.error ~stage:Diag.Execute ~code:"E_EXEC_BINDING" ~context:(exec_ctx c) "%s" e
+  | exception Diag.Error d -> Error d
 
 let run c ~inputs =
   let stmt = Schedule.stmt c.sched in
@@ -143,39 +173,41 @@ let run c ~inputs =
   | Ok dims -> (
       let info = Kernel.info c.kern in
       match info.Lower.mode with
-      | Lower.Assemble _ -> (
-          match Kernel.run_assemble c.kern ~inputs ~dims with
-          | t -> Ok t
-          | exception Invalid_argument e -> Error e)
+      | Lower.Assemble _ -> run_exec c (fun () -> Kernel.run_assemble c.kern ~inputs ~dims)
       | Lower.Compute ->
-          if Format.is_all_dense (Tensor_var.format info.Lower.result) then (
-            match Kernel.run_dense c.kern ~inputs ~dims with
-            | t -> Ok t
-            | exception Invalid_argument e -> Error e)
+          if Format.is_all_dense (Tensor_var.format info.Lower.result) then
+            run_exec c (fun () -> Kernel.run_dense c.kern ~inputs ~dims)
           else
-            Error
+            Diag.error ~stage:Diag.Execute ~code:"E_EXEC_MODE" ~context:(exec_ctx c)
               "compute-mode kernels with compressed results need a \
                pre-assembled output; use run_with_output")
 
 let run_with_output c ~inputs ~output =
-  match Kernel.run_compute c.kern ~inputs ~output with
-  | () -> Ok ()
-  | exception Invalid_argument e -> Error e
+  run_exec c (fun () -> Kernel.run_compute c.kern ~inputs ~output)
 
-let auto_compile ?(name = "kernel") ?mode sched =
+let auto_compile ?(name = "kernel") ?mode ?checked sched =
   let stmt = Schedule.stmt sched in
   let mode = match mode with Some m -> m | None -> default_mode stmt in
   let lowerable s = Result.map (fun (_ : Lower.kernel_info) -> ()) (Lower.lower ~name ~mode s) in
-  match Autoschedule.run ~lowerable stmt with
+  match
+    Diag.of_msg ~stage:Diag.Workspace ~code:"E_AUTOSCHEDULE"
+      (Autoschedule.run ~lowerable stmt)
+  with
   | Error e -> Error e
   | Ok (stmt', steps) -> (
-      match Lower.lower ~name ~mode stmt' with
+      match Diag.of_msg ~stage:Diag.Lower ~code:"E_LOWER" (Lower.lower ~name ~mode stmt') with
       | Error e -> Error e
-      | Ok info ->
-          Ok ({ sched = Schedule.of_stmt stmt'; kern = Kernel.prepare info }, steps))
+      | Ok info -> (
+          match prepare_res ?checked info with
+          | Error e -> Error e
+          | Ok kern -> Ok ({ sched = Schedule.of_stmt stmt'; kern }, steps)))
+
+let concretize_res stmt =
+  Diag.of_msg ~stage:Diag.Concretize ~code:"E_CONCRETIZE"
+    (Schedule.of_index_notation stmt)
 
 let auto_einsum stmt ~inputs =
-  match Schedule.of_index_notation stmt with
+  match concretize_res stmt with
   | Error e -> Error e
   | Ok sched -> (
       match auto_compile sched with
@@ -183,7 +215,7 @@ let auto_einsum stmt ~inputs =
       | Ok (c, _) -> run c ~inputs)
 
 let einsum stmt ~inputs =
-  match Schedule.of_index_notation stmt with
+  match concretize_res stmt with
   | Error e -> Error e
   | Ok sched -> (
       match compile sched with

@@ -31,6 +31,7 @@ module Codegen_c = Taco_lower.Codegen_c
 module Compile = Taco_exec.Compile
 module Kernel = Taco_exec.Kernel
 module Parallel = Taco_exec.Parallel
+module Diag = Taco_support.Diag
 
 (** {2 Declarations} *)
 
@@ -49,18 +50,26 @@ val workspace : string -> Format.t -> Tensor_var.t
 (** A compiled statement: a prepared kernel plus its schedule. *)
 type compiled
 
-(** [compile ?name ?mode ?splits sched] lowers and compiles. Default
-    mode: fused assemble-and-compute for compressed results (sorted),
-    compute for dense results. [splits] strip-mines dense loops (see
-    {!Lower.lower}). *)
+(** [compile ?name ?mode ?splits ?checked sched] lowers and compiles.
+    Default mode: fused assemble-and-compute for compressed results
+    (sorted), compute for dense results. [splits] strip-mines dense loops
+    (see {!Lower.lower}). [checked] compiles in the bounds-checked
+    execution mode: every array access is verified and violations are
+    reported as stage-[Execute] diagnostics naming the kernel, variable
+    and index. Failures are stage-tagged diagnostics ([Lower] for
+    lowering rejections, [Compile] for kernel compilation). *)
 val compile :
   ?name:string ->
   ?mode:Lower.mode ->
   ?splits:(Index_var.t * int) list ->
+  ?checked:bool ->
   Schedule.t ->
-  (compiled, string) result
+  (compiled, Diag.t) result
 
 val kernel : compiled -> Kernel.t
+
+(** The (scheduled) concrete index notation behind a compiled statement. *)
+val schedule_of : compiled -> Schedule.t
 
 (** The generated C source (paper-style, for inspection). *)
 val c_source : compiled -> string
@@ -71,18 +80,18 @@ val cin_string : compiled -> string
 (** [run compiled ~inputs] executes; result dimensions are inferred from
     the input tensors' dimensions. For compressed results the kernel must
     have been compiled in an [Assemble] mode (the default). *)
-val run : compiled -> inputs:(Tensor_var.t * Tensor.t) list -> (Tensor.t, string) result
+val run : compiled -> inputs:(Tensor_var.t * Tensor.t) list -> (Tensor.t, Diag.t) result
 
 (** [run_with_output compiled ~inputs ~output] for [Compute]-mode kernels
     with pre-assembled sparse outputs; the output's values are written in
     place. *)
 val run_with_output :
-  compiled -> inputs:(Tensor_var.t * Tensor.t) list -> output:Tensor.t -> (unit, string) result
+  compiled -> inputs:(Tensor_var.t * Tensor.t) list -> output:Tensor.t -> (unit, Diag.t) result
 
 (** One-shot convenience: parse nothing, schedule nothing — concretize,
     compile and run an index notation statement. *)
 val einsum :
-  Index_notation.t -> inputs:(Tensor_var.t * Tensor.t) list -> (Tensor.t, string) result
+  Index_notation.t -> inputs:(Tensor_var.t * Tensor.t) list -> (Tensor.t, Diag.t) result
 
 (** Like {!compile} but drives the statement to a lowerable form first
     with the {!Autoschedule} policy (reorders + workspace heuristics),
@@ -90,13 +99,17 @@ val einsum :
     the "policy system built on top of the scheduling API" the paper
     leaves as future work. *)
 val auto_compile :
-  ?name:string -> ?mode:Lower.mode -> Schedule.t -> (compiled * Autoschedule.step list, string) result
+  ?name:string ->
+  ?mode:Lower.mode ->
+  ?checked:bool ->
+  Schedule.t ->
+  (compiled * Autoschedule.step list, Diag.t) result
 
 (** {!einsum} with autoscheduling: handles statements (like sparse matrix
     multiplication) that plain einsum rejects. *)
 val auto_einsum :
-  Index_notation.t -> inputs:(Tensor_var.t * Tensor.t) list -> (Tensor.t, string) result
+  Index_notation.t -> inputs:(Tensor_var.t * Tensor.t) list -> (Tensor.t, Diag.t) result
 
 (** Infer the result's dimensions from the statement and input tensors. *)
 val infer_result_dims :
-  Cin.stmt -> inputs:(Tensor_var.t * Tensor.t) list -> (int array, string) result
+  Cin.stmt -> inputs:(Tensor_var.t * Tensor.t) list -> (int array, Diag.t) result

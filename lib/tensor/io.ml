@@ -1,12 +1,4 @@
-let with_in path f =
-  let ic = open_in path in
-  match f ic with
-  | v ->
-      close_in ic;
-      v
-  | exception e ->
-      close_in_noerr ic;
-      raise e
+module Diag = Taco_support.Diag
 
 let with_out path f =
   let oc = open_out path in
@@ -18,149 +10,220 @@ let with_out path f =
       close_out_noerr oc;
       raise e
 
-exception Bad_file of string
+(* A reader that tracks the 1-based line number and strips CRLF endings,
+   so malformed files are reported by line. *)
+type reader = { ic : in_channel; path : string; mutable lineno : int }
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Bad_file s)) fmt
+let reader path ic = { ic; path; lineno = 0 }
+
+let fail r ~code fmt =
+  Diag.fail ~stage:Diag.Io ~code
+    ~context:[ ("file", r.path); ("line", string_of_int r.lineno) ]
+    fmt
+
+let next_line r =
+  let line = input_line r.ic in
+  r.lineno <- r.lineno + 1;
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+(* Next line that holds data: blank lines and comment lines (leading
+   [%] or [#]) are skipped wherever they appear. *)
+let rec next_data_line r =
+  let line = next_line r in
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '%' || trimmed.[0] = '#' then next_data_line r
+  else trimmed
 
 let split_ws line =
   String.split_on_char ' ' (String.trim line)
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun s -> s <> "")
 
-let int_field what s =
-  match int_of_string_opt s with Some v -> v | None -> fail "malformed %s: %s" what s
+let int_field r what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail r ~code:"E_IO_FIELD" "malformed %s: %s" what s
 
-let float_field what s =
-  match float_of_string_opt s with Some v -> v | None -> fail "malformed %s: %s" what s
+let float_field r what s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail r ~code:"E_IO_FIELD" "malformed %s: %s" what s
+
+let read_result r f =
+  match f () with
+  | v -> Ok v
+  | exception Diag.Error d -> Error d
+  | exception End_of_file ->
+      Error
+        (Diag.make ~stage:Diag.Io ~code:"E_IO_EOF"
+           ~context:[ ("file", r.path); ("line", string_of_int r.lineno) ]
+           "unexpected end of file")
+  | exception Sys_error msg ->
+      Error (Diag.make ~stage:Diag.Io ~code:"E_IO_SYS" ~context:[ ("file", r.path) ] msg)
+  | exception Invalid_argument msg ->
+      Error
+        (Diag.make ~stage:Diag.Io ~code:"E_IO_BAD_DATA"
+           ~context:[ ("file", r.path); ("line", string_of_int r.lineno) ]
+           msg)
 
 let read_matrix_market path =
-  match
-    with_in path (fun ic ->
-        let header = input_line ic in
-        let lower = String.lowercase_ascii header in
-        if not (String.length lower >= 14 && String.sub lower 0 14 = "%%matrixmarket")
-        then fail "not a MatrixMarket file";
-        let has word =
-          let rec contains i =
-            i + String.length word <= String.length lower
-            && (String.sub lower i (String.length word) = word || contains (i + 1))
-          in
-          contains 0
-        in
-        if not (has "coordinate") then fail "only coordinate format is supported";
-        let symmetric = has "symmetric" in
-        let pattern = has "pattern" in
-        if has "complex" then fail "complex matrices are not supported";
-        (* Skip comments, read the size line. *)
-        let rec size_line () =
-          let line = input_line ic in
-          if String.length line > 0 && line.[0] = '%' then size_line () else line
-        in
-        let rows, cols, nnz =
-          match split_ws (size_line ()) with
-          | [ r; c; n ] ->
-              (int_field "rows" r, int_field "cols" c, int_field "nnz" n)
-          | _ -> fail "malformed size line"
-        in
-        let coo = Coo.create [| rows; cols |] in
-        for _ = 1 to nnz do
-          match split_ws (input_line ic) with
-          | r :: c :: rest ->
-              let i = int_field "row" r - 1 and j = int_field "col" c - 1 in
-              let v =
-                match (pattern, rest) with
-                | true, _ -> 1.
-                | false, [ v ] -> float_field "value" v
-                | false, _ -> fail "missing value"
+  match open_in path with
+  | exception Sys_error msg ->
+      Error (Diag.make ~stage:Diag.Io ~code:"E_IO_SYS" ~context:[ ("file", path) ] msg)
+  | ic ->
+      let r = reader path ic in
+      let res =
+        read_result r (fun () ->
+            let header = next_line r in
+            let lower = String.lowercase_ascii header in
+            if
+              not (String.length lower >= 14 && String.sub lower 0 14 = "%%matrixmarket")
+            then fail r ~code:"E_IO_HEADER" "not a MatrixMarket file";
+            let has word =
+              let rec contains i =
+                i + String.length word <= String.length lower
+                && (String.sub lower i (String.length word) = word || contains (i + 1))
               in
-              Coo.push coo [| i; j |] v;
-              if symmetric && i <> j then Coo.push coo [| j; i |] v
-          | _ -> fail "malformed entry"
-        done;
-        coo)
-  with
-  | coo -> Ok coo
-  | exception Bad_file msg -> Error msg
-  | exception End_of_file -> Error "unexpected end of file"
-  | exception Sys_error msg -> Error msg
-  | exception Invalid_argument msg -> Error msg
+              contains 0
+            in
+            if not (has "coordinate") then
+              fail r ~code:"E_IO_UNSUPPORTED" "only coordinate format is supported";
+            let symmetric = has "symmetric" in
+            let pattern = has "pattern" in
+            if has "complex" then
+              fail r ~code:"E_IO_UNSUPPORTED" "complex matrices are not supported";
+            let rows, cols, nnz =
+              match split_ws (next_data_line r) with
+              | [ rr; c; n ] ->
+                  (int_field r "rows" rr, int_field r "cols" c, int_field r "nnz" n)
+              | _ -> fail r ~code:"E_IO_SIZE_LINE" "malformed size line"
+            in
+            if rows < 0 || cols < 0 || nnz < 0 then
+              fail r ~code:"E_IO_SIZE_LINE" "negative size field";
+            let coo = Coo.create [| rows; cols |] in
+            for _ = 1 to nnz do
+              match split_ws (next_data_line r) with
+              | rr :: c :: rest ->
+                  let i = int_field r "row" rr - 1 and j = int_field r "col" c - 1 in
+                  let v =
+                    match (pattern, rest) with
+                    | true, _ -> 1.
+                    | false, [ v ] -> float_field r "value" v
+                    | false, _ -> fail r ~code:"E_IO_ENTRY" "missing value"
+                  in
+                  Coo.push coo [| i; j |] v;
+                  if symmetric && i <> j then Coo.push coo [| j; i |] v
+              | _ -> fail r ~code:"E_IO_ENTRY" "malformed entry"
+            done;
+            coo)
+      in
+      close_in_noerr ic;
+      res
 
 let write_matrix_market path t =
-  if Tensor.order t <> 2 then invalid_arg "Io.write_matrix_market: order-2 only";
-  with_out path (fun oc ->
-      let dims = Tensor.dims t in
-      let entries = ref [] in
-      let count = ref 0 in
-      Tensor.iteri_stored
-        (fun c v ->
-          if v <> 0. then begin
-            entries := (c.(0) + 1, c.(1) + 1, v) :: !entries;
-            incr count
-          end)
-        t;
-      output_string oc "%%MatrixMarket matrix coordinate real general\n";
-      Printf.fprintf oc "%d %d %d\n" dims.(0) dims.(1) !count;
-      List.iter
-        (fun (i, j, v) -> Printf.fprintf oc "%d %d %.17g\n" i j v)
-        (List.rev !entries))
+  if Tensor.order t <> 2 then
+    Diag.error ~stage:Diag.Io ~code:"E_IO_ORDER" ~context:[ ("file", path) ]
+      "write_matrix_market: tensor has order %d, expected 2" (Tensor.order t)
+  else
+    match
+      with_out path (fun oc ->
+          let dims = Tensor.dims t in
+          let entries = ref [] in
+          let count = ref 0 in
+          Tensor.iteri_stored
+            (fun c v ->
+              if v <> 0. then begin
+                entries := (c.(0) + 1, c.(1) + 1, v) :: !entries;
+                incr count
+              end)
+            t;
+          output_string oc "%%MatrixMarket matrix coordinate real general\n";
+          Printf.fprintf oc "%d %d %d\n" dims.(0) dims.(1) !count;
+          List.iter
+            (fun (i, j, v) -> Printf.fprintf oc "%d %d %.17g\n" i j v)
+            (List.rev !entries))
+    with
+    | () -> Ok ()
+    | exception Sys_error msg ->
+        Error (Diag.make ~stage:Diag.Io ~code:"E_IO_SYS" ~context:[ ("file", path) ] msg)
 
 let read_frostt ?dims path =
-  match
-    with_in path (fun ic ->
-        let entries = ref [] in
-        (try
-           while true do
-             let line = input_line ic in
-             let line = String.trim line in
-             if line <> "" && line.[0] <> '#' && line.[0] <> '%' then begin
-               match List.rev (split_ws line) with
-               | value :: rev_coords when rev_coords <> [] ->
-                   let coords =
-                     List.rev_map (fun s -> int_field "coordinate" s - 1) rev_coords
-                   in
-                   entries := (Array.of_list coords, float_field "value" value) :: !entries
-               | _ -> fail "malformed line: %s" line
-             end
-           done
-         with End_of_file -> ());
-        let entries = List.rev !entries in
-        let order =
-          match entries with
-          | [] -> ( match dims with Some d -> Array.length d | None -> fail "empty tensor and no dims")
-          | (c, _) :: _ -> Array.length c
-        in
-        List.iter
-          (fun (c, _) ->
-            if Array.length c <> order then fail "inconsistent coordinate arity")
-          entries;
-        let dims =
-          match dims with
-          | Some d ->
-              if Array.length d <> order then fail "dims arity mismatch";
-              d
-          | None ->
-              let d = Array.make order 1 in
-              List.iter
-                (fun (c, _) ->
-                  Array.iteri (fun m x -> if x + 1 > d.(m) then d.(m) <- x + 1) c)
-                entries;
-              d
-        in
-        let coo = Coo.create dims in
-        List.iter (fun (c, v) -> Coo.push coo c v) entries;
-        coo)
-  with
-  | coo -> Ok coo
-  | exception Bad_file msg -> Error msg
-  | exception Sys_error msg -> Error msg
-  | exception Invalid_argument msg -> Error msg
+  match open_in path with
+  | exception Sys_error msg ->
+      Error (Diag.make ~stage:Diag.Io ~code:"E_IO_SYS" ~context:[ ("file", path) ] msg)
+  | ic ->
+      let r = reader path ic in
+      let res =
+        read_result r (fun () ->
+            let entries = ref [] in
+            (try
+               while true do
+                 let line = String.trim (next_line r) in
+                 if line <> "" && line.[0] <> '#' && line.[0] <> '%' then begin
+                   match List.rev (split_ws line) with
+                   | value :: rev_coords when rev_coords <> [] ->
+                       let coords =
+                         List.rev_map (fun s -> int_field r "coordinate" s - 1) rev_coords
+                       in
+                       entries :=
+                         (Array.of_list coords, float_field r "value" value, r.lineno)
+                         :: !entries
+                   | _ -> fail r ~code:"E_IO_ENTRY" "malformed line: %s" line
+                 end
+               done
+             with End_of_file -> ());
+            let entries = List.rev !entries in
+            let order =
+              match entries with
+              | [] -> (
+                  match dims with
+                  | Some d -> Array.length d
+                  | None -> fail r ~code:"E_IO_EMPTY" "empty tensor and no dims")
+              | (c, _, _) :: _ -> Array.length c
+            in
+            List.iter
+              (fun (c, _, lineno) ->
+                if Array.length c <> order then begin
+                  r.lineno <- lineno;
+                  fail r ~code:"E_IO_ENTRY"
+                    "inconsistent coordinate arity (%d, expected %d)" (Array.length c)
+                    order
+                end)
+              entries;
+            let dims =
+              match dims with
+              | Some d ->
+                  if Array.length d <> order then
+                    fail r ~code:"E_IO_DIMS" "dims arity mismatch (%d given, order %d)"
+                      (Array.length d) order;
+                  d
+              | None ->
+                  let d = Array.make order 1 in
+                  List.iter
+                    (fun (c, _, _) ->
+                      Array.iteri (fun m x -> if x + 1 > d.(m) then d.(m) <- x + 1) c)
+                    entries;
+                  d
+            in
+            let coo = Coo.create dims in
+            List.iter (fun (c, v, _) -> Coo.push coo c v) entries;
+            coo)
+      in
+      close_in_noerr ic;
+      res
 
 let write_frostt path t =
-  with_out path (fun oc ->
-      Tensor.iteri_stored
-        (fun c v ->
-          if v <> 0. then begin
-            Array.iter (fun x -> Printf.fprintf oc "%d " (x + 1)) c;
-            Printf.fprintf oc "%.17g\n" v
-          end)
-        t)
+  match
+    with_out path (fun oc ->
+        Tensor.iteri_stored
+          (fun c v ->
+            if v <> 0. then begin
+              Array.iter (fun x -> Printf.fprintf oc "%d " (x + 1)) c;
+              Printf.fprintf oc "%.17g\n" v
+            end)
+          t)
+  with
+  | () -> Ok ()
+  | exception Sys_error msg ->
+      Error (Diag.make ~stage:Diag.Io ~code:"E_IO_SYS" ~context:[ ("file", path) ] msg)

@@ -12,6 +12,12 @@ module Kernel = Taco_exec.Kernel
 
 let get = function Ok x -> x | Error e -> Alcotest.fail e
 
+(* Like [get] for the structured-diagnostic results of the user-facing
+   stage boundaries. *)
+let getd = function
+  | Ok x -> x
+  | Error d -> Alcotest.fail (Taco_support.Diag.to_string d)
+
 let get_err what = function
   | Error e -> e
   | Ok _ -> Alcotest.fail (what ^ ": expected an error")

@@ -1,0 +1,354 @@
+(* Differential fuzzing of the whole compile pipeline.
+
+   Each instance draws a statement template, random formats, random
+   dimensions and a random schedule, then drives it end to end:
+
+     index notation -> concretize -> (reorder / precompute) -> lower
+                    -> compile (bounds-checked) -> run
+
+   The result is cross-checked against the dense reference interpreter
+   ([Cin_eval.eval1]) on the *unscheduled* statement, so every schedule
+   and every lowering must preserve semantics. Along the way every
+   intermediate must pass its verifier: [Cin.validate] after concretize
+   and after each accepted transform, [Imp.validate] on the generated
+   kernel, [Tensor.validate] on all inputs and on the result.
+
+   Stages are allowed to *reject* an instance (a scatter without a
+   workspace, an unsupported assembled format, a reorder whose
+   precondition fails): rejection with a well-formed diagnostic is
+   success. Crashes, verifier failures, bounds violations and oracle
+   mismatches are failures.
+
+   The instance count defaults to 200 under [dune runtest] and can be
+   raised with the TACO_FUZZ_COUNT environment variable (the [@fuzz]
+   alias runs a larger, fixed-seed campaign). *)
+
+module F = Taco_tensor.Format
+module T = Taco_tensor.Tensor
+module D = Taco_tensor.Dense
+module I = Taco_ir.Index_notation
+module Cin = Taco_ir.Cin
+module Cin_eval = Taco_ir.Cin_eval
+module Concretize = Taco_ir.Concretize
+module Schedule = Taco_ir.Schedule
+module Imp = Taco_lower.Imp
+module Lower = Taco_lower.Lower
+module Diag = Taco_support.Diag
+open Taco_ir.Var
+
+let vi = Index_var.make "i"
+
+let vj = Index_var.make "j"
+
+let vk = Index_var.make "k"
+
+let vl = Index_var.make "l"
+
+(* ------------------------------------------------------------------ *)
+(* Scenario space                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type scenario = {
+  template : int;
+  fmts : int array;  (* format selector per tensor (result first) *)
+  dims : int array;  (* ranges of i, j, k, l *)
+  density : float;
+  seed : int;  (* input tensor data *)
+  sched : int;  (* 0 = plain, 1 = auto, 2 = manual/random reorder *)
+}
+
+let vec_formats = [| F.dense_vector; F.sparse_vector |]
+
+let mat_formats = [| F.dense_matrix; F.csr; F.csc; F.dcsr |]
+
+(* Results stick to formats with at most one compressed level so the
+   assembled read-back path stays in scope; inputs range wider. *)
+let vec_result_formats = [| F.dense_vector; F.sparse_vector |]
+
+let mat_result_formats = [| F.dense_matrix; F.csr |]
+
+let pick arr sel = arr.(sel mod Array.length arr)
+
+(* A template instantiates tensor variables from the scenario's format
+   selectors and returns the statement plus the input tensor variables
+   (in declaration order) with the index variables of their modes. *)
+type instance = {
+  stmt : I.t;
+  inputs : (Tensor_var.t * Index_var.t list) list;
+}
+
+let templates =
+  [|
+    (* x(i) = b(i) + c(i) *)
+    (fun sc ->
+      let x = Tensor_var.make "x" ~order:1 ~format:(pick vec_result_formats sc.fmts.(0)) in
+      let b = Tensor_var.make "b" ~order:1 ~format:(pick vec_formats sc.fmts.(1)) in
+      let c = Tensor_var.make "c" ~order:1 ~format:(pick vec_formats sc.fmts.(2)) in
+      {
+        stmt = I.assign x [ vi ] (I.Add (I.access b [ vi ], I.access c [ vi ]));
+        inputs = [ (b, [ vi ]); (c, [ vi ]) ];
+      });
+    (* x(i) = b(i) * c(i) - b(i) *)
+    (fun sc ->
+      let x = Tensor_var.make "x" ~order:1 ~format:(pick vec_result_formats sc.fmts.(0)) in
+      let b = Tensor_var.make "b" ~order:1 ~format:(pick vec_formats sc.fmts.(1)) in
+      let c = Tensor_var.make "c" ~order:1 ~format:(pick vec_formats sc.fmts.(2)) in
+      {
+        stmt =
+          I.assign x [ vi ]
+            (I.Sub (I.Mul (I.access b [ vi ], I.access c [ vi ]), I.access b [ vi ]));
+        inputs = [ (b, [ vi ]); (c, [ vi ]) ];
+      });
+    (* y(i) = sum(j, B(i,j) * x(j)) *)
+    (fun sc ->
+      let y = Tensor_var.make "y" ~order:1 ~format:(pick vec_result_formats sc.fmts.(0)) in
+      let bm = Tensor_var.make "B" ~order:2 ~format:(pick mat_formats sc.fmts.(1)) in
+      let x = Tensor_var.make "x" ~order:1 ~format:(pick vec_formats sc.fmts.(2)) in
+      {
+        stmt =
+          I.assign y [ vi ] (I.sum vj (I.Mul (I.access bm [ vi; vj ], I.access x [ vj ])));
+        inputs = [ (bm, [ vi; vj ]); (x, [ vj ]) ];
+      });
+    (* A(i,j) = B(i,j) + C(i,j) *)
+    (fun sc ->
+      let a = Tensor_var.make "A" ~order:2 ~format:(pick mat_result_formats sc.fmts.(0)) in
+      let bm = Tensor_var.make "B" ~order:2 ~format:(pick mat_formats sc.fmts.(1)) in
+      let cm = Tensor_var.make "C" ~order:2 ~format:(pick mat_formats sc.fmts.(2)) in
+      {
+        stmt = I.assign a [ vi; vj ] (I.Add (I.access bm [ vi; vj ], I.access cm [ vi; vj ]));
+        inputs = [ (bm, [ vi; vj ]); (cm, [ vi; vj ]) ];
+      });
+    (* A(i,j) = sum(k, B(i,k) * C(k,j)) *)
+    (fun sc ->
+      let a = Tensor_var.make "A" ~order:2 ~format:(pick mat_result_formats sc.fmts.(0)) in
+      let bm = Tensor_var.make "B" ~order:2 ~format:(pick mat_formats sc.fmts.(1)) in
+      let cm = Tensor_var.make "C" ~order:2 ~format:(pick mat_formats sc.fmts.(2)) in
+      {
+        stmt =
+          I.assign a [ vi; vj ]
+            (I.sum vk (I.Mul (I.access bm [ vi; vk ], I.access cm [ vk; vj ])));
+        inputs = [ (bm, [ vi; vk ]); (cm, [ vk; vj ]) ];
+      });
+    (* sampled dense-dense: A(i,j) = B(i,j) * sum(k, C(i,k) * D(k,j)) *)
+    (fun sc ->
+      let a = Tensor_var.make "A" ~order:2 ~format:(pick mat_result_formats sc.fmts.(0)) in
+      let bm = Tensor_var.make "B" ~order:2 ~format:(pick mat_formats sc.fmts.(1)) in
+      let cm = Tensor_var.make "C" ~order:2 ~format:F.dense_matrix in
+      let dm = Tensor_var.make "D" ~order:2 ~format:F.dense_matrix in
+      {
+        stmt =
+          I.assign a [ vi; vj ]
+            (I.Mul
+               ( I.access bm [ vi; vj ],
+                 I.sum vk (I.Mul (I.access cm [ vi; vk ], I.access dm [ vk; vj ])) ));
+        inputs = [ (bm, [ vi; vj ]); (cm, [ vi; vk ]); (dm, [ vk; vj ]) ];
+      });
+    (* MTTKRP: A(i,j) = sum(k, sum(l, X(i,k,l) * C(l,j) * D(k,j))) *)
+    (fun sc ->
+      let a = Tensor_var.make "A" ~order:2 ~format:F.dense_matrix in
+      let x3 =
+        Tensor_var.make "X" ~order:3 ~format:(pick [| F.csf 3; F.dense 3 |] sc.fmts.(1))
+      in
+      let cm = Tensor_var.make "C" ~order:2 ~format:F.dense_matrix in
+      let dm = Tensor_var.make "D" ~order:2 ~format:F.dense_matrix in
+      {
+        stmt =
+          I.assign a [ vi; vj ]
+            (I.sum vk
+               (I.sum vl
+                  (I.Mul
+                     ( I.Mul (I.access x3 [ vi; vk; vl ], I.access cm [ vl; vj ]),
+                       I.access dm [ vk; vj ] ))));
+        inputs = [ (x3, [ vi; vk; vl ]); (cm, [ vl; vj ]); (dm, [ vk; vj ]) ];
+      });
+  |]
+
+let var_range sc v =
+  if Index_var.equal v vi then sc.dims.(0)
+  else if Index_var.equal v vj then sc.dims.(1)
+  else if Index_var.equal v vk then sc.dims.(2)
+  else sc.dims.(3)
+
+(* ------------------------------------------------------------------ *)
+(* One pipeline instance                                               *)
+(* ------------------------------------------------------------------ *)
+
+exception Fuzz_failure of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Fuzz_failure s)) fmt
+
+let assert_cin_valid what stmt =
+  match Cin.validate stmt with
+  | Ok () -> ()
+  | Error e -> failf "%s fails the CIN verifier: %s (statement: %s)" what e (Cin.to_string stmt)
+
+let assert_tensor_valid what t =
+  match T.validate t with
+  | Ok () -> ()
+  | Error e -> failf "%s fails the tensor verifier: %s" what e
+
+(* Stages may reject an instance, but only through the result channel
+   and only at stages where rejection makes sense. *)
+let acceptable_reject (d : Diag.t) =
+  match d.Diag.stage with
+  | Diag.Concretize | Diag.Reorder | Diag.Workspace | Diag.Lower -> true
+  | Diag.Execute ->
+      (* Compute-mode kernels with compressed results need a pre-assembled
+         output: a legitimate capability limit, not a bug. *)
+      d.Diag.code = "E_EXEC_MODE"
+  | Diag.Parse | Diag.Compile | Diag.Tensor | Diag.Io -> false
+
+type outcome = Ran | Rejected
+
+let run_one sc =
+  let inst = templates.(sc.template mod Array.length templates) sc in
+  (* Random inputs, each checked against the packing invariants. *)
+  let inputs =
+    List.mapi
+      (fun n (tv, vars) ->
+        let dims = Array.of_list (List.map (var_range sc) vars) in
+        let t = Helpers.random_tensor (sc.seed + n) dims sc.density (Tensor_var.format tv) in
+        assert_tensor_valid (Tensor_var.name tv) t;
+        (tv, t))
+      inst.inputs
+  in
+  (* The oracle evaluates the unscheduled statement. *)
+  let plain =
+    match Concretize.run inst.stmt with
+    | Ok s -> s
+    | Error e -> failf "concretize rejected a well-formed template: %s" e
+  in
+  assert_cin_valid "concretized statement" plain;
+  let oracle =
+    match Cin_eval.eval1 plain ~inputs:(List.map (fun (tv, t) -> (tv, T.to_dense t)) inputs) with
+    | Ok d -> d
+    | Error e -> failf "reference interpreter failed: %s" e
+  in
+  (* Random schedule. *)
+  let sched = Schedule.of_stmt plain in
+  let sched =
+    match sc.sched mod 3 with
+    | 1 -> sched (* leave scheduling to auto_compile *)
+    | 2 -> (
+        (* A random reorder attempt; precondition rejections leave the
+           schedule unchanged (and exercise the precondition checks). *)
+        let vars = Cin.stmt_vars plain in
+        match vars with
+        | [] | [ _ ] -> sched
+        | _ ->
+            let n = List.length vars in
+            let a = List.nth vars (sc.seed mod n) in
+            let b = List.nth vars ((sc.seed / 7) mod n) in
+            if Index_var.equal a b then sched
+            else (
+              match Schedule.reorder a b sched with
+              | Ok sched' ->
+                  assert_cin_valid "reordered statement" (Schedule.stmt sched');
+                  sched'
+              | Error _ -> sched))
+    | _ -> sched
+  in
+  (* Compile bounds-checked; fall back to the autoscheduler when plain
+     lowering rejects the schedule (e.g. scatter into a sparse result). *)
+  let compiled =
+    match Taco.compile ~checked:true sched with
+    | Ok c -> Ok c
+    | Error _ -> Result.map fst (Taco.auto_compile ~checked:true sched)
+  in
+  match compiled with
+  | Error d ->
+      if acceptable_reject d then Rejected
+      else failf "unacceptable compile rejection: %s" (Diag.to_string d)
+  | Ok c -> (
+      (* The generated kernel must pass the imperative-IR verifier. *)
+      let kern = (Taco_exec.Kernel.info (Taco.kernel c)).Lower.kernel in
+      (match Imp.validate kern with
+      | Ok () -> ()
+      | Error e -> failf "generated kernel fails the IR verifier: %s" e);
+      assert_cin_valid "scheduled statement" (Schedule.stmt (Taco.schedule_of c));
+      match Taco.run c ~inputs with
+      | Error d ->
+          if acceptable_reject d then Rejected
+          else failf "unacceptable execution failure: %s" (Diag.to_string d)
+      | Ok result ->
+          assert_tensor_valid "result" result;
+          if not (D.equal ~eps:1e-9 oracle (T.to_dense result)) then
+            failf "MISMATCH vs the reference interpreter on %s" (Cin.to_string plain);
+          Ran)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck wiring                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* template = int_bound (Array.length templates - 1) in
+    let* f0 = int_bound 7 and* f1 = int_bound 7 and* f2 = int_bound 7 in
+    let* d0 = int_range 1 5
+    and* d1 = int_range 1 5
+    and* d2 = int_range 1 5
+    and* d3 = int_range 1 4 in
+    let* density = oneofl [ 0.0; 0.1; 0.3; 0.6; 1.0 ] in
+    let* seed = int_bound 100_000 in
+    let* sched = int_bound 2 in
+    return
+      {
+        template;
+        fmts = [| f0; f1; f2 |];
+        dims = [| d0; d1; d2; d3 |];
+        density;
+        seed;
+        sched;
+      })
+
+let scenario_print sc =
+  Printf.sprintf "{template=%d; fmts=[|%d;%d;%d|]; dims=[|%d;%d;%d;%d|]; density=%.1f; seed=%d; sched=%d}"
+    sc.template sc.fmts.(0) sc.fmts.(1) sc.fmts.(2) sc.dims.(0) sc.dims.(1) sc.dims.(2)
+    sc.dims.(3) sc.density sc.seed sc.sched
+
+let scenario_arb = QCheck.make ~print:scenario_print scenario_gen
+
+let count =
+  match Sys.getenv_opt "TACO_FUZZ_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 200)
+  | None -> 200
+
+let ran = ref 0
+
+let rejected = ref 0
+
+let prop sc =
+  match run_one sc with
+  | Ran ->
+      incr ran;
+      true
+  | Rejected ->
+      incr rejected;
+      true
+  | exception Fuzz_failure msg -> QCheck.Test.fail_report msg
+
+let test_pipeline_fuzz =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name:"differential pipeline fuzz" scenario_arb prop)
+
+(* The campaign is only meaningful if it actually ran and a healthy
+   share of instances made it all the way through the pipeline rather
+   than being rejected. *)
+let test_coverage () =
+  Printf.printf "fuzz campaign: %d instances ran end to end, %d rejected\n%!" !ran !rejected;
+  Alcotest.(check bool)
+    (Printf.sprintf "campaign ran %d instances" count)
+    true
+    (!ran + !rejected >= count);
+  Alcotest.(check bool)
+    (Printf.sprintf "at least half the instances ran end to end (%d ran, %d rejected)" !ran
+       !rejected)
+    true
+    (!ran * 2 >= !ran + !rejected)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "pipeline",
+        [ test_pipeline_fuzz; Alcotest.test_case "coverage" `Quick test_coverage ] );
+    ]

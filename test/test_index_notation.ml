@@ -62,29 +62,29 @@ let test_pretty_precedence () =
 let env = [ ("A", a); ("B", b); ("C", c); ("x", x) ]
 
 let test_parse_matmul () =
-  let stmt = Helpers.get (P.parse_statement ~tensors:env "A(i,j) = B(i,k) * C(k,j)") in
+  let stmt = Helpers.getd (P.parse_statement ~tensors:env "A(i,j) = B(i,k) * C(k,j)") in
   Alcotest.(check string) "roundtrip" "A(i,j) = B(i,k) * C(k,j)" (I.to_string stmt)
 
 let test_parse_sum () =
-  let stmt = Helpers.get (P.parse_statement ~tensors:env "A(i,j) = sum(k, B(i,k) * C(k,j))") in
+  let stmt = Helpers.getd (P.parse_statement ~tensors:env "A(i,j) = sum(k, B(i,k) * C(k,j))") in
   Alcotest.(check string) "sum" "A(i,j) = sum(k, B(i,k) * C(k,j))" (I.to_string stmt)
 
 let test_parse_accumulate () =
-  let stmt = Helpers.get (P.parse_statement ~tensors:env "x(i) += B(i,j) * 2.5") in
+  let stmt = Helpers.getd (P.parse_statement ~tensors:env "x(i) += B(i,j) * 2.5") in
   Alcotest.(check bool) "accumulate op" true (stmt.I.op = I.Accumulate)
 
 let test_parse_precedence () =
-  let stmt = Helpers.get (P.parse_statement ~tensors:env "x(i) = B(i,j) + C(i,j) * 2") in
+  let stmt = Helpers.getd (P.parse_statement ~tensors:env "x(i) = B(i,j) + C(i,j) * 2") in
   (match stmt.I.rhs with
    | I.Add (_, I.Mul (_, I.Literal 2.)) -> ()
    | _ -> Alcotest.fail "precedence wrong")
 
 let test_parse_neg_paren () =
-  let stmt = Helpers.get (P.parse_statement ~tensors:env "x(i) = -(B(i,j) - C(i,j))") in
+  let stmt = Helpers.getd (P.parse_statement ~tensors:env "x(i) = -(B(i,j) - C(i,j))") in
   (match stmt.I.rhs with I.Neg (I.Sub _) -> () | _ -> Alcotest.fail "neg/paren wrong")
 
 let test_parse_scientific () =
-  let stmt = Helpers.get (P.parse_statement ~tensors:env "x(i) = B(i,j) * 1.5e-3") in
+  let stmt = Helpers.getd (P.parse_statement ~tensors:env "x(i) = B(i,j) * 1.5e-3") in
   (match stmt.I.rhs with
    | I.Mul (_, I.Literal v) -> Alcotest.(check (float 1e-12)) "literal" 1.5e-3 v
    | _ -> Alcotest.fail "literal missing")
@@ -98,7 +98,7 @@ let test_parse_errors () =
   ignore (Helpers.get_err "bad char" (P.parse_statement ~tensors:env "x(i) = x(i) ^ 2"))
 
 let test_parse_expr_only () =
-  let e = Helpers.get (P.parse_expr ~tensors:env "B(i,k) * C(k,j)") in
+  let e = Helpers.getd (P.parse_expr ~tensors:env "B(i,k) * C(k,j)") in
   (match e with I.Mul (I.Access _, I.Access _) -> () | _ -> Alcotest.fail "shape")
 
 let test_tensor_var_basics () =

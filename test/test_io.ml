@@ -14,8 +14,8 @@ let write path contents =
 
 let test_mtx_roundtrip () =
   let t = Helpers.random_tensor 301 [| 7; 9 |] 0.3 F.csr in
-  Io.write_matrix_market temp_file t;
-  let coo = Helpers.get (Io.read_matrix_market temp_file) in
+  Helpers.getd (Io.write_matrix_market temp_file t);
+  let coo = Helpers.getd (Io.read_matrix_market temp_file) in
   Helpers.check_dense "roundtrip" (T.to_dense t) (Coo.to_dense coo)
 
 let test_mtx_parse () =
@@ -25,7 +25,7 @@ let test_mtx_parse () =
      3 4 2\n\
      1 2 1.5\n\
      3 4 -2.5\n";
-  let coo = Helpers.get (Io.read_matrix_market temp_file) in
+  let coo = Helpers.getd (Io.read_matrix_market temp_file) in
   let d = Coo.to_dense coo in
   Alcotest.(check (float 0.)) "entry 1" 1.5 (Taco_tensor.Dense.get d [| 0; 1 |]);
   Alcotest.(check (float 0.)) "entry 2" (-2.5) (Taco_tensor.Dense.get d [| 2; 3 |]);
@@ -34,7 +34,7 @@ let test_mtx_parse () =
 let test_mtx_symmetric () =
   write temp_file
     "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 7.0\n";
-  let coo = Helpers.get (Io.read_matrix_market temp_file) in
+  let coo = Helpers.getd (Io.read_matrix_market temp_file) in
   let d = Coo.to_dense coo in
   Alcotest.(check (float 0.)) "lower" 5. (Taco_tensor.Dense.get d [| 1; 0 |]);
   Alcotest.(check (float 0.)) "mirrored" 5. (Taco_tensor.Dense.get d [| 0; 1 |]);
@@ -42,7 +42,7 @@ let test_mtx_symmetric () =
 
 let test_mtx_pattern () =
   write temp_file "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n2 2\n";
-  let coo = Helpers.get (Io.read_matrix_market temp_file) in
+  let coo = Helpers.getd (Io.read_matrix_market temp_file) in
   Alcotest.(check (float 0.)) "pattern reads as 1" 1.
     (Taco_tensor.Dense.get (Coo.to_dense coo) [| 1; 1 |])
 
@@ -66,13 +66,13 @@ let test_mtx_errors () =
 let test_frostt_roundtrip () =
   let prng = Taco_support.Prng.create 302 in
   let t = Taco_tensor.Gen.random prng ~dims:[| 4; 5; 6 |] ~nnz:12 (F.csf 3) in
-  Io.write_frostt temp_file t;
-  let coo = Helpers.get (Io.read_frostt ~dims:[| 4; 5; 6 |] temp_file) in
+  Helpers.getd (Io.write_frostt temp_file t);
+  let coo = Helpers.getd (Io.read_frostt ~dims:[| 4; 5; 6 |] temp_file) in
   Helpers.check_dense "roundtrip" (T.to_dense t) (Coo.to_dense coo)
 
 let test_frostt_infer_dims () =
   write temp_file "# comment\n1 1 1 2.0\n3 2 4 1.0\n";
-  let coo = Helpers.get (Io.read_frostt temp_file) in
+  let coo = Helpers.getd (Io.read_frostt temp_file) in
   Alcotest.(check (array int)) "inferred dims" [| 3; 2; 4 |] (Coo.dims coo);
   Alcotest.(check (float 0.)) "value" 2. (Taco_tensor.Dense.get (Coo.to_dense coo) [| 0; 0; 0 |])
 
@@ -92,10 +92,10 @@ let test_pipeline_through_files () =
   let bt = Helpers.random_tensor 303 [| 6; 8 |] 0.3 F.csr in
   let ct = Helpers.random_tensor 304 [| 8; 5 |] 0.3 F.csr in
   let fb = Filename.temp_file "taco_b" ".mtx" and fc = Filename.temp_file "taco_c" ".mtx" in
-  Io.write_matrix_market fb bt;
-  Io.write_matrix_market fc ct;
-  let bt' = T.pack (Helpers.get (Io.read_matrix_market fb)) F.csr in
-  let ct' = T.pack (Helpers.get (Io.read_matrix_market fc)) F.csr in
+  Helpers.getd (Io.write_matrix_market fb bt);
+  Helpers.getd (Io.write_matrix_market fc ct);
+  let bt' = T.pack (Helpers.getd (Io.read_matrix_market fb)) F.csr in
+  let ct' = T.pack (Helpers.getd (Io.read_matrix_market fc)) F.csr in
   let result = Taco_kernels.Spgemm.gustavson bt' ct' in
   Helpers.check_dense "files preserve the product"
     (T.to_dense (Taco_kernels.Spgemm.gustavson bt ct))

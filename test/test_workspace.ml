@@ -272,7 +272,7 @@ let test_schedule_precompute_renames () =
 let test_schedule_full_fig2_pipeline () =
   let tensors = [ ("A", a); ("B", b); ("C", c) ] in
   let stmt =
-    Helpers.get
+    Helpers.getd
       (Taco_frontend.Parser.parse_statement ~tensors "A(i,j) = sum(k, B(i,k) * C(k,j))")
   in
   let sched = Helpers.get (Schedule.of_index_notation stmt) in
