@@ -82,6 +82,42 @@ let micro_cmd =
   Cmd.v (Cmd.info "micro" ~doc:"Bechamel micro-benchmarks of the individual kernels.")
     Term.(const Micro.run $ const ())
 
+let opt_dim_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "dim" ] ~doc:"Base matrix dimension for the optimizer-ablation workloads.")
+
+(* The ablation resolves few-percent differences, so it defaults to more
+   repetitions than the other experiments. *)
+let opt_reps_arg =
+  Arg.(
+    value & opt int 9
+    & info [ "reps" ] ~doc:"Repetitions per measurement (best of batches).")
+
+let opt_out_arg =
+  Arg.(
+    value & opt string "BENCH_opt.json"
+    & info [ "out" ] ~doc:"Where to write the machine-readable ablation results.")
+
+let smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:
+          "CI mode: one micro SpGEMM config, exit 1 if the full optimizer pipeline is \
+           slower than no optimization. Writes no JSON.")
+
+let opt_cmd =
+  let run seed reps dim out smoke =
+    if smoke then Opt_ablation.smoke () else Opt_ablation.run ~seed ~reps ~dim ~out
+  in
+  Cmd.v
+    (Cmd.info "opt"
+       ~doc:
+         "Ablation of the Imp optimizer pipeline: unoptimized vs each pass alone vs the \
+          full pipeline on the paper's workspace kernels.")
+    Term.(const run $ seed_arg $ opt_reps_arg $ opt_dim_arg $ opt_out_arg $ smoke_arg)
+
 let all ~seed ~scale ~tensor_scale ~reps ~add_dim =
   Table1.run ~seed ~scale ~tensor_scale;
   Fig11.run ~seed ~scale ~reps;
@@ -117,6 +153,7 @@ let () =
             fig12right_cmd;
             fig13_cmd;
             ablation_cmd;
+            opt_cmd;
             micro_cmd;
             all_cmd;
           ]))

@@ -1,0 +1,194 @@
+(* Ablation of the Imp optimizer pipeline (Taco_lower.Opt): each paper
+   workspace kernel is timed with no optimization, with each pass
+   enabled alone, and with the full pipeline, attributing speedup per
+   pass. Results go to stdout as a table and to BENCH_opt.json for
+   machine consumption.
+
+   The [smoke] entry point is the @perf-smoke alias: one micro SpGEMM
+   config, failing (exit 1) if the fully optimized kernel is slower
+   than the unoptimized one. *)
+
+open Taco
+
+let variants =
+  [
+    ("none", Opt.none);
+    ("simplify", { Opt.none with Opt.simplify = true });
+    ("memset_fusion", { Opt.none with Opt.memset_fusion = true });
+    ("while_to_for", { Opt.none with Opt.while_to_for = true });
+    ("branch_fusion", { Opt.none with Opt.branch_fusion = true });
+    ("cse", { Opt.none with Opt.cse = true });
+    ("licm", { Opt.none with Opt.licm = true });
+    ("dce", { Opt.none with Opt.dce = true });
+    ("full", Opt.all);
+  ]
+
+(* One workload: a lowered kernel plus a runner closure per prepared
+   kernel (the preparation — and thus the optimizer configuration — is
+   the variable; inputs stay fixed). *)
+type workload = {
+  w_name : string;
+  w_info : Lower.kernel_info;
+  w_run : Kernel.t -> unit;
+}
+
+let fused = Lower.Assemble { emit_values = true; sorted = true }
+
+let spgemm_workload ~seed ~dim =
+  let stmt, b, c = Harness.spgemm_stmt () in
+  let info = Harness.get (Lower.lower ~name:"spgemm_ws" ~mode:fused stmt) in
+  let bt = Inputs.uniform_matrix ~seed ~rows:dim ~cols:dim ~density:(32. /. float_of_int dim) in
+  let ct = Inputs.uniform_matrix ~seed:(seed + 1) ~rows:dim ~cols:dim ~density:(32. /. float_of_int dim) in
+  {
+    w_name = "spgemm_ws";
+    w_info = info;
+    w_run =
+      (fun k -> Kernel.run_assemble_raw k ~inputs:[ (b, bt); (c, ct) ] ~dims:[| dim; dim |]);
+  }
+
+let spadd_workload ~seed ~dim =
+  let ops = Harness.addition_vars 2 in
+  let stmt = Harness.addition_merge_stmt ops in
+  let name = "spadd_merge" in
+  let info = Harness.get (Lower.lower ~name ~mode:fused stmt) in
+  let inputs = List.combine ops (Inputs.addition_operands ~seed ~n:2 ~dim) in
+  {
+    w_name = name;
+    w_info = info;
+    w_run = (fun k -> Kernel.run_assemble_raw k ~inputs ~dims:[| dim; dim |]);
+  }
+
+let mttkrp_workload ~seed ~dim =
+  let stmt, b, c, d = Harness.mttkrp_sched ~use_workspace:true in
+  let info = Harness.get (Lower.lower ~name:"mttkrp_ws" ~mode:Lower.Compute stmt) in
+  let prng = Taco_support.Prng.create seed in
+  let bt =
+    Gen.random_density prng ~dims:[| dim; dim / 2; dim / 2 |]
+      ~density:(32. /. float_of_int (dim * dim)) (Format.csf 3)
+  in
+  let cols = 32 in
+  let ct = Inputs.dense_factor ~seed:(seed + 1) ~rows:(dim / 2) ~cols in
+  let dt = Inputs.dense_factor ~seed:(seed + 2) ~rows:(dim / 2) ~cols in
+  {
+    w_name = "mttkrp_ws";
+    w_info = info;
+    w_run =
+      (fun k ->
+        ignore (Kernel.run_dense k ~inputs:[ (b, bt); (c, ct); (d, dt) ] ~dims:[| dim; cols |]));
+  }
+
+(* Best-of-[reps] over batches sized to ~60ms of work, with the
+   variants interleaved round-robin: the ablation compares kernels that
+   differ by a few percent, which the median of single ~10ms runs
+   cannot resolve under scheduler and GC noise, and timing each variant
+   in a contiguous block would let a sustained slow phase (CPU
+   contention, thermal throttling) land entirely on one variant.
+   Interleaving spreads any such phase across all variants and the
+   minimum of batched runs is the standard estimator for the
+   noise-free cost (noise is strictly additive). *)
+let time_variants ?(variants = variants) ~reps w =
+  Gc.compact ();
+  let kerns =
+    List.map (fun (n, cfg) -> (n, Kernel.prepare ~opt:cfg w.w_info)) variants
+  in
+  (* Warm each kernel once outside the clock (also populates the kernel
+     cache) and size batches off the slowest warm run so every variant
+     runs the same batch length. *)
+  let t0 =
+    List.fold_left
+      (fun acc (_, k) ->
+        let _, t = Taco_support.Util.time (fun () -> w.w_run k) in
+        Float.max acc t)
+      1e-6 kerns
+  in
+  let batch = max 1 (int_of_float (0.06 /. t0)) in
+  let run_batch k =
+    (* Collect the previous run's garbage outside the clock: the runs
+       allocate identically, so without this the major-GC slices they
+       trigger land deterministically on the same variants every round
+       and min-of-reps cannot average the bias away. *)
+    Gc.full_major ();
+    let _, t =
+      Taco_support.Util.time (fun () ->
+          for _ = 1 to batch do
+            w.w_run k
+          done)
+    in
+    t /. float_of_int batch
+  in
+  let best = Array.make (List.length kerns) infinity in
+  for _ = 1 to max 1 reps do
+    List.iteri (fun q (_, k) -> best.(q) <- Float.min best.(q) (run_batch k)) kerns
+  done;
+  List.mapi (fun q (n, _) -> (n, best.(q))) kerns
+
+let json_escape = String.map (fun c -> if c = '"' || c = '\\' then '_' else c)
+
+let write_json ~path ~seed ~reps rows geomean =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"opt_ablation\",\n  \"seed\": %d,\n  \"reps\": %d,\n" seed reps;
+  Printf.fprintf oc "  \"variants\": [%s],\n"
+    (String.concat ", " (List.map (fun (n, _) -> Printf.sprintf "\"%s\"" n) variants));
+  Printf.fprintf oc "  \"workloads\": [\n";
+  List.iteri
+    (fun i (name, times) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"times_s\": {" (json_escape name);
+      List.iteri
+        (fun j (v, t) ->
+          Printf.fprintf oc "%s\"%s\": %.6f" (if j > 0 then ", " else "") v t)
+        times;
+      Printf.fprintf oc "}}%s\n" (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc "  ],\n  \"geomean_full_speedup\": %.4f\n}\n" geomean;
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
+
+let run ~seed ~reps ~dim ~out =
+  Harness.header "Optimizer ablation: unoptimized vs per-pass vs full pipeline";
+  let workloads =
+    [
+      spgemm_workload ~seed ~dim;
+      spadd_workload ~seed ~dim:(dim * 5);
+      mttkrp_workload ~seed ~dim;
+    ]
+  in
+  Harness.row "%-12s | %s %9s" "kernel"
+    (String.concat " "
+       (List.map (fun (n, _) -> Printf.sprintf "%13s" (n ^ "(s)")) variants))
+    "speedup";
+  let rows =
+    List.map
+      (fun w ->
+        let times = time_variants ~reps w in
+        let t_none = List.assoc "none" times in
+        let t_full = List.assoc "full" times in
+        Harness.row "%-12s | %s %8.2fx" w.w_name
+          (String.concat " " (List.map (fun (_, t) -> Printf.sprintf "%13.4f" t) times))
+          (t_none /. t_full);
+        (w.w_name, times))
+      workloads
+  in
+  let geomean =
+    Harness.geomean
+      (List.map
+         (fun (_, times) -> List.assoc "none" times /. List.assoc "full" times)
+         rows)
+  in
+  Printf.printf "\nfull-pipeline geomean speedup = %.2fx\n%!" geomean;
+  write_json ~path:out ~seed ~reps rows geomean
+
+(* Tiny SpGEMM config for CI: the full pipeline must not lose to the
+   unoptimized kernel. *)
+let smoke () =
+  let w = spgemm_workload ~seed:2019 ~dim:600 in
+  let times =
+    time_variants ~variants:[ ("none", Opt.none); ("full", Opt.all) ] ~reps:5 w
+  in
+  let t_none = List.assoc "none" times in
+  let t_full = List.assoc "full" times in
+  Printf.printf "perf-smoke spgemm_ws: unoptimized %.4fs, optimized %.4fs (%.2fx)\n%!"
+    t_none t_full (t_none /. t_full);
+  if t_full > t_none then begin
+    Printf.eprintf "perf-smoke FAILED: optimized kernel is slower than unoptimized\n%!";
+    exit 1
+  end

@@ -144,7 +144,22 @@ let rec infer ctx = function
 
 (* ------------------------------------------------------------------ *)
 (* Expression compilation                                              *)
+(*                                                                     *)
+(* Every compiled expression node is a closure, so the interpreter's   *)
+(* unit of cost is the closure call. Operands that are slot reads or   *)
+(* literals are therefore folded into their consumer instead of being  *)
+(* compiled to their own closure: a binop over two scalars or a load   *)
+(* at a scalar index is one call, not three. The optimizer leans on    *)
+(* this directly — reducing operands to Var/literal shape (copy        *)
+(* propagation, CSE, LICM temporaries) is what moves an expression     *)
+(* onto these fast paths.                                              *)
 (* ------------------------------------------------------------------ *)
+
+(* Operand shape: a direct int-slot read, an int constant, or a
+   general compiled subexpression. *)
+type ishape = ISlot of int | ILit of int | IGen of (env -> int)
+
+type fshape = FSlot of int | FLit of float | FGen of (env -> float)
 
 let rec cint ctx (e : Imp.expr) : env -> int =
   match e with
@@ -158,16 +173,27 @@ let rec cint ctx (e : Imp.expr) : env -> int =
       let s = find_slot ctx a in
       if s.s_dtype <> Imp.Int || not s.s_array then terror "expected int array %s" a;
       let i = s.s_index in
-      let cidx = cint ctx idx in
       if ctx.checked then
+        let cidx = cint ctx idx in
         fun env ->
           let arr = Array.unsafe_get env.iarr i in
           let k = cidx env in
           if k < 0 || k >= Array.length arr then
             oob ~ctx ~var:a ~index:k ~len:(Array.length arr);
           Array.unsafe_get arr k
-      else fun env -> (Array.unsafe_get env.iarr i).(cidx env)
+      else (
+        match ishape ctx idx with
+        | ISlot j ->
+            fun env ->
+              (Array.unsafe_get env.iarr i).(Array.unsafe_get env.ints j)
+        | ILit n -> fun env -> (Array.unsafe_get env.iarr i).(n)
+        | IGen g -> fun env -> (Array.unsafe_get env.iarr i).(g env))
   | Imp.Binop (op, a, b) -> (
+      (* Arithmetic keeps the uniform one-closure-per-node scheme:
+         canonicalizing repeated index arithmetic into scalar slots is
+         the optimizer's job (CSE/LICM), and the slot reads it produces
+         hit the operand fast paths of the consumers below (loads,
+         stores, comparisons). *)
       let ca = cint ctx a and cb = cint ctx b in
       match op with
       | Imp.Add -> fun env -> ca env + cb env
@@ -184,6 +210,20 @@ let rec cint ctx (e : Imp.expr) : env -> int =
   | Imp.Float_lit _ | Imp.Bool_lit _ | Imp.Not _ | Imp.Round_single _ ->
       terror "expected an int expression"
 
+and ishape ctx (e : Imp.expr) : ishape =
+  match e with
+  | Imp.Var v ->
+      let s = find_slot ctx v in
+      if s.s_dtype <> Imp.Int || s.s_array then terror "expected int scalar %s" v;
+      ISlot s.s_index
+  | Imp.Int_lit n -> ILit n
+  | _ -> IGen (cint ctx e)
+
+and iget = function
+  | ISlot i -> fun env -> Array.unsafe_get env.ints i
+  | ILit n -> fun _ -> n
+  | IGen g -> g
+
 and cfloat ctx (e : Imp.expr) : env -> float =
   match e with
   | Imp.Var v ->
@@ -196,25 +236,58 @@ and cfloat ctx (e : Imp.expr) : env -> float =
       let s = find_slot ctx a in
       if s.s_dtype <> Imp.Float || not s.s_array then terror "expected float array %s" a;
       let i = s.s_index in
-      let cidx = cint ctx idx in
       if ctx.checked then
+        let cidx = cint ctx idx in
         fun env ->
           let arr = Array.unsafe_get env.farr i in
           let k = cidx env in
           if k < 0 || k >= Array.length arr then
             oob ~ctx ~var:a ~index:k ~len:(Array.length arr);
           Array.unsafe_get arr k
-      else fun env -> (Array.unsafe_get env.farr i).(cidx env)
+      else (
+        match ishape ctx idx with
+        | ISlot j ->
+            fun env ->
+              (Array.unsafe_get env.farr i).(Array.unsafe_get env.ints j)
+        | ILit n -> fun env -> (Array.unsafe_get env.farr i).(n)
+        | IGen g -> fun env -> (Array.unsafe_get env.farr i).(g env))
   | Imp.Binop (op, a, b) -> (
-      let ca = cfloat ctx a and cb = cfloat ctx b in
-      match op with
-      | Imp.Add -> fun env -> ca env +. cb env
-      | Imp.Sub -> fun env -> ca env -. cb env
-      | Imp.Mul -> fun env -> ca env *. cb env
-      | Imp.Div -> fun env -> ca env /. cb env
-      | Imp.Min -> fun env -> Float.min (ca env) (cb env)
-      | Imp.Max -> fun env -> Float.max (ca env) (cb env)
-      | Imp.Eq | Imp.Ne | Imp.Lt | Imp.Le | Imp.Gt | Imp.Ge | Imp.And | Imp.Or ->
+      let sa = fshape ctx a and sb = fshape ctx b in
+      match (op, sa, sb) with
+      | Imp.Add, FSlot i, FSlot j ->
+          fun env -> Array.unsafe_get env.floats i +. Array.unsafe_get env.floats j
+      | Imp.Add, FSlot i, FGen g -> fun env -> Array.unsafe_get env.floats i +. g env
+      | Imp.Add, FGen g, FSlot j -> fun env -> g env +. Array.unsafe_get env.floats j
+      | Imp.Add, FGen g, FGen h -> fun env -> g env +. h env
+      | Imp.Add, _, _ ->
+          let ga = fget sa and gb = fget sb in
+          fun env -> ga env +. gb env
+      | Imp.Sub, FSlot i, FSlot j ->
+          fun env -> Array.unsafe_get env.floats i -. Array.unsafe_get env.floats j
+      | Imp.Sub, FSlot i, FGen g -> fun env -> Array.unsafe_get env.floats i -. g env
+      | Imp.Sub, FGen g, FSlot j -> fun env -> g env -. Array.unsafe_get env.floats j
+      | Imp.Sub, FGen g, FGen h -> fun env -> g env -. h env
+      | Imp.Sub, _, _ ->
+          let ga = fget sa and gb = fget sb in
+          fun env -> ga env -. gb env
+      | Imp.Mul, FSlot i, FSlot j ->
+          fun env -> Array.unsafe_get env.floats i *. Array.unsafe_get env.floats j
+      | Imp.Mul, FSlot i, FGen g -> fun env -> Array.unsafe_get env.floats i *. g env
+      | Imp.Mul, FGen g, FSlot j -> fun env -> g env *. Array.unsafe_get env.floats j
+      | Imp.Mul, FGen g, FGen h -> fun env -> g env *. h env
+      | Imp.Mul, _, _ ->
+          let ga = fget sa and gb = fget sb in
+          fun env -> ga env *. gb env
+      | Imp.Div, _, _ ->
+          let ga = fget sa and gb = fget sb in
+          fun env -> ga env /. gb env
+      | Imp.Min, _, _ ->
+          let ga = fget sa and gb = fget sb in
+          fun env -> Float.min (ga env) (gb env)
+      | Imp.Max, _, _ ->
+          let ga = fget sa and gb = fget sb in
+          fun env -> Float.max (ga env) (gb env)
+      | (Imp.Eq | Imp.Ne | Imp.Lt | Imp.Le | Imp.Gt | Imp.Ge | Imp.And | Imp.Or), _, _ ->
           terror "boolean expression in float context")
   | Imp.Ternary (c, a, b) ->
       let cc = cbool ctx c and ca = cfloat ctx a and cb = cfloat ctx b in
@@ -223,6 +296,20 @@ and cfloat ctx (e : Imp.expr) : env -> float =
       let ce = cfloat ctx e in
       fun env -> Int32.float_of_bits (Int32.bits_of_float (ce env))
   | Imp.Int_lit _ | Imp.Bool_lit _ | Imp.Not _ -> terror "expected a float expression"
+
+and fshape ctx (e : Imp.expr) : fshape =
+  match e with
+  | Imp.Var v ->
+      let s = find_slot ctx v in
+      if s.s_dtype <> Imp.Float || s.s_array then terror "expected float scalar %s" v;
+      FSlot s.s_index
+  | Imp.Float_lit v -> FLit v
+  | _ -> FGen (cfloat ctx e)
+
+and fget = function
+  | FSlot i -> fun env -> Array.unsafe_get env.floats i
+  | FLit v -> fun _ -> v
+  | FGen g -> g
 
 and cbool ctx (e : Imp.expr) : env -> bool =
   match e with
@@ -236,15 +323,21 @@ and cbool ctx (e : Imp.expr) : env -> bool =
       let s = find_slot ctx a in
       if s.s_dtype <> Imp.Bool || not s.s_array then terror "expected bool array %s" a;
       let i = s.s_index in
-      let cidx = cint ctx idx in
       if ctx.checked then
+        let cidx = cint ctx idx in
         fun env ->
           let arr = Array.unsafe_get env.barr i in
           let k = cidx env in
           if k < 0 || k >= Array.length arr then
             oob ~ctx ~var:a ~index:k ~len:(Array.length arr);
           Array.unsafe_get arr k
-      else fun env -> (Array.unsafe_get env.barr i).(cidx env)
+      else (
+        match ishape ctx idx with
+        | ISlot j ->
+            fun env ->
+              (Array.unsafe_get env.barr i).(Array.unsafe_get env.ints j)
+        | ILit n -> fun env -> (Array.unsafe_get env.barr i).(n)
+        | IGen g -> fun env -> (Array.unsafe_get env.barr i).(g env))
   | Imp.Binop ((Imp.And | Imp.Or) as op, a, b) -> (
       let ca = cbool ctx a and cb = cbool ctx b in
       match op with
@@ -254,14 +347,46 @@ and cbool ctx (e : Imp.expr) : env -> bool =
   | Imp.Binop (((Imp.Eq | Imp.Ne | Imp.Lt | Imp.Le | Imp.Gt | Imp.Ge) as op), a, b) -> (
       match infer ctx a with
       | Imp.Int -> (
-          let ca = cint ctx a and cb = cint ctx b in
-          match op with
-          | Imp.Eq -> fun env -> ca env = cb env
-          | Imp.Ne -> fun env -> ca env <> cb env
-          | Imp.Lt -> fun env -> ca env < cb env
-          | Imp.Le -> fun env -> ca env <= cb env
-          | Imp.Gt -> fun env -> ca env > cb env
-          | Imp.Ge -> fun env -> ca env >= cb env
+          let sa = ishape ctx a and sb = ishape ctx b in
+          match (op, sa, sb) with
+          | Imp.Eq, ISlot i, ISlot j ->
+              fun env -> Array.unsafe_get env.ints i = Array.unsafe_get env.ints j
+          | Imp.Eq, ISlot i, ILit n -> fun env -> Array.unsafe_get env.ints i = n
+          | Imp.Eq, _, _ ->
+              let ga = iget sa and gb = iget sb in
+              fun env -> ga env = gb env
+          | Imp.Ne, ISlot i, ISlot j ->
+              fun env -> Array.unsafe_get env.ints i <> Array.unsafe_get env.ints j
+          | Imp.Ne, ISlot i, ILit n -> fun env -> Array.unsafe_get env.ints i <> n
+          | Imp.Ne, _, _ ->
+              let ga = iget sa and gb = iget sb in
+              fun env -> ga env <> gb env
+          | Imp.Lt, ISlot i, ISlot j ->
+              fun env -> Array.unsafe_get env.ints i < Array.unsafe_get env.ints j
+          | Imp.Lt, ISlot i, ILit n -> fun env -> Array.unsafe_get env.ints i < n
+          | Imp.Lt, IGen g, ISlot j -> fun env -> g env < Array.unsafe_get env.ints j
+          | Imp.Lt, ISlot i, IGen g -> fun env -> Array.unsafe_get env.ints i < g env
+          | Imp.Lt, _, _ ->
+              let ga = iget sa and gb = iget sb in
+              fun env -> ga env < gb env
+          | Imp.Le, ISlot i, ISlot j ->
+              fun env -> Array.unsafe_get env.ints i <= Array.unsafe_get env.ints j
+          | Imp.Le, ISlot i, ILit n -> fun env -> Array.unsafe_get env.ints i <= n
+          | Imp.Le, _, _ ->
+              let ga = iget sa and gb = iget sb in
+              fun env -> ga env <= gb env
+          | Imp.Gt, ISlot i, ISlot j ->
+              fun env -> Array.unsafe_get env.ints i > Array.unsafe_get env.ints j
+          | Imp.Gt, ISlot i, ILit n -> fun env -> Array.unsafe_get env.ints i > n
+          | Imp.Gt, _, _ ->
+              let ga = iget sa and gb = iget sb in
+              fun env -> ga env > gb env
+          | Imp.Ge, ISlot i, ISlot j ->
+              fun env -> Array.unsafe_get env.ints i >= Array.unsafe_get env.ints j
+          | Imp.Ge, ISlot i, ILit n -> fun env -> Array.unsafe_get env.ints i >= n
+          | Imp.Ge, _, _ ->
+              let ga = iget sa and gb = iget sb in
+              fun env -> ga env >= gb env
           | _ -> assert false)
       | Imp.Float -> (
           let ca = cfloat ctx a and cb = cfloat ctx b in
@@ -300,6 +425,51 @@ let seq (fs : (env -> unit) array) : env -> unit =
           (Array.unsafe_get fs i) env
         done
 
+(* In-place monomorphic sort of the int slice [lo, hi): Sort runs once
+   per assembled row, on slices that are usually tiny, so the generic
+   [Array.sort compare] path (an allocation, a blit and a polymorphic
+   comparison per step) is measurable kernel overhead. Insertion sort
+   below a small cutoff, median-of-three quicksort above it. *)
+let sort_int_range (arr : int array) lo hi =
+  let swap a b =
+    let t = Array.unsafe_get arr a in
+    Array.unsafe_set arr a (Array.unsafe_get arr b);
+    Array.unsafe_set arr b t
+  in
+  let insertion lo hi =
+    for idx = lo + 1 to hi - 1 do
+      let x = Array.unsafe_get arr idx in
+      let j = ref (idx - 1) in
+      while !j >= lo && Array.unsafe_get arr !j > x do
+        Array.unsafe_set arr (!j + 1) (Array.unsafe_get arr !j);
+        decr j
+      done;
+      Array.unsafe_set arr (!j + 1) x
+    done
+  in
+  let rec qsort lo hi =
+    if hi - lo <= 16 then insertion lo hi
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      (* Median of first/middle/last as the pivot, parked at [lo]. *)
+      if Array.unsafe_get arr mid < Array.unsafe_get arr lo then swap mid lo;
+      if Array.unsafe_get arr (hi - 1) < Array.unsafe_get arr lo then swap (hi - 1) lo;
+      if Array.unsafe_get arr (hi - 1) < Array.unsafe_get arr mid then swap (hi - 1) mid;
+      swap lo mid;
+      let pivot = Array.unsafe_get arr lo in
+      let i = ref (lo + 1) and j = ref (hi - 1) in
+      while !i <= !j do
+        while !i <= !j && Array.unsafe_get arr !i <= pivot do incr i done;
+        while !i <= !j && Array.unsafe_get arr !j > pivot do decr j done;
+        if !i < !j then swap !i !j
+      done;
+      swap lo !j;
+      qsort lo !j;
+      qsort (!j + 1) hi
+    end
+  in
+  if hi - lo > 1 then qsort lo hi
+
 let rec cstmt ctx (s : Imp.stmt) : env -> unit =
   match s with
   | Imp.Decl (_, v, e) | Imp.Assign (v, e) -> (
@@ -318,48 +488,68 @@ let rec cstmt ctx (s : Imp.stmt) : env -> unit =
   | Imp.Store (a, idx, v) -> (
       let s = find_slot ctx a in
       let i = s.s_index in
-      let cidx = cint ctx idx in
       let guard env arr k =
         if k < 0 || k >= Array.length arr then
           oob ~ctx ~var:a ~index:k ~len:(Array.length arr);
         ignore env
       in
       match s.s_dtype with
-      | Imp.Float ->
+      | Imp.Float -> (
           let cv = cfloat ctx v in
           if ctx.checked then
+            let cidx = cint ctx idx in
             fun env ->
               let arr = Array.unsafe_get env.farr i in
               let k = cidx env in
               guard env arr k;
               Array.unsafe_set arr k (cv env)
-          else fun env -> (Array.unsafe_get env.farr i).(cidx env) <- cv env
-      | Imp.Int ->
+          else
+            match ishape ctx idx with
+            | ISlot j ->
+                fun env ->
+                  (Array.unsafe_get env.farr i).(Array.unsafe_get env.ints j) <- cv env
+            | ILit n -> fun env -> (Array.unsafe_get env.farr i).(n) <- cv env
+            | IGen g -> fun env -> (Array.unsafe_get env.farr i).(g env) <- cv env)
+      | Imp.Int -> (
           let cv = cint ctx v in
           if ctx.checked then
+            let cidx = cint ctx idx in
             fun env ->
               let arr = Array.unsafe_get env.iarr i in
               let k = cidx env in
               guard env arr k;
               Array.unsafe_set arr k (cv env)
-          else fun env -> (Array.unsafe_get env.iarr i).(cidx env) <- cv env
-      | Imp.Bool ->
+          else
+            match ishape ctx idx with
+            | ISlot j ->
+                fun env ->
+                  (Array.unsafe_get env.iarr i).(Array.unsafe_get env.ints j) <- cv env
+            | ILit n -> fun env -> (Array.unsafe_get env.iarr i).(n) <- cv env
+            | IGen g -> fun env -> (Array.unsafe_get env.iarr i).(g env) <- cv env)
+      | Imp.Bool -> (
           let cv = cbool ctx v in
           if ctx.checked then
+            let cidx = cint ctx idx in
             fun env ->
               let arr = Array.unsafe_get env.barr i in
               let k = cidx env in
               guard env arr k;
               Array.unsafe_set arr k (cv env)
-          else fun env -> (Array.unsafe_get env.barr i).(cidx env) <- cv env)
+          else
+            match ishape ctx idx with
+            | ISlot j ->
+                fun env ->
+                  (Array.unsafe_get env.barr i).(Array.unsafe_get env.ints j) <- cv env
+            | ILit n -> fun env -> (Array.unsafe_get env.barr i).(n) <- cv env
+            | IGen g -> fun env -> (Array.unsafe_get env.barr i).(g env) <- cv env))
   | Imp.Store_add (a, idx, v) -> (
       let s = find_slot ctx a in
       let i = s.s_index in
-      let cidx = cint ctx idx in
       match s.s_dtype with
-      | Imp.Float ->
+      | Imp.Float -> (
           let cv = cfloat ctx v in
           if ctx.checked then
+            let cidx = cint ctx idx in
             fun env ->
               let arr = Array.unsafe_get env.farr i in
               let k = cidx env in
@@ -367,13 +557,25 @@ let rec cstmt ctx (s : Imp.stmt) : env -> unit =
                 oob ~ctx ~var:a ~index:k ~len:(Array.length arr);
               Array.unsafe_set arr k (Array.unsafe_get arr k +. cv env)
           else
-            fun env ->
-              let arr = Array.unsafe_get env.farr i in
-              let k = cidx env in
-              arr.(k) <- arr.(k) +. cv env
-      | Imp.Int ->
+            match ishape ctx idx with
+            | ISlot j ->
+                fun env ->
+                  let arr = Array.unsafe_get env.farr i in
+                  let k = Array.unsafe_get env.ints j in
+                  arr.(k) <- arr.(k) +. cv env
+            | ILit n ->
+                fun env ->
+                  let arr = Array.unsafe_get env.farr i in
+                  arr.(n) <- arr.(n) +. cv env
+            | IGen g ->
+                fun env ->
+                  let arr = Array.unsafe_get env.farr i in
+                  let k = g env in
+                  arr.(k) <- arr.(k) +. cv env)
+      | Imp.Int -> (
           let cv = cint ctx v in
           if ctx.checked then
+            let cidx = cint ctx idx in
             fun env ->
               let arr = Array.unsafe_get env.iarr i in
               let k = cidx env in
@@ -381,10 +583,21 @@ let rec cstmt ctx (s : Imp.stmt) : env -> unit =
                 oob ~ctx ~var:a ~index:k ~len:(Array.length arr);
               Array.unsafe_set arr k (Array.unsafe_get arr k + cv env)
           else
-            fun env ->
-              let arr = Array.unsafe_get env.iarr i in
-              let k = cidx env in
-              arr.(k) <- arr.(k) + cv env
+            match ishape ctx idx with
+            | ISlot j ->
+                fun env ->
+                  let arr = Array.unsafe_get env.iarr i in
+                  let k = Array.unsafe_get env.ints j in
+                  arr.(k) <- arr.(k) + cv env
+            | ILit n ->
+                fun env ->
+                  let arr = Array.unsafe_get env.iarr i in
+                  arr.(n) <- arr.(n) + cv env
+            | IGen g ->
+                fun env ->
+                  let arr = Array.unsafe_get env.iarr i in
+                  let k = g env in
+                  arr.(k) <- arr.(k) + cv env)
       | Imp.Bool -> terror "+= on bool array %s" a)
   | Imp.Alloc (t, v, n) -> (
       let i = (find_slot ctx v).s_index in
@@ -450,12 +663,12 @@ let rec cstmt ctx (s : Imp.stmt) : env -> unit =
       let cbody = seq (Array.of_list (List.map (cstmt ctx) body)) in
       fun env ->
         let hi = chi env in
-        let x = ref (clo env) in
-        while !x < hi do
-          Array.unsafe_set env.ints i !x;
-          cbody env;
-          (* The loop variable may be read but not written by the body. *)
-          incr x
+        let ints = env.ints in
+        (* The loop variable may be read but not written by the body, so
+           the native for counter can own the induction. *)
+        for x = clo env to hi - 1 do
+          Array.unsafe_set ints i x;
+          cbody env
         done
   | Imp.While (c, body) ->
       let cc = cbool ctx c in
@@ -468,6 +681,11 @@ let rec cstmt ctx (s : Imp.stmt) : env -> unit =
       let cc = cbool ctx c in
       let ct = seq (Array.of_list (List.map (cstmt ctx) t)) in
       fun env -> if cc env then ct env
+  | Imp.If (c, [], e) ->
+      (* Else-only shape, produced by the optimizer's branch flip. *)
+      let cc = cbool ctx c in
+      let ce = seq (Array.of_list (List.map (cstmt ctx) e)) in
+      fun env -> if not (cc env) then ce env
   | Imp.If (c, t, e) ->
       let cc = cbool ctx c in
       let ct = seq (Array.of_list (List.map (cstmt ctx) t)) in
@@ -488,12 +706,10 @@ let rec cstmt ctx (s : Imp.stmt) : env -> unit =
         let arr = env.iarr.(i) in
         let lo = clo env and hi = chi env in
         if checked then check_range env arr lo hi;
-        let slice = Array.sub arr lo (hi - lo) in
-        Array.sort compare slice;
-        Array.blit slice 0 arr lo (hi - lo)
+        sort_int_range arr lo hi
   | Imp.Comment _ -> fun _ -> ()
 
-let compile ?(checked = false) k =
+let build ~checked k =
   match
     let slots, counters = assign_slots k in
     let ctx = { slots; checked; kname = k.Imp.k_name } in
@@ -514,8 +730,72 @@ let compile ?(checked = false) k =
   | c -> c
   | exception Type_error msg -> invalid_arg ("Compile.compile: " ^ msg)
 
-let compile_res ?checked k =
-  match compile ?checked k with
+(* ------------------------------------------------------------------ *)
+(* Compiled-kernel cache                                               *)
+(*                                                                     *)
+(* Keyed by a digest of the post-optimization kernel structure plus    *)
+(* the checked flag, so repeated scheduling/benchmark runs of the same *)
+(* kernel skip closure compilation. The digest is only a lookup key:   *)
+(* on a hit the stored kernel is compared structurally and a mismatch  *)
+(* (digest collision, or NaN literals defeating structural equality)   *)
+(* falls back to a fresh compile. Compiled closures are immutable and  *)
+(* reusable across runs; the mutex keeps the table safe under domains. *)
+(* ------------------------------------------------------------------ *)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+let cache_table : (string, compiled) Hashtbl.t = Hashtbl.create 64
+
+let cache_mutex = Mutex.create ()
+
+let cache_hits = ref 0
+
+let cache_misses = ref 0
+
+let locked f =
+  Mutex.lock cache_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_mutex) f
+
+let cache_key ~checked (k : Imp.kernel) =
+  Digest.string (Marshal.to_string (checked, k) [])
+
+let cache_stats () =
+  locked (fun () ->
+      { hits = !cache_hits; misses = !cache_misses; entries = Hashtbl.length cache_table })
+
+let cache_clear () =
+  locked (fun () ->
+      Hashtbl.reset cache_table;
+      cache_hits := 0;
+      cache_misses := 0)
+
+let compile ?(checked = false) ?opt ?(cache = true) k =
+  let k =
+    match Taco_lower.Opt.optimize ?config:opt k with
+    | Ok k' -> k'
+    | Error msg -> invalid_arg ("Compile.compile: optimizer " ^ msg)
+  in
+  if not cache then build ~checked k
+  else
+    let key = cache_key ~checked k in
+    match
+      locked (fun () ->
+          match Hashtbl.find_opt cache_table key with
+          | Some c when c.c_checked = checked && c.c_kernel = k ->
+              incr cache_hits;
+              Some c
+          | _ -> None)
+    with
+    | Some c -> c
+    | None ->
+        let c = build ~checked k in
+        locked (fun () ->
+            incr cache_misses;
+            Hashtbl.replace cache_table key c);
+        c
+
+let compile_res ?checked ?opt ?cache k =
+  match compile ?checked ?opt ?cache k with
   | c -> Ok c
   | exception Invalid_argument msg ->
       Diag.error ~stage:Diag.Compile ~code:"E_COMPILE_TYPE"

@@ -20,6 +20,17 @@ type arg =
 (** Typecheck and compile a kernel. Raises [Invalid_argument] on malformed
     IR (unknown variables, type mismatches).
 
+    The kernel first runs through the {!Taco_lower.Opt} pipeline ([opt],
+    default {!Taco_lower.Opt.all}; pass {!Taco_lower.Opt.none} to compile
+    the IR verbatim). The optimizer validates the kernel before and after
+    every pass, so a malformed kernel is rejected here with the
+    validator's message.
+
+    With [~cache:true] (the default) compiled kernels are memoized in a
+    process-wide table keyed by the structure of the post-optimization
+    kernel and the [checked] flag; recompiling an identical kernel
+    returns the cached closures.
+
     With [~checked:true] the compiled closures bounds-check every array
     load, store and memset; a violation raises
     [Taco_support.Diag.Error] whose diagnostic names the kernel, the
@@ -27,14 +38,32 @@ type arg =
     [Execute], code [E_EXEC_BOUNDS]). Unchecked closures still get
     OCaml's own array bounds safety, but failures surface as a bare
     [Invalid_argument] with no kernel context. *)
-val compile : ?checked:bool -> Taco_lower.Imp.kernel -> compiled
+val compile :
+  ?checked:bool ->
+  ?opt:Taco_lower.Opt.config ->
+  ?cache:bool ->
+  Taco_lower.Imp.kernel ->
+  compiled
 
 (** Like {!compile}, reporting malformed IR as a [Diag.t] result (stage
     [Compile], code [E_COMPILE_TYPE]). *)
 val compile_res :
-  ?checked:bool -> Taco_lower.Imp.kernel -> (compiled, Taco_support.Diag.t) result
+  ?checked:bool ->
+  ?opt:Taco_lower.Opt.config ->
+  ?cache:bool ->
+  Taco_lower.Imp.kernel ->
+  (compiled, Taco_support.Diag.t) result
 
+(** The kernel as compiled — i.e. after optimization. *)
 val kernel : compiled -> Taco_lower.Imp.kernel
+
+(** {2 Compiled-kernel cache} *)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+val cache_stats : unit -> cache_stats
+
+val cache_clear : unit -> unit
 
 (** Was the kernel compiled with [~checked:true]? *)
 val is_checked : compiled -> bool

@@ -6,11 +6,14 @@ module Lower = Taco_lower.Lower
 
 type t = { info : Taco_lower.Lower.kernel_info; compiled : Compile.compiled }
 
-let prepare ?checked info = { info; compiled = Compile.compile ?checked info.Lower.kernel }
+let prepare ?checked ?opt info =
+  { info; compiled = Compile.compile ?checked ?opt info.Lower.kernel }
 
 let info t = t.info
 
-let c_source t = Taco_lower.Codegen_c.emit t.info.Lower.kernel
+let imp t = Compile.kernel t.compiled
+
+let c_source t = Taco_lower.Codegen_c.emit (Compile.kernel t.compiled)
 
 let tensor_args tv tensor =
   if Tensor_var.order tv <> Tensor.order tensor then

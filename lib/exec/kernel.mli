@@ -8,12 +8,18 @@ module Tensor = Taco_tensor.Tensor
 type t
 
 (** Compile a lowered kernel once; it can be run many times. [checked]
-    enables the bounds-checked execution mode of {!Compile.compile}. *)
-val prepare : ?checked:bool -> Taco_lower.Lower.kernel_info -> t
+    enables the bounds-checked execution mode of {!Compile.compile};
+    [opt] selects the optimizer passes applied first (default: all). *)
+val prepare :
+  ?checked:bool -> ?opt:Taco_lower.Opt.config -> Taco_lower.Lower.kernel_info -> t
 
 val info : t -> Taco_lower.Lower.kernel_info
 
-(** The C rendering of the kernel (for inspection). *)
+(** The imperative IR as compiled, i.e. after the optimizer pipeline
+    ({!info} retains the kernel as lowered). *)
+val imp : t -> Taco_lower.Imp.kernel
+
+(** The C rendering of the optimized kernel (for inspection). *)
 val c_source : t -> string
 
 (** Arguments for one tensor: dimension scalars, pos/crd arrays of

@@ -3,6 +3,9 @@ module Tensor = Taco_tensor.Tensor
 
 let run_dense kern ~inputs ~dims ~split ~domains =
   if domains <= 0 then invalid_arg "Parallel.run_dense: domains must be positive";
+  (* Oversubscribing domains only adds spawn/join overhead; cap at what
+     the runtime recommends for this machine. *)
+  let domains = min domains (Domain.recommended_domain_count ()) in
   if domains = 1 then Kernel.run_dense kern ~inputs ~dims
   else begin
     let to_split =
@@ -11,27 +14,40 @@ let run_dense kern ~inputs ~dims ~split ~domains =
       | None -> invalid_arg "Parallel.run_dense: split tensor not among the inputs"
     in
     let others = List.filter (fun (tv, _) -> not (Tensor_var.equal tv split)) inputs in
-    let parts = Tensor.split_rows to_split ~parts:domains in
-    let workers =
-      List.map
-        (fun part ->
-          Domain.spawn (fun () ->
-              Kernel.run_dense kern ~inputs:((split, part) :: others) ~dims))
-        parts
+    (* split_rows pads with empty partitions when the tensor has fewer
+       populated row ranges than requested; an empty partition
+       contributes only zeros, so skip it instead of spawning a domain
+       for it. *)
+    let parts =
+      List.filter (fun p -> Tensor.nnz p > 0) (Tensor.split_rows to_split ~parts:domains)
     in
-    let results = List.map Domain.join workers in
-    (* Sum the dense partials (partitions touch disjoint output rows for
-       row-major kernels, but addition is correct regardless). *)
-    match results with
-    | [] -> invalid_arg "Parallel.run_dense: no partitions"
-    | first :: rest ->
-        let acc = Tensor.vals first in
-        List.iter
-          (fun r ->
-            let v = Tensor.vals r in
-            for k = 0 to Array.length acc - 1 do
-              acc.(k) <- acc.(k) +. v.(k)
-            done)
-          rest;
-        first
+    match parts with
+    | [] ->
+        (* Every partition empty (the split tensor has no stored
+           values): the kernel still defines the result shape. *)
+        Kernel.run_dense kern ~inputs ~dims
+    | [ only ] -> Kernel.run_dense kern ~inputs:((split, only) :: others) ~dims
+    | parts ->
+        let workers =
+          List.map
+            (fun part ->
+              Domain.spawn (fun () ->
+                  Kernel.run_dense kern ~inputs:((split, part) :: others) ~dims))
+            parts
+        in
+        let results = List.map Domain.join workers in
+        (* Sum the dense partials (partitions touch disjoint output rows for
+           row-major kernels, but addition is correct regardless). *)
+        (match results with
+        | [] -> invalid_arg "Parallel.run_dense: no partitions"
+        | first :: rest ->
+            let acc = Tensor.vals first in
+            List.iter
+              (fun r ->
+                let v = Tensor.vals r in
+                for k = 0 to Array.length acc - 1 do
+                  acc.(k) <- acc.(k) +. v.(k)
+                done)
+              rest;
+            first)
   end

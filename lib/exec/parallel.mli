@@ -15,8 +15,11 @@
 open Taco_ir.Var
 
 (** [run_dense t ~inputs ~dims ~split ~domains] — [split] names the input
-    tensor to partition. With [domains = 1] this is exactly
-    {!Kernel.run_dense}. *)
+    tensor to partition. [domains] is clamped to
+    [Domain.recommended_domain_count ()]; empty partitions (a split
+    tensor with fewer populated row ranges than domains) are skipped
+    rather than given a domain each. With one (effective) domain or
+    partition this is exactly {!Kernel.run_dense}. *)
 val run_dense :
   Kernel.t ->
   inputs:(Tensor_var.t * Taco_tensor.Tensor.t) list ->

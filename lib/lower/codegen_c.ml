@@ -89,6 +89,12 @@ let rec stmt buf ind s =
       line "if (%s) {" (estr c);
       List.iter (stmt buf (ind + 1)) t;
       line "}"
+  | Imp.If (c, [], e) ->
+      (* Else-only Ifs (optimizer branch flip) print as a negated test
+         rather than an empty then-block. *)
+      line "if (%s) {" (estr (Imp.Not c));
+      List.iter (stmt buf (ind + 1)) e;
+      line "}"
   | Imp.If (c, t, e) ->
       line "if (%s) {" (estr c);
       List.iter (stmt buf (ind + 1)) t;

@@ -20,6 +20,7 @@ module Autoschedule = Taco_ir.Autoschedule
 module Imp = Taco_lower.Imp
 module Merge_lattice = Taco_lower.Merge_lattice
 module Lower = Taco_lower.Lower
+module Opt = Taco_lower.Opt
 module Codegen_c = Taco_lower.Codegen_c
 module Compile = Taco_exec.Compile
 module Kernel = Taco_exec.Kernel
@@ -44,21 +45,21 @@ let default_mode stmt =
       Lower.Assemble { emit_values = true; sorted = true }
   | Some _ | None -> Lower.Compute
 
-let prepare_res ?checked info =
-  match Kernel.prepare ?checked info with
+let prepare_res ?checked ?opt info =
+  match Kernel.prepare ?checked ?opt info with
   | kern -> Ok kern
   | exception Invalid_argument msg ->
       Diag.error ~stage:Diag.Compile ~code:"E_COMPILE_TYPE"
         ~context:[ ("kernel", info.Lower.kernel.Imp.k_name) ]
         "%s" msg
 
-let compile ?(name = "kernel") ?mode ?splits ?checked sched =
+let compile ?(name = "kernel") ?mode ?splits ?checked ?opt sched =
   let stmt = Schedule.stmt sched in
   let mode = match mode with Some m -> m | None -> default_mode stmt in
   match Diag.of_msg ~stage:Diag.Lower ~code:"E_LOWER" (Lower.lower ~name ?splits ~mode stmt) with
   | Error e -> Error e
   | Ok info -> (
-      match prepare_res ?checked info with
+      match prepare_res ?checked ?opt info with
       | Error e -> Error e
       | Ok kern -> Ok { sched; kern })
 
@@ -185,7 +186,7 @@ let run c ~inputs =
 let run_with_output c ~inputs ~output =
   run_exec c (fun () -> Kernel.run_compute c.kern ~inputs ~output)
 
-let auto_compile ?(name = "kernel") ?mode ?checked sched =
+let auto_compile ?(name = "kernel") ?mode ?checked ?opt sched =
   let stmt = Schedule.stmt sched in
   let mode = match mode with Some m -> m | None -> default_mode stmt in
   let lowerable s = Result.map (fun (_ : Lower.kernel_info) -> ()) (Lower.lower ~name ~mode s) in
@@ -198,7 +199,7 @@ let auto_compile ?(name = "kernel") ?mode ?checked sched =
       match Diag.of_msg ~stage:Diag.Lower ~code:"E_LOWER" (Lower.lower ~name ~mode stmt') with
       | Error e -> Error e
       | Ok info -> (
-          match prepare_res ?checked info with
+          match prepare_res ?checked ?opt info with
           | Error e -> Error e
           | Ok kern -> Ok ({ sched = Schedule.of_stmt stmt'; kern }, steps)))
 

@@ -27,6 +27,7 @@ module Autoschedule = Taco_ir.Autoschedule
 module Imp = Taco_lower.Imp
 module Merge_lattice = Taco_lower.Merge_lattice
 module Lower = Taco_lower.Lower
+module Opt = Taco_lower.Opt
 module Codegen_c = Taco_lower.Codegen_c
 module Compile = Taco_exec.Compile
 module Kernel = Taco_exec.Kernel
@@ -56,13 +57,16 @@ type compiled
     (see {!Lower.lower}). [checked] compiles in the bounds-checked
     execution mode: every array access is verified and violations are
     reported as stage-[Execute] diagnostics naming the kernel, variable
-    and index. Failures are stage-tagged diagnostics ([Lower] for
-    lowering rejections, [Compile] for kernel compilation). *)
+    and index. [opt] selects the {!Opt} passes applied to the lowered
+    kernel (default: all). Failures are stage-tagged diagnostics
+    ([Lower] for lowering rejections, [Compile] for kernel
+    compilation). *)
 val compile :
   ?name:string ->
   ?mode:Lower.mode ->
   ?splits:(Index_var.t * int) list ->
   ?checked:bool ->
+  ?opt:Opt.config ->
   Schedule.t ->
   (compiled, Diag.t) result
 
@@ -102,6 +106,7 @@ val auto_compile :
   ?name:string ->
   ?mode:Lower.mode ->
   ?checked:bool ->
+  ?opt:Opt.config ->
   Schedule.t ->
   (compiled * Autoschedule.step list, Diag.t) result
 

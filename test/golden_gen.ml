@@ -1,0 +1,89 @@
+(* Golden-snapshot generator: prints the C rendering of one of the three
+   paper kernels (SpGEMM, SpAdd, MTTKRP), before or after the optimizer
+   pipeline. test/dune diffs the output against committed snapshots so
+   IR changes — and what each optimizer pass does to the paper kernels —
+   stay reviewable as text diffs. Regenerate with `dune promote`. *)
+
+open Taco
+
+let get = function Ok x -> x | Error e -> failwith e
+
+let vi = ivar "i"
+
+let vj = ivar "j"
+
+let vk = ivar "k"
+
+let vl = ivar "l"
+
+(* SpGEMM: A = B·C, all CSR, workspace transformation (paper Fig. 4). *)
+let spgemm_info () =
+  let a = tensor "A" Format.csr in
+  let b = tensor "B" Format.csr in
+  let c = tensor "C" Format.csr in
+  let open Index_notation in
+  let stmt = assign a [ vi; vj ] (sum vk (Mul (access b [ vi; vk ], access c [ vk; vj ]))) in
+  let sched = get (Schedule.of_index_notation stmt) in
+  let sched = get (Schedule.reorder vk vj sched) in
+  let w = workspace "w" Format.dense_vector in
+  let e = Cin.Mul (Cin.Access (Cin.access b [ vi; vk ]), Cin.Access (Cin.access c [ vk; vj ])) in
+  let sched = get (Schedule.precompute_simple ~expr:e ~over:[ vj ] ~workspace:w sched) in
+  get
+    (Lower.lower ~name:"spgemm_ws"
+       ~mode:(Lower.Assemble { emit_values = true; sorted = true })
+       (Schedule.stmt sched))
+
+(* SpAdd: A = B + C, all CSR, two-way merge (paper Fig. 5a). *)
+let spadd_info () =
+  let a = tensor "A" Format.csr in
+  let b = tensor "B" Format.csr in
+  let c = tensor "C" Format.csr in
+  let open Index_notation in
+  let stmt = assign a [ vi; vj ] (Add (access b [ vi; vj ], access c [ vi; vj ])) in
+  get
+    (Lower.lower ~name:"spadd_merge"
+       ~mode:(Lower.Assemble { emit_values = true; sorted = true })
+       (Schedule.stmt (get (Schedule.of_index_notation stmt))))
+
+(* MTTKRP: A(i,j) = Σk Σl B(i,k,l)·C(l,j)·D(k,j), CSF operand, dense
+   workspace over j (paper §VIII-C). *)
+let mttkrp_info () =
+  let a = tensor "A" Format.dense_matrix in
+  let b = tensor "B" (Format.csf 3) in
+  let c = tensor "C" Format.dense_matrix in
+  let d = tensor "D" Format.dense_matrix in
+  let open Index_notation in
+  let stmt =
+    assign a [ vi; vj ]
+      (sum vk
+         (sum vl (Mul (Mul (access b [ vi; vk; vl ], access c [ vl; vj ]), access d [ vk; vj ]))))
+  in
+  let sched = get (Schedule.of_index_notation stmt) in
+  let sched = get (Schedule.reorder vj vk sched) in
+  let sched = get (Schedule.reorder vj vl sched) in
+  let w = workspace "w" Format.dense_vector in
+  let e = Cin.Mul (Cin.Access (Cin.access b [ vi; vk; vl ]), Cin.Access (Cin.access c [ vl; vj ])) in
+  let sched = get (Schedule.precompute_simple ~expr:e ~over:[ vj ] ~workspace:w sched) in
+  get (Lower.lower ~name:"mttkrp_ws" ~mode:Lower.Compute (Schedule.stmt sched))
+
+let () =
+  let usage () =
+    prerr_endline "usage: golden_gen (spgemm|spadd|mttkrp) (unopt|opt)";
+    exit 2
+  in
+  if Array.length Sys.argv <> 3 then usage ();
+  let info =
+    match Sys.argv.(1) with
+    | "spgemm" -> spgemm_info ()
+    | "spadd" -> spadd_info ()
+    | "mttkrp" -> mttkrp_info ()
+    | _ -> usage ()
+  in
+  let kern = info.Lower.kernel in
+  let kern =
+    match Sys.argv.(2) with
+    | "unopt" -> kern
+    | "opt" -> ( match Opt.optimize kern with Ok k -> k | Error e -> failwith e)
+    | _ -> usage ()
+  in
+  print_string (Codegen_c.emit kern)

@@ -13,6 +13,12 @@
    and after each accepted transform, [Imp.validate] on the generated
    kernel, [Tensor.validate] on all inputs and on the result.
 
+   Each instance that compiles is additionally run twice — once with
+   the full optimizer pipeline (the default) and once with every pass
+   disabled — and the two dense results must agree bit for bit, which
+   pins down the optimizer's exact-semantics contract on far more
+   kernels than the hand-written tests cover.
+
    Stages are allowed to *reject* an instance (a scatter without a
    workspace, an unsupported assembled format, a reorder whose
    precondition fails): rejection with a well-formed diagnostic is
@@ -249,31 +255,57 @@ let run_one sc =
     | _ -> sched
   in
   (* Compile bounds-checked; fall back to the autoscheduler when plain
-     lowering rejects the schedule (e.g. scatter into a sparse result). *)
-  let compiled =
-    match Taco.compile ~checked:true sched with
+     lowering rejects the schedule (e.g. scatter into a sparse result).
+     Compiled twice — optimized (the default) and with every optimizer
+     pass disabled — for the differential leg below. *)
+  let compile_with opt =
+    match Taco.compile ~checked:true ~opt sched with
     | Ok c -> Ok c
-    | Error _ -> Result.map fst (Taco.auto_compile ~checked:true sched)
+    | Error _ -> Result.map fst (Taco.auto_compile ~checked:true ~opt sched)
   in
-  match compiled with
-  | Error d ->
+  match (compile_with Taco.Opt.all, compile_with Taco.Opt.none) with
+  | Error d, _ ->
       if acceptable_reject d then Rejected
       else failf "unacceptable compile rejection: %s" (Diag.to_string d)
-  | Ok c -> (
-      (* The generated kernel must pass the imperative-IR verifier. *)
+  | Ok _, Error d ->
+      failf "disabling the optimizer changed the compile outcome: %s" (Diag.to_string d)
+  | Ok c, Ok c_unopt -> (
+      (* Both the lowered and the optimized kernel must pass the
+         imperative-IR verifier. *)
       let kern = (Taco_exec.Kernel.info (Taco.kernel c)).Lower.kernel in
       (match Imp.validate kern with
       | Ok () -> ()
       | Error e -> failf "generated kernel fails the IR verifier: %s" e);
+      (match Imp.validate (Taco_exec.Kernel.imp (Taco.kernel c)) with
+      | Ok () -> ()
+      | Error e -> failf "optimized kernel fails the IR verifier: %s" e);
       assert_cin_valid "scheduled statement" (Schedule.stmt (Taco.schedule_of c));
-      match Taco.run c ~inputs with
-      | Error d ->
+      match (Taco.run c ~inputs, Taco.run c_unopt ~inputs) with
+      | Error d, _ ->
           if acceptable_reject d then Rejected
           else failf "unacceptable execution failure: %s" (Diag.to_string d)
-      | Ok result ->
+      | Ok _, Error d ->
+          failf "optimized kernel ran but the unoptimized one failed: %s" (Diag.to_string d)
+      | Ok result, Ok result_unopt ->
           assert_tensor_valid "result" result;
           if not (D.equal ~eps:1e-9 oracle (T.to_dense result)) then
             failf "MISMATCH vs the reference interpreter on %s" (Cin.to_string plain);
+          (* Differential leg: the optimizer must not change a single
+             bit of the dense result (the soundness contract of
+             Taco_lower.Opt — same primitives, same order, no float
+             identities). *)
+          let b_opt = D.buffer (T.to_dense result) in
+          let b_unopt = D.buffer (T.to_dense result_unopt) in
+          if Array.length b_opt <> Array.length b_unopt then
+            failf "optimized and unoptimized results differ in shape on %s"
+              (Cin.to_string plain);
+          Array.iteri
+            (fun idx x ->
+              if Int64.bits_of_float x <> Int64.bits_of_float b_unopt.(idx) then
+                failf
+                  "optimizer changed result bits at %d (%h vs %h) on %s"
+                  idx x b_unopt.(idx) (Cin.to_string plain))
+            b_opt;
           Ran)
 
 (* ------------------------------------------------------------------ *)
