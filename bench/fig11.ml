@@ -5,12 +5,16 @@
    workspace kernel vs the Eigen-like baseline, sorting time included).
    Right plot: unsorted algorithms (generated workspace kernel vs the
    MKL-like two-pass baseline). Reported numbers are runtimes normalized
-   to the workspace kernel, as in the paper. *)
+   to the workspace kernel, as in the paper.
+
+   With [?json] the raw measurements (wall clock + GC work) and the
+   per-pass optimizer statistics of the generated kernels are also
+   written as JSON. *)
 
 open Taco
 module K = Taco_kernels
 
-let run ~seed ~scale ~reps =
+let run ?json ~seed ~scale ~reps () =
   Harness.header "Fig. 11: SpGEMM vs library baselines";
   Printf.printf "(Table I stand-ins at scale 1/%d; operand densities 4e-4 and 1e-4;\n" scale;
   Printf.printf " times are medians of %d runs, normalized to the workspace kernel)\n\n" reps;
@@ -21,6 +25,7 @@ let run ~seed ~scale ~reps =
   Harness.row "%-3s %-11s %8s | %10s %10s %7s | %10s %10s %7s" "#" "matrix" "nnz"
     "ws-sort(s)" "eigen(s)" "ratio" "ws-uns(s)" "mkl(s)" "ratio";
   let ratios_eigen = ref [] and ratios_mkl = ref [] in
+  let rows = ref [] in
   List.iter
     (fun ((entry : Suite.matrix_entry), bt) ->
       List.iter
@@ -32,24 +37,41 @@ let run ~seed ~scale ~reps =
           let dims = [| entry.Suite.rows; entry.Suite.cols |] in
           let generated_inputs = [ (bs, bt); (cs, ct) ] in
           let baseline_inputs = [ (K.Spgemm.b_var, bt); (K.Spgemm.c_var, ct) ] in
-          let t_ws_sorted =
-            Harness.time_median ~reps (fun () ->
+          let m_ws_sorted =
+            Harness.measure ~reps (fun () ->
                 ignore (Kernel.run_assemble ws_sorted ~inputs:generated_inputs ~dims))
           in
-          let t_eigen =
-            Harness.time_median ~reps (fun () ->
+          let m_eigen =
+            Harness.measure ~reps (fun () ->
                 ignore (Kernel.run_assemble eigen ~inputs:baseline_inputs ~dims))
           in
-          let t_ws_unsorted =
-            Harness.time_median ~reps (fun () ->
+          let m_ws_unsorted =
+            Harness.measure ~reps (fun () ->
                 ignore (Kernel.run_assemble ws_unsorted ~inputs:generated_inputs ~dims))
           in
-          let t_mkl =
-            Harness.time_median ~reps (fun () ->
+          let m_mkl =
+            Harness.measure ~reps (fun () ->
                 ignore (Kernel.run_assemble mkl ~inputs:baseline_inputs ~dims))
           in
+          let t_ws_sorted = m_ws_sorted.Harness.m_median_s in
+          let t_eigen = m_eigen.Harness.m_median_s in
+          let t_ws_unsorted = m_ws_unsorted.Harness.m_median_s in
+          let t_mkl = m_mkl.Harness.m_median_s in
           ratios_eigen := (t_eigen /. t_ws_sorted) :: !ratios_eigen;
           ratios_mkl := (t_mkl /. t_ws_unsorted) :: !ratios_mkl;
+          rows :=
+            Report.Obj
+              [
+                ("matrix", Report.Str entry.Suite.name);
+                ("id", Report.Int entry.Suite.id);
+                ("nnz", Report.Int (Tensor.stored bt));
+                ("operand_density", Report.Float density);
+                ("ws_sorted", Harness.measurement_json m_ws_sorted);
+                ("eigen_like", Harness.measurement_json m_eigen);
+                ("ws_unsorted", Harness.measurement_json m_ws_unsorted);
+                ("mkl_like", Harness.measurement_json m_mkl);
+              ]
+            :: !rows;
           Harness.row "%-3d %-11s %8d | %10.3f %10.3f %6.2fx | %10.3f %10.3f %6.2fx"
             entry.Suite.id entry.Suite.name
             (Tensor.stored bt) t_ws_sorted t_eigen (t_eigen /. t_ws_sorted) t_ws_unsorted
@@ -61,4 +83,24 @@ let run ~seed ~scale ~reps =
     (Harness.geomean !ratios_eigen);
   Printf.printf
     "         mkl-like / workspace (unsorted) geomean = %.2fx  (paper: 1.28x and 1.16x)\n"
-    (Harness.geomean !ratios_mkl)
+    (Harness.geomean !ratios_mkl);
+  match json with
+  | None -> ()
+  | Some path ->
+      Report.write path
+        (Report.Obj
+           [
+             ("bench", Report.Str "fig11");
+             ("seed", Report.Int seed);
+             ("scale", Report.Int scale);
+             ("reps", Report.Int reps);
+             ( "pass_stats",
+               Report.Obj
+                 [
+                   ("spgemm_ws_sorted", Harness.pass_stats_json (Kernel.info ws_sorted));
+                   ("spgemm_ws_unsorted", Harness.pass_stats_json (Kernel.info ws_unsorted));
+                 ] );
+             ("rows", Report.List (List.rev !rows));
+             ("geomean_eigen_over_ws", Report.Float (Harness.geomean !ratios_eigen));
+             ("geomean_mkl_over_ws", Report.Float (Harness.geomean !ratios_mkl));
+           ])

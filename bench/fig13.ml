@@ -25,7 +25,7 @@ let pairwise_chain kern bvar cvar ops dims =
         (fun acc op -> Kernel.run_assemble kern ~inputs:[ (bvar, acc); (cvar, op) ] ~dims)
         first rest
 
-let run ~seed ~dim ~reps =
+let run ?json ~seed ~dim ~reps () =
   Harness.header "Fig. 13 (left): chained sparse additions";
   Printf.printf
     "(%dx%d operands, densities uniform in [1e-4, 0.01]; total seconds for n additions)\n\n"
@@ -41,6 +41,7 @@ let run ~seed ~dim ~reps =
   let dims = [| dim; dim |] in
   Harness.row "%-4s | %10s %10s %10s %10s %10s" "n" "taco-binop" "taco" "workspace"
     "eigen-like" "mkl-like";
+  let left_rows = ref [] in
   for n = 1 to max_ops - 1 do
     let ops = List.filteri (fun q _ -> q <= n) all_ops in
     let op_vars = Harness.addition_vars (n + 1) in
@@ -53,27 +54,45 @@ let run ~seed ~dim ~reps =
       Kernel.prepare
         (Harness.get (Lower.lower ~mode:fused_mode (Harness.addition_workspace_stmt op_vars)))
     in
-    let t_binop =
-      Harness.time_median ~reps (fun () -> ignore (pairwise_chain pair bv cv ops dims))
+    let m_binop =
+      Harness.measure ~reps (fun () -> ignore (pairwise_chain pair bv cv ops dims))
     in
-    let t_taco =
-      Harness.time_median ~reps (fun () ->
+    let m_taco =
+      Harness.measure ~reps (fun () ->
           ignore (Kernel.run_assemble merge_kernel ~inputs:bindings ~dims))
     in
-    let t_ws =
-      Harness.time_median ~reps (fun () ->
+    let m_ws =
+      Harness.measure ~reps (fun () ->
           ignore (Kernel.run_assemble ws_kernel ~inputs:bindings ~dims))
     in
-    let t_eigen =
-      Harness.time_median ~reps (fun () ->
+    let m_eigen =
+      Harness.measure ~reps (fun () ->
           ignore (pairwise_chain eigen K.Spadd.b_var K.Spadd.c_var ops dims))
     in
-    let t_mkl =
-      Harness.time_median ~reps (fun () ->
+    let m_mkl =
+      Harness.measure ~reps (fun () ->
           ignore (pairwise_chain mkl K.Spadd.b_var K.Spadd.c_var ops dims))
     in
-    Harness.row "%-4d | %10.3f %10.3f %10.3f %10.3f %10.3f" n t_binop t_taco t_ws t_eigen
-      t_mkl
+    left_rows :=
+      Report.Obj
+        [
+          ("n_additions", Report.Int n);
+          ("taco_binop", Harness.measurement_json m_binop);
+          ("taco", Harness.measurement_json m_taco);
+          ("workspace", Harness.measurement_json m_ws);
+          ("eigen_like", Harness.measurement_json m_eigen);
+          ("mkl_like", Harness.measurement_json m_mkl);
+          ( "pass_stats",
+            Report.Obj
+              [
+                ("merge", Harness.pass_stats_json (Kernel.info merge_kernel));
+                ("workspace", Harness.pass_stats_json (Kernel.info ws_kernel));
+              ] );
+        ]
+      :: !left_rows;
+    Harness.row "%-4d | %10.3f %10.3f %10.3f %10.3f %10.3f" n m_binop.Harness.m_median_s
+      m_taco.Harness.m_median_s m_ws.Harness.m_median_s m_eigen.Harness.m_median_s
+      m_mkl.Harness.m_median_s
   done;
   print_endline
     "\n(paper: workspace overtakes the merge codes beyond ~4 additions; taco beats";
@@ -139,4 +158,28 @@ let run ~seed ~dim ~reps =
   Harness.row "%-11s %12s %12.1f" "mkl-like" "-" (1000. *. t_mkl);
   print_endline
     "\n(paper, ms: taco bin 247/211, taco 190/182, workspace 190/93, Eigen 436, MKL 1141;";
-  print_endline " assembly dominates, and the workspace halves compute time)"
+  print_endline " assembly dominates, and the workspace halves compute time)";
+  match json with
+  | None -> ()
+  | Some path ->
+      let split_json (asm, cmp) =
+        Report.Obj [ ("assembly_s", Report.Float asm); ("compute_s", Report.Float cmp) ]
+      in
+      Report.write path
+        (Report.Obj
+           [
+             ("bench", Report.Str "fig13");
+             ("seed", Report.Int seed);
+             ("dim", Report.Int dim);
+             ("reps", Report.Int reps);
+             ("rows", Report.List (List.rev !left_rows));
+             ( "breakdown_7_operands",
+               Report.Obj
+                 [
+                   ("taco_binop", split_json (binop_asm, binop_cmp));
+                   ("taco", split_json (taco_asm, taco_cmp));
+                   ("workspace", split_json (ws_asm, ws_cmp));
+                   ("eigen_like_s", Report.Float t_eigen);
+                   ("mkl_like_s", Report.Float t_mkl);
+                 ] );
+           ])

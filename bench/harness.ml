@@ -6,14 +6,78 @@ module Util = Taco_support.Util
 
 let get = function Ok x -> x | Error e -> failwith e
 
-(* Median wall-clock seconds of [reps] runs. *)
-let time_median ~reps f =
+(* One measurement: median wall-clock of [reps] runs plus the GC work
+   the runs did, as per-run means over the whole batch (Gc.quick_stat
+   deltas; [m_major_words] includes promotions, as Gc reports it). *)
+type measurement = {
+  m_median_s : float;
+  m_reps : int;
+  m_minor_words : float;
+  m_major_words : float;
+  m_promoted_words : float;
+  m_minor_collections : float;
+  m_major_collections : float;
+}
+
+let measure ~reps f =
+  let reps = max 1 reps in
+  let g0 = Gc.quick_stat () in
   let runs =
-    List.init (max 1 reps) (fun _ ->
+    List.init reps (fun _ ->
         let _, t = Util.time f in
         t)
   in
-  Util.median runs
+  let g1 = Gc.quick_stat () in
+  let per x = x /. float_of_int reps in
+  let peri x = float_of_int x /. float_of_int reps in
+  {
+    m_median_s = Util.median runs;
+    m_reps = reps;
+    m_minor_words = per (g1.Gc.minor_words -. g0.Gc.minor_words);
+    m_major_words = per (g1.Gc.major_words -. g0.Gc.major_words);
+    m_promoted_words = per (g1.Gc.promoted_words -. g0.Gc.promoted_words);
+    m_minor_collections = peri (g1.Gc.minor_collections - g0.Gc.minor_collections);
+    m_major_collections = peri (g1.Gc.major_collections - g0.Gc.major_collections);
+  }
+
+let measurement_json m =
+  Report.Obj
+    [
+      ("median_s", Report.Float m.m_median_s);
+      ("reps", Report.Int m.m_reps);
+      ( "gc",
+        Report.Obj
+          [
+            ("minor_words", Report.Float m.m_minor_words);
+            ("major_words", Report.Float m.m_major_words);
+            ("promoted_words", Report.Float m.m_promoted_words);
+            ("minor_collections", Report.Float m.m_minor_collections);
+            ("major_collections", Report.Float m.m_major_collections);
+          ] );
+    ]
+
+(* Median wall-clock seconds of [reps] runs. *)
+let time_median ~reps f = (measure ~reps f).m_median_s
+
+(* Per-pass optimizer statistics of a lowered kernel, for attaching to
+   benchmark JSON: what each pass costs, how it changes the IR size and
+   how many rewrites fire. *)
+let pass_stats_json ?config info =
+  match Opt.optimize_stats ?config info.Lower.kernel with
+  | Error e -> Report.Obj [ ("error", Report.Str e) ]
+  | Ok (_, stats) ->
+      Report.List
+        (List.map
+           (fun (s : Opt.pass_stat) ->
+             Report.Obj
+               [
+                 ("pass", Report.Str s.Opt.ps_pass);
+                 ("time_ns", Report.Int (Int64.to_int s.Opt.ps_time_ns));
+                 ("nodes_before", Report.Int s.Opt.ps_nodes_before);
+                 ("nodes_after", Report.Int s.Opt.ps_nodes_after);
+                 ("fires", Report.Int s.Opt.ps_fires);
+               ])
+           stats)
 
 let pct a b = 100. *. ((a /. b) -. 1.)
 

@@ -33,15 +33,23 @@ let add_dim_arg =
     value & opt int 4000
     & info [ "add-dim" ] ~doc:"Matrix dimension for the Fig. 13 addition chains.")
 
+let json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:
+          "Also write the raw measurements (wall clock, GC work, per-pass optimizer \
+           statistics) as JSON to PATH.")
+
 let table1_cmd =
   let run seed scale tensor_scale = Table1.run ~seed ~scale ~tensor_scale in
   Cmd.v (Cmd.info "table1" ~doc:"Print the Table I input inventory.")
     Term.(const run $ seed_arg $ scale_arg $ tensor_scale_arg)
 
 let fig11_cmd =
-  let run seed scale reps = Fig11.run ~seed ~scale ~reps in
+  let run seed scale reps json = Fig11.run ?json ~seed ~scale ~reps () in
   Cmd.v (Cmd.info "fig11" ~doc:"SpGEMM vs Eigen-like and MKL-like baselines.")
-    Term.(const run $ seed_arg $ scale_arg $ reps_arg)
+    Term.(const run $ seed_arg $ scale_arg $ reps_arg $ json_arg)
 
 let domains_arg =
   Arg.(
@@ -50,22 +58,22 @@ let domains_arg =
         ~doc:"Run the MTTKRP variants data-parallel over this many OCaml domains.")
 
 let fig12left_cmd =
-  let run seed tensor_scale reps domains =
-    Fig12.left ~domains ~seed ~scale:tensor_scale ~reps ()
+  let run seed tensor_scale reps domains json =
+    Fig12.left ~domains ?json ~seed ~scale:tensor_scale ~reps ()
   in
   Cmd.v (Cmd.info "fig12left" ~doc:"MTTKRP with dense output vs SPLATT-like baseline.")
-    Term.(const run $ seed_arg $ tensor_scale_arg $ reps_arg $ domains_arg)
+    Term.(const run $ seed_arg $ tensor_scale_arg $ reps_arg $ domains_arg $ json_arg)
 
 let fig12right_cmd =
-  let run seed tensor_scale reps = Fig12.right ~seed ~scale:tensor_scale ~reps in
+  let run seed tensor_scale reps json = Fig12.right ?json ~seed ~scale:tensor_scale ~reps () in
   Cmd.v
     (Cmd.info "fig12right" ~doc:"MTTKRP sparse vs dense output across operand densities.")
-    Term.(const run $ seed_arg $ tensor_scale_arg $ reps_arg)
+    Term.(const run $ seed_arg $ tensor_scale_arg $ reps_arg $ json_arg)
 
 let fig13_cmd =
-  let run seed dim reps = Fig13.run ~seed ~dim ~reps in
+  let run seed dim reps json = Fig13.run ?json ~seed ~dim ~reps () in
   Cmd.v (Cmd.info "fig13" ~doc:"Chained sparse matrix additions.")
-    Term.(const run $ seed_arg $ add_dim_arg $ reps_arg)
+    Term.(const run $ seed_arg $ add_dim_arg $ reps_arg $ json_arg)
 
 let ablation_cmd =
   let run seed scale reps =
@@ -120,10 +128,10 @@ let opt_cmd =
 
 let all ~seed ~scale ~tensor_scale ~reps ~add_dim =
   Table1.run ~seed ~scale ~tensor_scale;
-  Fig11.run ~seed ~scale ~reps;
+  Fig11.run ~seed ~scale ~reps ();
   Fig12.left ~seed ~scale:tensor_scale ~reps ();
-  Fig12.right ~seed ~scale:tensor_scale ~reps;
-  Fig13.run ~seed ~dim:add_dim ~reps
+  Fig12.right ~seed ~scale:tensor_scale ~reps ();
+  Fig13.run ~seed ~dim:add_dim ~reps ()
 
 let all_cmd =
   let run seed scale tensor_scale reps add_dim =
@@ -139,6 +147,7 @@ let default =
   Term.(const run $ seed_arg $ scale_arg $ tensor_scale_arg $ reps_arg $ add_dim_arg)
 
 let () =
+  Taco_support.Obs.setup ();
   let info =
     Cmd.info "taco-workspaces-bench"
       ~doc:"Reproduce the evaluation of 'Tensor Algebra Compilation with Workspaces'."

@@ -122,26 +122,31 @@ let time_variants ?(variants = variants) ~reps w =
   done;
   List.mapi (fun q (n, _) -> (n, best.(q))) kerns
 
-let json_escape = String.map (fun c -> if c = '"' || c = '\\' then '_' else c)
-
 let write_json ~path ~seed ~reps rows geomean =
-  let oc = open_out path in
-  Printf.fprintf oc "{\n  \"bench\": \"opt_ablation\",\n  \"seed\": %d,\n  \"reps\": %d,\n" seed reps;
-  Printf.fprintf oc "  \"variants\": [%s],\n"
-    (String.concat ", " (List.map (fun (n, _) -> Printf.sprintf "\"%s\"" n) variants));
-  Printf.fprintf oc "  \"workloads\": [\n";
-  List.iteri
-    (fun i (name, times) ->
-      Printf.fprintf oc "    {\"name\": \"%s\", \"times_s\": {" (json_escape name);
-      List.iteri
-        (fun j (v, t) ->
-          Printf.fprintf oc "%s\"%s\": %.6f" (if j > 0 then ", " else "") v t)
-        times;
-      Printf.fprintf oc "}}%s\n" (if i < List.length rows - 1 then "," else ""))
-    rows;
-  Printf.fprintf oc "  ],\n  \"geomean_full_speedup\": %.4f\n}\n" geomean;
-  close_out oc;
-  Printf.printf "\nwrote %s\n%!" path
+  Report.write path
+    (Report.Obj
+       [
+         ("bench", Report.Str "opt_ablation");
+         ("seed", Report.Int seed);
+         ("reps", Report.Int reps);
+         ( "variants",
+           Report.List (List.map (fun (n, _) -> Report.Str n) variants) );
+         ( "workloads",
+           Report.List
+             (List.map
+                (fun (name, times, gc_full, pass_stats) ->
+                  Report.Obj
+                    [
+                      ("name", Report.Str name);
+                      ( "times_s",
+                        Report.Obj
+                          (List.map (fun (v, t) -> (v, Report.Float t)) times) );
+                      ("full_measurement", gc_full);
+                      ("pass_stats", pass_stats);
+                    ])
+                rows) );
+         ("geomean_full_speedup", Report.Float geomean);
+       ])
 
 let run ~seed ~reps ~dim ~out =
   Harness.header "Optimizer ablation: unoptimized vs per-pass vs full pipeline";
@@ -165,13 +170,21 @@ let run ~seed ~reps ~dim ~out =
         Harness.row "%-12s | %s %8.2fx" w.w_name
           (String.concat " " (List.map (fun (_, t) -> Printf.sprintf "%13.4f" t) times))
           (t_none /. t_full);
-        (w.w_name, times))
+        (* GC work of the fully optimized kernel (prepared again — the
+           kernel cache makes this a hit) and the per-pass optimizer
+           statistics, for the machine-readable output. *)
+        let full = Kernel.prepare ~opt:Opt.all w.w_info in
+        let gc_full =
+          Harness.measurement_json
+            (Harness.measure ~reps:(max 3 reps) (fun () -> w.w_run full))
+        in
+        (w.w_name, times, gc_full, Harness.pass_stats_json w.w_info))
       workloads
   in
   let geomean =
     Harness.geomean
       (List.map
-         (fun (_, times) -> List.assoc "none" times /. List.assoc "full" times)
+         (fun (_, times, _, _) -> List.assoc "none" times /. List.assoc "full" times)
          rows)
   in
   Printf.printf "\nfull-pipeline geomean speedup = %.2fx\n%!" geomean;
@@ -189,6 +202,8 @@ let smoke () =
   Printf.printf "perf-smoke spgemm_ws: unoptimized %.4fs, optimized %.4fs (%.2fx)\n%!"
     t_none t_full (t_none /. t_full);
   if t_full > t_none then begin
-    Printf.eprintf "perf-smoke FAILED: optimized kernel is slower than unoptimized\n%!";
+    Taco_support.Obs.Log.err (fun m ->
+        m "perf-smoke FAILED: optimized kernel is slower than unoptimized (%.4fs > %.4fs)"
+          t_full t_none);
     exit 1
   end

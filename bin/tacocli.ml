@@ -89,7 +89,10 @@ let parse_format name order spec =
 (* ------------------------------------------------------------------ *)
 
 let run_cli expr_str formats dims density seed reorders precomputes split_specs auto
-    print_cin print_c do_run do_time =
+    print_cin print_c do_run do_time trace_file do_stats =
+  Obs.setup ();
+  let observing = trace_file <> None || do_stats in
+  if observing then Trace.enable ();
   let parse_pair what s =
     match String.index_opt s ':' with
     | Some k -> (String.sub s 0 k, String.sub s (k + 1) (String.length s - k - 1))
@@ -146,10 +149,10 @@ let run_cli expr_str formats dims density seed reorders precomputes split_specs 
      nothing manual was given). *)
   let compiled, steps =
     if auto then
-      let c, steps = getd (auto_compile !sched) in
+      let c, steps = getd (auto_compile ~profile:observing !sched) in
       (c, steps)
     else
-      match compile ~splits !sched with
+      match compile ~splits ~profile:observing !sched with
       | Ok c -> (c, [])
       | Error e ->
           die "%s\n(hint: pass --auto to search for a schedule automatically)"
@@ -245,7 +248,23 @@ let run_cli expr_str formats dims density seed reorders precomputes split_specs 
     let (result, elapsed) = Taco_support.Util.time (fun () -> getd (run compiled ~inputs)) in
     Printf.printf "result %s: %s\n" result_name (Stdlib.Format.asprintf "%a" Tensor.pp result);
     if do_time then Printf.printf "time: %.6f s\n" elapsed
-  end
+  end;
+  if do_stats then begin
+    prerr_string (Trace.summary ());
+    match Kernel.profile_stats (kernel compiled) with
+    | None -> ()
+    | Some s ->
+        Printf.eprintf
+          "kernel counters: iterations=%d scalar_ops=%d allocs=%d alloc_elems=%d \
+           zero_bytes=%d reallocs=%d sorts=%d\n"
+          s.Compile.iterations s.Compile.scalar_ops s.Compile.allocs s.Compile.alloc_elems
+          s.Compile.zero_bytes s.Compile.reallocs s.Compile.sorts
+  end;
+  match trace_file with
+  | None -> ()
+  | Some file ->
+      Trace.write_chrome file;
+      Printf.eprintf "trace written to %s\n" file
 
 open Cmdliner
 
@@ -282,12 +301,21 @@ let run_arg = Arg.(value & flag & info [ "run" ] ~doc:"Run the kernel on random 
 
 let time_arg = Arg.(value & flag & info [ "time" ] ~doc:"Run and report wall-clock time.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Trace the whole pipeline (parse through kernel execution) and \
+               write Chrome trace-event JSON to FILE (load in Perfetto or \
+               chrome://tracing).")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print a span/counter summary and kernel work counters to stderr.")
+
 let () =
   let term =
     Term.(
       const run_cli $ expr_arg $ formats_arg $ dims_arg $ density_arg $ seed_arg
       $ reorder_arg $ precompute_arg $ split_arg $ auto_arg $ print_cin_arg $ print_c_arg
-      $ run_arg $ time_arg)
+      $ run_arg $ time_arg $ trace_arg $ stats_arg)
   in
   let info =
     Cmd.info "tacocli"

@@ -1,0 +1,313 @@
+(* Validate a Chrome trace-event JSON file emitted by Taco's Trace
+   module (the @trace-smoke gate).
+
+   Usage: trace_check FILE [REQUIRED_SPAN ...]
+
+   Checks, failing with a nonzero exit and a message on the first
+   violation:
+
+   - the file is well-formed JSON: an object whose "traceEvents" key
+     holds an array of event objects;
+   - every event has a string "ph" and a numeric "ts"; B/E/X/C/i events
+     have a string "name";
+   - timestamps are non-decreasing in array order (the exporter sorts);
+   - B and E events balance like a stack, with each E naming the span
+     opened by the matching B;
+   - X (complete) events carry a numeric "dur" >= 0;
+   - each REQUIRED_SPAN appears (as a B/E pair or an X event) with a
+     strictly positive total duration. With no explicit names the
+     default list covers the full pipeline: parse, concretize,
+     schedule.reorder, schedule.precompute, lower, every default
+     optimizer pass, codegen_c, compile, compile.build and exec.run.
+
+   Stdlib only (no yojson in the image), so JSON parsing is a small
+   recursive-descent parser over the subset trace files use. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* ---- parsing ---- *)
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance st;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect st c =
+  skip_ws st;
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail "expected %c at byte %d, found %c" c st.pos c'
+  | None -> fail "expected %c at byte %d, found end of input" c st.pos
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail "unterminated string at byte %d" st.pos
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> fail "dangling escape at byte %d" st.pos
+        | Some 'u' ->
+            advance st;
+            if st.pos + 4 > String.length st.src then fail "truncated \\u escape";
+            let hex = String.sub st.src st.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with Failure _ -> fail "bad \\u escape %S" hex
+            in
+            (* Keep it simple: escapes in trace files are control chars. *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else Buffer.add_string b (Printf.sprintf "\\u%s" hex);
+            st.pos <- st.pos + 4;
+            go ()
+        | Some c ->
+            advance st;
+            Buffer.add_char b
+              (match c with
+              | 'n' -> '\n'
+              | 't' -> '\t'
+              | 'r' -> '\r'
+              | 'b' -> '\b'
+              | 'f' -> '\012'
+              | '"' | '\\' | '/' -> c
+              | c -> fail "unknown escape \\%c" c);
+            go ())
+    | Some c ->
+        advance st;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail "bad number %S at byte %d" s start
+
+let parse_literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail "bad literal at byte %d" st.pos
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail "unexpected end of input"
+  | Some '"' -> Str (parse_string st)
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              advance st;
+              List.rev ((k, v) :: acc)
+          | _ -> fail "expected , or } at byte %d" st.pos
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              elements (v :: acc)
+          | Some ']' ->
+              advance st;
+              List.rev (v :: acc)
+          | _ -> fail "expected , or ] at byte %d" st.pos
+        in
+        Arr (elements [])
+      end
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some _ -> Num (parse_number st)
+
+let parse_document src =
+  let st = { src; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length src then fail "trailing bytes after JSON document at byte %d" st.pos;
+  v
+
+(* ---- schema checks ---- *)
+
+let field obj k = match obj with Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let str_field what obj k =
+  match field obj k with
+  | Some (Str s) -> s
+  | Some _ -> fail "%s: %S is not a string" what k
+  | None -> fail "%s: missing %S" what k
+
+let num_field what obj k =
+  match field obj k with
+  | Some (Num f) -> f
+  | Some _ -> fail "%s: %S is not a number" what k
+  | None -> fail "%s: missing %S" what k
+
+let default_required =
+  [
+    "parse";
+    "concretize";
+    "schedule.reorder";
+    "schedule.precompute";
+    "lower";
+    "opt.simplify";
+    "opt.memset_fusion";
+    "opt.while_to_for";
+    "opt.branch_fusion";
+    "opt.cse";
+    "opt.licm";
+    "opt.simplify/cleanup";
+    "opt.dce";
+    "codegen_c";
+    "compile";
+    "compile.build";
+    "exec.run";
+  ]
+
+let check_events events =
+  (* Total observed duration per span name; built from both X events and
+     balanced B/E pairs. *)
+  let durations : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let record name dur =
+    Hashtbl.replace durations name
+      (dur +. try Hashtbl.find durations name with Not_found -> 0.)
+  in
+  let stack = ref [] in
+  let last_ts = ref neg_infinity in
+  List.iteri
+    (fun i e ->
+      let what = Printf.sprintf "event %d" i in
+      let ph = str_field what e "ph" in
+      let ts = num_field what e "ts" in
+      if ts < !last_ts then
+        fail "%s: timestamp %.3f goes backwards (previous %.3f)" what ts !last_ts;
+      last_ts := ts;
+      match ph with
+      | "B" ->
+          let name = str_field what e "name" in
+          stack := (name, ts) :: !stack
+      | "E" -> (
+          let name = str_field what e "name" in
+          match !stack with
+          | (open_name, t0) :: tl ->
+              if open_name <> name then
+                fail "%s: E %S closes span %S (misnested B/E)" what name open_name;
+              stack := tl;
+              record name (ts -. t0)
+          | [] -> fail "%s: E %S with no open span" what name)
+      | "X" ->
+          let name = str_field what e "name" in
+          let dur = num_field what e "dur" in
+          if dur < 0. then fail "%s: X %S has negative dur %.3f" what name dur;
+          record name dur
+      | "C" | "i" -> ignore (str_field what e "name")
+      | ph -> fail "%s: unknown phase %S" what ph)
+    events;
+  (match !stack with
+  | [] -> ()
+  | (name, _) :: _ -> fail "unbalanced trace: span %S is never closed" name);
+  durations
+
+let () =
+  let file, required =
+    match Array.to_list Sys.argv with
+    | _ :: file :: rest -> (file, if rest = [] then default_required else rest)
+    | _ ->
+        prerr_endline "usage: trace_check FILE [REQUIRED_SPAN ...]";
+        exit 2
+  in
+  let src =
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match
+    let doc = parse_document src in
+    let events =
+      match field doc "traceEvents" with
+      | Some (Arr evs) -> evs
+      | Some _ -> fail "\"traceEvents\" is not an array"
+      | None -> fail "missing \"traceEvents\""
+    in
+    if events = [] then fail "empty trace";
+    let durations = check_events events in
+    List.iter
+      (fun name ->
+        match Hashtbl.find_opt durations name with
+        | None -> fail "required span %S is missing from the trace" name
+        | Some d when d <= 0. -> fail "required span %S has zero duration" name
+        | Some _ -> ())
+      required;
+    (List.length events, Hashtbl.length durations)
+  with
+  | n_events, n_spans ->
+      Printf.printf "trace_check: %s OK (%d events, %d span names, %d required spans present)\n"
+        file n_events n_spans (List.length required)
+  | exception Bad msg ->
+      Printf.eprintf "trace_check: %s: %s\n" file msg;
+      exit 1

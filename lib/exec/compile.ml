@@ -1,5 +1,6 @@
 module Imp = Taco_lower.Imp
 module Diag = Taco_support.Diag
+module Trace = Taco_support.Trace
 
 type arg =
   | Aint of int
@@ -18,9 +19,44 @@ type env = {
 
 type slot = { s_dtype : Imp.dtype; s_array : bool; s_index : int }
 
+(* Executor work counters, bumped by the instrumented closures of a
+   profiled compilation. Mutable record fields keep the increments to a
+   load, an add and a store. *)
+type prof = {
+  mutable p_iters : int;
+  mutable p_scalar_ops : int;
+  mutable p_allocs : int;
+  mutable p_alloc_elems : int;
+  mutable p_zero_elems : int;
+  mutable p_reallocs : int;
+  mutable p_sorts : int;
+}
+
+let fresh_prof () =
+  {
+    p_iters = 0;
+    p_scalar_ops = 0;
+    p_allocs = 0;
+    p_alloc_elems = 0;
+    p_zero_elems = 0;
+    p_reallocs = 0;
+    p_sorts = 0;
+  }
+
+type run_stats = {
+  iterations : int;
+  scalar_ops : int;
+  allocs : int;
+  alloc_elems : int;
+  zero_bytes : int;
+  reallocs : int;
+  sorts : int;
+}
+
 type compiled = {
   c_kernel : Imp.kernel;
   c_checked : bool;
+  c_prof : prof option;
   slots : (string, slot) Hashtbl.t;
   n_ints : int;
   n_floats : int;
@@ -40,8 +76,14 @@ exception Type_error of string
 let terror fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
 
 (* Compilation context: the slot table plus the checked-execution flag
-   and kernel name (so bounds diagnostics can name their kernel). *)
-type ctx = { slots : (string, slot) Hashtbl.t; checked : bool; kname : string }
+   and kernel name (so bounds diagnostics can name their kernel).
+   [prof = None] compiles exactly the uninstrumented closures. *)
+type ctx = {
+  slots : (string, slot) Hashtbl.t;
+  checked : bool;
+  kname : string;
+  prof : prof option;
+}
 
 (* Raised by checked closures on an out-of-bounds array access. *)
 let oob ~ctx ~var ~index ~len =
@@ -470,7 +512,47 @@ let sort_int_range (arr : int array) lo hi =
   in
   if hi - lo > 1 then qsort lo hi
 
+(* [cstmt] adds the profiling wrapper (when the context asks for it)
+   around the uninstrumented closure from [cstmt_base]; loop iteration
+   counts live inside the For/While arms of [cstmt_base] where the trip
+   counts are at hand. With [prof = None] the wrapper is the identity
+   and the closures are bit-for-bit the unprofiled ones. *)
 let rec cstmt ctx (s : Imp.stmt) : env -> unit =
+  let f = cstmt_base ctx s in
+  match ctx.prof with
+  | None -> f
+  | Some st -> (
+      match s with
+      | Imp.Decl _ | Imp.Assign _ | Imp.Store _ | Imp.Store_add _ ->
+          fun env ->
+            st.p_scalar_ops <- st.p_scalar_ops + 1;
+            f env
+      | Imp.Alloc (_, _, n) ->
+          (* The extent expression is pure; re-evaluating it for the
+             counters cannot diverge from the allocation's own read. *)
+          let cn = cint ctx n in
+          fun env ->
+            let m = max 1 (cn env) in
+            st.p_allocs <- st.p_allocs + 1;
+            st.p_alloc_elems <- st.p_alloc_elems + m;
+            st.p_zero_elems <- st.p_zero_elems + m;
+            f env
+      | Imp.Memset (_, n) ->
+          let cn = cint ctx n in
+          fun env ->
+            st.p_zero_elems <- st.p_zero_elems + max 0 (cn env);
+            f env
+      | Imp.Realloc _ ->
+          fun env ->
+            st.p_reallocs <- st.p_reallocs + 1;
+            f env
+      | Imp.Sort _ ->
+          fun env ->
+            st.p_sorts <- st.p_sorts + 1;
+            f env
+      | Imp.For _ | Imp.While _ | Imp.If _ | Imp.Comment _ -> f)
+
+and cstmt_base ctx (s : Imp.stmt) : env -> unit =
   match s with
   | Imp.Decl (_, v, e) | Imp.Assign (v, e) -> (
       let s = find_slot ctx v in
@@ -657,26 +739,46 @@ let rec cstmt ctx (s : Imp.stmt) : env -> unit =
               let arr = env.barr.(i) in
               Array.fill arr 0 (checked_n env (Array.length arr)) false
           else fun env -> Array.fill env.barr.(i) 0 (cn env) false)
-  | Imp.For (v, lo, hi, body) ->
+  | Imp.For (v, lo, hi, body) -> (
       let i = (find_slot ctx v).s_index in
       let clo = cint ctx lo and chi = cint ctx hi in
       let cbody = seq (Array.of_list (List.map (cstmt ctx) body)) in
-      fun env ->
-        let hi = chi env in
-        let ints = env.ints in
-        (* The loop variable may be read but not written by the body, so
-           the native for counter can own the induction. *)
-        for x = clo env to hi - 1 do
-          Array.unsafe_set ints i x;
-          cbody env
-        done
-  | Imp.While (c, body) ->
+      match ctx.prof with
+      | None ->
+          fun env ->
+            let hi = chi env in
+            let ints = env.ints in
+            (* The loop variable may be read but not written by the body, so
+               the native for counter can own the induction. *)
+            for x = clo env to hi - 1 do
+              Array.unsafe_set ints i x;
+              cbody env
+            done
+      | Some st ->
+          fun env ->
+            let lo = clo env in
+            let hi = chi env in
+            if hi > lo then st.p_iters <- st.p_iters + (hi - lo);
+            let ints = env.ints in
+            for x = lo to hi - 1 do
+              Array.unsafe_set ints i x;
+              cbody env
+            done)
+  | Imp.While (c, body) -> (
       let cc = cbool ctx c in
       let cbody = seq (Array.of_list (List.map (cstmt ctx) body)) in
-      fun env ->
-        while cc env do
-          cbody env
-        done
+      match ctx.prof with
+      | None ->
+          fun env ->
+            while cc env do
+              cbody env
+            done
+      | Some st ->
+          fun env ->
+            while cc env do
+              st.p_iters <- st.p_iters + 1;
+              cbody env
+            done)
   | Imp.If (c, t, []) ->
       let cc = cbool ctx c in
       let ct = seq (Array.of_list (List.map (cstmt ctx) t)) in
@@ -709,14 +811,16 @@ let rec cstmt ctx (s : Imp.stmt) : env -> unit =
         sort_int_range arr lo hi
   | Imp.Comment _ -> fun _ -> ()
 
-let build ~checked k =
+let build ~checked ~profile k =
   match
     let slots, counters = assign_slots k in
-    let ctx = { slots; checked; kname = k.Imp.k_name } in
+    let prof = if profile then Some (fresh_prof ()) else None in
+    let ctx = { slots; checked; kname = k.Imp.k_name; prof } in
     let code = seq (Array.of_list (List.map (cstmt ctx) k.Imp.k_body)) in
     {
       c_kernel = k;
       c_checked = checked;
+      c_prof = prof;
       slots;
       n_ints = counters.(0);
       n_floats = counters.(1);
@@ -742,7 +846,7 @@ let build ~checked k =
 (* reusable across runs; the mutex keeps the table safe under domains. *)
 (* ------------------------------------------------------------------ *)
 
-type cache_stats = { hits : int; misses : int; entries : int }
+type cache_stats = { hits : int; misses : int; entries : int; evictions : int }
 
 let cache_table : (string, compiled) Hashtbl.t = Hashtbl.create 64
 
@@ -752,61 +856,142 @@ let cache_hits = ref 0
 
 let cache_misses = ref 0
 
+let cache_evictions = ref 0
+
+let cache_capacity = ref 512
+
+(* Insertion order; every key in [cache_table] is in this queue exactly
+   once (insertions push only new keys, eviction is the only removal
+   besides [cache_clear]). *)
+let cache_order : string Queue.t = Queue.create ()
+
 let locked f =
   Mutex.lock cache_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock cache_mutex) f
 
-let cache_key ~checked (k : Imp.kernel) =
-  Digest.string (Marshal.to_string (checked, k) [])
+let cache_key ~checked ~profile (k : Imp.kernel) =
+  Digest.string (Marshal.to_string (checked, profile, k) [])
 
 let cache_stats () =
   locked (fun () ->
-      { hits = !cache_hits; misses = !cache_misses; entries = Hashtbl.length cache_table })
+      {
+        hits = !cache_hits;
+        misses = !cache_misses;
+        entries = Hashtbl.length cache_table;
+        evictions = !cache_evictions;
+      })
 
 let cache_clear () =
   locked (fun () ->
       Hashtbl.reset cache_table;
+      Queue.clear cache_order;
       cache_hits := 0;
-      cache_misses := 0)
+      cache_misses := 0;
+      cache_evictions := 0)
 
-let compile ?(checked = false) ?opt ?(cache = true) k =
+let set_cache_capacity n = locked (fun () -> cache_capacity := max 1 n)
+
+(* Call under the cache mutex. Returns how many entries were evicted. *)
+let rec evict_over_capacity dropped =
+  if Hashtbl.length cache_table <= !cache_capacity then dropped
+  else
+    match Queue.take_opt cache_order with
+    | None -> dropped
+    | Some old ->
+        let present = Hashtbl.mem cache_table old in
+        if present then begin
+          Hashtbl.remove cache_table old;
+          incr cache_evictions
+        end;
+        evict_over_capacity (if present then dropped + 1 else dropped)
+
+let compile_inner ~checked ~profile ?opt ~cache k =
   let k =
     match Taco_lower.Opt.optimize ?config:opt k with
     | Ok k' -> k'
     | Error msg -> invalid_arg ("Compile.compile: optimizer " ^ msg)
   in
-  if not cache then build ~checked k
+  let build_traced () =
+    Trace.with_span ~cat:"compile" ~args:[ ("kernel", k.Imp.k_name) ] "compile.build"
+      (fun () -> build ~checked ~profile k)
+  in
+  if not cache then build_traced ()
   else
-    let key = cache_key ~checked k in
+    let key = cache_key ~checked ~profile k in
     match
       locked (fun () ->
           match Hashtbl.find_opt cache_table key with
-          | Some c when c.c_checked = checked && c.c_kernel = k ->
+          | Some c when c.c_checked = checked && c.c_prof <> None = profile && c.c_kernel = k
+            ->
               incr cache_hits;
               Some c
           | _ -> None)
     with
-    | Some c -> c
+    | Some c ->
+        Trace.add "compile.cache.hit" 1;
+        c
     | None ->
-        let c = build ~checked k in
-        locked (fun () ->
-            incr cache_misses;
-            Hashtbl.replace cache_table key c);
+        let c = build_traced () in
+        let dropped =
+          locked (fun () ->
+              incr cache_misses;
+              if Hashtbl.mem cache_table key then begin
+                Hashtbl.replace cache_table key c;
+                0
+              end
+              else begin
+                Hashtbl.replace cache_table key c;
+                Queue.push key cache_order;
+                evict_over_capacity 0
+              end)
+        in
+        Trace.add "compile.cache.miss" 1;
+        if dropped > 0 then Trace.add "compile.cache.evict" dropped;
         c
 
-let compile_res ?checked ?opt ?cache k =
-  match compile ?checked ?opt ?cache k with
+let compile ?(checked = false) ?(profile = false) ?opt ?(cache = true) k =
+  Trace.with_span ~cat:"compile" ~args:[ ("kernel", k.Imp.k_name) ] "compile" (fun () ->
+      compile_inner ~checked ~profile ?opt ~cache k)
+
+let compile_res ?checked ?profile ?opt ?cache k =
+  match compile ?checked ?profile ?opt ?cache k with
   | c -> Ok c
   | exception Invalid_argument msg ->
       Diag.error ~stage:Diag.Compile ~code:"E_COMPILE_TYPE"
         ~context:[ ("kernel", k.Imp.k_name) ]
         "%s" msg
 
+let profile_stats c =
+  Option.map
+    (fun p ->
+      {
+        iterations = p.p_iters;
+        scalar_ops = p.p_scalar_ops;
+        allocs = p.p_allocs;
+        alloc_elems = p.p_alloc_elems;
+        zero_bytes = 8 * p.p_zero_elems;
+        reallocs = p.p_reallocs;
+        sorts = p.p_sorts;
+      })
+    c.c_prof
+
+let profile_reset c =
+  match c.c_prof with
+  | None -> ()
+  | Some p ->
+      p.p_iters <- 0;
+      p.p_scalar_ops <- 0;
+      p.p_allocs <- 0;
+      p.p_alloc_elems <- 0;
+      p.p_zero_elems <- 0;
+      p.p_reallocs <- 0;
+      p.p_sorts <- 0
+
 let empty_int_array : int array = [||]
 
 let empty_float_array : float array = [||]
 
-let run c ~args =
+let run_plain c ~args =
   let env =
     {
       ints = Array.make (max 1 c.n_ints) 0;
@@ -841,3 +1026,36 @@ let run c ~args =
         | Imp.Bool, false -> Aint (if env.bools.(s.s_index) then 1 else 0)
         | Imp.Float, false -> Afloat env.floats.(s.s_index)
         | Imp.Bool, true -> invalid_arg "Compile.run: bool array read-back unsupported")
+
+let run c ~args =
+  if not (Trace.active ()) then run_plain c ~args
+  else
+    let before = profile_stats c in
+    Trace.with_span ~cat:"exec"
+      ~args:[ ("kernel", c.c_kernel.Imp.k_name) ]
+      "exec.run"
+      (fun () ->
+        let reader = run_plain c ~args in
+        (match (before, profile_stats c) with
+        | Some b, Some a ->
+            let d f = f a - f b in
+            let iters = d (fun s -> s.iterations) in
+            let sops = d (fun s -> s.scalar_ops) in
+            let allocs = d (fun s -> s.allocs) in
+            let zbytes = d (fun s -> s.zero_bytes) in
+            Trace.set_args
+              [
+                ("iterations", string_of_int iters);
+                ("scalar_ops", string_of_int sops);
+                ("allocs", string_of_int allocs);
+                ("alloc_elems", string_of_int (d (fun s -> s.alloc_elems)));
+                ("zero_bytes", string_of_int zbytes);
+                ("reallocs", string_of_int (d (fun s -> s.reallocs)));
+                ("sorts", string_of_int (d (fun s -> s.sorts)));
+              ];
+            Trace.add "exec.iterations" iters;
+            Trace.add "exec.scalar_ops" sops;
+            Trace.add "exec.allocs" allocs;
+            Trace.add "exec.zero_bytes" zbytes
+        | _ -> ());
+        reader)

@@ -37,9 +37,18 @@ type arg =
     array variable, the offending index and the array length (stage
     [Execute], code [E_EXEC_BOUNDS]). Unchecked closures still get
     OCaml's own array bounds safety, but failures surface as a bare
-    [Invalid_argument] with no kernel context. *)
+    [Invalid_argument] with no kernel context.
+
+    With [~profile:true] the compiled closures additionally count the
+    work they do (loop iterations, scalar ops, workspace allocations,
+    zeroed bytes — see {!run_stats}); counters accumulate across runs
+    until {!profile_reset}. Profiled and unprofiled compilations of the
+    same kernel are distinct cache entries. The default [profile:false]
+    compiles exactly the closures it always did — profiling costs
+    nothing unless requested. *)
 val compile :
   ?checked:bool ->
+  ?profile:bool ->
   ?opt:Taco_lower.Opt.config ->
   ?cache:bool ->
   Taco_lower.Imp.kernel ->
@@ -49,6 +58,7 @@ val compile :
     [Compile], code [E_COMPILE_TYPE]). *)
 val compile_res :
   ?checked:bool ->
+  ?profile:bool ->
   ?opt:Taco_lower.Opt.config ->
   ?cache:bool ->
   Taco_lower.Imp.kernel ->
@@ -57,13 +67,44 @@ val compile_res :
 (** The kernel as compiled — i.e. after optimization. *)
 val kernel : compiled -> Taco_lower.Imp.kernel
 
+(** {2 Runtime profiling}
+
+    Executor work counters, gathered only by kernels compiled with
+    [~profile:true]. Counters accumulate across {!run}s of the same
+    compiled kernel; snapshot before/after a run (or {!profile_reset}
+    in between) for per-run numbers. When tracing is enabled, {!run}
+    wraps execution in an ["exec.run"] span carrying the per-run deltas
+    and folds them into trace counters. *)
+
+type run_stats = {
+  iterations : int;  (** Loop iterations executed (for + while). *)
+  scalar_ops : int;  (** Scalar declarations/assignments and array stores. *)
+  allocs : int;  (** Workspace/output array allocations. *)
+  alloc_elems : int;  (** Total elements allocated. *)
+  zero_bytes : int;  (** Bytes zero-initialized (allocs + memsets, 8 B/elem). *)
+  reallocs : int;  (** Capacity-growing reallocations. *)
+  sorts : int;  (** Sort statements executed. *)
+}
+
+(** [Some stats] for kernels compiled with [~profile:true], [None]
+    otherwise. *)
+val profile_stats : compiled -> run_stats option
+
+(** Zero the counters of a profiled kernel (no-op otherwise). *)
+val profile_reset : compiled -> unit
+
 (** {2 Compiled-kernel cache} *)
 
-type cache_stats = { hits : int; misses : int; entries : int }
+type cache_stats = { hits : int; misses : int; entries : int; evictions : int }
 
 val cache_stats : unit -> cache_stats
 
 val cache_clear : unit -> unit
+
+(** Bound the cache to [n] (>= 1) entries; the oldest entries beyond the
+    bound are evicted insertion-first (FIFO) and counted in
+    [cache_stats().evictions]. Default capacity: 512. *)
+val set_cache_capacity : int -> unit
 
 (** Was the kernel compiled with [~checked:true]? *)
 val is_checked : compiled -> bool

@@ -6,10 +6,14 @@ module Lower = Taco_lower.Lower
 
 type t = { info : Taco_lower.Lower.kernel_info; compiled : Compile.compiled }
 
-let prepare ?checked ?opt info =
-  { info; compiled = Compile.compile ?checked ?opt info.Lower.kernel }
+let prepare ?checked ?profile ?opt info =
+  { info; compiled = Compile.compile ?checked ?profile ?opt info.Lower.kernel }
 
 let info t = t.info
+
+let profile_stats t = Compile.profile_stats t.compiled
+
+let profile_reset t = Compile.profile_reset t.compiled
 
 let imp t = Compile.kernel t.compiled
 

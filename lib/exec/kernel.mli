@@ -9,11 +9,23 @@ type t
 
 (** Compile a lowered kernel once; it can be run many times. [checked]
     enables the bounds-checked execution mode of {!Compile.compile};
+    [profile] its runtime work counters (see {!Compile.run_stats});
     [opt] selects the optimizer passes applied first (default: all). *)
 val prepare :
-  ?checked:bool -> ?opt:Taco_lower.Opt.config -> Taco_lower.Lower.kernel_info -> t
+  ?checked:bool ->
+  ?profile:bool ->
+  ?opt:Taco_lower.Opt.config ->
+  Taco_lower.Lower.kernel_info ->
+  t
 
 val info : t -> Taco_lower.Lower.kernel_info
+
+(** Accumulated executor counters of a kernel prepared with
+    [~profile:true]; [None] otherwise. *)
+val profile_stats : t -> Compile.run_stats option
+
+(** Zero the profile counters (no-op for unprofiled kernels). *)
+val profile_reset : t -> unit
 
 (** The imperative IR as compiled, i.e. after the optimizer pipeline
     ({!info} retains the kernel as lowered). *)

@@ -230,6 +230,7 @@ let parse_expr ~tensors src =
       e)
 
 let parse_statement ~tensors src =
+  Taco_support.Trace.with_span ~cat:"frontend" "parse" @@ fun () ->
   with_errors (fun () ->
       let s = { toks = lex src } in
       let t = peek s in

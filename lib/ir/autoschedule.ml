@@ -55,6 +55,7 @@ let candidates stmt =
   from_heuristics @ from_reorders
 
 let run ~lowerable stmt =
+  Taco_support.Trace.with_span ~cat:"schedule" "autoschedule" @@ fun () ->
   match Cin.validate stmt with
   | Error e -> Error e
   | Ok () -> (

@@ -54,7 +54,7 @@ let rec strip_top_sums = function
   | (I.Literal _ | I.Access _ | I.Neg _ | I.Add _ | I.Sub _ | I.Mul _ | I.Div _) as e ->
       ([], e)
 
-let run ?(scalar_temps = false) (stmt : I.t) =
+let run_body ?(scalar_temps = false) (stmt : I.t) =
   match I.validate stmt with
   | Error e -> Error e
   | Ok () ->
@@ -105,6 +105,10 @@ let run ?(scalar_temps = false) (stmt : I.t) =
         in
         Ok (Cin.foralls (stmt.lhs_indices @ reduction_vars) body)
       end
+
+let run ?scalar_temps stmt =
+  Taco_support.Trace.with_span ~cat:"frontend" "concretize" (fun () ->
+      run_body ?scalar_temps stmt)
 
 let run_exn ?scalar_temps stmt =
   match run ?scalar_temps stmt with

@@ -13,7 +13,7 @@ let stmt t = t.stmt
    verifier: a malformed input is reported before the transform touches
    it, and a transform that produces a malformed statement is an internal
    error (caught here rather than as a mysterious lowering failure). *)
-let checked_transform name f t =
+let checked_transform_body name f t =
   match Cin.validate t.stmt with
   | Error e -> Error (Printf.sprintf "%s: input statement is malformed: %s" name e)
   | Ok () -> (
@@ -26,6 +26,12 @@ let checked_transform name f t =
               Error
                 (Printf.sprintf "internal: %s produced a malformed statement: %s"
                    name e)))
+
+(* Each scheduling transform (reorder, precompute) shows up as one
+   "schedule.<name>" span. *)
+let checked_transform name f t =
+  Taco_support.Trace.with_span ~cat:"schedule" ("schedule." ^ name) (fun () ->
+      checked_transform_body name f t)
 
 let reorder v1 v2 t = checked_transform "reorder" (Reorder.reorder v1 v2) t
 

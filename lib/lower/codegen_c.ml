@@ -109,7 +109,7 @@ let emit_body kernel =
   List.iter (stmt buf 1) kernel.Imp.k_body;
   Buffer.contents buf
 
-let emit kernel =
+let emit_untraced kernel =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "#include <stdint.h>\n#include <stdbool.h>\n#include <stdlib.h>\n#include <string.h>\n";
   Buffer.add_string buf "#define TACO_MIN(a, b) ((a) < (b) ? (a) : (b))\n";
@@ -127,3 +127,9 @@ let emit kernel =
   Buffer.add_string buf (emit_body kernel);
   Buffer.add_string buf "  return 0;\n}\n";
   Buffer.contents buf
+
+let emit kernel =
+  Taco_support.Trace.with_span ~cat:"lower"
+    ~args:[ ("kernel", kernel.Imp.k_name) ]
+    "codegen_c"
+    (fun () -> emit_untraced kernel)

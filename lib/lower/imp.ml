@@ -105,6 +105,26 @@ let rec declared_stmt = function
 
 and declared stmts = List.concat_map declared_stmt stmts
 
+let rec expr_nodes = function
+  | Var _ | Int_lit _ | Float_lit _ | Bool_lit _ -> 1
+  | Load (_, i) -> 1 + expr_nodes i
+  | Binop (_, a, b) -> 1 + expr_nodes a + expr_nodes b
+  | Not e | Round_single e -> 1 + expr_nodes e
+  | Ternary (c, a, b) -> 1 + expr_nodes c + expr_nodes a + expr_nodes b
+
+let rec stmt_nodes = function
+  | Decl (_, _, e) | Assign (_, e) | Alloc (_, _, e) | Realloc (_, e) | Memset (_, e) ->
+      1 + expr_nodes e
+  | Store (_, i, v) | Store_add (_, i, v) | Sort (_, i, v) -> 1 + expr_nodes i + expr_nodes v
+  | For (_, lo, hi, body) -> 1 + expr_nodes lo + expr_nodes hi + stmts_nodes body
+  | While (c, body) -> 1 + expr_nodes c + stmts_nodes body
+  | If (c, t, e) -> 1 + expr_nodes c + stmts_nodes t + stmts_nodes e
+  | Comment _ -> 1
+
+and stmts_nodes body = List.fold_left (fun acc s -> acc + stmt_nodes s) 0 body
+
+let node_count kernel = stmts_nodes kernel.k_body
+
 let check kernel =
   let exception Problem of string in
   let known = Hashtbl.create 32 in

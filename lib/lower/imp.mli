@@ -98,6 +98,10 @@ val declared : stmt list -> string list
     fresh. Returns the first problem found. *)
 val check : kernel -> (unit, string) result
 
+(** Total number of expression and statement nodes in the kernel body —
+    the IR size metric reported per optimizer pass. *)
+val node_count : kernel -> int
+
 (** Full verifier pass over a lowered kernel: {!check}'s def-before-use
     discipline plus type consistency (arithmetic/comparison/logical
     operand types, declaration and store types) and array/scalar arity

@@ -1031,6 +1031,10 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ~mode stmt 
     | Error e -> fail "internal: generated kernel fails the verifier: %s" e);
     { kernel; inputs; result; mode }
   in
-  match build () with
-  | info -> Ok info
-  | exception Lower_error msg -> Error msg
+  let module Trace = Taco_support.Trace in
+  Trace.with_span ~cat:"lower" ~args:[ ("kernel", name) ] "lower" (fun () ->
+      match build () with
+      | info ->
+          Trace.set_args [ ("nodes", string_of_int (Imp.node_count info.kernel)) ];
+          Ok info
+      | exception Lower_error msg -> Error msg)

@@ -34,6 +34,17 @@ let none =
     dce = false;
   }
 
+(* Rewrite-fire accounting: every pass bumps [fires] at each discrete
+   rewrite it performs (a fold, a fused memset, a hoisted decl, a
+   dropped statement, ...). [optimize_stats] resets the counter around
+   each pass and reports the per-pass totals. The counter is a plain
+   module-level ref: concurrent optimizations from several domains
+   would interleave counts (stats only — kernel results are
+   unaffected). *)
+let fires = ref 0
+
+let fire () = incr fires
+
 (* ------------------------------------------------------------------ *)
 (* Shared analysis helpers                                             *)
 (* ------------------------------------------------------------------ *)
@@ -206,30 +217,62 @@ let kill_set vs subst =
 
 let rec simp_expr env subst e =
   match e with
-  | Var v -> ( match SM.find_opt v subst with Some e' -> e' | None -> e)
+  | Var v -> (
+      match SM.find_opt v subst with
+      | Some e' ->
+          fire ();
+          e'
+      | None -> e)
   | Int_lit _ | Float_lit _ | Bool_lit _ -> e
   | Load (a, i) -> Load (a, simp_expr env subst i)
   | Binop (op, a, b) -> simp_binop env op (simp_expr env subst a) (simp_expr env subst b)
   | Not a -> (
       match simp_expr env subst a with
-      | Bool_lit b -> Bool_lit (not b)
-      | Not x -> x
+      | Bool_lit b ->
+          fire ();
+          Bool_lit (not b)
+      | Not x ->
+          fire ();
+          x
       | a' -> Not a')
   | Ternary (c, a, b) -> (
       let c' = simp_expr env subst c in
       let a' = simp_expr env subst a in
       let b' = simp_expr env subst b in
       match c' with
-      | Bool_lit true -> a'
-      | Bool_lit false -> b'
-      | Not c'' -> if a' = b' then a' else Ternary (c'', b', a')
-      | _ -> if a' = b' then a' else Ternary (c', a', b'))
+      | Bool_lit true ->
+          fire ();
+          a'
+      | Bool_lit false ->
+          fire ();
+          b'
+      | Not c'' ->
+          fire ();
+          if a' = b' then a' else Ternary (c'', b', a')
+      | _ ->
+          if a' = b' then begin
+            fire ();
+            a'
+          end
+          else Ternary (c', a', b'))
   | Round_single a -> (
       match simp_expr env subst a with
-      | Float_lit v -> Float_lit (Int32.float_of_bits (Int32.bits_of_float v))
+      | Float_lit v ->
+          fire ();
+          Float_lit (Int32.float_of_bits (Int32.bits_of_float v))
       | a' -> Round_single a')
 
+(* The fallthrough arm reconstructs [Binop (op, a, b)] from the very
+   operands it matched on, so "did a rewrite fire" is a physical
+   equality check on the result. *)
 and simp_binop env op a b =
+  let r = simp_binop_arms env op a b in
+  (match r with
+  | Binop (op', x, y) when op' = op && x == a && y == b -> ()
+  | _ -> fire ());
+  r
+
+and simp_binop_arms env op a b =
   match (op, a, b) with
   | Add, Int_lit x, Int_lit y -> Int_lit (x + y)
   | Sub, Int_lit x, Int_lit y -> Int_lit (x - y)
@@ -287,7 +330,10 @@ and simp_stmt env subst s =
   | Assign (v, e) ->
       let e' = simp_expr env subst e in
       let subst = kill_var v subst in
-      if e' = Var v then ([], subst)
+      if e' = Var v then begin
+        fire ();
+        ([], subst)
+      end
       else ([ Assign (v, e') ], record_binding v e' subst)
   | Store (a, i, x) -> ([ Store (a, simp_expr env subst i, simp_expr env subst x) ], subst)
   | Store_add (a, i, x) ->
@@ -300,13 +346,20 @@ and simp_stmt env subst s =
   | If (c, t, e) -> (
       let c' = simp_expr env subst c in
       match c' with
-      | Bool_lit true -> simp_stmts env subst t
-      | Bool_lit false -> simp_stmts env subst e
+      | Bool_lit true ->
+          fire ();
+          simp_stmts env subst t
+      | Bool_lit false ->
+          fire ();
+          simp_stmts env subst e
       | _ ->
           let t', _ = simp_stmts env subst t in
           let e', _ = simp_stmts env subst e in
           let after = kill_set (assigned_scalars (t @ e)) subst in
-          if t' = [] && e' = [] then ([], after)
+          if t' = [] && e' = [] then begin
+            fire ();
+            ([], after)
+          end
           else
             (* Branch flip: evaluating the un-negated condition is one
                expression node cheaper, and an empty then-branch gets
@@ -321,7 +374,11 @@ and simp_stmt env subst s =
       let inner = kill_set (assigned_scalars body) subst in
       let c' = simp_expr env inner c in
       let body', _ = simp_stmts env inner body in
-      match c' with Bool_lit false -> ([], inner) | _ -> ([ While (c', body') ], inner))
+      match c' with
+      | Bool_lit false ->
+          fire ();
+          ([], inner)
+      | _ -> ([ While (c', body') ], inner))
   | For (v, lo, hi, body) ->
       (* lo/hi are evaluated once at entry: entry bindings apply. *)
       let lo' = simp_expr env subst lo in
@@ -363,7 +420,9 @@ let memset_fusion_pass k =
         | For _ | While _ | If _ -> false
       in
       let rec scan = function
-        | Memset (v', m) :: rest when v' = v && m = n -> rest
+        | Memset (v', m) :: rest when v' = v && m = n ->
+            fire ();
+            rest
         | s :: rest when keeps_zero s -> s :: scan rest
         | ss -> ss
       in
@@ -440,6 +499,7 @@ let while_to_for_pass k =
               && not (SS.mem p b_scalars)
             in
             if convertible then begin
+              fire ();
               let q = fresh () in
               let init = List.map (map_stmt_exprs (subst_var p q)) init in
               [ For (q, Var p, bound, init); Assign (p, Binop (Max, Var p, bound)) ]
@@ -551,7 +611,9 @@ let branch_fusion_pass k =
     | (If _ as s), (If _ as g0) :: rest' -> (
         let g = rw_stmt g0 in
         match try_sink s g with
-        | Some s' -> absorb s' rest'
+        | Some s' ->
+            fire ();
+            absorb s' rest'
         | None -> s :: absorb g rest')
     | _ -> s :: rw_list rest
   in
@@ -712,6 +774,7 @@ let cse_pass k =
                   else
                     let uses = count_stmts e (expr_names e) (s :: rest) in
                     if uses >= 2 then
+                      let () = fire () in
                       let t = fresh () in
                       (decls @ [ Decl (infer_type env e, t, rw avail e) ], (e, t) :: avail)
                     else (decls, avail))
@@ -846,6 +909,7 @@ let licm_pass k =
   let mk_decls ~guard cands =
     List.fold_left
       (fun (decls, substs) e ->
+        fire ();
         let t = infer_type env e in
         let name = fresh () in
         let e' = apply_substs substs e in
@@ -971,11 +1035,16 @@ let dce_pass k =
   and go_stmt s ~live ~later =
     match s with
     | Decl (_, v, e) ->
-        if (not (SS.mem v live)) && (not (SS.mem v later)) && not (SS.mem v protected) then
+        if (not (SS.mem v live)) && (not (SS.mem v later)) && not (SS.mem v protected) then begin
+          fire ();
           ([], live, later)
+        end
         else ([ s ], re (SS.remove v live) e, later)
     | Assign (v, e) ->
-        if (not (SS.mem v live)) && not (SS.mem v protected) then ([], live, later)
+        if (not (SS.mem v live)) && not (SS.mem v protected) then begin
+          fire ();
+          ([], live, later)
+        end
         else ([ s ], re (SS.remove v live) e, SS.add v later)
     | Store (a, i, x) | Store_add (a, i, x) -> ([ s ], SS.add a (re (re live i) x), later)
     | Alloc (_, _, n) -> ([ s ], re live n, later)
@@ -985,7 +1054,10 @@ let dce_pass k =
     | If (c, t, e) ->
         let t', live_t, later_t = go_list t ~live ~later:(SS.union later (assign_targets e)) in
         let e', live_e, later_e = go_list e ~live ~later:(SS.union later (assign_targets t)) in
-        if t' = [] && e' = [] then ([], live, later)
+        if t' = [] && e' = [] then begin
+          fire ();
+          ([], live, later)
+        end
         else
           ( [ If (c, t', e') ],
             re (SS.union live_t live_e) c,
@@ -1003,8 +1075,10 @@ let dce_pass k =
         let body1, _, _ = go_list body ~live:out1 ~later:later_b in
         let out2 = SS.union live (SS.remove v (fst (ue_stmts body1))) in
         let body2, live_in, later_in = go_list body ~live:out2 ~later:later_b in
-        if body2 = [] && (not (SS.mem v live)) && not (SS.mem v protected) then
+        if body2 = [] && (not (SS.mem v live)) && not (SS.mem v protected) then begin
+          fire ();
           ([], live, later)
+        end
         else ([ For (v, lo, hi, body2) ], re (re (SS.union live live_in) lo) hi, later_in)
   in
   let body, _, _ = go_list k.k_body ~live:protected ~later:SS.empty in
@@ -1036,22 +1110,58 @@ let passes config =
       ("dce", config.dce, dce_pass);
     ]
 
-let optimize ?(config = all) k =
+type pass_stat = {
+  ps_pass : string;
+  ps_time_ns : int64;
+  ps_nodes_before : int;
+  ps_nodes_after : int;
+  ps_fires : int;
+}
+
+module Trace = Taco_support.Trace
+
+let optimize_stats ?(config = all) k =
   match passes config with
-  | [] -> Ok k
+  | [] -> Ok (k, [])
   | ps -> (
       match validate k with
       | Error msg -> Error (Printf.sprintf "precondition: %s" msg)
       | Ok () ->
-          let rec go k = function
-            | [] -> Ok k
+          let rec go k acc = function
+            | [] -> Ok (k, List.rev acc)
             | (name, f) :: rest -> (
+                let nodes_before = node_count k in
+                fires := 0;
+                let t0 = Trace.now_ns () in
                 let k' = f k in
+                let dt = Int64.sub (Trace.now_ns ()) t0 in
+                let pass_fires = !fires in
+                let nodes_after = node_count k' in
+                if Trace.active () then
+                  Trace.span_complete ~cat:"opt" ~ts:t0 ~dur_ns:dt
+                    ~args:
+                      [
+                        ("nodes_before", string_of_int nodes_before);
+                        ("nodes_after", string_of_int nodes_after);
+                        ("fires", string_of_int pass_fires);
+                      ]
+                    ("opt." ^ name);
+                let st =
+                  {
+                    ps_pass = name;
+                    ps_time_ns = dt;
+                    ps_nodes_before = nodes_before;
+                    ps_nodes_after = nodes_after;
+                    ps_fires = pass_fires;
+                  }
+                in
                 match validate k' with
                 | Error msg -> Error (Printf.sprintf "pass %s broke the kernel: %s" name msg)
-                | Ok () -> go k' rest)
+                | Ok () -> go k' (st :: acc) rest)
           in
-          go k ps)
+          go k [] ps)
+
+let optimize ?config k = Result.map fst (optimize_stats ?config k)
 
 let optimize_exn ?config k =
   match optimize ?config k with Ok k -> k | Error msg -> invalid_arg ("Opt.optimize: " ^ msg)

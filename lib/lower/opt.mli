@@ -63,12 +63,33 @@ val all : config
 (** No passes enabled; {!optimize} is the identity. *)
 val none : config
 
+(** Per-pass metrics from one {!optimize_stats} run. Rewrite fires
+    count the discrete rewrites a pass performed (folds, fused memsets,
+    sunk guards, shared or hoisted temporaries, dropped statements);
+    node counts are {!Imp.node_count} before/after, so
+    [ps_nodes_before - ps_nodes_after] is the pass's IR shrinkage
+    (negative for passes that introduce temporaries). *)
+type pass_stat = {
+  ps_pass : string;  (** Pass name as listed in {!config}. *)
+  ps_time_ns : int64;  (** Wall time of the rewrite itself (validation excluded). *)
+  ps_nodes_before : int;
+  ps_nodes_after : int;
+  ps_fires : int;
+}
+
 (** Run the enabled passes in order. [Imp.validate] runs as a
     precondition and again after each pass; a failure is reported as
     [Error msg] naming the offending pass and no partially-rewritten
     kernel escapes. With every pass disabled the kernel is returned
     unchanged (and unvalidated). *)
 val optimize : ?config:config -> Imp.kernel -> (Imp.kernel, string) result
+
+(** {!optimize}, additionally returning one {!pass_stat} per executed
+    pass (in execution order). When tracing is enabled each pass is
+    also recorded as an ["opt.<name>"] trace span carrying the same
+    numbers. *)
+val optimize_stats :
+  ?config:config -> Imp.kernel -> (Imp.kernel * pass_stat list, string) result
 
 (** {!optimize}, raising [Invalid_argument] on error. *)
 val optimize_exn : ?config:config -> Imp.kernel -> Imp.kernel

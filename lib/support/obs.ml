@@ -1,0 +1,33 @@
+(* Logs wiring for the whole compiler: one "taco" source for general
+   messages plus a TACO_LOG-driven setup used by every executable
+   entry point (tacocli, bench). Libraries log through [Log] freely;
+   nothing prints unless an executable called [setup] (or installed its
+   own reporter). *)
+
+let src = Logs.Src.create "taco" ~doc:"Taco tensor algebra compiler"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "quiet" | "off" | "none" -> Ok None
+  | "error" -> Ok (Some Logs.Error)
+  | "warn" | "warning" -> Ok (Some Logs.Warning)
+  | "info" -> Ok (Some Logs.Info)
+  | "debug" -> Ok (Some Logs.Debug)
+  | "app" -> Ok (Some Logs.App)
+  | _ -> Error (`Msg (Printf.sprintf "TACO_LOG: unknown level %S (try quiet|error|warn|info|debug)" s))
+
+let setup ?(default = Some Logs.Warning) () =
+  let level =
+    match Sys.getenv_opt "TACO_LOG" with
+    | None -> default
+    | Some s -> (
+        match level_of_string s with
+        | Ok l -> l
+        | Error (`Msg m) ->
+            Printf.eprintf "%s\n%!" m;
+            default)
+  in
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level

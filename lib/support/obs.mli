@@ -1,0 +1,20 @@
+(** [Logs] wiring shared by every executable surface.
+
+    Libraries log through {!Log} (source ["taco"]); nothing is printed
+    until an executable installs a reporter, which {!setup} does based
+    on the [TACO_LOG] environment variable
+    ([quiet|error|warn|info|debug], default warn). [TACO_LOG=debug]
+    additionally makes {!Trace.with_span} time and log every span even
+    when the trace buffer is disabled. *)
+
+val src : Logs.src
+
+module Log : Logs.LOG
+
+(** Parse a [TACO_LOG] level string. *)
+val level_of_string : string -> (Logs.level option, [ `Msg of string ]) result
+
+(** Install a {!Logs_fmt} reporter and set the global level from
+    [TACO_LOG], falling back to [default] (default: warnings) when the
+    variable is unset or unparseable. *)
+val setup : ?default:Logs.level option -> unit -> unit

@@ -1,0 +1,94 @@
+(** In-process tracing: spans, counters and one-shot events for the
+    compile pipeline and the kernel executor.
+
+    The tracer is a process-global buffer behind a single [enabled]
+    flag. When disabled (the default) every entry point returns after
+    one flag read — no clock reads, no allocation, no locking — so
+    instrumented code paths cost nothing in production. When enabled,
+    events carry monotonic-clock timestamps (nanoseconds, via the
+    bechamel clock stub) and buffer in memory until exported as Chrome
+    trace-event JSON ({!write_chrome}, loadable in [chrome://tracing]
+    and Perfetto) or summarized as text ({!summary}).
+
+    Three event kinds:
+    - {b spans} ({!with_span}, {!span_complete}): begin/end pairs with
+      nesting; exceptions still close the span;
+    - {b counters} ({!add}): named monotonically accumulated totals,
+      exported as Chrome "C" events so they render as counter tracks;
+    - {b instants} ({!instant}): one-shot markers.
+
+    Span begin/end events are recorded in chronological buffer order;
+    {!span_complete} records a retroactive "X" (complete) event for
+    callers that measured a duration themselves. The exporter sorts by
+    timestamp so the emitted JSON is monotonic either way.
+
+    A [Logs] side channel: when the [taco.trace] source is at [Debug]
+    level (see {!Obs.setup} and the [TACO_LOG] environment variable),
+    span close also logs the span name and duration — and spans are
+    timed-and-logged even with the buffer disabled, so [TACO_LOG=debug]
+    alone gives a poor man's profile without any JSON machinery.
+
+    Thread safety: the buffer is mutex-protected, so concurrent domains
+    may interleave events; the span stack is global, so spans opened
+    concurrently from several domains will nest arbitrarily. Trace
+    multi-domain runs with that caveat in mind. *)
+
+(** Monotonic clock, nanoseconds. Usable independently of tracing. *)
+val now_ns : unit -> int64
+
+(** Is the buffer recording? *)
+val enabled : unit -> bool
+
+(** [enabled () || debug-logging on]: whether instrumented paths should
+    bother gathering data (used by callers that compute span arguments
+    eagerly). *)
+val active : unit -> bool
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+(** Drop all buffered events, counter totals and open spans. *)
+val clear : unit -> unit
+
+(** [with_span name f] runs [f ()] inside a span. The span closes (and
+    is recorded) even if [f] raises. [args] attach as Chrome event
+    arguments; more can be added from inside [f] with {!set_args}. *)
+val with_span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Append arguments to the innermost open span (no-op when disabled or
+    outside any span). *)
+val set_args : (string * string) list -> unit
+
+(** Record a complete span retroactively from a caller-measured start
+    timestamp and duration (both from {!now_ns}). *)
+val span_complete :
+  ?cat:string -> ?args:(string * string) list -> ts:int64 -> dur_ns:int64 -> string -> unit
+
+(** [add name n] accumulates [n] into counter [name] and records the new
+    total as a counter event. *)
+val add : string -> int -> unit
+
+val instant : ?args:(string * string) list -> string -> unit
+
+(** Current accumulated total of a counter (0 if never touched). *)
+val counter_total : string -> int
+
+(** All counters with their totals, sorted by name. *)
+val counters : unit -> (string * int) list
+
+(** Number of buffered events (spans count twice: begin and end). *)
+val event_count : unit -> int
+
+(** Number of currently open spans (0 when all spans are balanced). *)
+val open_spans : unit -> int
+
+(** The buffer as Chrome trace-event JSON: an object with a
+    ["traceEvents"] array, events sorted by timestamp. *)
+val to_chrome_json : unit -> string
+
+val write_chrome : string -> unit
+
+(** Human-readable per-span-name aggregation (count, total, mean) plus
+    counter totals. *)
+val summary : unit -> string

@@ -26,6 +26,8 @@ module Compile = Taco_exec.Compile
 module Kernel = Taco_exec.Kernel
 module Parallel = Taco_exec.Parallel
 module Diag = Taco_support.Diag
+module Trace = Taco_support.Trace
+module Obs = Taco_support.Obs
 
 let ivar = Index_var.make
 
@@ -45,21 +47,21 @@ let default_mode stmt =
       Lower.Assemble { emit_values = true; sorted = true }
   | Some _ | None -> Lower.Compute
 
-let prepare_res ?checked ?opt info =
-  match Kernel.prepare ?checked ?opt info with
+let prepare_res ?checked ?profile ?opt info =
+  match Kernel.prepare ?checked ?profile ?opt info with
   | kern -> Ok kern
   | exception Invalid_argument msg ->
       Diag.error ~stage:Diag.Compile ~code:"E_COMPILE_TYPE"
         ~context:[ ("kernel", info.Lower.kernel.Imp.k_name) ]
         "%s" msg
 
-let compile ?(name = "kernel") ?mode ?splits ?checked ?opt sched =
+let compile ?(name = "kernel") ?mode ?splits ?checked ?profile ?opt sched =
   let stmt = Schedule.stmt sched in
   let mode = match mode with Some m -> m | None -> default_mode stmt in
   match Diag.of_msg ~stage:Diag.Lower ~code:"E_LOWER" (Lower.lower ~name ?splits ~mode stmt) with
   | Error e -> Error e
   | Ok info -> (
-      match prepare_res ?checked ?opt info with
+      match prepare_res ?checked ?profile ?opt info with
       | Error e -> Error e
       | Ok kern -> Ok { sched; kern })
 
@@ -186,7 +188,7 @@ let run c ~inputs =
 let run_with_output c ~inputs ~output =
   run_exec c (fun () -> Kernel.run_compute c.kern ~inputs ~output)
 
-let auto_compile ?(name = "kernel") ?mode ?checked ?opt sched =
+let auto_compile ?(name = "kernel") ?mode ?checked ?profile ?opt sched =
   let stmt = Schedule.stmt sched in
   let mode = match mode with Some m -> m | None -> default_mode stmt in
   let lowerable s = Result.map (fun (_ : Lower.kernel_info) -> ()) (Lower.lower ~name ~mode s) in
@@ -199,7 +201,7 @@ let auto_compile ?(name = "kernel") ?mode ?checked ?opt sched =
       match Diag.of_msg ~stage:Diag.Lower ~code:"E_LOWER" (Lower.lower ~name ~mode stmt') with
       | Error e -> Error e
       | Ok info -> (
-          match prepare_res ?checked ?opt info with
+          match prepare_res ?checked ?profile ?opt info with
           | Error e -> Error e
           | Ok kern -> Ok ({ sched = Schedule.of_stmt stmt'; kern }, steps)))
 

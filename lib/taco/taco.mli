@@ -33,6 +33,8 @@ module Compile = Taco_exec.Compile
 module Kernel = Taco_exec.Kernel
 module Parallel = Taco_exec.Parallel
 module Diag = Taco_support.Diag
+module Trace = Taco_support.Trace
+module Obs = Taco_support.Obs
 
 (** {2 Declarations} *)
 
@@ -58,14 +60,16 @@ type compiled
     execution mode: every array access is verified and violations are
     reported as stage-[Execute] diagnostics naming the kernel, variable
     and index. [opt] selects the {!Opt} passes applied to the lowered
-    kernel (default: all). Failures are stage-tagged diagnostics
-    ([Lower] for lowering rejections, [Compile] for kernel
-    compilation). *)
+    kernel (default: all); [profile] compiles in the counter-gathering
+    execution mode (see {!Compile.run_stats}). Failures are
+    stage-tagged diagnostics ([Lower] for lowering rejections,
+    [Compile] for kernel compilation). *)
 val compile :
   ?name:string ->
   ?mode:Lower.mode ->
   ?splits:(Index_var.t * int) list ->
   ?checked:bool ->
+  ?profile:bool ->
   ?opt:Opt.config ->
   Schedule.t ->
   (compiled, Diag.t) result
@@ -106,6 +110,7 @@ val auto_compile :
   ?name:string ->
   ?mode:Lower.mode ->
   ?checked:bool ->
+  ?profile:bool ->
   ?opt:Opt.config ->
   Schedule.t ->
   (compiled * Autoschedule.step list, Diag.t) result

@@ -349,6 +349,24 @@ let ran = ref 0
 
 let rejected = ref 0
 
+(* On failure, replay the failing scenario with tracing enabled and dump
+   the Chrome trace next to the repro in the failure report, so the
+   failing instance's pipeline (which transforms ran, which passes
+   fired, what the executor did) can be inspected stage by stage. *)
+let dump_failure_trace sc =
+  let module Trace = Taco_support.Trace in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "taco_fuzz_t%d_s%d.trace.json" sc.template sc.seed)
+  in
+  Trace.clear ();
+  Trace.enable ();
+  (try ignore (run_one sc : outcome) with _ -> ());
+  Trace.disable ();
+  Trace.write_chrome path;
+  Trace.clear ();
+  path
+
 let prop sc =
   match run_one sc with
   | Ran ->
@@ -357,7 +375,13 @@ let prop sc =
   | Rejected ->
       incr rejected;
       true
-  | exception Fuzz_failure msg -> QCheck.Test.fail_report msg
+  | exception Fuzz_failure msg ->
+      let msg =
+        match dump_failure_trace sc with
+        | path -> Printf.sprintf "%s\n(pipeline trace of the failing instance: %s)" msg path
+        | exception _ -> msg
+      in
+      QCheck.Test.fail_report msg
 
 let test_pipeline_fuzz =
   QCheck_alcotest.to_alcotest
