@@ -1,0 +1,380 @@
+(* Closed-loop load generator for the evaluation service (BENCH_serve).
+
+   Drives a mixed SpGEMM / SpAdd / MTTKRP workload through
+   [Taco_service.Service] with a fixed window of outstanding requests,
+   sweeping the worker-domain count, and reports throughput, latency
+   percentiles, service counters and compile-cache behaviour to
+   BENCH_serve.json.
+
+   The compile-cache numbers double as the coalescing proof: each sweep
+   starts from a cleared cache and issues many concurrent requests over
+   exactly three distinct kernel structures, so `misses` (closure
+   builds) must equal 3 whatever the concurrency — the single-flight
+   cache compiles each structure exactly once.
+
+   --smoke additionally probes the failure paths (a deadline that must
+   expire, a burst into a depth-1 queue that must be rejected), asserts
+   all invariants in-process, and writes a service trace for
+   bin/trace_check. This is the @serve-smoke gate. *)
+
+open Taco
+module Service = Taco_service.Service
+module Diag = Taco_support.Diag
+
+let failf fmt = Printf.ksprintf failwith fmt
+
+let now_ns () = Trace.now_ns ()
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type workload = { w_name : string; w_request : Service.request }
+
+(* Three expressions with three distinct post-optimization kernel
+   structures. SpGEMM and MTTKRP carry the paper's workspace schedules
+   (Fig. 2 / §VIII-C); SpAdd lowers directly off the merge lattice. *)
+let make_workloads ~n ~density prng =
+  let csr2 dims = Gen.random_density prng ~dims ~density Format.csr in
+  let dense2 dims = Tensor.of_dense (Gen.random_dense prng dims) Format.dense_matrix in
+  let b = csr2 [| n; n |] in
+  let c = csr2 [| n; n |] in
+  let spgemm =
+    {
+      w_name = "spgemm";
+      w_request =
+        Service.request
+          ~directives:
+            [
+              Service.Reorder ("k", "j");
+              Service.Precompute
+                { expr = "B(i,k) * C(k,j)"; over = [ "j" ]; workspace = "w" };
+            ]
+          ~result_format:Format.csr
+          ~expr:"A(i,j) = B(i,k) * C(k,j)"
+          ~inputs:[ ("B", b); ("C", c) ]
+          ();
+    }
+  in
+  let spadd =
+    {
+      w_name = "spadd";
+      w_request =
+        Service.request ~result_format:Format.csr
+          ~expr:"A(i,j) = B(i,j) + C(i,j)"
+          ~inputs:[ ("B", b); ("C", c) ]
+          ();
+    }
+  in
+  let nk = max 8 (n / 8) in
+  let bt = Gen.random_density prng ~dims:[| n; nk; nk |] ~density (Format.csf 3) in
+  let cm = dense2 [| nk; 16 |] in
+  let dm = dense2 [| nk; 16 |] in
+  let mttkrp =
+    {
+      w_name = "mttkrp";
+      w_request =
+        Service.request
+          ~directives:
+            [
+              Service.Reorder ("j", "k");
+              Service.Reorder ("j", "l");
+              Service.Precompute
+                { expr = "B(i,k,l) * C(l,j)"; over = [ "j" ]; workspace = "w" };
+            ]
+          ~expr:"A(i,j) = B(i,k,l) * C(l,j) * D(k,j)"
+          ~inputs:[ ("B", bt); ("C", cm); ("D", dm) ]
+          ();
+    }
+  in
+  [| spgemm; spadd; mttkrp |]
+
+(* ------------------------------------------------------------------ *)
+(* Closed loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type sweep = {
+  sw_domains : int;
+  sw_elapsed_s : float;
+  sw_throughput_rps : float;
+  sw_lat_ms : float array;  (* sorted *)
+  sw_stats : Service.stats;
+  sw_cache : Compile.cache_stats;
+  sw_nnz : (string * int) list;  (* result nnz per workload, for cross-checking *)
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 |> max 0))
+
+(* Keep [window] requests outstanding; await in FIFO order (matching the
+   service's FIFO queue). Returns per-request latency (submit → resolve)
+   and the result nnz observed per workload. *)
+let run_closed_loop svc workloads ~total ~window =
+  let lat_ms = Array.make total 0. in
+  let nnz : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let outstanding = Queue.create () in
+  let submit i =
+    let w = workloads.(i mod Array.length workloads) in
+    let t = now_ns () in
+    match Service.submit svc w.w_request with
+    | Ok ticket -> Queue.push (w.w_name, t, ticket) outstanding
+    | Error d -> failf "loadgen: submit rejected unexpectedly: %s" (Diag.to_string d)
+  in
+  let t0 = now_ns () in
+  let submitted = ref 0 and completed = ref 0 in
+  while !completed < total do
+    while !submitted < total && Queue.length outstanding < window do
+      submit !submitted;
+      incr submitted
+    done;
+    let name, t_submit, ticket = Queue.pop outstanding in
+    (match Service.await ticket with
+    | Ok r -> (
+        let n = Tensor.nnz r.Service.tensor in
+        match Hashtbl.find_opt nnz name with
+        | None -> Hashtbl.replace nnz name n
+        | Some prev when prev <> n ->
+            failf "loadgen: %s result nnz changed between requests (%d vs %d)" name prev n
+        | Some _ -> ())
+    | Error d -> failf "loadgen: %s failed: %s" name (Diag.to_string d));
+    lat_ms.(!completed) <-
+      Int64.to_float (Int64.sub (now_ns ()) t_submit) /. 1e6;
+    incr completed
+  done;
+  let elapsed_s = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9 in
+  (elapsed_s, lat_ms, Hashtbl.fold (fun k v acc -> (k, v) :: acc) nnz [])
+
+let run_sweep workloads ~domains ~total ~window =
+  (* Each sweep restarts the coalescing experiment from an empty cache. *)
+  Compile.cache_clear ();
+  let svc = Service.create ~domains ~queue_depth:(max 64 window) () in
+  let elapsed_s, lat_ms, nnz = run_closed_loop svc workloads ~total ~window in
+  Service.shutdown svc;
+  let stats = Service.stats svc in
+  let cache = Compile.cache_stats () in
+  if stats.Service.completed <> total then
+    failf "loadgen: %d/%d requests completed at %d domains" stats.Service.completed total
+      domains;
+  if cache.Compile.misses <> Array.length workloads then
+    failf
+      "loadgen: coalescing violated at %d domains: %d closure builds for %d distinct \
+       kernel structures"
+      domains cache.Compile.misses (Array.length workloads);
+  Array.sort compare lat_ms;
+  {
+    sw_domains = domains;
+    sw_elapsed_s = elapsed_s;
+    sw_throughput_rps = float_of_int total /. elapsed_s;
+    sw_lat_ms = lat_ms;
+    sw_stats = stats;
+    sw_cache = cache;
+    sw_nnz = List.sort compare nnz;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Failure-path probes (--smoke)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let expect_code what code = function
+  | Ok _ -> failf "loadgen: %s unexpectedly succeeded" what
+  | Error d ->
+      if d.Diag.code <> code then
+        failf "loadgen: %s failed with %s, expected %s" what (Diag.to_string d) code
+
+(* An already-expired deadline must come back as E_SERVE_DEADLINE: park a
+   normal request first so the probe is guaranteed to be dequeued after
+   its deadline passed. *)
+let probe_deadline workloads =
+  let svc = Service.create ~domains:1 ~queue_depth:8 () in
+  let blocker = Service.submit svc workloads.(0).w_request in
+  let probe = Service.eval svc ~deadline_ms:0 workloads.(1).w_request in
+  expect_code "deadline probe" "E_SERVE_DEADLINE" probe;
+  (match blocker with
+  | Ok t -> ignore (Service.await t)
+  | Error d -> failf "loadgen: blocker rejected: %s" (Diag.to_string d));
+  Service.shutdown svc;
+  let s = Service.stats svc in
+  if s.Service.timed_out < 1 then failf "loadgen: deadline probe not counted as timed_out";
+  Printf.printf "probe deadline: ok (timed_out=%d)\n%!" s.Service.timed_out
+
+(* A burst into a single-worker, depth-1 queue must trip admission
+   control on some submission. *)
+let probe_backpressure workloads =
+  let svc = Service.create ~domains:1 ~queue_depth:1 () in
+  let tickets = ref [] in
+  let rejections = ref 0 in
+  for i = 0 to 7 do
+    match Service.submit svc workloads.(i mod Array.length workloads).w_request with
+    | Ok t -> tickets := t :: !tickets
+    | Error d ->
+        if d.Diag.code <> "E_SERVE_QUEUE_FULL" then
+          failf "loadgen: burst rejected with %s, expected E_SERVE_QUEUE_FULL"
+            (Diag.to_string d);
+        incr rejections
+  done;
+  List.iter (fun t -> ignore (Service.await t)) !tickets;
+  Service.shutdown svc;
+  let s = Service.stats svc in
+  if !rejections < 1 then failf "loadgen: no backpressure rejection in a burst of 8";
+  if s.Service.rejected <> !rejections then
+    failf "loadgen: rejected stat %d does not match observed %d" s.Service.rejected
+      !rejections;
+  expect_code "submit after shutdown" "E_SERVE_SHUTDOWN"
+    (Service.submit svc workloads.(0).w_request);
+  Printf.printf "probe backpressure: ok (rejected=%d)\n%!" !rejections
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_json sw =
+  let s = sw.sw_stats and c = sw.sw_cache in
+  Report.Obj
+    [
+      ("domains", Report.Int sw.sw_domains);
+      ("elapsed_s", Report.Float sw.sw_elapsed_s);
+      ("throughput_rps", Report.Float sw.sw_throughput_rps);
+      ( "latency_ms",
+        Report.Obj
+          [
+            ("p50", Report.Float (percentile sw.sw_lat_ms 50.));
+            ("p90", Report.Float (percentile sw.sw_lat_ms 90.));
+            ("p99", Report.Float (percentile sw.sw_lat_ms 99.));
+            ("max", Report.Float (percentile sw.sw_lat_ms 100.));
+          ] );
+      ( "service",
+        Report.Obj
+          [
+            ("submitted", Report.Int s.Service.submitted);
+            ("rejected", Report.Int s.Service.rejected);
+            ("completed", Report.Int s.Service.completed);
+            ("timed_out", Report.Int s.Service.timed_out);
+            ("failed", Report.Int s.Service.failed);
+            ("peak_queue", Report.Int s.Service.peak_queue);
+            ("total_wait_ms", Report.Float (Int64.to_float s.Service.total_wait_ns /. 1e6));
+            ("total_run_ms", Report.Float (Int64.to_float s.Service.total_run_ns /. 1e6));
+          ] );
+      ( "compile_cache",
+        Report.Obj
+          [
+            ("hits", Report.Int c.Compile.hits);
+            ("misses", Report.Int c.Compile.misses);
+            ("coalesced", Report.Int c.Compile.coalesced);
+            ("entries", Report.Int c.Compile.entries);
+          ] );
+      ( "result_nnz",
+        Report.Obj (List.map (fun (k, v) -> (k, Report.Int v)) sw.sw_nnz) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let smoke = ref false in
+  let total = ref 0 in
+  let window = ref 8 in
+  let size = ref 0 in
+  let out = ref "BENCH_serve.json" in
+  let trace_file = ref None in
+  let domain_counts = ref [ 1; 2; 4 ] in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--requests" :: n :: rest ->
+        total := int_of_string n;
+        parse rest
+    | "--window" :: n :: rest ->
+        window := int_of_string n;
+        parse rest
+    | "--size" :: n :: rest ->
+        size := int_of_string n;
+        parse rest
+    | "--domains" :: spec :: rest ->
+        domain_counts := List.map int_of_string (String.split_on_char ',' spec);
+        parse rest
+    | "--trace" :: f :: rest ->
+        trace_file := Some f;
+        parse rest
+    | "--out" :: f :: rest ->
+        out := f;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "usage: loadgen [--smoke] [--requests N] [--window N] [--size N]\n\
+          \               [--domains 1,2,4] [--trace FILE] [--out FILE]\n\
+           unknown argument %S\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let total = if !total > 0 then !total else if !smoke then 48 else 240 in
+  let size = if !size > 0 then !size else if !smoke then 150 else 400 in
+  Obs.setup ();
+  if !trace_file <> None then Trace.enable ();
+  let prng = Taco_support.Prng.create 42 in
+  let workloads = make_workloads ~n:size ~density:0.02 prng in
+  Printf.printf
+    "loadgen: %d requests (window %d) over %s, tensors %dx%d, %d cores available\n%!"
+    total !window
+    (String.concat "/" (Array.to_list (Array.map (fun w -> w.w_name) workloads)))
+    size size
+    (Domain.recommended_domain_count ());
+  let sweeps =
+    List.map
+      (fun domains ->
+        let sw = run_sweep workloads ~domains ~total ~window:!window in
+        Printf.printf
+          "domains=%d  %6.1f req/s  p50=%6.2fms p99=%6.2fms  peak_queue=%d  \
+           compiles=%d coalesced=%d\n%!"
+          domains sw.sw_throughput_rps (percentile sw.sw_lat_ms 50.)
+          (percentile sw.sw_lat_ms 99.) sw.sw_stats.Service.peak_queue
+          sw.sw_cache.Compile.misses sw.sw_cache.Compile.coalesced;
+        sw)
+      !domain_counts
+  in
+  (* Results must be identical whatever the domain count. *)
+  (match sweeps with
+  | first :: rest ->
+      List.iter
+        (fun sw ->
+          if sw.sw_nnz <> first.sw_nnz then
+            failf "loadgen: result nnz differs between %d and %d domains" first.sw_domains
+              sw.sw_domains)
+        rest
+  | [] -> failf "loadgen: no domain counts to sweep");
+  if !smoke then begin
+    probe_deadline workloads;
+    probe_backpressure workloads
+  end;
+  let speedup =
+    match (sweeps, List.rev sweeps) with
+    | one :: _, widest :: _ when widest.sw_domains > one.sw_domains ->
+        Some (widest.sw_throughput_rps /. one.sw_throughput_rps)
+    | _ -> None
+  in
+  let report =
+    Report.Obj
+      [
+        ("bench", Report.Str "serve");
+        ("smoke", Report.Bool !smoke);
+        ("requests", Report.Int total);
+        ("window", Report.Int !window);
+        ("tensor_size", Report.Int size);
+        ("cores", Report.Int (Domain.recommended_domain_count ()));
+        ( "speedup_widest_vs_one",
+          match speedup with Some s -> Report.Float s | None -> Report.Null );
+        ("sweeps", Report.List (List.map sweep_json sweeps));
+      ]
+  in
+  Report.write !out report;
+  (match !trace_file with
+  | None -> ()
+  | Some f ->
+      Trace.write_chrome f;
+      Printf.printf "trace written to %s\n%!" f);
+  Printf.printf "loadgen: OK\n%!"

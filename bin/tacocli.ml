@@ -14,10 +14,15 @@
 
      # generate random inputs, run, and time the kernel
      tacocli "y(i) = B(i,j) * x(j)" -f B:ds -d B:5000,5000 --density 0.001 --time
+
+     # serve evaluation requests over a line protocol (see `serve --help`)
+     tacocli serve --domains 4 --queue-depth 32
 *)
 
 open Taco
 module P = Taco_frontend.Parser
+module Service = Taco_service.Service
+module Diag = Taco_support.Diag
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("tacocli: " ^ s); exit 1) fmt
 
@@ -25,50 +30,15 @@ let get = function Ok v -> v | Error e -> die "%s" e
 
 let getd = function
   | Ok v -> v
-  | Error d -> die "%s" (Taco_support.Diag.to_string d)
+  | Error d -> die "%s" (Diag.to_string d)
 
-(* ------------------------------------------------------------------ *)
-(* Pre-scan the expression for tensor names and orders.                *)
-(* ------------------------------------------------------------------ *)
-
-let prescan expr_str =
-  let n = String.length expr_str in
-  let tensors = ref [] in
-  let is_ident c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' in
-  let i = ref 0 in
-  while !i < n do
-    if is_ident expr_str.[!i] && (!i = 0 || not (is_ident expr_str.[!i - 1])) then begin
-      let start = !i in
-      while !i < n && is_ident expr_str.[!i] do
-        incr i
-      done;
-      let name = String.sub expr_str start (!i - start) in
-      let j = ref !i in
-      while !j < n && expr_str.[!j] = ' ' do
-        incr j
-      done;
-      if name <> "sum" && String.length name > 0 && not (name.[0] >= '0' && name.[0] <= '9')
-      then
-        if !j < n && expr_str.[!j] = '(' then begin
-          (* Count top-level commas to find the order. *)
-          let depth = ref 1 and commas = ref 0 and k = ref (!j + 1) in
-          while !depth > 0 && !k < n do
-            (match expr_str.[!k] with
-            | '(' -> incr depth
-            | ')' -> decr depth
-            | ',' -> if !depth = 1 then incr commas
-            | _ -> ());
-            incr k
-          done;
-          if not (List.mem_assoc name !tensors) then
-            tensors := (name, !commas + 1) :: !tensors
-        end
-        (* Identifiers without parentheses are index variables (the CLI
-           does not support order-0 tensors). *)
-    end
-    else incr i
-  done;
-  List.rev !tensors
+(* Every failure leaves through [die]: one line on stderr, exit status 1,
+   never a backtrace. *)
+let protect f =
+  try f () with
+  | Diag.Error d -> die "%s" (Diag.to_string d)
+  | Failure s -> die "%s" s
+  | Invalid_argument s -> die "%s" s
 
 let parse_format name order spec =
   let spec = if spec = "" then String.make (max order 1) 'd' else spec in
@@ -90,6 +60,7 @@ let parse_format name order spec =
 
 let run_cli expr_str formats dims density seed reorders precomputes split_specs auto
     print_cin print_c do_run do_time trace_file do_stats =
+  protect @@ fun () ->
   Obs.setup ();
   let observing = trace_file <> None || do_stats in
   if observing then Trace.enable ();
@@ -101,7 +72,7 @@ let run_cli expr_str formats dims density seed reorders precomputes split_specs 
   let formats = List.map (parse_pair "-f") formats in
   let dims_spec = List.map (parse_pair "-d") dims in
   (* Build tensor variables. *)
-  let names = prescan expr_str in
+  let names = P.scan_tensors expr_str in
   if names = [] then die "no tensors found in %S" expr_str;
   let tensors =
     List.map
@@ -156,7 +127,7 @@ let run_cli expr_str formats dims density seed reorders precomputes split_specs 
       | Ok c -> (c, [])
       | Error e ->
           die "%s\n(hint: pass --auto to search for a schedule automatically)"
-            (Taco_support.Diag.to_string e)
+            (Diag.to_string e)
   in
   List.iter (fun s -> Printf.printf "auto:        %s\n" (Autoschedule.step_to_string s)) steps;
   Printf.printf "concrete:    %s\n" (cin_string compiled);
@@ -266,6 +237,252 @@ let run_cli expr_str formats dims density seed reorders precomputes split_specs 
       Trace.write_chrome file;
       Printf.eprintf "trace written to %s\n" file
 
+(* ------------------------------------------------------------------ *)
+(* serve: a line protocol over stdin or a Unix socket                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-line failures in a serve session raise [Diag.Error] (or [Failure]
+   from int_of_string and friends); the session loop converts them to a
+   one-line "error …" response and keeps serving. *)
+let fail_input fmt = Diag.fail ~stage:Diag.Serve ~code:"E_SERVE_INPUT" fmt
+
+let protocol_help =
+  String.concat "\n"
+    [
+      "ok commands:";
+      "  tensor NAME FMT DIMS [density D] [seed N]   make a random tensor,";
+      "         e.g.: tensor B ds 1000,1000 density 0.01";
+      "  eval EXPR [; CLAUSE]...                     evaluate and wait;";
+      "         clauses: reorder A,B | precompute EXPR|VARS|NAME | auto";
+      "                  format NAME:FMT (result storage) | deadline MS";
+      "  eval& EXPR [; CLAUSE]...                    evaluate asynchronously,";
+      "         returns 'ok ticket ID'";
+      "  wait ID                                     await an eval& ticket";
+      "  stats                                       service counters";
+      "  quit                                        end this session";
+      "  stop                                        (socket mode) stop the server";
+    ]
+
+(* "keyword rest-of-line" *)
+let split_word s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+let words s = String.split_on_char ' ' s |> List.filter (( <> ) "")
+
+let make_tensor tensors args =
+  match args with
+  | name :: fmt_spec :: dims :: opts ->
+      let dims =
+        try String.split_on_char ',' dims |> List.map int_of_string |> Array.of_list
+        with Failure _ -> fail_input "malformed dimensions %S" dims
+      in
+      let order = Array.length dims in
+      if String.length fmt_spec <> order
+         || String.exists (fun c -> c <> 'd' && c <> 's') fmt_spec
+      then fail_input "format %S does not fit a tensor of order %d" fmt_spec order;
+      let fmt =
+        Format.of_levels
+          (List.init order (fun l ->
+               if fmt_spec.[l] = 'd' then Level.Dense else Level.Compressed))
+      in
+      let rec parse_opts density seed = function
+        | [] -> (density, seed)
+        | "density" :: v :: rest -> parse_opts (float_of_string v) seed rest
+        | "seed" :: v :: rest -> parse_opts density (int_of_string v) rest
+        | w :: _ -> fail_input "unknown tensor option %S" w
+      in
+      let density, seed = parse_opts 0.05 42 opts in
+      let prng = Taco_support.Prng.create seed in
+      let t =
+        if Format.is_all_dense fmt then Tensor.of_dense (Gen.random_dense prng dims) fmt
+        else Gen.random_density prng ~dims ~density fmt
+      in
+      Hashtbl.replace tensors name t;
+      Printf.sprintf "ok tensor %s nnz=%d" name (Tensor.nnz t)
+  | _ -> fail_input "usage: tensor NAME FMT DIMS [density D] [seed N]"
+
+let build_request tensors line =
+  match List.map String.trim (String.split_on_char ';' line) with
+  | [] | "" :: _ -> fail_input "usage: eval EXPR [; CLAUSE]..."
+  | expr :: clauses ->
+      let deadline = ref None and directives = ref [] and fmt_clause = ref None in
+      List.iter
+        (fun clause ->
+          if clause <> "" then
+            match split_word clause with
+            | "auto", "" -> directives := Service.Auto :: !directives
+            | "reorder", arg -> (
+                match String.split_on_char ',' arg with
+                | [ a; b ] ->
+                    directives := Service.Reorder (String.trim a, String.trim b) :: !directives
+                | _ -> fail_input "malformed reorder %S (expected A,B)" arg)
+            | "precompute", arg -> (
+                match String.split_on_char '|' arg with
+                | [ e; vars; w ] ->
+                    directives :=
+                      Service.Precompute
+                        {
+                          expr = String.trim e;
+                          over = List.map String.trim (String.split_on_char ',' vars);
+                          workspace = String.trim w;
+                        }
+                      :: !directives
+                | _ -> fail_input "malformed precompute %S (expected EXPR|VARS|NAME)" arg)
+            | "deadline", arg -> deadline := Some (int_of_string arg)
+            | "format", arg -> (
+                match String.index_opt arg ':' with
+                | Some k ->
+                    fmt_clause :=
+                      Some
+                        ( String.sub arg 0 k,
+                          String.sub arg (k + 1) (String.length arg - k - 1) )
+                | None -> fail_input "malformed format %S (expected NAME:FMT)" arg)
+            | kw, _ -> fail_input "unknown clause %S" kw)
+        clauses;
+      let scanned = P.scan_tensors expr in
+      (match scanned with
+      | [] -> fail_input "no tensor access found in %S" expr
+      | (result, result_order) :: _ ->
+          let result_format =
+            match !fmt_clause with
+            | None -> None
+            | Some (name, spec) when name = result ->
+                Some (parse_format name result_order spec)
+            | Some (name, _) ->
+                fail_input "format clause names %s, not the result tensor %s" name result
+          in
+          let inputs =
+            List.filter_map
+              (fun (name, _) ->
+                if name = result then None
+                else
+                  Option.map (fun t -> (name, t)) (Hashtbl.find_opt tensors name))
+              scanned
+          in
+          ( Service.request ~directives:(List.rev !directives) ?result_format ~expr
+              ~inputs (),
+            !deadline ))
+
+let response_line = function
+  | Ok (r : Service.response) ->
+      Printf.sprintf "ok result dims=%s nnz=%d kernel=%s wait_us=%Ld run_us=%Ld"
+        (String.concat "x" (List.map string_of_int (Array.to_list (Tensor.dims r.tensor))))
+        (Tensor.nnz r.tensor) r.Service.kernel_name
+        (Int64.div r.Service.wait_ns 1000L)
+        (Int64.div r.Service.run_ns 1000L)
+  | Error d -> "error " ^ Diag.to_string d
+
+let run_serve domains queue_depth socket trace_file =
+  protect @@ fun () ->
+  Obs.setup ();
+  if trace_file <> None then Trace.enable ();
+  let svc = Service.create ~domains ~queue_depth () in
+  let tensors : (string, Tensor.t) Hashtbl.t = Hashtbl.create 16 in
+  let tickets : (int, Service.ticket) Hashtbl.t = Hashtbl.create 16 in
+  let next_ticket = ref 0 in
+  let stop_server = ref false in
+  let handle_line line =
+    let cmd, rest = split_word line in
+    match cmd with
+    | "" -> None
+    | _ when cmd.[0] = '#' -> None
+    | "tensor" -> Some (make_tensor tensors (words rest))
+    | "eval" | "eval&" -> (
+        let req, deadline_ms = build_request tensors rest in
+        match Service.submit svc ?deadline_ms req with
+        | Error d -> Some ("error " ^ Diag.to_string d)
+        | Ok ticket ->
+            if cmd = "eval" then Some (response_line (Service.await ticket))
+            else begin
+              incr next_ticket;
+              Hashtbl.replace tickets !next_ticket ticket;
+              Some (Printf.sprintf "ok ticket %d" !next_ticket)
+            end)
+    | "wait" -> (
+        let id = try int_of_string rest with Failure _ -> fail_input "usage: wait ID" in
+        match Hashtbl.find_opt tickets id with
+        | None -> fail_input "unknown ticket %d" id
+        | Some t ->
+            Hashtbl.remove tickets id;
+            Some (response_line (Service.await t)))
+    | "stats" ->
+        let s = Service.stats svc in
+        Some
+          (Printf.sprintf
+             "ok stats submitted=%d rejected=%d completed=%d timed_out=%d failed=%d \
+              peak_queue=%d queue=%d domains=%d"
+             s.Service.submitted s.Service.rejected s.Service.completed s.Service.timed_out
+             s.Service.failed s.Service.peak_queue (Service.queue_length svc)
+             (Service.domains svc))
+    | "help" -> Some protocol_help
+    | "quit" -> raise Exit
+    | "stop" ->
+        stop_server := true;
+        raise Exit
+    | _ -> fail_input "unknown command %S (try help)" cmd
+  in
+  let session ic oc =
+    let out s =
+      output_string oc s;
+      output_char oc '\n';
+      flush oc
+    in
+    out (Printf.sprintf "ok taco serve domains=%d queue_depth=%d" domains queue_depth);
+    let rec loop () =
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line ->
+          (match handle_line line with
+          | resp -> Option.iter out resp
+          | exception Exit -> out "ok bye"; raise Exit
+          | exception Diag.Error d -> out ("error " ^ Diag.to_string d)
+          | exception Failure s ->
+              out
+                ("error "
+                ^ Diag.to_string
+                    (Diag.make ~stage:Diag.Serve ~code:"E_SERVE_INPUT" s)));
+          loop ()
+    in
+    try loop () with Exit -> ()
+  in
+  (match socket with
+  | None -> session stdin stdout
+  | Some path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      Printf.eprintf "tacocli serve: listening on %s\n%!" path;
+      (* Sessions are sequential: one client at a time; concurrency lives
+         in the worker pool behind the queue, not in the accept loop. *)
+      while not !stop_server do
+        let client, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr client in
+        let oc = Unix.out_channel_of_descr client in
+        (try session ic oc with End_of_file | Sys_error _ -> ());
+        (try Unix.close client with Unix.Unix_error _ -> ())
+      done;
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ());
+  Service.shutdown svc;
+  let s = Service.stats svc in
+  Printf.eprintf
+    "tacocli serve: submitted=%d rejected=%d completed=%d timed_out=%d failed=%d peak_queue=%d\n"
+    s.Service.submitted s.Service.rejected s.Service.completed s.Service.timed_out
+    s.Service.failed s.Service.peak_queue;
+  match trace_file with
+  | None -> ()
+  | Some file ->
+      Trace.write_chrome file;
+      Printf.eprintf "trace written to %s\n" file
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                         *)
+(* ------------------------------------------------------------------ *)
+
 open Cmdliner
 
 let expr_arg =
@@ -310,6 +527,26 @@ let trace_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print a span/counter summary and kernel work counters to stderr.")
 
+let serve_cmd =
+  let domains_arg =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains in the pool.")
+  in
+  let depth_arg =
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N" ~doc:"Bound of the submission queue; further submissions are rejected.")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix domain socket at PATH (sequential sessions) instead of stdin.")
+  in
+  let serve_trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write Chrome trace-event JSON for all served requests on shutdown.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the concurrent evaluation service over a line protocol (type 'help' at the prompt).")
+    Term.(const run_serve $ domains_arg $ depth_arg $ socket_arg $ serve_trace_arg)
+
 let () =
   let term =
     Term.(
@@ -319,6 +556,11 @@ let () =
   in
   let info =
     Cmd.info "tacocli"
-      ~doc:"Compile and run sparse tensor algebra expressions with workspaces."
+      ~doc:"Compile and run sparse tensor algebra expressions with workspaces \
+            (or serve them: see the serve subcommand)."
   in
-  exit (Cmd.eval (Cmd.v info term))
+  (* A positional EXPR can be anything, so [Cmd.group ~default] cannot
+     distinguish it from an unknown subcommand — dispatch by hand. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then
+    exit (Cmd.eval (Cmd.group info [ serve_cmd ]))
+  else exit (Cmd.eval (Cmd.v info term))

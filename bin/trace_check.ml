@@ -11,8 +11,9 @@
    - every event has a string "ph" and a numeric "ts"; B/E/X/C/i events
      have a string "name";
    - timestamps are non-decreasing in array order (the exporter sorts);
-   - B and E events balance like a stack, with each E naming the span
-     opened by the matching B;
+   - B and E events balance like a stack per "tid" (spans nest within a
+     domain; events from different domains interleave freely), with each
+     E naming the span opened by the matching B on the same tid;
    - X (complete) events carry a numeric "dur" >= 0;
    - each REQUIRED_SPAN appears (as a B/E pair or an X event) with a
      strictly positive total duration. With no explicit names the
@@ -236,29 +237,48 @@ let check_events events =
     Hashtbl.replace durations name
       (dur +. try Hashtbl.find durations name with Not_found -> 0.)
   in
-  let stack = ref [] in
+  (* One open-span stack per tid: spans nest within a domain, but events
+     from different domains interleave in global timestamp order. *)
+  let stacks : (int, (string * float) list ref) Hashtbl.t = Hashtbl.create 4 in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.replace stacks tid s;
+        s
+  in
   let last_ts = ref neg_infinity in
   List.iteri
     (fun i e ->
       let what = Printf.sprintf "event %d" i in
       let ph = str_field what e "ph" in
       let ts = num_field what e "ts" in
+      let tid =
+        match field e "tid" with
+        | Some (Num f) -> int_of_float f
+        | Some _ -> fail "%s: \"tid\" is not a number" what
+        | None -> 0
+      in
       if ts < !last_ts then
         fail "%s: timestamp %.3f goes backwards (previous %.3f)" what ts !last_ts;
       last_ts := ts;
       match ph with
       | "B" ->
           let name = str_field what e "name" in
+          let stack = stack_of tid in
           stack := (name, ts) :: !stack
       | "E" -> (
           let name = str_field what e "name" in
+          let stack = stack_of tid in
           match !stack with
           | (open_name, t0) :: tl ->
               if open_name <> name then
-                fail "%s: E %S closes span %S (misnested B/E)" what name open_name;
+                fail "%s: E %S closes span %S on tid %d (misnested B/E)" what name
+                  open_name tid;
               stack := tl;
               record name (ts -. t0)
-          | [] -> fail "%s: E %S with no open span" what name)
+          | [] -> fail "%s: E %S with no open span on tid %d" what name tid)
       | "X" ->
           let name = str_field what e "name" in
           let dur = num_field what e "dur" in
@@ -267,9 +287,13 @@ let check_events events =
       | "C" | "i" -> ignore (str_field what e "name")
       | ph -> fail "%s: unknown phase %S" what ph)
     events;
-  (match !stack with
-  | [] -> ()
-  | (name, _) :: _ -> fail "unbalanced trace: span %S is never closed" name);
+  Hashtbl.iter
+    (fun tid stack ->
+      match !stack with
+      | [] -> ()
+      | (name, _) :: _ ->
+          fail "unbalanced trace: span %S on tid %d is never closed" name tid)
+    stacks;
   durations
 
 let () =

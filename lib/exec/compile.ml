@@ -846,17 +846,33 @@ let build ~checked ~profile k =
 (* reusable across runs; the mutex keeps the table safe under domains. *)
 (* ------------------------------------------------------------------ *)
 
-type cache_stats = { hits : int; misses : int; entries : int; evictions : int }
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  evictions : int;
+  coalesced : int;
+}
 
 let cache_table : (string, compiled) Hashtbl.t = Hashtbl.create 64
 
 let cache_mutex = Mutex.create ()
+
+(* Signalled whenever an in-flight build finishes (successfully or not),
+   waking domains that coalesced onto it. *)
+let cache_cond = Condition.create ()
+
+(* Keys whose build is currently running on some domain. Guarded by
+   [cache_mutex]. *)
+let cache_in_flight : (string, unit) Hashtbl.t = Hashtbl.create 8
 
 let cache_hits = ref 0
 
 let cache_misses = ref 0
 
 let cache_evictions = ref 0
+
+let cache_coalesced = ref 0
 
 let cache_capacity = ref 512
 
@@ -879,15 +895,19 @@ let cache_stats () =
         misses = !cache_misses;
         entries = Hashtbl.length cache_table;
         evictions = !cache_evictions;
+        coalesced = !cache_coalesced;
       })
 
 let cache_clear () =
   locked (fun () ->
       Hashtbl.reset cache_table;
       Queue.clear cache_order;
+      (* In-flight builds are owned by their building domain; leave the
+         markers so their completion signal still pairs up. *)
       cache_hits := 0;
       cache_misses := 0;
-      cache_evictions := 0)
+      cache_evictions := 0;
+      cache_coalesced := 0)
 
 let set_cache_capacity n = locked (fun () -> cache_capacity := max 1 n)
 
@@ -916,38 +936,64 @@ let compile_inner ~checked ~profile ?opt ~cache k =
       (fun () -> build ~checked ~profile k)
   in
   if not cache then build_traced ()
-  else
+  else begin
     let key = cache_key ~checked ~profile k in
-    match
+    (* Single-flight: under the mutex, either take a valid entry (hit),
+       or — when another domain is already building this key — wait for
+       its completion signal and re-check (a coalesced hit), or claim
+       the build by marking the key in flight. Many concurrent requests
+       for the same kernel structure thus compile it exactly once. *)
+    let valid c = c.c_checked = checked && c.c_prof <> None = profile && c.c_kernel = k in
+    let decision =
       locked (fun () ->
-          match Hashtbl.find_opt cache_table key with
-          | Some c when c.c_checked = checked && c.c_prof <> None = profile && c.c_kernel = k
-            ->
-              incr cache_hits;
-              Some c
-          | _ -> None)
-    with
-    | Some c ->
+          let rec acquire ~waited =
+            match Hashtbl.find_opt cache_table key with
+            | Some c when valid c ->
+                incr cache_hits;
+                if waited then incr cache_coalesced;
+                `Hit c
+            | _ ->
+                if Hashtbl.mem cache_in_flight key then begin
+                  Condition.wait cache_cond cache_mutex;
+                  acquire ~waited:true
+                end
+                else begin
+                  Hashtbl.replace cache_in_flight key ();
+                  `Build
+                end
+          in
+          acquire ~waited:false)
+    in
+    match decision with
+    | `Hit c ->
         Trace.add "compile.cache.hit" 1;
         c
-    | None ->
-        let c = build_traced () in
+    | `Build ->
+        let release () =
+          Hashtbl.remove cache_in_flight key;
+          Condition.broadcast cache_cond
+        in
+        let c =
+          match build_traced () with
+          | c -> c
+          | exception e ->
+              locked release;
+              raise e
+        in
         let dropped =
           locked (fun () ->
               incr cache_misses;
-              if Hashtbl.mem cache_table key then begin
-                Hashtbl.replace cache_table key c;
-                0
-              end
-              else begin
-                Hashtbl.replace cache_table key c;
-                Queue.push key cache_order;
-                evict_over_capacity 0
-              end)
+              let fresh = not (Hashtbl.mem cache_table key) in
+              Hashtbl.replace cache_table key c;
+              if fresh then Queue.push key cache_order;
+              let dropped = evict_over_capacity 0 in
+              release ();
+              dropped)
         in
         Trace.add "compile.cache.miss" 1;
         if dropped > 0 then Trace.add "compile.cache.evict" dropped;
         c
+  end
 
 let compile ?(checked = false) ?(profile = false) ?opt ?(cache = true) k =
   Trace.with_span ~cat:"compile" ~args:[ ("kernel", k.Imp.k_name) ] "compile" (fun () ->

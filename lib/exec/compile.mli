@@ -93,9 +93,25 @@ val profile_stats : compiled -> run_stats option
 (** Zero the counters of a profiled kernel (no-op otherwise). *)
 val profile_reset : compiled -> unit
 
-(** {2 Compiled-kernel cache} *)
+(** {2 Compiled-kernel cache}
 
-type cache_stats = { hits : int; misses : int; entries : int; evictions : int }
+    The cache is domain-safe: the table and its counters sit behind a
+    mutex, and compilation is single-flighted — when several domains
+    concurrently request the same (not yet cached) kernel structure,
+    exactly one builds it while the rest block and then take the cached
+    result. [misses] therefore counts actual closure builds: each
+    distinct kernel structure compiles exactly once per process however
+    many domains race for it. *)
+
+type cache_stats = {
+  hits : int;  (** Lookups served from the table. *)
+  misses : int;  (** Closure builds (one per distinct structure). *)
+  entries : int;
+  evictions : int;
+  coalesced : int;
+      (** Hits that waited for a concurrent in-flight build of the same
+          kernel instead of compiling it again (a subset of [hits]). *)
+}
 
 val cache_stats : unit -> cache_stats
 

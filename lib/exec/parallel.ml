@@ -1,11 +1,13 @@
 open Taco_ir.Var
 module Tensor = Taco_tensor.Tensor
 
-let run_dense kern ~inputs ~dims ~split ~domains =
+let run_dense ?(clamp = true) kern ~inputs ~dims ~split ~domains =
   if domains <= 0 then invalid_arg "Parallel.run_dense: domains must be positive";
   (* Oversubscribing domains only adds spawn/join overhead; cap at what
-     the runtime recommends for this machine. *)
-  let domains = min domains (Domain.recommended_domain_count ()) in
+     the runtime recommends for this machine. [~clamp:false] keeps the
+     requested count so correctness can be exercised at domain counts
+     the hardware would otherwise collapse to 1. *)
+  let domains = if clamp then min domains (Domain.recommended_domain_count ()) else domains in
   if domains = 1 then Kernel.run_dense kern ~inputs ~dims
   else begin
     let to_split =

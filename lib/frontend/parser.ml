@@ -259,3 +259,50 @@ let parse_statement ~tensors src =
       match Index_notation.validate stmt with
       | Ok () -> stmt
       | Error e -> error ~code:"E_PARSE_VALIDATE" t.pos "%s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Tensor pre-scan                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A lexical scan, deliberately independent of the parser proper: it is
+   used to build the tensor environment the parser needs, so it cannot
+   itself require one. An identifier directly followed by '(' is a
+   tensor access whose order is the number of top-level commas plus one;
+   bare identifiers are index variables. *)
+let scan_tensors src =
+  let n = String.length src in
+  let tensors = ref [] in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  let i = ref 0 in
+  while !i < n do
+    if is_ident src.[!i] && (!i = 0 || not (is_ident src.[!i - 1])) then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      let name = String.sub src start (!i - start) in
+      let j = ref !i in
+      while !j < n && src.[!j] = ' ' do
+        incr j
+      done;
+      if name <> "sum" && String.length name > 0 && not (name.[0] >= '0' && name.[0] <= '9')
+      then
+        if !j < n && src.[!j] = '(' then begin
+          (* Count top-level commas to find the order. *)
+          let depth = ref 1 and commas = ref 0 and k = ref (!j + 1) in
+          while !depth > 0 && !k < n do
+            (match src.[!k] with
+            | '(' -> incr depth
+            | ')' -> decr depth
+            | ',' -> if !depth = 1 then incr commas
+            | _ -> ());
+            incr k
+          done;
+          if not (List.mem_assoc name !tensors) then tensors := (name, !commas + 1) :: !tensors
+        end
+    end
+    else incr i
+  done;
+  List.rev !tensors

@@ -39,3 +39,12 @@ val parse_expr :
   tensors:(string * Var.Tensor_var.t) list ->
   string ->
   (Index_notation.expr, Taco_support.Diag.t) result
+
+(** Lexically pre-scan a statement or expression for tensor accesses,
+    returning each distinct tensor name with its order (number of index
+    arguments), in first-occurrence order — for a statement, the result
+    tensor first. Callers use this to build the [tensors] environment
+    {!parse_statement} needs when only the source text is known (the CLI
+    and the evaluation service). Bare identifiers are index variables
+    and are not reported; [sum] is recognized as the reduction keyword. *)
+val scan_tensors : string -> (string * int) list

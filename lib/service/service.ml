@@ -1,0 +1,481 @@
+(* The concurrent evaluation service: a bounded MPMC job queue feeding a
+   fixed pool of worker domains, each running the whole pipeline (parse →
+   concretize → schedule → lower → compile → execute) through the Taco
+   facade. Compilation coalescing is not implemented here: it falls out
+   of the single-flight compiled-kernel cache in [Taco_exec.Compile],
+   which this service merely hammers from many domains. See service.mli
+   for the queueing/deadline/backpressure semantics. *)
+
+module Format = Taco_tensor.Format
+module Tensor = Taco_tensor.Tensor
+module Diag = Taco_support.Diag
+module Trace = Taco_support.Trace
+module P = Taco_frontend.Parser
+module Tensor_var = Taco_ir.Var.Tensor_var
+
+type directive =
+  | Reorder of string * string
+  | Precompute of { expr : string; over : string list; workspace : string }
+  | Auto
+
+type request = {
+  expr : string;
+  directives : directive list;
+  inputs : (string * Tensor.t) list;
+  result_format : Format.t option;
+}
+
+let request ?(directives = []) ?result_format ~expr ~inputs () =
+  { expr; directives; inputs; result_format }
+
+type response = {
+  tensor : Tensor.t;
+  kernel_name : string;
+  wait_ns : int64;
+  run_ns : int64;
+}
+
+type ticket = {
+  tk_mutex : Mutex.t;
+  tk_cond : Condition.t;
+  mutable tk_state : (response, Diag.t) result option;
+}
+
+type job = {
+  j_req : request;
+  j_enq_ns : int64;
+  j_deadline_ns : int64 option;  (* absolute, from the monotonic clock *)
+  j_deadline_ms : int option;  (* as requested, for diagnostics *)
+  j_ticket : ticket;
+}
+
+type state = Running | Draining | Stopped
+
+type stats = {
+  submitted : int;
+  rejected : int;
+  completed : int;
+  timed_out : int;
+  failed : int;
+  peak_queue : int;
+  total_wait_ns : int64;
+  total_run_ns : int64;
+}
+
+type t = {
+  s_mutex : Mutex.t;
+  s_nonempty : Condition.t;  (* a job was queued, or the state changed *)
+  s_stopped : Condition.t;  (* the pool reached [Stopped] *)
+  s_queue : job Queue.t;
+  s_depth : int;
+  s_domains : int;
+  mutable s_state : state;
+  mutable s_workers : unit Domain.t list;
+  mutable st_submitted : int;
+  mutable st_rejected : int;
+  mutable st_completed : int;
+  mutable st_timed_out : int;
+  mutable st_failed : int;
+  mutable st_peak_queue : int;
+  mutable st_total_wait_ns : int64;
+  mutable st_total_run_ns : int64;
+}
+
+let serve_error ?context code fmt = Diag.error ~stage:Diag.Serve ~code ?context fmt
+
+(* ------------------------------------------------------------------ *)
+(* The request pipeline (runs on a worker domain)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Raised between pipeline steps when the request's deadline passes. *)
+exception Expired of Diag.t
+
+let deadline_diag ?waited_ms job =
+  let context =
+    [ ("deadline_ms", string_of_int (Option.value ~default:0 job.j_deadline_ms)) ]
+    @ match waited_ms with Some w -> [ ("waited_ms", string_of_int w) ] | None -> []
+  in
+  Diag.make ~stage:Diag.Serve ~code:"E_SERVE_DEADLINE" ~context
+    "request deadline exceeded"
+
+let check_deadline job =
+  match job.j_deadline_ns with
+  | Some d when Trace.now_ns () > d -> raise (Expired (deadline_diag job))
+  | _ -> ()
+
+(* Build the tensor-variable environment for the parser: operand formats
+   come from the bound input tensors, the result's from the request. The
+   first scanned tensor is the statement's result (grammar: the lhs
+   access comes first). Operands with no bound input get a placeholder
+   variable and are returned in the [missing] list: the caller parses
+   the statement first, so a syntax error wins over a missing binding
+   (whose scanned order may be garbage anyway). *)
+let build_env req =
+  match P.scan_tensors req.expr with
+  | [] -> serve_error "E_SERVE_EXPR" "no tensor access found in %S" req.expr
+  | (result_name, _) :: _ as scanned ->
+      let bound name = List.assoc_opt name req.inputs in
+      let rec vars acc missing = function
+        | [] -> Ok (List.rev acc, List.rev missing)
+        | (name, order) :: rest -> (
+            if name = result_name then
+              let fmt =
+                match req.result_format with
+                | Some f -> f
+                | None -> Format.dense order
+              in
+              if Format.order fmt <> order then
+                serve_error "E_SERVE_INPUT"
+                  ~context:[ ("tensor", name) ]
+                  "result format has order %d but %s is accessed with %d indices"
+                  (Format.order fmt) name order
+              else
+                vars ((name, Tensor_var.make name ~order ~format:fmt) :: acc) missing rest
+            else
+              match bound name with
+              | None ->
+                  vars
+                    ((name, Tensor_var.make name ~order ~format:(Format.dense order)) :: acc)
+                    (name :: missing) rest
+              | Some tensor ->
+                  if Tensor.order tensor <> order then
+                    serve_error "E_SERVE_INPUT"
+                      ~context:[ ("tensor", name) ]
+                      "input %s has order %d but is accessed with %d indices" name
+                      (Tensor.order tensor) order
+                  else
+                    vars ((name, Tensor_var.make name ~order ~format:(Tensor.format tensor)) :: acc)
+                      missing rest)
+      in
+      (* Reject stray bindings early: a misspelled operand otherwise
+         surfaces later as a confusing missing-operand error. *)
+      let stray =
+        List.find_opt (fun (name, _) -> not (List.mem_assoc name scanned)) req.inputs
+      in
+      (match stray with
+      | Some (name, _) ->
+          serve_error "E_SERVE_INPUT"
+            ~context:[ ("tensor", name) ]
+            "input %s does not occur in the expression" name
+      | None ->
+          if List.mem_assoc result_name req.inputs then
+            serve_error "E_SERVE_INPUT"
+              ~context:[ ("tensor", result_name) ]
+              "the result tensor %s must not be bound as an input" result_name
+          else vars [] [] scanned)
+
+let apply_directive env sched d =
+  let ivar = Taco.ivar in
+  match d with
+  | Auto -> Ok sched
+  | Reorder (a, b) ->
+      Diag.of_msg ~stage:Diag.Reorder ~code:"E_REORDER"
+        (Taco.Schedule.reorder (ivar a) (ivar b) sched)
+  | Precompute { expr; over; workspace } -> (
+      match P.parse_expr ~tensors:env expr with
+      | Error e -> Error e
+      | Ok e -> (
+          match
+            Diag.of_msg ~stage:Diag.Workspace ~code:"E_WORKSPACE"
+              (Taco.Schedule.expr_of_index_notation e)
+          with
+          | Error e -> Error e
+          | Ok cexpr ->
+              let over = List.map ivar over in
+              let w =
+                Tensor_var.workspace workspace ~order:(List.length over)
+                  ~format:(Format.dense (List.length over))
+              in
+              Diag.of_msg ~stage:Diag.Workspace ~code:"E_WORKSPACE"
+                (Taco.Schedule.precompute_simple ~expr:cexpr ~over ~workspace:w sched)))
+
+let pipeline job =
+  let req = job.j_req in
+  let ( let* ) = Result.bind in
+  let* env, missing = build_env req in
+  let result_name = fst (List.hd env) in
+  let* stmt = P.parse_statement ~tensors:env req.expr in
+  let* () =
+    match missing with
+    | [] -> Ok ()
+    | name :: _ ->
+        serve_error "E_SERVE_INPUT"
+          ~context:[ ("tensor", name) ]
+          "operand %s has no bound input tensor" name
+  in
+  let* sched =
+    Diag.of_msg ~stage:Diag.Concretize ~code:"E_CONCRETIZE"
+      (Taco.Schedule.of_index_notation stmt)
+  in
+  let* sched =
+    List.fold_left
+      (fun acc d -> match acc with Error _ -> acc | Ok s -> apply_directive env s d)
+      (Ok sched) req.directives
+  in
+  let name = "serve_" ^ result_name in
+  let* compiled =
+    if List.mem Auto req.directives then
+      Result.map fst (Taco.auto_compile ~name sched)
+    else Taco.compile ~name sched
+  in
+  (* The deadline may have passed while compiling; do not burn a worker
+     on executing a result nobody is waiting for. *)
+  check_deadline job;
+  let inputs =
+    List.map (fun (n, tensor) -> (List.assoc n env, tensor)) req.inputs
+  in
+  let* tensor = Taco.run compiled ~inputs in
+  Ok (tensor, (Taco.Kernel.info (Taco.kernel compiled)).Taco.Lower.kernel.Taco.Imp.k_name)
+
+(* ------------------------------------------------------------------ *)
+(* Tickets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_ticket () =
+  { tk_mutex = Mutex.create (); tk_cond = Condition.create (); tk_state = None }
+
+let resolve ticket outcome =
+  Mutex.lock ticket.tk_mutex;
+  if ticket.tk_state = None then ticket.tk_state <- Some outcome;
+  Condition.broadcast ticket.tk_cond;
+  Mutex.unlock ticket.tk_mutex
+
+let await ticket =
+  Mutex.lock ticket.tk_mutex;
+  let rec wait () =
+    match ticket.tk_state with
+    | Some outcome -> outcome
+    | None ->
+        Condition.wait ticket.tk_cond ticket.tk_mutex;
+        wait ()
+  in
+  let outcome = wait () in
+  Mutex.unlock ticket.tk_mutex;
+  outcome
+
+let poll ticket =
+  Mutex.lock ticket.tk_mutex;
+  let s = ticket.tk_state in
+  Mutex.unlock ticket.tk_mutex;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ms_of_ns ns = Int64.to_int (Int64.div ns 1_000_000L)
+
+(* Classify and record one finished job. Called on the worker, off the
+   service mutex for the trace counters. *)
+let finish t job ~wait_ns ~run_ns outcome =
+  let kind =
+    match outcome with
+    | Ok _ -> `Completed
+    | Error d when d.Diag.code = "E_SERVE_DEADLINE" -> `Timed_out
+    | Error _ -> `Failed
+  in
+  Mutex.lock t.s_mutex;
+  (match kind with
+  | `Completed -> t.st_completed <- t.st_completed + 1
+  | `Timed_out -> t.st_timed_out <- t.st_timed_out + 1
+  | `Failed -> t.st_failed <- t.st_failed + 1);
+  t.st_total_wait_ns <- Int64.add t.st_total_wait_ns wait_ns;
+  t.st_total_run_ns <- Int64.add t.st_total_run_ns run_ns;
+  Mutex.unlock t.s_mutex;
+  (match kind with
+  | `Completed -> Trace.add "serve.completed" 1
+  | `Timed_out -> Trace.add "serve.timeout" 1
+  | `Failed -> Trace.add "serve.failed" 1);
+  resolve job.j_ticket outcome
+
+let process t job =
+  let dequeue_ns = Trace.now_ns () in
+  let wait_ns = Int64.sub dequeue_ns job.j_enq_ns in
+  if Trace.enabled () then begin
+    Trace.add "serve.queue_depth" (-1);
+    Trace.span_complete ~cat:"serve" ~ts:job.j_enq_ns ~dur_ns:wait_ns "serve.wait"
+  end;
+  let expired =
+    match job.j_deadline_ns with Some d -> dequeue_ns > d | None -> false
+  in
+  if expired then
+    finish t job ~wait_ns ~run_ns:0L
+      (Error (deadline_diag ~waited_ms:(ms_of_ns wait_ns) job))
+  else begin
+    let outcome =
+      match
+        Trace.with_span ~cat:"serve"
+          ~args:[ ("expr", job.j_req.expr) ]
+          "serve.exec"
+          (fun () -> pipeline job)
+      with
+      | outcome -> outcome
+      | exception Expired d -> Error d
+      | exception Diag.Error d -> Error d
+      | exception exn ->
+          serve_error "E_SERVE_INTERNAL" "unexpected exception: %s"
+            (Printexc.to_string exn)
+    in
+    let run_ns = Int64.sub (Trace.now_ns ()) dequeue_ns in
+    let outcome =
+      Result.map
+        (fun (tensor, kernel_name) -> { tensor; kernel_name; wait_ns; run_ns })
+        outcome
+    in
+    finish t job ~wait_ns ~run_ns outcome
+  end
+
+let rec worker t =
+  Mutex.lock t.s_mutex;
+  let rec next () =
+    if not (Queue.is_empty t.s_queue) then Some (Queue.pop t.s_queue)
+    else
+      match t.s_state with
+      | Running ->
+          Condition.wait t.s_nonempty t.s_mutex;
+          next ()
+      | Draining | Stopped -> None
+  in
+  let job = next () in
+  Mutex.unlock t.s_mutex;
+  match job with
+  | None -> ()
+  | Some job ->
+      process t job;
+      worker t
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(domains = 1) ?(queue_depth = 64) () =
+  if domains < 1 || domains > 128 then
+    invalid_arg "Service.create: domains must be in 1..128";
+  if queue_depth < 1 then invalid_arg "Service.create: queue_depth must be positive";
+  let t =
+    {
+      s_mutex = Mutex.create ();
+      s_nonempty = Condition.create ();
+      s_stopped = Condition.create ();
+      s_queue = Queue.create ();
+      s_depth = queue_depth;
+      s_domains = domains;
+      s_state = Running;
+      s_workers = [];
+      st_submitted = 0;
+      st_rejected = 0;
+      st_completed = 0;
+      st_timed_out = 0;
+      st_failed = 0;
+      st_peak_queue = 0;
+      st_total_wait_ns = 0L;
+      st_total_run_ns = 0L;
+    }
+  in
+  t.s_workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t ?deadline_ms req =
+  let enq_ns = Trace.now_ns () in
+  Mutex.lock t.s_mutex;
+  let verdict =
+    if t.s_state <> Running then `Shutdown
+    else if Queue.length t.s_queue >= t.s_depth then `Full
+    else begin
+      let ticket = fresh_ticket () in
+      let deadline_ns =
+        Option.map
+          (fun ms -> Int64.add enq_ns (Int64.mul (Int64.of_int (max 0 ms)) 1_000_000L))
+          deadline_ms
+      in
+      Queue.push
+        {
+          j_req = req;
+          j_enq_ns = enq_ns;
+          j_deadline_ns = deadline_ns;
+          j_deadline_ms = deadline_ms;
+          j_ticket = ticket;
+        }
+        t.s_queue;
+      t.st_submitted <- t.st_submitted + 1;
+      t.st_peak_queue <- max t.st_peak_queue (Queue.length t.s_queue);
+      Condition.signal t.s_nonempty;
+      `Accepted ticket
+    end
+  in
+  (match verdict with
+  | `Shutdown | `Full -> t.st_rejected <- t.st_rejected + 1
+  | `Accepted _ -> ());
+  Mutex.unlock t.s_mutex;
+  match verdict with
+  | `Accepted ticket ->
+      if Trace.enabled () then begin
+        Trace.add "serve.submitted" 1;
+        Trace.add "serve.queue_depth" 1
+      end;
+      Ok ticket
+  | `Full ->
+      Trace.add "serve.rejected" 1;
+      serve_error "E_SERVE_QUEUE_FULL"
+        ~context:[ ("queue_depth", string_of_int t.s_depth) ]
+        "submission queue is full"
+  | `Shutdown ->
+      Trace.add "serve.rejected" 1;
+      serve_error "E_SERVE_SHUTDOWN" "service is shut down"
+
+let eval t ?deadline_ms req =
+  match submit t ?deadline_ms req with Error e -> Error e | Ok ticket -> await ticket
+
+let stats t =
+  Mutex.lock t.s_mutex;
+  let s =
+    {
+      submitted = t.st_submitted;
+      rejected = t.st_rejected;
+      completed = t.st_completed;
+      timed_out = t.st_timed_out;
+      failed = t.st_failed;
+      peak_queue = t.st_peak_queue;
+      total_wait_ns = t.st_total_wait_ns;
+      total_run_ns = t.st_total_run_ns;
+    }
+  in
+  Mutex.unlock t.s_mutex;
+  s
+
+let queue_length t =
+  Mutex.lock t.s_mutex;
+  let n = Queue.length t.s_queue in
+  Mutex.unlock t.s_mutex;
+  n
+
+let domains t = t.s_domains
+
+let shutdown t =
+  Mutex.lock t.s_mutex;
+  let workers =
+    match t.s_state with
+    | Running ->
+        t.s_state <- Draining;
+        let w = t.s_workers in
+        t.s_workers <- [];
+        Condition.broadcast t.s_nonempty;
+        w
+    | Draining | Stopped -> []
+  in
+  Mutex.unlock t.s_mutex;
+  if workers <> [] then begin
+    List.iter Domain.join workers;
+    Mutex.lock t.s_mutex;
+    t.s_state <- Stopped;
+    Condition.broadcast t.s_stopped;
+    Mutex.unlock t.s_mutex
+  end
+  else begin
+    (* Another domain owns the drain; wait for it to finish. *)
+    Mutex.lock t.s_mutex;
+    while t.s_state <> Stopped do
+      Condition.wait t.s_stopped t.s_mutex
+    done;
+    Mutex.unlock t.s_mutex
+  end

@@ -1,0 +1,128 @@
+(** A concurrent tensor-algebra evaluation service over the compile
+    pipeline.
+
+    Clients submit requests — an index notation statement as text,
+    schedule directives, and named operand tensors — and the service
+    parses, concretizes, schedules, lowers, compiles and executes them
+    on a fixed pool of OCaml 5 worker domains behind a bounded
+    submission queue.
+
+    The serving layer is the system's third amortizer, after the paper's
+    workspaces (amortizing insertion cost) and the structure-keyed
+    compiled-kernel cache (amortizing compilation): concurrent requests
+    with the same post-optimization kernel structure coalesce onto a
+    single compilation ({!Taco_exec.Compile}'s single-flight cache), so
+    a flood of requests for one expression shape compiles it exactly
+    once and spends the pool on execution.
+
+    Operational semantics:
+    - {b Backpressure}: {!submit} rejects immediately with a stage-
+      [Serve] diagnostic ([E_SERVE_QUEUE_FULL]) when the queue holds
+      [queue_depth] jobs, rather than growing without bound.
+    - {b Deadlines}: a request's optional [deadline_ms] bounds its time
+      in the system. It is checked when a worker dequeues the job and
+      again between compilation and execution; an expired request
+      completes with [E_SERVE_DEADLINE]. Kernel execution itself is not
+      interrupted (compiled closures are uninterruptible).
+    - {b Shutdown}: {!shutdown} stops admission ([E_SERVE_SHUTDOWN]),
+      lets workers drain every queued job, and joins all worker domains
+      before returning; every outstanding ticket is resolved and no
+      domains are left running.
+    - {b Failure containment}: pipeline failures (parse through
+      execute) resolve the ticket with their own staged diagnostic;
+      unexpected exceptions resolve it with [E_SERVE_INTERNAL]. No
+      exception escapes a worker domain.
+
+    When tracing is enabled ({!Taco_support.Trace.enable}), the service
+    records per-request [serve.wait] (queue time, retroactive) and
+    [serve.exec] spans and maintains the counters [serve.submitted],
+    [serve.rejected], [serve.timeout], [serve.completed],
+    [serve.failed] and the gauge [serve.queue_depth]. *)
+
+module Format = Taco_tensor.Format
+module Tensor = Taco_tensor.Tensor
+module Diag = Taco_support.Diag
+
+(** Schedule directives, mirroring the CLI's scheduling surface. *)
+type directive =
+  | Reorder of string * string  (** exchange two index variables *)
+  | Precompute of { expr : string; over : string list; workspace : string }
+      (** precompute [expr] over [over] into a dense workspace *)
+  | Auto  (** autoschedule instead of manual directives *)
+
+type request = {
+  expr : string;  (** index notation statement, e.g. ["A(i,j) = B(i,k) * C(k,j)"] *)
+  directives : directive list;
+  inputs : (string * Tensor.t) list;
+      (** operand tensors by name; formats are taken from the tensors *)
+  result_format : Format.t option;
+      (** storage format of the result (default: all-dense of its order) *)
+}
+
+(** Convenience constructor; [directives] and [result_format] default to
+    none. *)
+val request :
+  ?directives:directive list ->
+  ?result_format:Format.t ->
+  expr:string ->
+  inputs:(string * Tensor.t) list ->
+  unit ->
+  request
+
+type response = {
+  tensor : Tensor.t;  (** the evaluated result *)
+  kernel_name : string;
+  wait_ns : int64;  (** submission → dequeue by a worker *)
+  run_ns : int64;  (** dequeue → completion (parse, compile, execute) *)
+}
+
+type t
+
+(** A handle to one submitted request, resolved exactly once. *)
+type ticket
+
+(** Cumulative service counters (monotone since {!create}). *)
+type stats = {
+  submitted : int;  (** accepted submissions *)
+  rejected : int;  (** refused at submission: queue full or shutdown *)
+  completed : int;  (** resolved with a result *)
+  timed_out : int;  (** resolved with [E_SERVE_DEADLINE] *)
+  failed : int;  (** resolved with any other diagnostic *)
+  peak_queue : int;  (** high-water mark of the queue *)
+  total_wait_ns : int64;  (** summed queue time of processed requests *)
+  total_run_ns : int64;  (** summed processing time of processed requests *)
+}
+
+(** [create ~domains ~queue_depth ()] spawns the worker pool. [domains]
+    (default 1, max 128) is the exact number of worker domains — it is
+    deliberately not clamped to the machine's core count, so concurrency
+    is exercisable anywhere; [queue_depth] (default 64) bounds the
+    submission queue. Raises [Invalid_argument] on non-positive
+    values. *)
+val create : ?domains:int -> ?queue_depth:int -> unit -> t
+
+(** Enqueue a request. Returns a ticket, or rejects immediately with
+    [E_SERVE_QUEUE_FULL] / [E_SERVE_SHUTDOWN]. [deadline_ms] is relative
+    to submission. *)
+val submit : t -> ?deadline_ms:int -> request -> (ticket, Diag.t) result
+
+(** Block until the ticket resolves. Idempotent. *)
+val await : ticket -> (response, Diag.t) result
+
+(** [Some] once the ticket has resolved, without blocking. *)
+val poll : ticket -> (response, Diag.t) result option
+
+(** [submit] then [await]. *)
+val eval : t -> ?deadline_ms:int -> request -> (response, Diag.t) result
+
+val stats : t -> stats
+
+(** Jobs currently queued (excluding those being executed). *)
+val queue_length : t -> int
+
+(** Worker-domain count of the pool. *)
+val domains : t -> int
+
+(** Stop admission, drain the queue, join every worker domain.
+    Idempotent; concurrent callers all return after the drain. *)
+val shutdown : t -> unit

@@ -8,6 +8,7 @@ type stage =
   | Execute
   | Tensor
   | Io
+  | Serve
 
 type t = {
   stage : stage;
@@ -45,6 +46,7 @@ let stage_name = function
   | Execute -> "execute"
   | Tensor -> "tensor"
   | Io -> "io"
+  | Serve -> "serve"
 
 let to_string t =
   let ctx =

@@ -18,6 +18,7 @@ type stage =
   | Execute  (** running a compiled kernel *)
   | Tensor  (** tensor construction / structural validation *)
   | Io  (** tensor file readers and writers *)
+  | Serve  (** the concurrent evaluation service ([Taco_service]) *)
 
 type t = {
   stage : stage;

@@ -14,21 +14,23 @@ type span = {
   sp_name : string;
   sp_cat : string;
   sp_ts : int64;
+  sp_tid : int;
   mutable sp_args : (string * string) list;
 }
 
 type event =
   | E_begin of span
-  | E_end of { e_name : string; e_ts : int64 }
+  | E_end of { e_name : string; e_ts : int64; e_tid : int }
   | E_complete of {
       x_name : string;
       x_cat : string;
       x_ts : int64;
       x_dur : int64;
+      x_tid : int;
       x_args : (string * string) list;
     }
   | E_counter of { c_name : string; c_ts : int64; c_total : int }
-  | E_instant of { i_name : string; i_ts : int64; i_args : (string * string) list }
+  | E_instant of { i_name : string; i_ts : int64; i_tid : int; i_args : (string * string) list }
 
 let on = ref false
 let mutex = Mutex.create ()
@@ -36,7 +38,20 @@ let mutex = Mutex.create ()
 (* Most recent first; reversed (then ts-sorted) at export. *)
 let events : event list ref = ref []
 let n_events = ref 0
-let stack : span list ref = ref []
+
+(* The open-span stack is domain-local: each worker domain nests its own
+   spans and never sees (or corrupts) another domain's stack. The event
+   buffer stays shared behind the mutex; events carry the domain id so
+   exporters can pair B/E per domain. *)
+let stack_key : span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let my_stack () = Domain.DLS.get stack_key
+
+let tid () = (Domain.self () :> int)
+
+(* Global count of open spans across all domains (the per-domain stacks
+   of other domains cannot be walked); guarded by [mutex]. *)
+let open_count = ref 0
 let totals : (string, int) Hashtbl.t = Hashtbl.create 16
 
 let locked f =
@@ -61,8 +76,11 @@ let clear () =
   locked (fun () ->
       events := [];
       n_events := 0;
-      stack := [];
-      Hashtbl.reset totals)
+      open_count := 0;
+      Hashtbl.reset totals);
+  (* Only the calling domain's stack is reachable; other domains' stacks
+     unwind on their own as their [with_span] frames return. *)
+  my_stack () := []
 
 let ms_of_ns ns = Int64.to_float ns /. 1e6
 
@@ -71,16 +89,20 @@ let log_span name t0 t1 =
 
 let with_span ?(cat = "taco") ?(args = []) name f =
   if !on then begin
-    let sp = { sp_name = name; sp_cat = cat; sp_ts = now_ns (); sp_args = args } in
+    let t = tid () in
+    let sp = { sp_name = name; sp_cat = cat; sp_ts = now_ns (); sp_tid = t; sp_args = args } in
+    let stack = my_stack () in
     locked (fun () ->
         push (E_begin sp);
-        stack := sp :: !stack);
+        incr open_count);
+    stack := sp :: !stack;
     Fun.protect
       ~finally:(fun () ->
         let t1 = now_ns () in
+        (match !stack with _ :: tl -> stack := tl | [] -> ());
         locked (fun () ->
-            (match !stack with _ :: tl -> stack := tl | [] -> ());
-            push (E_end { e_name = name; e_ts = t1 }));
+            decr open_count;
+            push (E_end { e_name = name; e_ts = t1; e_tid = t }));
         log_span name sp.sp_ts t1)
       f
   end
@@ -92,16 +114,18 @@ let with_span ?(cat = "taco") ?(args = []) name f =
 
 let set_args kv =
   if !on then
-    locked (fun () ->
-        match !stack with
-        | sp :: _ -> sp.sp_args <- sp.sp_args @ kv
-        | [] -> ())
+    match !(my_stack ()) with
+    | sp :: _ -> locked (fun () -> sp.sp_args <- sp.sp_args @ kv)
+    | [] -> ()
 
 let span_complete ?(cat = "taco") ?(args = []) ~ts ~dur_ns name =
-  if !on then
+  if !on then begin
+    let t = tid () in
     locked (fun () ->
         push
-          (E_complete { x_name = name; x_cat = cat; x_ts = ts; x_dur = dur_ns; x_args = args }));
+          (E_complete
+             { x_name = name; x_cat = cat; x_ts = ts; x_dur = dur_ns; x_tid = t; x_args = args }))
+  end;
   if logging () then log_span name ts (Int64.add ts dur_ns)
 
 let add name n =
@@ -113,7 +137,8 @@ let add name n =
 
 let instant ?(args = []) name =
   if !on then
-    locked (fun () -> push (E_instant { i_name = name; i_ts = now_ns (); i_args = args }))
+    let t = tid () in
+    locked (fun () -> push (E_instant { i_name = name; i_ts = now_ns (); i_tid = t; i_args = args }))
 
 let counter_total name =
   locked (fun () -> try Hashtbl.find totals name with Not_found -> 0)
@@ -123,7 +148,7 @@ let counters () =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let event_count () = locked (fun () -> !n_events)
-let open_spans () = locked (fun () -> List.length !stack)
+let open_spans () = locked (fun () -> !open_count)
 
 (* ---- export ---- *)
 
@@ -180,20 +205,20 @@ let to_chrome_json () =
       (match e with
       | E_begin sp ->
           Buffer.add_string b
-            (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"B\",\"ts\":%.3f,\"pid\":1,\"tid\":1,"
-               (json_escape sp.sp_name) (json_escape sp.sp_cat) (us sp.sp_ts));
+            (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"B\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,"
+               (json_escape sp.sp_name) (json_escape sp.sp_cat) (us sp.sp_ts) sp.sp_tid);
           buf_args b sp.sp_args;
           Buffer.add_char b '}'
       | E_end e ->
           Buffer.add_string b
-            (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"E\",\"ts\":%.3f,\"pid\":1,\"tid\":1}"
-               (json_escape e.e_name) (us e.e_ts))
+            (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"E\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+               (json_escape e.e_name) (us e.e_ts) e.e_tid)
       | E_complete x ->
           Buffer.add_string b
             (Printf.sprintf
-               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,"
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
                (json_escape x.x_name) (json_escape x.x_cat) (us x.x_ts)
-               (Int64.to_float x.x_dur /. 1e3));
+               (Int64.to_float x.x_dur /. 1e3) x.x_tid);
           buf_args b x.x_args;
           Buffer.add_char b '}'
       | E_counter c ->
@@ -204,8 +229,8 @@ let to_chrome_json () =
       | E_instant i ->
           Buffer.add_string b
             (Printf.sprintf
-               "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":1,\"s\":\"t\","
-               (json_escape i.i_name) (us i.i_ts));
+               "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"s\":\"t\","
+               (json_escape i.i_name) (us i.i_ts) i.i_tid);
           buf_args b i.i_args;
           Buffer.add_char b '}'))
     evs;
@@ -220,7 +245,8 @@ let write_chrome path =
 
 let summary () =
   let evs = snapshot () in
-  (* Pair B/E events with an explicit stack; X events contribute
+  (* Pair B/E events with an explicit stack per domain (concurrent
+     domains interleave their pairs in the buffer); X events contribute
      directly. Aggregates keyed by span name. *)
   let agg : (string, int * int64) Hashtbl.t = Hashtbl.create 16 in
   let record name dur =
@@ -229,17 +255,18 @@ let summary () =
   in
   let order : string list ref = ref [] in
   let seen name = if not (List.mem name !order) then order := name :: !order in
-  let stk = ref [] in
+  let stacks : (int, (string * int64) list) Hashtbl.t = Hashtbl.create 4 in
+  let stk t = try Hashtbl.find stacks t with Not_found -> [] in
   List.iter
     (fun e ->
       match e with
       | E_begin sp ->
           seen sp.sp_name;
-          stk := (sp.sp_name, sp.sp_ts) :: !stk
+          Hashtbl.replace stacks sp.sp_tid ((sp.sp_name, sp.sp_ts) :: stk sp.sp_tid)
       | E_end e -> (
-          match !stk with
+          match stk e.e_tid with
           | (name, t0) :: tl when name = e.e_name ->
-              stk := tl;
+              Hashtbl.replace stacks e.e_tid tl;
               record name (Int64.sub e.e_ts t0)
           | _ -> ())
       | E_complete x ->

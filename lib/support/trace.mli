@@ -28,10 +28,15 @@
     timed-and-logged even with the buffer disabled, so [TACO_LOG=debug]
     alone gives a poor man's profile without any JSON machinery.
 
-    Thread safety: the buffer is mutex-protected, so concurrent domains
-    may interleave events; the span stack is global, so spans opened
-    concurrently from several domains will nest arbitrarily. Trace
-    multi-domain runs with that caveat in mind. *)
+    Thread safety: the buffer is mutex-protected and the open-span stack
+    is domain-local (one stack per domain, via [Domain.DLS]), so
+    concurrent domains can record spans without corrupting each other's
+    nesting. Every event carries the recording domain's id and is
+    exported with it as the Chrome [tid], letting viewers (and
+    [bin/trace_check]) pair B/E events per domain. {!set_args} attaches
+    to the calling domain's innermost open span. {!clear} resets the
+    shared buffer and the calling domain's stack; call it only while no
+    other domain has spans open. *)
 
 (** Monotonic clock, nanoseconds. Usable independently of tracing. *)
 val now_ns : unit -> int64
@@ -56,8 +61,8 @@ val clear : unit -> unit
     arguments; more can be added from inside [f] with {!set_args}. *)
 val with_span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 
-(** Append arguments to the innermost open span (no-op when disabled or
-    outside any span). *)
+(** Append arguments to the calling domain's innermost open span (no-op
+    when disabled or outside any span). *)
 val set_args : (string * string) list -> unit
 
 (** Record a complete span retroactively from a caller-measured start
@@ -80,7 +85,8 @@ val counters : unit -> (string * int) list
 (** Number of buffered events (spans count twice: begin and end). *)
 val event_count : unit -> int
 
-(** Number of currently open spans (0 when all spans are balanced). *)
+(** Number of currently open spans across all domains (0 when all spans
+    are balanced). *)
 val open_spans : unit -> int
 
 (** The buffer as Chrome trace-event JSON: an object with a

@@ -202,7 +202,7 @@ let acceptable_reject (d : Diag.t) =
       (* Compute-mode kernels with compressed results need a pre-assembled
          output: a legitimate capability limit, not a bug. *)
       d.Diag.code = "E_EXEC_MODE"
-  | Diag.Parse | Diag.Compile | Diag.Tensor | Diag.Io -> false
+  | Diag.Parse | Diag.Compile | Diag.Tensor | Diag.Io | Diag.Serve -> false
 
 type outcome = Ran | Rejected
 

@@ -1,0 +1,232 @@
+(* The concurrent evaluation service: correctness against a dense
+   oracle, compile coalescing, backpressure, deadlines, shutdown
+   draining and input validation. *)
+
+open Helpers
+module F = Taco_tensor.Format
+module T = Taco_tensor.Tensor
+module D = Taco_tensor.Dense
+module Diag = Taco_support.Diag
+module Compile = Taco_exec.Compile
+module Service = Taco_service.Service
+
+let spgemm_request ?(directives = true) b c =
+  Service.request
+    ~directives:
+      (if directives then
+         [
+           Service.Reorder ("k", "j");
+           Service.Precompute { expr = "B(i,k) * C(k,j)"; over = [ "j" ]; workspace = "w" };
+         ]
+       else [])
+    ~result_format:F.csr
+    ~expr:"A(i,j) = B(i,k) * C(k,j)"
+    ~inputs:[ ("B", b); ("C", c) ]
+    ()
+
+let dense_matmul b c =
+  let bd = T.to_dense b and cd = T.to_dense c in
+  let m = (T.dims b).(0) and k = (T.dims b).(1) and n = (T.dims c).(1) in
+  D.init [| m; n |] (fun idx ->
+      let acc = ref 0. in
+      for x = 0 to k - 1 do
+        acc := !acc +. (D.get bd [| idx.(0); x |] *. D.get cd [| x; idx.(1) |])
+      done;
+      !acc)
+
+let await_ok ticket =
+  match Service.await ticket with
+  | Ok r -> r
+  | Error d -> Alcotest.fail (Diag.to_string d)
+
+let with_service ?(domains = 2) ?(queue_depth = 64) f =
+  let svc = Service.create ~domains ~queue_depth () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) (fun () -> f svc)
+
+(* --- evaluation matches a dense oracle ----------------------------- *)
+
+let test_eval_oracle () =
+  let b = random_tensor 1 [| 40; 40 |] 0.1 F.csr in
+  let c = random_tensor 2 [| 40; 40 |] 0.1 F.csr in
+  with_service (fun svc ->
+      match Service.eval svc (spgemm_request b c) with
+      | Error d -> Alcotest.fail (Diag.to_string d)
+      | Ok r ->
+          check_dense "service SpGEMM matches dense matmul" (dense_matmul b c)
+            (T.to_dense r.Service.tensor))
+
+let test_eval_auto () =
+  (* The autoscheduler must find the workspace schedule by itself. *)
+  let b = random_tensor 3 [| 30; 30 |] 0.1 F.csr in
+  let c = random_tensor 4 [| 30; 30 |] 0.1 F.csr in
+  with_service (fun svc ->
+      let req =
+        Service.request ~directives:[ Service.Auto ] ~result_format:F.csr
+          ~expr:"A(i,j) = B(i,k) * C(k,j)"
+          ~inputs:[ ("B", b); ("C", c) ]
+          ()
+      in
+      match Service.eval svc req with
+      | Error d -> Alcotest.fail (Diag.to_string d)
+      | Ok r ->
+          check_dense "autoscheduled SpGEMM matches dense matmul" (dense_matmul b c)
+            (T.to_dense r.Service.tensor))
+
+(* --- concurrent identical requests compile exactly once ------------ *)
+
+let test_coalescing () =
+  let b = random_tensor 5 [| 60; 60 |] 0.05 F.csr in
+  let c = random_tensor 6 [| 60; 60 |] 0.05 F.csr in
+  Compile.cache_clear ();
+  with_service ~domains:4 (fun svc ->
+      let tickets =
+        List.init 8 (fun _ ->
+            match Service.submit svc (spgemm_request b c) with
+            | Ok t -> t
+            | Error d -> Alcotest.fail (Diag.to_string d))
+      in
+      let responses = List.map await_ok tickets in
+      let first = List.hd responses in
+      List.iter
+        (fun r ->
+          Alcotest.(check int) "all responses agree on nnz"
+            (T.nnz first.Service.tensor) (T.nnz r.Service.tensor))
+        responses);
+  let cs = Compile.cache_stats () in
+  Alcotest.(check int) "one closure build for 8 identical requests" 1 cs.Compile.misses;
+  Alcotest.(check int) "the other 7 were cache hits" 7 cs.Compile.hits
+
+(* --- backpressure --------------------------------------------------- *)
+
+let test_backpressure () =
+  let b = random_tensor 7 [| 80; 80 |] 0.05 F.csr in
+  let c = random_tensor 8 [| 80; 80 |] 0.05 F.csr in
+  with_service ~domains:1 ~queue_depth:1 (fun svc ->
+      (* A burst of cheap-to-submit, expensive-to-run requests into a
+         depth-1 queue behind one worker: admission control must trip. *)
+      let accepted = ref [] and rejected = ref 0 in
+      for _ = 1 to 16 do
+        match Service.submit svc (spgemm_request b c) with
+        | Ok t -> accepted := t :: !accepted
+        | Error d ->
+            Alcotest.(check string)
+              "rejections carry E_SERVE_QUEUE_FULL" "E_SERVE_QUEUE_FULL" d.Diag.code;
+            Alcotest.(check string) "rejections are stage serve" "serve"
+              (Diag.stage_name d.Diag.stage);
+            incr rejected
+      done;
+      List.iter (fun t -> ignore (await_ok t)) !accepted;
+      Alcotest.(check bool) "at least one submission was rejected" true (!rejected > 0);
+      let s = Service.stats svc in
+      Alcotest.(check int) "rejected stat matches" !rejected s.Service.rejected;
+      Alcotest.(check int) "accepted all completed" (List.length !accepted)
+        s.Service.completed)
+
+(* --- deadlines ------------------------------------------------------ *)
+
+let test_deadline () =
+  let b = random_tensor 9 [| 60; 60 |] 0.05 F.csr in
+  let c = random_tensor 10 [| 60; 60 |] 0.05 F.csr in
+  with_service ~domains:1 (fun svc ->
+      (* Park a normal request so the probe sits in the queue past its
+         already-expired deadline. *)
+      let blocker = Service.submit svc (spgemm_request b c) in
+      (match Service.eval svc ~deadline_ms:0 (spgemm_request b c) with
+      | Ok _ -> Alcotest.fail "deadline 0 must not succeed"
+      | Error d ->
+          Alcotest.(check string) "deadline code" "E_SERVE_DEADLINE" d.Diag.code);
+      (match blocker with
+      | Ok t -> ignore (await_ok t)
+      | Error d -> Alcotest.fail (Diag.to_string d));
+      let s = Service.stats svc in
+      Alcotest.(check int) "timed_out counted" 1 s.Service.timed_out)
+
+(* --- shutdown drains ------------------------------------------------ *)
+
+let test_shutdown_drains () =
+  let b = random_tensor 11 [| 50; 50 |] 0.05 F.csr in
+  let c = random_tensor 12 [| 50; 50 |] 0.05 F.csr in
+  let svc = Service.create ~domains:2 ~queue_depth:64 () in
+  let tickets =
+    List.init 6 (fun _ ->
+        match Service.submit svc (spgemm_request b c) with
+        | Ok t -> t
+        | Error d -> Alcotest.fail (Diag.to_string d))
+  in
+  Service.shutdown svc;
+  (* Every ticket is resolved by the time shutdown returns... *)
+  List.iter
+    (fun t ->
+      match Service.poll t with
+      | Some (Ok _) -> ()
+      | Some (Error d) -> Alcotest.fail (Diag.to_string d)
+      | None -> Alcotest.fail "ticket unresolved after shutdown")
+    tickets;
+  let s = Service.stats svc in
+  Alcotest.(check int) "all six completed" 6 s.Service.completed;
+  (* ... and later submissions are refused. *)
+  (match Service.submit svc (spgemm_request b c) with
+  | Ok _ -> Alcotest.fail "submit after shutdown must be rejected"
+  | Error d ->
+      Alcotest.(check string) "shutdown code" "E_SERVE_SHUTDOWN" d.Diag.code);
+  (* Idempotent. *)
+  Service.shutdown svc
+
+(* --- input validation ----------------------------------------------- *)
+
+let test_malformed_expr () =
+  with_service (fun svc ->
+      let req =
+        Service.request ~expr:"A(i,j) = B(i,k * C(k,j)" ~inputs:[] ()
+      in
+      match Service.eval svc req with
+      | Ok _ -> Alcotest.fail "malformed expression must fail"
+      | Error d ->
+          Alcotest.(check string) "parse stage" "parse" (Diag.stage_name d.Diag.stage))
+
+let test_missing_operand () =
+  let b = random_tensor 13 [| 20; 20 |] 0.1 F.csr in
+  with_service (fun svc ->
+      let req =
+        Service.request ~expr:"A(i,j) = B(i,j) + C(i,j)" ~inputs:[ ("B", b) ] ()
+      in
+      match Service.eval svc req with
+      | Ok _ -> Alcotest.fail "missing operand must fail"
+      | Error d ->
+          Alcotest.(check string) "input code" "E_SERVE_INPUT" d.Diag.code;
+          Alcotest.(check (option string))
+            "names the missing tensor" (Some "C")
+            (List.assoc_opt "tensor" d.Diag.context))
+
+let test_order_mismatch () =
+  let b = random_tensor 14 [| 20 |] 0.2 (F.dense 1) in
+  with_service (fun svc ->
+      let req =
+        Service.request ~expr:"A(i,j) = B(i,j) * 2" ~inputs:[ ("B", b) ] ()
+      in
+      match Service.eval svc req with
+      | Ok _ -> Alcotest.fail "order mismatch must fail"
+      | Error d -> Alcotest.(check string) "input code" "E_SERVE_INPUT" d.Diag.code)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "spgemm matches dense oracle" `Quick test_eval_oracle;
+          Alcotest.test_case "autoscheduled spgemm" `Quick test_eval_auto;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "identical requests compile once" `Quick test_coalescing;
+          Alcotest.test_case "queue-full backpressure" `Quick test_backpressure;
+          Alcotest.test_case "expired deadline" `Quick test_deadline;
+          Alcotest.test_case "shutdown drains and refuses" `Quick test_shutdown_drains;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "malformed expression" `Quick test_malformed_expr;
+          Alcotest.test_case "missing operand" `Quick test_missing_operand;
+          Alcotest.test_case "order mismatch" `Quick test_order_mismatch;
+        ] );
+    ]
