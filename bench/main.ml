@@ -126,6 +126,37 @@ let opt_cmd =
           full pipeline on the paper's workspace kernels.")
     Term.(const run $ seed_arg $ opt_reps_arg $ opt_dim_arg $ opt_out_arg $ smoke_arg)
 
+let par_max_domains_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "max-domains" ] ~doc:"Sweep chunk-domain counts 1..N for the parallel kernels.")
+
+let par_out_arg =
+  Arg.(
+    value & opt string "BENCH_parallel.json"
+    & info [ "out" ] ~doc:"Where to write the machine-readable scaling results.")
+
+let par_smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:
+          "CI mode: tiny inputs, a 2-domain sweep, exit 1 if any chunked run diverges \
+           from the sequential one. Writes no JSON.")
+
+let par_cmd =
+  let run seed scale reps max_domains out smoke =
+    if smoke then Parallel_scaling.smoke ()
+    else Parallel_scaling.run ~seed ~scale ~reps ~max_domains ~out
+  in
+  Cmd.v
+    (Cmd.info "par"
+       ~doc:
+         "Scaling sweep of the parallelize-scheduled kernels over OCaml domains, with \
+          per-point bit-identity checks against the sequential run.")
+    Term.(const run $ seed_arg $ scale_arg $ reps_arg $ par_max_domains_arg $ par_out_arg
+          $ par_smoke_arg)
+
 let all ~seed ~scale ~tensor_scale ~reps ~add_dim =
   Table1.run ~seed ~scale ~tensor_scale;
   Fig11.run ~seed ~scale ~reps ();
@@ -163,6 +194,7 @@ let () =
             fig13_cmd;
             ablation_cmd;
             opt_cmd;
+            par_cmd;
             micro_cmd;
             all_cmd;
           ]))

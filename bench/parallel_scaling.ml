@@ -1,0 +1,215 @@
+(* Parallel scaling of the parallelize-scheduled paper kernels.
+
+   The three workspace kernels (SpGEMM, SpAdd, MTTKRP) are compiled with
+   the outer loop parallelized and run at 1..N chunk domains. For every
+   point the result is checked bit-identical against the sequential run
+   — the sweep doubles as a determinism gate — and the wall-clock
+   medians and speedups land in BENCH_parallel.json.
+
+   The domain budget is temporarily raised to the sweep's width so the
+   chunks really run on their own domains even when the machine
+   recommends fewer; the machine's recommended domain count is recorded
+   in the JSON so single-core results (where every "parallel" point
+   measures chunk-and-merge overhead, not speedup) read as what they
+   are. *)
+
+open Taco
+module Prng = Taco_support.Prng
+
+let get = Harness.get
+
+let getd = function Ok x -> x | Error d -> failwith (Diag.to_string d)
+
+let vi = Harness.vi
+
+let vj = Harness.vj
+
+let vk = Harness.vk
+
+let vl = Harness.vl
+
+(* --- the three kernels, parallelized over the outer index ------------ *)
+
+let spgemm_compiled () =
+  let a = tensor "A" Format.csr in
+  let b = tensor "B" Format.csr in
+  let c = tensor "C" Format.csr in
+  let open Index_notation in
+  let stmt = assign a [ vi; vj ] (sum vk (Mul (access b [ vi; vk ], access c [ vk; vj ]))) in
+  let sched = get (Schedule.of_index_notation stmt) in
+  let sched = get (Schedule.reorder vk vj sched) in
+  let w = workspace "w" Format.dense_vector in
+  let e = Cin.Mul (Cin.Access (Cin.access b [ vi; vk ]), Cin.Access (Cin.access c [ vk; vj ])) in
+  let sched = get (Schedule.precompute_simple ~expr:e ~over:[ vj ] ~workspace:w sched) in
+  let sched = getd (parallelize vi sched) in
+  (b, c, getd (compile ~name:"spgemm_par" sched))
+
+let spadd_compiled () =
+  let a = tensor "A" Format.csr in
+  let b = tensor "B" Format.csr in
+  let c = tensor "C" Format.csr in
+  let open Index_notation in
+  let stmt = assign a [ vi; vj ] (Add (access b [ vi; vj ], access c [ vi; vj ])) in
+  let sched = get (Schedule.of_index_notation stmt) in
+  let sched = getd (parallelize vi sched) in
+  (b, c, getd (compile ~name:"spadd_par" sched))
+
+let mttkrp_compiled () =
+  let a = tensor "A" Format.dense_matrix in
+  let b = tensor "B" (Format.csf 3) in
+  let c = tensor "C" Format.dense_matrix in
+  let d = tensor "D" Format.dense_matrix in
+  let open Index_notation in
+  let stmt =
+    assign a [ vi; vj ]
+      (sum vk
+         (sum vl (Mul (Mul (access b [ vi; vk; vl ], access c [ vl; vj ]), access d [ vk; vj ]))))
+  in
+  let sched = get (Schedule.of_index_notation stmt) in
+  let sched = get (Schedule.reorder vj vk sched) in
+  let sched = get (Schedule.reorder vj vl sched) in
+  let w = workspace "w" Format.dense_vector in
+  let e = Cin.Mul (Cin.Access (Cin.access b [ vi; vk; vl ]), Cin.Access (Cin.access c [ vl; vj ])) in
+  let sched = get (Schedule.precompute_simple ~expr:e ~over:[ vj ] ~workspace:w sched) in
+  let sched = getd (parallelize vi sched) in
+  (b, c, d, getd (compile ~name:"mttkrp_par" sched))
+
+(* --- bit identity across domain counts ------------------------------- *)
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri
+        (fun q x ->
+          if Int64.bits_of_float x <> Int64.bits_of_float b.(q) then ok := false)
+        a;
+      !ok)
+
+let tensors_identical t1 t2 =
+  Tensor.dims t1 = Tensor.dims t2
+  && Tensor.nnz t1 = Tensor.nnz t2
+  && bits_equal (Tensor.vals t1) (Tensor.vals t2)
+
+(* --- the sweep -------------------------------------------------------- *)
+
+type point = { p_domains : int; p_m : Harness.measurement; p_speedup : float; p_identical : bool }
+
+let sweep ~reps ~domain_counts name compiled inputs =
+  let reference = getd (run ~domains:1 compiled ~inputs) in
+  let points =
+    List.map
+      (fun k ->
+        let r = getd (run ~domains:k compiled ~inputs) in
+        let identical = tensors_identical reference r in
+        let m =
+          Harness.measure ~reps (fun () -> ignore (getd (run ~domains:k compiled ~inputs)))
+        in
+        (k, m, identical))
+      domain_counts
+  in
+  let seq_s =
+    match points with
+    | (1, m, _) :: _ -> m.Harness.m_median_s
+    | _ -> invalid_arg "sweep: domain_counts must start at 1"
+  in
+  List.map
+    (fun (k, m, identical) ->
+      let p =
+        {
+          p_domains = k;
+          p_m = m;
+          p_speedup = seq_s /. m.Harness.m_median_s;
+          p_identical = identical;
+        }
+      in
+      Harness.row "  %-8s %2d domains  %10.6fs  speedup %5.2fx  %s" name k
+        m.Harness.m_median_s p.p_speedup
+        (if identical then "bit-identical" else "DIVERGED");
+      if not identical then
+        failwith (Printf.sprintf "%s: %d-domain result diverges from sequential" name k);
+      p)
+    points
+
+let kernel_json name points =
+  Report.Obj
+    [
+      ("kernel", Report.Str name);
+      ( "points",
+        Report.List
+          (List.map
+             (fun p ->
+               Report.Obj
+                 [
+                   ("domains", Report.Int p.p_domains);
+                   ("median_s", Report.Float p.p_m.Harness.m_median_s);
+                   ("speedup", Report.Float p.p_speedup);
+                   ("bit_identical", Report.Bool p.p_identical);
+                   ("measurement", Harness.measurement_json p.p_m);
+                 ])
+             points) );
+    ]
+
+let with_budget ~extra f =
+  let old = Budget.capacity () in
+  Budget.set_capacity (max old extra);
+  Fun.protect ~finally:(fun () -> Budget.set_capacity old) f
+
+let run_points ~seed ~scale ~reps ~domain_counts =
+  let prng = Prng.create seed in
+  let dim = max 128 (2000 / scale) in
+  let density = 0.02 in
+  let spgemm_b = Gen.random_density prng ~dims:[| dim; dim |] ~density Format.csr in
+  let spgemm_c = Gen.random_density prng ~dims:[| dim; dim |] ~density Format.csr in
+  let add_dim = max 256 (4000 / scale) in
+  let spadd_b = Gen.random_density prng ~dims:[| add_dim; add_dim |] ~density Format.csr in
+  let spadd_c = Gen.random_density prng ~dims:[| add_dim; add_dim |] ~density Format.csr in
+  let di = max 64 (800 / scale) and dk = max 16 (200 / scale) in
+  let dl = max 16 (200 / scale) and dj = 32 in
+  let mtt_b = Gen.random_density prng ~dims:[| di; dk; dl |] ~density:0.05 (Format.csf 3) in
+  let mtt_c = Tensor.of_dense (Gen.random_dense prng [| dl; dj |]) Format.dense_matrix in
+  let mtt_d = Tensor.of_dense (Gen.random_dense prng [| dk; dj |]) Format.dense_matrix in
+  with_budget ~extra:(List.fold_left max 1 domain_counts - 1) @@ fun () ->
+  let b, c, spgemm = spgemm_compiled () in
+  let spgemm_pts =
+    sweep ~reps ~domain_counts "spgemm" spgemm [ (b, spgemm_b); (c, spgemm_c) ]
+  in
+  let b, c, spadd = spadd_compiled () in
+  let spadd_pts = sweep ~reps ~domain_counts "spadd" spadd [ (b, spadd_b); (c, spadd_c) ] in
+  let b, c, d, mttkrp = mttkrp_compiled () in
+  let mttkrp_pts =
+    sweep ~reps ~domain_counts "mttkrp" mttkrp [ (b, mtt_b); (c, mtt_c); (d, mtt_d) ]
+  in
+  [ ("spgemm", spgemm_pts); ("spadd", spadd_pts); ("mttkrp", mttkrp_pts) ]
+
+let run ~seed ~scale ~reps ~max_domains ~out =
+  Harness.header "Parallel scaling: parallelize-scheduled kernels over OCaml domains";
+  let recommended = Budget.recommended () in
+  Printf.printf
+    "(chunked outer loop, per-domain workspaces; machine recommends %d domain%s —\n\
+    \ on a single core the sweep measures chunk-and-merge overhead, not speedup)\n\n"
+    recommended
+    (if recommended = 1 then "" else "s");
+  let domain_counts = List.init max_domains (fun q -> q + 1) in
+  let results = run_points ~seed ~scale ~reps ~domain_counts in
+  Report.write out
+    (Report.Obj
+       [
+         ("experiment", Report.Str "parallel_scaling");
+         ("seed", Report.Int seed);
+         ("scale", Report.Int scale);
+         ( "machine",
+           Report.Obj
+             [
+               ("recommended_domains", Report.Int recommended);
+               ("swept_domains", Report.Int max_domains);
+             ] );
+         ("kernels", Report.List (List.map (fun (n, ps) -> kernel_json n ps) results));
+       ])
+
+(* CI gate: tiny inputs, a 2-domain sweep, no JSON. Fails (exit 1) if
+   any chunked run diverges from the sequential one. *)
+let smoke () =
+  Harness.header "Parallel scaling smoke (2 domains, determinism gate)";
+  let results = run_points ~seed:2019 ~scale:64 ~reps:1 ~domain_counts:[ 1; 2 ] in
+  ignore results;
+  print_endline "parallel smoke OK: every chunked result bit-identical to sequential"

@@ -253,7 +253,7 @@ let protocol_help =
       "  tensor NAME FMT DIMS [density D] [seed N]   make a random tensor,";
       "         e.g.: tensor B ds 1000,1000 density 0.01";
       "  eval EXPR [; CLAUSE]...                     evaluate and wait;";
-      "         clauses: reorder A,B | precompute EXPR|VARS|NAME | auto";
+      "         clauses: reorder A,B | precompute EXPR|VARS|NAME | parallelize V | domains N | auto";
       "                  format NAME:FMT (result storage) | deadline MS";
       "  eval& EXPR [; CLAUSE]...                    evaluate asynchronously,";
       "         returns 'ok ticket ID'";
@@ -309,6 +309,7 @@ let build_request tensors line =
   | [] | "" :: _ -> fail_input "usage: eval EXPR [; CLAUSE]..."
   | expr :: clauses ->
       let deadline = ref None and directives = ref [] and fmt_clause = ref None in
+      let domains = ref None in
       List.iter
         (fun clause ->
           if clause <> "" then
@@ -331,6 +332,11 @@ let build_request tensors line =
                         }
                       :: !directives
                 | _ -> fail_input "malformed precompute %S (expected EXPR|VARS|NAME)" arg)
+            | "parallelize", arg -> (
+                match String.trim arg with
+                | "" -> fail_input "malformed parallelize (expected an index variable)"
+                | v -> directives := Service.Parallelize v :: !directives)
+            | "domains", arg -> domains := Some (int_of_string arg)
             | "deadline", arg -> deadline := Some (int_of_string arg)
             | "format", arg -> (
                 match String.index_opt arg ':' with
@@ -362,8 +368,8 @@ let build_request tensors line =
                   Option.map (fun t -> (name, t)) (Hashtbl.find_opt tensors name))
               scanned
           in
-          ( Service.request ~directives:(List.rev !directives) ?result_format ~expr
-              ~inputs (),
+          ( Service.request ~directives:(List.rev !directives) ?result_format
+              ?domains:!domains ~expr ~inputs (),
             !deadline ))
 
 let response_line = function

@@ -1,0 +1,54 @@
+(* Process-wide budget of extra domains (beyond the one running the
+   caller). Every component that spawns domains — the ParallelFor
+   executor, Parallel.run_dense's clamped path, the service worker
+   pool — draws permits from this one pot, so their combined live
+   domain count stays within what the hardware offers even when a
+   serve request itself runs a parallel kernel. *)
+
+type state = {
+  mutable capacity : int;  (* total permits *)
+  mutable available : int;  (* permits not currently held *)
+  mutable live : int;  (* permits currently held *)
+  mutable peak : int;  (* high-water mark of [live] *)
+}
+
+let s =
+  let c = max 0 (Domain.recommended_domain_count () - 1) in
+  { capacity = c; available = c; live = 0; peak = 0 }
+
+let m = Mutex.create ()
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let recommended () = Domain.recommended_domain_count ()
+
+let capacity () = locked (fun () -> s.capacity)
+
+let set_capacity n =
+  locked (fun () ->
+      let n = max 0 n in
+      let in_use = s.live in
+      s.capacity <- n;
+      s.available <- max 0 (n - in_use))
+
+let acquire want =
+  locked (fun () ->
+      let got = min (max 0 want) s.available in
+      s.available <- s.available - got;
+      s.live <- s.live + got;
+      if s.live > s.peak then s.peak <- s.live;
+      got)
+
+let release got =
+  if got < 0 then invalid_arg "Budget.release: negative permit count";
+  locked (fun () ->
+      s.live <- max 0 (s.live - got);
+      s.available <- min (s.capacity - s.live) (s.available + got) |> max 0)
+
+let live_extra () = locked (fun () -> s.live)
+
+let peak_extra () = locked (fun () -> s.peak)
+
+let reset_peak () = locked (fun () -> s.peak <- s.live)

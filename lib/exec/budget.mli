@@ -1,0 +1,42 @@
+(** Process-wide budget of extra domains.
+
+    OCaml 5 domains are expensive to oversubscribe: the runtime
+    recommends at most {!recommended} of them in total. Every component
+    that spawns domains — the {!Compile} ParallelFor executor,
+    {!Parallel.run_dense}'s clamped path and the {!Taco_service} worker
+    pool — acquires permits here before spawning and releases them
+    after joining, so their combined live count stays bounded even when
+    a serve request itself executes a parallel kernel.
+
+    A permit stands for one domain beyond the caller's own. The default
+    capacity is [recommended () - 1]. Acquisition is best-effort:
+    {!acquire} grants between [0] and [want] permits and never blocks —
+    a caller granted fewer permits runs the remaining work on its own
+    domain, which the deterministic chunk merge makes observationally
+    identical. *)
+
+(** [Domain.recommended_domain_count ()]. *)
+val recommended : unit -> int
+
+val capacity : unit -> int
+
+(** Resize the pot (test/bench hook: force real multi-domain execution
+    on small machines, or starve it to prove sequential degradation).
+    Permits already held stay held; the new capacity bounds future
+    grants. *)
+val set_capacity : int -> unit
+
+(** [acquire want] grants [min want available] permits (possibly 0). *)
+val acquire : int -> int
+
+(** Return permits granted by a previous {!acquire}. *)
+val release : int -> unit
+
+(** Permits currently held across the process. *)
+val live_extra : unit -> int
+
+(** High-water mark of {!live_extra} since the last {!reset_peak} —
+    the oversubscription witness asserted by the concurrency tests. *)
+val peak_extra : unit -> int
+
+val reset_peak : unit -> unit

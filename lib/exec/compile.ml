@@ -15,6 +15,10 @@ type env = {
   iarr : int array array;
   farr : float array array;
   barr : bool array array;
+  mutable par_domains : int;
+      (* Requested chunk count for ParallelFor regions in this run.
+         Determines the deterministic chunking, not the number of
+         domains actually spawned (that is Budget-limited). *)
 }
 
 type slot = { s_dtype : Imp.dtype; s_array : bool; s_index : int }
@@ -127,7 +131,7 @@ let assign_slots (k : Imp.kernel) =
   let rec scan = function
     | Imp.Decl (t, v, _) -> declare v t false
     | Imp.Alloc (t, v, _) -> declare v t true
-    | Imp.For (v, _, _, body) ->
+    | Imp.For (v, _, _, body) | Imp.ParallelFor (v, _, _, body, _) ->
         declare v Imp.Int false;
         List.iter scan body
     | Imp.While (_, body) -> List.iter scan body
@@ -550,7 +554,7 @@ let rec cstmt ctx (s : Imp.stmt) : env -> unit =
           fun env ->
             st.p_sorts <- st.p_sorts + 1;
             f env
-      | Imp.For _ | Imp.While _ | Imp.If _ | Imp.Comment _ -> f)
+      | Imp.For _ | Imp.ParallelFor _ | Imp.While _ | Imp.If _ | Imp.Comment _ -> f)
 
 and cstmt_base ctx (s : Imp.stmt) : env -> unit =
   match s with
@@ -764,6 +768,237 @@ and cstmt_base ctx (s : Imp.stmt) : env -> unit =
               Array.unsafe_set ints i x;
               cbody env
             done)
+  | Imp.ParallelFor (v, lo, hi, body, info) -> (
+      let i = (find_slot ctx v).s_index in
+      let clo = cint ctx lo and chi = cint ctx hi in
+      let cbody = seq (Array.of_list (List.map (cstmt ctx) body)) in
+      (* Resolve the merge metadata to slots up front so a malformed
+         annotation fails at compile time, profiled or not. *)
+      let array_slot what name =
+        let s = find_slot ctx name in
+        if not s.s_array then terror "parallel %s %s is not an array" what name;
+        (s.s_dtype, s.s_index)
+      in
+      let priv = List.map (array_slot "private") info.Imp.par_private in
+      let stage =
+        Option.map
+          (fun stg ->
+            let cs = find_slot ctx stg.Imp.pa_counter in
+            if cs.s_array || cs.s_dtype <> Imp.Int then
+              terror "parallel append counter %s is not an int scalar" stg.Imp.pa_counter;
+            let arrs = List.map (array_slot "staged array") stg.Imp.pa_arrays in
+            let pos =
+              Option.map
+                (fun p ->
+                  match array_slot "pos array" p with
+                  | Imp.Int, si -> si
+                  | _ -> terror "parallel pos array %s is not an int array" p)
+                stg.Imp.pa_pos
+            in
+            (cs.s_index, arrs, pos))
+          info.Imp.par_stage
+      in
+      match ctx.prof with
+      | Some st ->
+          (* Profiled closures bump one shared mutable counter record;
+             parallel chunks would race on it. Profiled compilations
+             therefore execute the loop sequentially — bit-identical by
+             the determinism contract. *)
+          fun env ->
+            let lo = clo env in
+            let hi = chi env in
+            if hi > lo then st.p_iters <- st.p_iters + (hi - lo);
+            let ints = env.ints in
+            for x = lo to hi - 1 do
+              Array.unsafe_set ints i x;
+              cbody env
+            done
+      | None ->
+          let copy_slot penv (t, si) =
+            match t with
+            | Imp.Int -> penv.iarr.(si) <- Array.copy penv.iarr.(si)
+            | Imp.Float -> penv.farr.(si) <- Array.copy penv.farr.(si)
+            | Imp.Bool -> penv.barr.(si) <- Array.copy penv.barr.(si)
+          in
+          fun env ->
+            let lo = clo env and hi = chi env in
+            let total = hi - lo in
+            let want = env.par_domains in
+            if want <= 1 || total <= 1 then begin
+              let ints = env.ints in
+              for x = lo to hi - 1 do
+                Array.unsafe_set ints i x;
+                cbody env
+              done
+            end
+            else begin
+              (* Deterministic chunking: [want] contiguous chunks of the
+                 iteration space, regardless of how many domains the
+                 budget actually grants. Every chunk starts from a
+                 private copy of the pre-loop environment — scalars and
+                 slot tables are copied wholesale (so in-body
+                 Alloc/Realloc stay private), the annotated private and
+                 staged arrays are deep-copied, and everything else
+                 shares storage: inputs are read-only and non-staged
+                 output writes are disjoint across chunks. *)
+              let nchunks = min want total in
+              let bounds = Array.init (nchunks + 1) (fun k -> lo + (total * k / nchunks)) in
+              let c0 = match stage with None -> 0 | Some (ci, _, _) -> env.ints.(ci) in
+              let mk_penv () =
+                let p =
+                  {
+                    ints = Array.copy env.ints;
+                    floats = Array.copy env.floats;
+                    bools = Array.copy env.bools;
+                    iarr = Array.copy env.iarr;
+                    farr = Array.copy env.farr;
+                    barr = Array.copy env.barr;
+                    par_domains = 1;
+                  }
+                in
+                List.iter (copy_slot p) priv;
+                (match stage with
+                | None -> ()
+                | Some (_, arrs, pos) ->
+                    List.iter (copy_slot p) arrs;
+                    Option.iter (fun pi -> p.iarr.(pi) <- Array.copy p.iarr.(pi)) pos);
+                p
+              in
+              let penvs = Array.init nchunks (fun _ -> mk_penv ()) in
+              let run_chunk d =
+                let p = penvs.(d) in
+                let ints = p.ints in
+                for x = bounds.(d) to bounds.(d + 1) - 1 do
+                  Array.unsafe_set ints i x;
+                  cbody p
+                done
+              in
+              (* Chunks run on 1 + however many extra domains the budget
+                 grants; chunk-to-domain placement cannot affect results
+                 (each chunk is self-contained until the merge). *)
+              let extra = Budget.acquire (nchunks - 1) in
+              Fun.protect
+                ~finally:(fun () -> Budget.release extra)
+                (fun () ->
+                  if extra = 0 then
+                    for d = 0 to nchunks - 1 do
+                      run_chunk d
+                    done
+                  else begin
+                    let groups = extra + 1 in
+                    let group g =
+                      let glo = nchunks * g / groups and ghi = nchunks * (g + 1) / groups in
+                      for d = glo to ghi - 1 do
+                        run_chunk d
+                      done
+                    in
+                    let workers =
+                      List.init extra (fun g -> Domain.spawn (fun () -> group (g + 1)))
+                    in
+                    group 0;
+                    List.iter Domain.join workers
+                  end);
+              (* Merge, in chunk order. Stage concatenation first (it
+                 reads the pre-loop arrays still referenced by [env]'s
+                 own tables), then scalars and tables from the last
+                 chunk (sequential semantics: the final environment is
+                 the one the last iteration leaves behind). *)
+              let merged = ref [] in
+              let tot = ref c0 in
+              (match stage with
+              | None -> ()
+              | Some (ci, arrs, pos) ->
+                  let counts = Array.init nchunks (fun d -> penvs.(d).ints.(ci) - c0) in
+                  let bases = Array.make (nchunks + 1) c0 in
+                  for d = 0 to nchunks - 1 do
+                    bases.(d + 1) <- bases.(d) + counts.(d)
+                  done;
+                  tot := bases.(nchunks);
+                  (* Concatenate a staged array: chunk [d] appended its
+                     entries at [c0..c0+counts d) of its private copy;
+                     they land at [bases d ..) of the merged array. The
+                     original pre-loop array still holds the [0, c0)
+                     prefix untouched (every chunk wrote only to its
+                     copy), so it can be reused when large enough. *)
+                  let blit_segments ~get ~make si =
+                    let orig = get env si in
+                    let dst =
+                      if Array.length orig >= !tot then orig
+                      else begin
+                        let grown = make (max !tot (2 * Array.length orig)) in
+                        Array.blit orig 0 grown 0 c0;
+                        grown
+                      end
+                    in
+                    for d = 0 to nchunks - 1 do
+                      if counts.(d) > 0 then
+                        Array.blit (get penvs.(d) si) c0 dst bases.(d) counts.(d)
+                    done;
+                    dst
+                  in
+                  List.iter
+                    (fun (t, si) ->
+                      match t with
+                      | Imp.Int ->
+                          let a =
+                            blit_segments ~get:(fun e k -> e.iarr.(k))
+                              ~make:(fun n -> Array.make n 0)
+                              si
+                          in
+                          merged := `I (si, a) :: !merged
+                      | Imp.Float ->
+                          let a =
+                            blit_segments ~get:(fun e k -> e.farr.(k))
+                              ~make:(fun n -> Array.make n 0.)
+                              si
+                          in
+                          merged := `F (si, a) :: !merged
+                      | Imp.Bool ->
+                          let a =
+                            blit_segments ~get:(fun e k -> e.barr.(k))
+                              ~make:(fun n -> Array.make n false)
+                              si
+                          in
+                          merged := `B (si, a) :: !merged)
+                    arrs;
+                  Option.iter
+                    (fun pi ->
+                      (* Each chunk closed its own rows' pos entries
+                         against its local counter (which started at
+                         [c0]); rebase them by the chunk's global start
+                         offset into the shared pre-loop array. *)
+                      let orig_pos = env.iarr.(pi) in
+                      for d = 0 to nchunks - 1 do
+                        let src = penvs.(d).iarr.(pi) in
+                        let delta = bases.(d) - c0 in
+                        for k = bounds.(d) + 1 to bounds.(d + 1) do
+                          orig_pos.(k) <- src.(k) + delta
+                        done
+                      done;
+                      merged := `I (pi, orig_pos) :: !merged)
+                    pos);
+              let last = penvs.(nchunks - 1) in
+              Array.blit last.ints 0 env.ints 0 (Array.length env.ints);
+              Array.blit last.floats 0 env.floats 0 (Array.length env.floats);
+              Array.blit last.bools 0 env.bools 0 (Array.length env.bools);
+              Array.blit last.iarr 0 env.iarr 0 (Array.length env.iarr);
+              Array.blit last.farr 0 env.farr 0 (Array.length env.farr);
+              Array.blit last.barr 0 env.barr 0 (Array.length env.barr);
+              List.iter
+                (function
+                  | `I (k, a) -> env.iarr.(k) <- a
+                  | `F (k, a) -> env.farr.(k) <- a
+                  | `B (k, a) -> env.barr.(k) <- a)
+                !merged;
+              (match stage with
+              | None -> ()
+              | Some (ci, _, _) -> env.ints.(ci) <- !tot);
+              if Trace.active () then begin
+                Trace.add "exec.par.regions" 1;
+                Trace.add "exec.par.chunks" nchunks;
+                Trace.add "exec.par.domains" (extra + 1)
+              end
+            end)
   | Imp.While (c, body) -> (
       let cc = cbool ctx c in
       let cbody = seq (Array.of_list (List.map (cstmt ctx) body)) in
@@ -1037,7 +1272,7 @@ let empty_int_array : int array = [||]
 
 let empty_float_array : float array = [||]
 
-let run_plain c ~args =
+let run_plain ?(domains = 1) c ~args =
   let env =
     {
       ints = Array.make (max 1 c.n_ints) 0;
@@ -1046,6 +1281,7 @@ let run_plain c ~args =
       iarr = Array.make (max 1 c.n_iarr) empty_int_array;
       farr = Array.make (max 1 c.n_farr) empty_float_array;
       barr = Array.make (max 1 c.n_barr) [||];
+      par_domains = max 1 domains;
     }
   in
   List.iter
@@ -1073,15 +1309,15 @@ let run_plain c ~args =
         | Imp.Float, false -> Afloat env.floats.(s.s_index)
         | Imp.Bool, true -> invalid_arg "Compile.run: bool array read-back unsupported")
 
-let run c ~args =
-  if not (Trace.active ()) then run_plain c ~args
+let run ?domains c ~args =
+  if not (Trace.active ()) then run_plain ?domains c ~args
   else
     let before = profile_stats c in
     Trace.with_span ~cat:"exec"
       ~args:[ ("kernel", c.c_kernel.Imp.k_name) ]
       "exec.run"
       (fun () ->
-        let reader = run_plain c ~args in
+        let reader = run_plain ?domains c ~args in
         (match (before, profile_stats c) with
         | Some b, Some a ->
             let d f = f a - f b in

@@ -128,5 +128,16 @@ val is_checked : compiled -> bool
 (** [run compiled ~args] binds parameters by name and executes. Returns a
     reader for variables left in the environment (used to retrieve arrays
     the kernel allocated, e.g. assembled indices). Missing or ill-typed
-    bindings raise [Invalid_argument]. *)
-val run : compiled -> args:(string * arg) list -> (string -> arg)
+    bindings raise [Invalid_argument].
+
+    [?domains] (default 1) sets the chunk count for
+    {!Taco_lower.Imp.ParallelFor} regions: the parallel loop's iteration
+    space splits into that many contiguous chunks, each run against a
+    private copy of the environment and merged back in chunk order.
+    Results are bit-identical for every [domains] value — the chunk
+    count fixes the merge, while how many OCaml domains actually run
+    chunks is decided per region by {!Budget.acquire} (degrading to the
+    calling domain when the pot is empty). Kernels compiled with
+    [~profile:true] execute parallel regions sequentially (the shared
+    profile counters would race), again with identical results. *)
+val run : ?domains:int -> compiled -> args:(string * arg) list -> (string -> arg)

@@ -57,12 +57,12 @@ let input_args t inputs =
             (Printf.sprintf "Kernel: no binding for input tensor %s" (Tensor_var.name tv)))
     t.info.Lower.inputs
 
-let run_compute t ~inputs ~output =
+let run_compute ?domains t ~inputs ~output =
   (match t.info.Lower.mode with
   | Lower.Compute -> ()
   | Lower.Assemble _ -> invalid_arg "Kernel.run_compute: kernel is an assembly kernel");
   let args = tensor_args t.info.Lower.result output @ input_args t inputs in
-  ignore (Compile.run t.compiled ~args : string -> Compile.arg)
+  ignore (Compile.run ?domains t.compiled ~args : string -> Compile.arg)
 
 (* Dimension-only arguments for an assembled result. *)
 let result_dim_args tv dims =
@@ -70,7 +70,7 @@ let result_dim_args tv dims =
   List.init (Tensor_var.order tv) (fun l ->
       (Lower.dimension_var tv l, Compile.Aint dims.(F.mode_of_level fmt l)))
 
-let run_assemble t ~inputs ~dims =
+let run_assemble ?domains t ~inputs ~dims =
   let emit_values, sorted =
     match t.info.Lower.mode with
     | Lower.Assemble { emit_values; sorted } -> (emit_values, sorted)
@@ -84,12 +84,12 @@ let run_assemble t ~inputs ~dims =
     (* Dense results have nothing to assemble; behave like compute. *)
     let output = Tensor.zero dims fmt in
     let args = tensor_args result output @ input_args t inputs in
-    ignore (Compile.run t.compiled ~args : string -> Compile.arg);
+    ignore (Compile.run ?domains t.compiled ~args : string -> Compile.arg);
     output
   end
   else begin
     let args = result_dim_args result dims @ input_args t inputs in
-    let read = Compile.run t.compiled ~args in
+    let read = Compile.run ?domains t.compiled ~args in
     (* Locate the single compressed level. *)
     let l =
       let rec go l =
@@ -140,22 +140,22 @@ let run_assemble t ~inputs ~dims =
     Tensor.of_parts ~dims ~format:fmt ~levels ~vals
   end
 
-let run_assemble_raw t ~inputs ~dims =
+let run_assemble_raw ?domains t ~inputs ~dims =
   (match t.info.Lower.mode with
   | Lower.Assemble _ -> ()
   | Lower.Compute -> invalid_arg "Kernel.run_assemble_raw: kernel is a compute kernel");
   let result = t.info.Lower.result in
   if F.is_all_dense (Tensor_var.format result) then
-    ignore (run_assemble t ~inputs ~dims : Tensor.t)
+    ignore (run_assemble ?domains t ~inputs ~dims : Tensor.t)
   else begin
     let args = result_dim_args result dims @ input_args t inputs in
-    ignore (Compile.run t.compiled ~args : string -> Compile.arg)
+    ignore (Compile.run ?domains t.compiled ~args : string -> Compile.arg)
   end
 
-let run_dense t ~inputs ~dims =
+let run_dense ?domains t ~inputs ~dims =
   let result = t.info.Lower.result in
   if not (F.is_all_dense (Tensor_var.format result)) then
     invalid_arg "Kernel.run_dense: result is not dense";
   let output = Tensor.zero dims (Tensor_var.format result) in
-  run_compute t ~inputs ~output;
+  run_compute ?domains t ~inputs ~output;
   output

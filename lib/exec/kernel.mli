@@ -41,9 +41,14 @@ val tensor_args : Tensor_var.t -> Tensor.t -> (string * Compile.arg) list
 (** [run_compute t ~inputs ~output] executes a [Compute]-mode kernel.
     [output] must be pre-assembled (its index structure covers the
     result's nonzeros); its value array is overwritten in place. Raises
-    [Invalid_argument] on arity/format mismatches. *)
+    [Invalid_argument] on arity/format mismatches.
+
+    On every run entry point, [?domains] (default 1) is the chunk count
+    for parallelized kernels — see {!Compile.run}. Results are
+    bit-identical for every value; kernels without a ParallelFor region
+    ignore it. *)
 val run_compute :
-  t -> inputs:(Tensor_var.t * Tensor.t) list -> output:Tensor.t -> unit
+  ?domains:int -> t -> inputs:(Tensor_var.t * Tensor.t) list -> output:Tensor.t -> unit
 
 (** [run_assemble t ~inputs ~dims] executes an [Assemble]-mode kernel and
     builds the result tensor from the assembled arrays. With
@@ -51,15 +56,15 @@ val run_compute :
     structure and zero values (the symbolic/numeric split common in
     numerical code, paper §VI). *)
 val run_assemble :
-  t -> inputs:(Tensor_var.t * Tensor.t) list -> dims:int array -> Tensor.t
+  ?domains:int -> t -> inputs:(Tensor_var.t * Tensor.t) list -> dims:int array -> Tensor.t
 
 (** Execute an [Assemble]-mode kernel without reading back or wrapping
     the result (no trimming, no sorting of unsorted rows): the timing
     entry point used by benchmarks that measure kernel execution alone. *)
 val run_assemble_raw :
-  t -> inputs:(Tensor_var.t * Tensor.t) list -> dims:int array -> unit
+  ?domains:int -> t -> inputs:(Tensor_var.t * Tensor.t) list -> dims:int array -> unit
 
 (** Convenience for compute kernels with dense results: allocates the
     output, runs, returns it. *)
 val run_dense :
-  t -> inputs:(Tensor_var.t * Tensor.t) list -> dims:int array -> Tensor.t
+  ?domains:int -> t -> inputs:(Tensor_var.t * Tensor.t) list -> dims:int array -> Tensor.t

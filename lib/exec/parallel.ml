@@ -3,11 +3,15 @@ module Tensor = Taco_tensor.Tensor
 
 let run_dense ?(clamp = true) kern ~inputs ~dims ~split ~domains =
   if domains <= 0 then invalid_arg "Parallel.run_dense: domains must be positive";
-  (* Oversubscribing domains only adds spawn/join overhead; cap at what
-     the runtime recommends for this machine. [~clamp:false] keeps the
+  (* Oversubscribing domains only adds spawn/join overhead; clamp against
+     the process-wide domain budget, so concurrent callers (and kernels
+     running their own ParallelFor loops) cannot together exceed what the
+     runtime recommends for this machine. [~clamp:false] keeps the
      requested count so correctness can be exercised at domain counts
      the hardware would otherwise collapse to 1. *)
-  let domains = if clamp then min domains (Domain.recommended_domain_count ()) else domains in
+  let permits = if clamp then Budget.acquire (domains - 1) else 0 in
+  let domains = if clamp then permits + 1 else domains in
+  Fun.protect ~finally:(fun () -> Budget.release permits) @@ fun () ->
   if domains = 1 then Kernel.run_dense kern ~inputs ~dims
   else begin
     let to_split =

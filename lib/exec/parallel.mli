@@ -15,11 +15,13 @@
 open Taco_ir.Var
 
 (** [run_dense t ~inputs ~dims ~split ~domains] — [split] names the input
-    tensor to partition. [domains] is clamped to
-    [Domain.recommended_domain_count ()] unless [~clamp:false] (used by
-    correctness tests to force real multi-domain execution on small
-    machines); empty partitions (a split tensor with fewer populated row
-    ranges than domains) are skipped rather than given a domain each.
+    tensor to partition. [domains] is clamped against the process-wide
+    {!Budget} (permits are acquired for the run and released after, so
+    concurrent callers share the machine's recommended domain count)
+    unless [~clamp:false] (used by correctness tests to force real
+    multi-domain execution on small machines); empty partitions (a split
+    tensor with fewer populated row ranges than domains) are skipped
+    rather than given a domain each.
     With one (effective) domain or partition this is exactly
     {!Kernel.run_dense}. Results are identical across domain counts:
     partitions cover disjoint level-0 coordinate ranges, so each output

@@ -1,13 +1,15 @@
 open Var
 
-type t = { stmt : Cin.stmt }
+type t = { stmt : Cin.stmt; par : Index_var.t option }
 
 let of_index_notation ?scalar_temps stmt =
-  Result.map (fun s -> { stmt = s }) (Concretize.run ?scalar_temps stmt)
+  Result.map (fun s -> { stmt = s; par = None }) (Concretize.run ?scalar_temps stmt)
 
-let of_stmt stmt = { stmt }
+let of_stmt stmt = { stmt; par = None }
 
 let stmt t = t.stmt
+
+let parallel t = t.par
 
 (* Every transformation is bracketed by the concrete-index-notation
    verifier: a malformed input is reported before the transform touches
@@ -21,7 +23,7 @@ let checked_transform_body name f t =
       | Error _ as e -> e
       | Ok stmt' -> (
           match Cin.validate stmt' with
-          | Ok () -> Ok { stmt = stmt' }
+          | Ok () -> Ok { t with stmt = stmt' }
           | Error e ->
               Error
                 (Printf.sprintf "internal: %s produced a malformed statement: %s"
@@ -34,6 +36,60 @@ let checked_transform name f t =
       checked_transform_body name f t)
 
 let reorder v1 v2 t = checked_transform "reorder" (Reorder.reorder v1 v2) t
+
+let rec written_accesses = function
+  | Cin.Assignment { lhs; _ } -> [ lhs ]
+  | Cin.Forall (_, s) -> written_accesses s
+  | Cin.Where (c, p) -> written_accesses c @ written_accesses p
+  | Cin.Sequence (a, b) -> written_accesses a @ written_accesses b
+
+(* The paper's parallelize(i): run the iterations of the outermost loop
+   in parallel chunks. Legal only when chunks cannot interfere: [v] must
+   be the outermost forall, and every write to a non-workspace tensor
+   under it must be indexed by [v] (so distinct iterations touch
+   distinct output locations — sparse appends stay ordered because the
+   executor concatenates chunk-local staging buffers in chunk order).
+   A reduction into a shared output is reported here with the standard
+   remedy: precompute into a workspace first, which gives every chunk a
+   private accumulator. *)
+let parallelize v t =
+  Taco_support.Trace.with_span ~cat:"schedule" "schedule.parallelize" (fun () ->
+      match Cin.validate t.stmt with
+      | Error e ->
+          Error (Printf.sprintf "parallelize: input statement is malformed: %s" e)
+      | Ok () -> (
+          match t.stmt with
+          | Cin.Forall (w, body) when Index_var.equal w v -> (
+              let shared =
+                List.filter
+                  (fun (a : Cin.access) ->
+                    (not (Tensor_var.is_workspace a.tensor))
+                    && not (List.exists (Index_var.equal v) a.indices))
+                  (written_accesses body)
+              in
+              match shared with
+              | [] -> Ok { t with par = Some v }
+              | a :: _ ->
+                  Error
+                    (Printf.sprintf
+                       "cannot parallelize %s: iterations reduce into %s, which is \
+                        not indexed by %s, so parallel chunks would race on the \
+                        same locations; precompute into a workspace first"
+                       (Index_var.name v)
+                       (Tensor_var.name a.Cin.tensor)
+                       (Index_var.name v)))
+          | Cin.Forall (w, _) ->
+              Error
+                (Printf.sprintf
+                   "cannot parallelize %s: it is not the outermost loop (the \
+                    outermost forall binds %s); only the outermost forall can be \
+                    parallelized — reorder it outward first"
+                   (Index_var.name v) (Index_var.name w))
+          | Cin.Assignment _ | Cin.Where _ | Cin.Sequence _ ->
+              Error
+                (Printf.sprintf
+                   "cannot parallelize %s: the statement's outermost construct is \
+                    not a forall" (Index_var.name v))))
 
 let rec binds v = function
   | Cin.Assignment _ -> false

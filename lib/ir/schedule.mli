@@ -19,6 +19,24 @@ val stmt : t -> Cin.stmt
 (** The paper's [reorder(k, j)]: exchange two loop variables. *)
 val reorder : Index_var.t -> Index_var.t -> t -> (t, string) result
 
+(** [parallelize i]: mark the outermost loop for parallel execution.
+    The lowered kernel wraps that loop in {!Taco_lower.Imp.ParallelFor};
+    the executor splits its iterations into contiguous chunks with
+    per-chunk workspaces and staging buffers, merged deterministically —
+    results are bit-identical to sequential execution for every domain
+    count.
+
+    Fails when chunks could interfere: [i] must be the outermost forall
+    binder (reorder it outward first), and every non-workspace tensor
+    written under the loop must be indexed by [i]. A reduction into a
+    shared output is the classic illegal case; the fix is the workspace
+    transformation ({!precompute}), which gives each chunk a private
+    accumulator. *)
+val parallelize : Index_var.t -> t -> (t, string) result
+
+(** The index variable marked by {!parallelize}, if any. *)
+val parallel : t -> Index_var.t option
+
 (** The paper's [precompute(expr, {{old, consumer, producer}, …}, w)]:
     apply the workspace transformation over the [old] variables, then
     rename each [old] to [consumer] on the consumer side and [producer]

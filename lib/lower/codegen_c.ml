@@ -81,6 +81,27 @@ let rec stmt buf ind s =
       line "for (int32_t %s = %s; %s < %s; %s++) {" v (estr lo) v (estr hi) v;
       List.iter (stmt buf (ind + 1)) body;
       line "}"
+  | Imp.ParallelFor (v, lo, hi, body, info) ->
+      (* Annotation for inspection: the closure executor implements the
+         chunked schedule itself, but the C rendering shows what a system
+         compiler would be told. Private workspaces and ordered-append
+         staging are spelled out so the concatenation contract is
+         reviewable. *)
+      let privates =
+        match info.Imp.par_private with [] -> "" | ps -> " private(" ^ String.concat ", " ps ^ ")"
+      in
+      let stage =
+        match info.Imp.par_stage with
+        | None -> ""
+        | Some st ->
+            Printf.sprintf " // taco: ordered-append(%s: %s%s)" st.Imp.pa_counter
+              (String.concat ", " st.Imp.pa_arrays)
+              (match st.Imp.pa_pos with None -> "" | Some p -> "; pos " ^ p)
+      in
+      line "#pragma omp parallel for schedule(static)%s%s" privates stage;
+      line "for (int32_t %s = %s; %s < %s; %s++) {" v (estr lo) v (estr hi) v;
+      List.iter (stmt buf (ind + 1)) body;
+      line "}"
   | Imp.While (c, body) ->
       line "while (%s) {" (estr c);
       List.iter (stmt buf (ind + 1)) body;

@@ -27,6 +27,14 @@ type expr =
   | Ternary of expr * expr * expr
   | Round_single of expr
 
+type par_append = {
+  pa_counter : string;
+  pa_arrays : string list;
+  pa_pos : string option;
+}
+
+type par_info = { par_private : string list; par_stage : par_append option }
+
 type stmt =
   | Decl of dtype * string * expr
   | Assign of string * expr
@@ -36,6 +44,7 @@ type stmt =
   | Realloc of string * expr
   | Memset of string * expr
   | For of string * expr * expr * stmt list
+  | ParallelFor of string * expr * expr * stmt list * par_info
   | While of expr * stmt list
   | If of expr * stmt list * stmt list
   | Sort of string * expr * expr
@@ -98,7 +107,7 @@ let rec expr_vars = function
 
 let rec declared_stmt = function
   | Decl (_, v, _) | Alloc (_, v, _) -> [ v ]
-  | For (v, _, _, body) -> v :: declared body
+  | For (v, _, _, body) | ParallelFor (v, _, _, body, _) -> v :: declared body
   | While (_, body) -> declared body
   | If (_, t, e) -> declared t @ declared e
   | Assign _ | Store _ | Store_add _ | Realloc _ | Memset _ | Sort _ | Comment _ -> []
@@ -116,7 +125,8 @@ let rec stmt_nodes = function
   | Decl (_, _, e) | Assign (_, e) | Alloc (_, _, e) | Realloc (_, e) | Memset (_, e) ->
       1 + expr_nodes e
   | Store (_, i, v) | Store_add (_, i, v) | Sort (_, i, v) -> 1 + expr_nodes i + expr_nodes v
-  | For (_, lo, hi, body) -> 1 + expr_nodes lo + expr_nodes hi + stmts_nodes body
+  | For (_, lo, hi, body) | ParallelFor (_, lo, hi, body, _) ->
+      1 + expr_nodes lo + expr_nodes hi + stmts_nodes body
   | While (c, body) -> 1 + expr_nodes c + stmts_nodes body
   | If (c, t, e) -> 1 + expr_nodes c + stmts_nodes t + stmts_nodes e
   | Comment _ -> 1
@@ -168,6 +178,21 @@ let check kernel =
     | For (v, lo, hi, body) ->
         use_expr lo;
         use_expr hi;
+        declare v;
+        List.iter go_stmt body
+    | ParallelFor (v, lo, hi, body, info) ->
+        use_expr lo;
+        use_expr hi;
+        (* The merge metadata names arrays and counters that must already
+           exist at loop entry (workspaces and staging buffers are
+           allocated before the parallel region). *)
+        List.iter use_var info.par_private;
+        Option.iter
+          (fun st ->
+            use_var st.pa_counter;
+            List.iter use_var st.pa_arrays;
+            Option.iter use_var st.pa_pos)
+          info.par_stage;
         declare v;
         List.iter go_stmt body
     | While (c, body) ->
@@ -288,6 +313,22 @@ let validate kernel =
         expect Int hi "loop upper bound";
         declare v Int false;
         List.iter go_stmt body
+    | ParallelFor (v, lo, hi, body, info) ->
+        expect Int lo "parallel loop lower bound";
+        expect Int hi "parallel loop upper bound";
+        List.iter (fun a -> ignore (array a : dtype)) info.par_private;
+        Option.iter
+          (fun st ->
+            if scalar st.pa_counter <> Int then
+              problem "append counter %s is not an int scalar" st.pa_counter;
+            List.iter (fun a -> ignore (array a : dtype)) st.pa_arrays;
+            Option.iter
+              (fun p ->
+                if array p <> Int then problem "pos array %s is not an int array" p)
+              st.pa_pos)
+          info.par_stage;
+        declare v Int false;
+        List.iter go_stmt body
     | While (c, body) ->
         expect Bool c "while condition";
         List.iter go_stmt body
@@ -352,6 +393,11 @@ and pp_stmt_indent fmt n s =
   | For (v, lo, hi, body) ->
       Format.fprintf fmt "%sfor (%s = %a; %s < %a; %s++) {@." ind v pp_expr lo v
         pp_expr hi v;
+      List.iter (pp_stmt_indent fmt (n + 1)) body;
+      Format.fprintf fmt "%s}@." ind
+  | ParallelFor (v, lo, hi, body, _) ->
+      Format.fprintf fmt "%sparallel for (%s = %a; %s < %a; %s++) {@." ind v
+        pp_expr lo v pp_expr hi v;
       List.iter (pp_stmt_indent fmt (n + 1)) body;
       Format.fprintf fmt "%s}@." ind
   | While (c, body) ->

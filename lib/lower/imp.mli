@@ -37,6 +37,26 @@ type expr =
       (** Round a double to the nearest IEEE single (mixed-precision
           storage, paper §III). *)
 
+(** Merge metadata for the append stage of a parallel loop: each domain
+    appends into a private copy of the staging buffers starting at the
+    shared counter's pre-loop value; after the barrier the segments are
+    concatenated in chunk order. [pa_pos] names a CSR-style position
+    array whose entries for a chunk's rows are rebased by the chunk's
+    start offset. *)
+type par_append = {
+  pa_counter : string;  (** append counter scalar (e.g. [pA2]) *)
+  pa_arrays : string list;  (** appended arrays sharing the counter (crd, vals) *)
+  pa_pos : string option;  (** position array closed per iteration, if any *)
+}
+
+(** Execution metadata attached to a [ParallelFor]: which arrays each
+    domain must own privately (dense workspaces and their tracking
+    arrays), and the append stage to concatenate after the barrier.
+    Everything else is shared: inputs are read-only and non-staged
+    output writes are indexed by the loop variable, hence disjoint
+    across chunks. *)
+type par_info = { par_private : string list; par_stage : par_append option }
+
 type stmt =
   | Decl of dtype * string * expr
   | Assign of string * expr
@@ -46,6 +66,10 @@ type stmt =
   | Realloc of string * expr  (** grow array to a new capacity, keeping contents *)
   | Memset of string * expr  (** zero the first [n] elements *)
   | For of string * expr * expr * stmt list  (** [for (v = lo; v < hi; v++)] *)
+  | ParallelFor of string * expr * expr * stmt list * par_info
+      (** [For] whose iterations are split into contiguous chunks across
+          domains; results are bit-identical to the sequential loop for
+          every domain count (see {!Taco_exec.Compile}). *)
   | While of expr * stmt list
   | If of expr * stmt list * stmt list
   | Sort of string * expr * expr  (** sort the int array slice [lo, hi) *)

@@ -48,6 +48,9 @@ type state = {
   mutable counter_declared : bool;
   mutable pos_close : (string option * Imp.stmt) list;
       (* pos-finalize statements keyed by the parent loop variable *)
+  mutable append_parent : string option;
+      (* parent loop variable of the result's pos finalize, recorded when
+         the append state is created (drives the parallel pos merge) *)
   ranges : (string, Imp.expr) Hashtbl.t;
   ws_dims : (string, Imp.expr list) Hashtbl.t;
   mode : mode;
@@ -198,7 +201,7 @@ let result_compressed_level tv =
   in
   match go 0 [] with [] -> None | [ l ] -> Some l | _ :: _ :: _ -> Some (-2)
 
-let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ~mode stmt =
+let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ?parallel ~mode stmt =
   let build () =
     (match Cin.validate stmt with Ok () -> () | Error e -> fail "invalid statement: %s" e);
     let result =
@@ -258,6 +261,7 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ~mode stmt 
         has_seen = [];
         counter_declared = false;
         pos_close = [];
+        append_parent = None;
         ranges;
         ws_dims;
         mode;
@@ -462,6 +466,7 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ~mode stmt 
             let pv = var_at_level lhs_acc (l - 1) in
             (Some (Index_var.name pv), pos_at ctx lhs_acc (l - 1))
         in
+        st.append_parent <- parent_key;
         if not (List.exists (fun (k, _) -> k = parent_key) st.pos_close) then
           st.pos_close <-
             ( parent_key,
@@ -914,6 +919,154 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ~mode stmt 
     in
     let ctx0 = { bound = []; cpos = []; append = None; track = None; wlist = None } in
     let body = lower_stmt ctx0 stmt in
+    (* --- parallelization ------------------------------------------------ *)
+    (* Wrap the kernel-top loop that drives the parallelized index in
+       ParallelFor, annotated with what the executor must privatize per
+       chunk (workspace arrays) and merge in chunk order (the result's
+       append staging). Everything else is safe to share: inputs are
+       read-only and non-staged output writes are indexed by the
+       parallel variable, hence disjoint across chunks. *)
+    let body =
+      match parallel with
+      | None -> body
+      | Some pv ->
+          let vname = Index_var.name pv in
+          (* The driving loop either binds [vname] itself (dense loop) or
+             iterates positions and recovers the coordinate as its first
+             declaration (sparse operand-driven loop). *)
+          let drives = function
+            | Imp.For (x, _, _, inner) -> (
+                x = vname
+                ||
+                match inner with
+                | Imp.Decl (Imp.Int, d, _) :: _ -> d = vname
+                | _ -> false)
+            | _ -> false
+          in
+          let loop_var, loop_inner =
+            match List.filter drives body with
+            | [ Imp.For (x, _, _, inner) ] -> (x, inner)
+            | [] ->
+                fail
+                  "cannot parallelize %s: no kernel-top loop drives it (the \
+                   variable is merged by coiteration or nested under another \
+                   loop; reorder it outermost or apply precompute first)"
+                  vname
+            | _ -> fail "cannot parallelize %s: several kernel-top loops drive it" vname
+          in
+          let privates =
+            List.concat_map
+              (fun wname ->
+                if Hashtbl.mem st.ws_dims wname then
+                  (wname ^ "_vals")
+                  ::
+                  (if List.mem wname st.has_seen then [ seen_var wname; list_var wname ]
+                   else [])
+                else [])
+              st.allocated
+          in
+          let stage =
+            if not st.counter_declared then None
+            else begin
+              let l =
+                match result_compressed_level result with
+                | Some l when l >= 0 -> l
+                | Some _ | None -> fail "internal: append counter without compressed level"
+              in
+              let assemble, emit_values =
+                match st.mode with
+                | Compute -> (false, true)
+                | Assemble { emit_values; _ } -> (true, emit_values)
+              in
+              let arrays =
+                (if assemble then [ crd_var result l ] else [])
+                @ if emit_values then [ vals_var result ] else []
+              in
+              let pos =
+                match st.append_parent with
+                | None -> None
+                | Some pk when pk = vname ->
+                    (* Iteration [x] of the parallel loop finalizes
+                       pos[x+1] against the chunk-local counter; the
+                       merge rebases those entries by the chunk's global
+                       base. This only lines up when the loop variable is
+                       the pos parent coordinate itself. *)
+                    if loop_var <> vname then
+                      fail
+                        "cannot parallelize %s: the loop driving it iterates \
+                         operand positions while the result's pos array is \
+                         finalized per %s coordinate" vname vname
+                    else Some (pos_var result l)
+                | Some pk ->
+                    fail
+                      "cannot parallelize %s: the result's pos array is finalized \
+                       by the inner loop %s; only the pos parent loop can be \
+                       parallelized" vname pk
+              in
+              Some { Imp.pa_counter = append_counter_var result l; pa_arrays = arrays; pa_pos = pos }
+            end
+          in
+          (* A scalar declared before the loop and reassigned inside it
+             is loop-carried state: each chunk would start from the
+             pre-loop value rather than the value preceding iterations
+             left behind (e.g. the advancing position cursor of a sparse
+             operand scanned under a dense loop). The append counter is
+             merged explicitly, capacity counters only size chunk-private
+             reallocations, and workspace list sizes are reset at the top
+             of every iteration; any other carried scalar makes chunked
+             execution unsound, so reject it. *)
+          let rec assigned acc = function
+            | Imp.Assign (n, _) -> n :: acc
+            | Imp.Decl _ | Imp.Store _ | Imp.Store_add _ | Imp.Alloc _
+            | Imp.Realloc _ | Imp.Memset _ | Imp.Sort _ | Imp.Comment _ ->
+                acc
+            | Imp.For (_, _, _, b) | Imp.ParallelFor (_, _, _, b, _) | Imp.While (_, b) ->
+                List.fold_left assigned acc b
+            | Imp.If (_, a, b) -> List.fold_left assigned (List.fold_left assigned acc a) b
+          in
+          let body_assigns = List.fold_left assigned [] loop_inner in
+          let rec decls_before acc = function
+            | [] -> acc
+            | s :: _ when drives s -> acc
+            | Imp.Decl (_, n, _) :: rest -> decls_before (n :: acc) rest
+            | _ :: rest -> decls_before acc rest
+          in
+          let pre_scalars = decls_before [] body in
+          let carried_ok =
+            (match stage with
+            | Some s ->
+                s.Imp.pa_counter
+                :: (match result_compressed_level result with
+                   | Some l when l >= 0 -> [ crd_capacity_var result l ]
+                   | Some _ | None -> [])
+            | None -> [])
+            @ List.filter_map
+                (fun wname ->
+                  if Hashtbl.mem st.ws_dims wname && List.mem wname st.has_seen then
+                    Some (list_size_var wname)
+                  else None)
+                st.allocated
+          in
+          (match
+             List.find_opt
+               (fun n -> List.mem n pre_scalars && not (List.mem n carried_ok))
+               body_assigns
+           with
+          | Some n ->
+              fail
+                "cannot parallelize %s: the loop carries scalar state across \
+                 iterations (%s is declared before the loop and updated inside \
+                 it), so chunks cannot start independently" vname n
+          | None -> ());
+          List.map
+            (fun s ->
+              match s with
+              | Imp.For (x, lo, hi, inner) when drives s ->
+                  Imp.ParallelFor
+                    (x, lo, hi, inner, { Imp.par_private = privates; par_stage = stage })
+              | s -> s)
+            body
+    in
     (* Kernel prelude for the result. *)
     let result_prelude =
       if F.is_all_dense (Tensor_var.format result) then

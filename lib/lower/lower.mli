@@ -43,11 +43,23 @@ type kernel_info = {
     index notation towards): a dense loop [for v in 0..n) becomes
     [for v_o in 0..ceil(n/f)) for v_i in 0..f) { v = v_o*f + v_i; if (v < n) ... }].
     Only loops that lower densely can be strip-mined; a split on a
-    variable that drives sparse iteration is an error. *)
+    variable that drives sparse iteration is an error.
+
+    [parallel] marks one index variable for parallel execution: the
+    kernel-top loop driving it (a dense loop binding the variable, or a
+    sparse loop recovering its coordinate) is wrapped in
+    {!Imp.ParallelFor}, annotated with the workspace arrays each chunk
+    must privatize and the result's append staging (counter, crd/vals
+    arrays, pos) the executor concatenates in chunk order. Lowering
+    fails (["cannot parallelize …"]) when no kernel-top loop drives the
+    variable — it is merged by coiteration or nested inside another
+    loop — or when the result's pos array is not finalized against that
+    same loop. *)
 val lower :
   ?name:string ->
   ?splits:(Taco_ir.Var.Index_var.t * int) list ->
   ?single_precision:Tensor_var.t list ->
+  ?parallel:Taco_ir.Var.Index_var.t ->
   mode:mode ->
   Taco_ir.Cin.stmt ->
   (kernel_info, string) result

@@ -65,7 +65,8 @@ let kernel_env (k : kernel) : vkind SM.t =
   and go_stmt env = function
     | Decl (t, v, _) -> declare env v (Vscalar t)
     | Alloc (t, v, _) -> declare env v (Varray t)
-    | For (v, _, _, body) -> go_stmts (declare env v (Vscalar Int)) body
+    | For (v, _, _, body) | ParallelFor (v, _, _, body, _) ->
+        go_stmts (declare env v (Vscalar Int)) body
     | While (_, body) -> go_stmts env body
     | If (_, t, e) -> go_stmts (go_stmts env t) e
     | Assign _ | Store _ | Store_add _ | Realloc _ | Memset _ | Sort _ | Comment _ -> env
@@ -118,7 +119,8 @@ let has_div e = expr_has (function Binop (Div, _, _) -> true | _ -> false) e
 let assigned_scalars ss =
   let rec go acc = function
     | Decl (_, v, _) | Assign (v, _) -> SS.add v acc
-    | For (v, _, _, body) -> List.fold_left go (SS.add v acc) body
+    | For (v, _, _, body) | ParallelFor (v, _, _, body, _) ->
+        List.fold_left go (SS.add v acc) body
     | While (_, body) -> List.fold_left go acc body
     | If (_, t, e) -> List.fold_left go (List.fold_left go acc t) e
     | Store _ | Store_add _ | Alloc _ | Realloc _ | Memset _ | Sort _ | Comment _ -> acc
@@ -132,7 +134,8 @@ let mutated_arrays ss =
       ->
         SS.add a acc
     | Alloc (_, a, _) -> SS.add a acc
-    | For (_, _, _, body) | While (_, body) -> List.fold_left go acc body
+    | For (_, _, _, body) | ParallelFor (_, _, _, body, _) | While (_, body) ->
+        List.fold_left go acc body
     | If (_, t, e) -> List.fold_left go (List.fold_left go acc t) e
     | Decl _ | Assign _ | Comment _ -> acc
   in
@@ -145,7 +148,8 @@ let assign_targets ss =
   let rec go acc = function
     | Assign (v, _) -> SS.add v acc
     | Decl _ -> acc
-    | For (_, _, _, body) | While (_, body) -> List.fold_left go acc body
+    | For (_, _, _, body) | ParallelFor (_, _, _, body, _) | While (_, body) ->
+        List.fold_left go acc body
     | If (_, t, e) -> List.fold_left go (List.fold_left go acc t) e
     | Store _ | Store_add _ | Alloc _ | Realloc _ | Memset _ | Sort _ | Comment _ -> acc
   in
@@ -162,6 +166,8 @@ let map_stmt_exprs f =
     | Memset (a, n) -> Memset (a, f n)
     | Sort (a, lo, hi) -> Sort (a, f lo, f hi)
     | For (v, lo, hi, body) -> For (v, f lo, f hi, List.map go body)
+    | ParallelFor (v, lo, hi, body, info) ->
+        ParallelFor (v, f lo, f hi, List.map go body, info)
     | While (c, body) -> While (f c, List.map go body)
     | If (c, t, e) -> If (f c, List.map go t, List.map go e)
     | Comment _ as s -> s
@@ -386,6 +392,14 @@ and simp_stmt env subst s =
       let inner = kill_set (SS.add v (assigned_scalars body)) subst in
       let body', _ = simp_stmts env inner body in
       ([ For (v, lo', hi', body') ], inner)
+  | ParallelFor (v, lo, hi, body, info) ->
+      (* Same as [For]: entry bindings are valid inside (each domain's
+         private environment is a copy of the pre-loop state). *)
+      let lo' = simp_expr env subst lo in
+      let hi' = simp_expr env subst hi in
+      let inner = kill_set (SS.add v (assigned_scalars body)) subst in
+      let body', _ = simp_stmts env inner body in
+      ([ ParallelFor (v, lo', hi', body', info) ], inner)
 
 let simplify_pass k =
   let env = kernel_env k in
@@ -417,7 +431,7 @@ let memset_fusion_pass k =
             a <> v && not (SS.mem a n_names)
         | Alloc (_, x, _) -> x <> v && not (SS.mem x n_names)
         | Comment _ -> true
-        | For _ | While _ | If _ -> false
+        | For _ | ParallelFor _ | While _ | If _ -> false
       in
       let rec scan = function
         | Memset (v', m) :: rest when v' = v && m = n ->
@@ -431,6 +445,7 @@ let memset_fusion_pass k =
     go ss
   and fuse_stmt = function
     | For (v, lo, hi, body) -> For (v, lo, hi, fuse_list body)
+    | ParallelFor (v, lo, hi, body, info) -> ParallelFor (v, lo, hi, fuse_list body, info)
     | While (c, body) -> While (c, fuse_list body)
     | If (c, t, e) -> If (c, fuse_list t, fuse_list e)
     | s -> s
@@ -482,6 +497,7 @@ let while_to_for_pass k =
   let rec rw_list ss = List.concat_map rw_stmt ss
   and rw_stmt = function
     | For (v, lo, hi, body) -> [ For (v, lo, hi, rw_list body) ]
+    | ParallelFor (v, lo, hi, body, info) -> [ ParallelFor (v, lo, hi, rw_list body, info) ]
     | If (c, t, e) -> [ If (c, rw_list t, rw_list e) ]
     | While (c, body) -> (
         let body = rw_list body in
@@ -604,6 +620,7 @@ let branch_fusion_pass k =
   and rw_stmt = function
     | If (c, t, e) -> If (c, rw_list t, rw_list e)
     | For (v, lo, hi, body) -> For (v, lo, hi, rw_list body)
+    | ParallelFor (v, lo, hi, body, info) -> ParallelFor (v, lo, hi, rw_list body, info)
     | While (c, body) -> While (c, rw_list body)
     | s -> s
   and absorb s rest =
@@ -723,7 +740,7 @@ let cse_pass k =
         if SS.is_empty (SS.inter (assigned_scalars body) vars) then
           (count_expr e c + count_stmts e vars body, false)
         else (0, true)
-    | For (v, lo, hi, body) ->
+    | For (v, lo, hi, body) | ParallelFor (v, lo, hi, body, _) ->
         let n = count_expr e lo + count_expr e hi in
         if SS.is_empty (SS.inter (SS.add v (assigned_scalars body)) vars) then
           (n + count_stmts e vars body, false)
@@ -758,7 +775,7 @@ let cse_pass k =
     | Store (_, i, x) | Store_add (_, i, x) -> [ i; x ]
     | Sort (_, lo, hi) -> [ lo; hi ]
     | If (c, _, _) -> [ c ]
-    | For (_, lo, hi, _) -> [ lo; hi ]
+    | For (_, lo, hi, _) | ParallelFor (_, lo, hi, _, _) -> [ lo; hi ]
     | While _ | Comment _ -> []
   in
   let rec go avail ss =
@@ -809,6 +826,10 @@ let cse_pass k =
         let lo' = rw avail lo and hi' = rw avail hi in
         let avail_in = kill (SS.add v (assigned_scalars body)) avail in
         (For (v, lo', hi', go avail_in body), avail_in)
+    | ParallelFor (v, lo, hi, body, info) ->
+        let lo' = rw avail lo and hi' = rw avail hi in
+        let avail_in = kill (SS.add v (assigned_scalars body)) avail in
+        (ParallelFor (v, lo', hi', go avail_in body, info), avail_in)
   in
   { k with k_body = go [] k.k_body }
 
@@ -885,6 +906,11 @@ let licm_pass k =
           e
     | While (c, body) -> collect_stmts ~spine:false ~asg ~muts (ce acc c) body
     | For (_, lo, hi, body) -> collect_stmts ~spine:false ~asg ~muts (ce (ce acc lo) hi) body
+    | ParallelFor (_, lo, hi, _, _) ->
+        (* The parallel region is an optimization barrier: expressions
+           inside it are never hoisted across it. Only the bounds, which
+           evaluate on the spine at entry, are candidates. *)
+        ce (ce acc lo) hi
   in
   let dedup cands =
     List.fold_left (fun acc e -> if List.mem e acc then acc else acc @ [ e ]) [] cands
@@ -929,6 +955,10 @@ let licm_pass k =
   and licm_stmt s =
     match s with
     | If (c, t, e) -> [ If (c, licm_stmts t, licm_stmts e) ]
+    | ParallelFor (v, lo, hi, body, info) ->
+        (* Inner loops still hoist within the parallel body, but nothing
+           crosses the parallel boundary itself. *)
+        [ ParallelFor (v, lo, hi, licm_stmts body, info) ]
     | For (v, lo, hi, body) ->
         let body = licm_stmts body in
         let asg = SS.add v (assigned_scalars body) in
@@ -1013,6 +1043,22 @@ and ue_stmt = function
       let ue_b, _ = ue_stmts body in
       ( SS.union (expr_names lo) (SS.union (expr_names hi) (SS.remove v ue_b)),
         SS.empty )
+  | ParallelFor (v, lo, hi, body, info) ->
+      let ue_b, _ = ue_stmts body in
+      let meta =
+        List.fold_left (fun acc a -> SS.add a acc)
+          (match info.par_stage with
+          | None -> SS.empty
+          | Some st ->
+              List.fold_left (fun acc a -> SS.add a acc)
+                (SS.add st.pa_counter
+                   (match st.pa_pos with None -> SS.empty | Some p -> SS.singleton p))
+                st.pa_arrays)
+          info.par_private
+      in
+      ( SS.union meta
+          (SS.union (expr_names lo) (SS.union (expr_names hi) (SS.remove v ue_b))),
+        SS.empty )
 
 let dce_pass k =
   let protected =
@@ -1080,6 +1126,29 @@ let dce_pass k =
           ([], live, later)
         end
         else ([ For (v, lo, hi, body2) ], re (re (SS.union live live_in) lo) hi, later_in)
+    | ParallelFor (v, lo, hi, body, info) ->
+        (* The merge reads the stage counter and arrays after the barrier,
+           so they stay live at loop exit regardless of downstream code. *)
+        let meta =
+          List.fold_left (fun acc a -> SS.add a acc)
+            (match info.par_stage with
+            | None -> SS.empty
+            | Some st ->
+                List.fold_left (fun acc a -> SS.add a acc)
+                  (SS.add st.pa_counter
+                     (match st.pa_pos with None -> SS.empty | Some p -> SS.singleton p))
+                  st.pa_arrays)
+            info.par_private
+        in
+        let live = SS.union live meta in
+        let later_b = SS.union later (assign_targets body) in
+        let out1 = SS.union live (SS.remove v (fst (ue_stmts body))) in
+        let body1, _, _ = go_list body ~live:out1 ~later:later_b in
+        let out2 = SS.union live (SS.remove v (fst (ue_stmts body1))) in
+        let body2, live_in, later_in = go_list body ~live:out2 ~later:later_b in
+        ( [ ParallelFor (v, lo, hi, body2, info) ],
+          re (re (SS.union live live_in) lo) hi,
+          later_in )
   in
   let body, _, _ = go_list k.k_body ~live:protected ~later:SS.empty in
   { k with k_body = body }

@@ -16,6 +16,7 @@ module Tensor_var = Taco_ir.Var.Tensor_var
 type directive =
   | Reorder of string * string
   | Precompute of { expr : string; over : string list; workspace : string }
+  | Parallelize of string
   | Auto
 
 type request = {
@@ -23,10 +24,11 @@ type request = {
   directives : directive list;
   inputs : (string * Tensor.t) list;
   result_format : Format.t option;
+  domains : int option;
 }
 
-let request ?(directives = []) ?result_format ~expr ~inputs () =
-  { expr; directives; inputs; result_format }
+let request ?(directives = []) ?result_format ?domains ~expr ~inputs () =
+  { expr; directives; inputs; result_format; domains }
 
 type response = {
   tensor : Tensor.t;
@@ -71,6 +73,7 @@ type t = {
   s_domains : int;
   mutable s_state : state;
   mutable s_workers : unit Domain.t list;
+  mutable s_permits : int;  (* domain-budget permits held for the pool *)
   mutable st_submitted : int;
   mutable st_rejected : int;
   mutable st_completed : int;
@@ -171,6 +174,7 @@ let apply_directive env sched d =
   | Reorder (a, b) ->
       Diag.of_msg ~stage:Diag.Reorder ~code:"E_REORDER"
         (Taco.Schedule.reorder (ivar a) (ivar b) sched)
+  | Parallelize v -> Taco.parallelize (ivar v) sched
   | Precompute { expr; over; workspace } -> (
       match P.parse_expr ~tensors:env expr with
       | Error e -> Error e
@@ -224,7 +228,12 @@ let pipeline job =
   let inputs =
     List.map (fun (n, tensor) -> (List.assoc n env, tensor)) req.inputs
   in
-  let* tensor = Taco.run compiled ~inputs in
+  (* [domains] is the requested chunk count; the kernel executor clamps
+     the domains it actually spawns against the process-wide budget, of
+     which this pool's workers already hold their share — so a parallel
+     kernel inside a busy pool degrades to (deterministically identical)
+     sequential chunks instead of oversubscribing the machine. *)
+  let* tensor = Taco.run ?domains:req.domains compiled ~inputs in
   Ok (tensor, (Taco.Kernel.info (Taco.kernel compiled)).Taco.Lower.kernel.Taco.Imp.k_name)
 
 (* ------------------------------------------------------------------ *)
@@ -362,6 +371,11 @@ let create ?(domains = 1) ?(queue_depth = 64) () =
       s_domains = domains;
       s_state = Running;
       s_workers = [];
+      (* Account the worker domains against the process-wide budget:
+         while the pool is up, kernels (here or elsewhere) see that many
+         fewer domains to spawn. Best-effort — a pool larger than the
+         machine still comes up, it just leaves no budget for nesting. *)
+      s_permits = Taco.Budget.acquire domains;
       st_submitted = 0;
       st_rejected = 0;
       st_completed = 0;
@@ -466,7 +480,9 @@ let shutdown t =
   Mutex.unlock t.s_mutex;
   if workers <> [] then begin
     List.iter Domain.join workers;
+    Taco.Budget.release t.s_permits;
     Mutex.lock t.s_mutex;
+    t.s_permits <- 0;
     t.s_state <- Stopped;
     Condition.broadcast t.s_stopped;
     Mutex.unlock t.s_mutex

@@ -48,6 +48,10 @@ type directive =
   | Reorder of string * string  (** exchange two index variables *)
   | Precompute of { expr : string; over : string list; workspace : string }
       (** precompute [expr] over [over] into a dense workspace *)
+  | Parallelize of string
+      (** run the named (outermost) index variable's loop in parallel
+          chunks; an illegal directive fails the request with
+          [E_PAR_ILLEGAL] (see {!Taco.parallelize}) *)
   | Auto  (** autoschedule instead of manual directives *)
 
 type request = {
@@ -57,13 +61,19 @@ type request = {
       (** operand tensors by name; formats are taken from the tensors *)
   result_format : Format.t option;
       (** storage format of the result (default: all-dense of its order) *)
+  domains : int option;
+      (** chunk count for a [Parallelize]d kernel (default 1). The
+          domains actually spawned are clamped against the process-wide
+          {!Taco.Budget}, of which this pool's workers hold their share;
+          results are bit-identical either way. *)
 }
 
-(** Convenience constructor; [directives] and [result_format] default to
-    none. *)
+(** Convenience constructor; [directives], [result_format] and [domains]
+    default to none. *)
 val request :
   ?directives:directive list ->
   ?result_format:Format.t ->
+  ?domains:int ->
   expr:string ->
   inputs:(string * Tensor.t) list ->
   unit ->
@@ -98,7 +108,10 @@ type stats = {
     deliberately not clamped to the machine's core count, so concurrency
     is exercisable anywhere; [queue_depth] (default 64) bounds the
     submission queue. Raises [Invalid_argument] on non-positive
-    values. *)
+    values. The pool acquires (best-effort) one {!Taco.Budget} permit per
+    worker for its lifetime, so parallel kernels executing inside a busy
+    pool cannot oversubscribe the machine; {!shutdown} returns the
+    permits. *)
 val create : ?domains:int -> ?queue_depth:int -> unit -> t
 
 (** Enqueue a request. Returns a ticket, or rejects immediately with

@@ -25,6 +25,7 @@ module Codegen_c = Taco_lower.Codegen_c
 module Compile = Taco_exec.Compile
 module Kernel = Taco_exec.Kernel
 module Parallel = Taco_exec.Parallel
+module Budget = Taco_exec.Budget
 module Diag = Taco_support.Diag
 module Trace = Taco_support.Trace
 module Obs = Taco_support.Obs
@@ -55,11 +56,29 @@ let prepare_res ?checked ?profile ?opt info =
         ~context:[ ("kernel", info.Lower.kernel.Imp.k_name) ]
         "%s" msg
 
+(* Parallelization failures carry their own diagnostic code so callers
+   (and the service) can distinguish an illegal directive from a plain
+   lowering rejection. *)
+let par_illegal msg =
+  let p = "cannot parallelize" in
+  String.length msg >= String.length p && String.sub msg 0 (String.length p) = p
+
+let parallelize v sched =
+  match Schedule.parallelize v sched with
+  | Ok s -> Ok s
+  | Error msg ->
+      Diag.error ~stage:Diag.Concretize ~code:"E_PAR_ILLEGAL"
+        ~context:[ ("index", Index_var.name v) ]
+        "%s" msg
+
 let compile ?(name = "kernel") ?mode ?splits ?checked ?profile ?opt sched =
   let stmt = Schedule.stmt sched in
   let mode = match mode with Some m -> m | None -> default_mode stmt in
-  match Diag.of_msg ~stage:Diag.Lower ~code:"E_LOWER" (Lower.lower ~name ?splits ~mode stmt) with
-  | Error e -> Error e
+  match Lower.lower ~name ?splits ?parallel:(Schedule.parallel sched) ~mode stmt with
+  | Error msg ->
+      Diag.error ~stage:Diag.Lower
+        ~code:(if par_illegal msg then "E_PAR_ILLEGAL" else "E_LOWER")
+        "%s" msg
   | Ok info -> (
       match prepare_res ?checked ?profile ?opt info with
       | Error e -> Error e
@@ -169,24 +188,25 @@ let run_exec c f =
       Diag.error ~stage:Diag.Execute ~code:"E_EXEC_BINDING" ~context:(exec_ctx c) "%s" e
   | exception Diag.Error d -> Error d
 
-let run c ~inputs =
+let run ?domains c ~inputs =
   let stmt = Schedule.stmt c.sched in
   match infer_result_dims stmt ~inputs with
   | Error e -> Error e
   | Ok dims -> (
       let info = Kernel.info c.kern in
       match info.Lower.mode with
-      | Lower.Assemble _ -> run_exec c (fun () -> Kernel.run_assemble c.kern ~inputs ~dims)
+      | Lower.Assemble _ ->
+          run_exec c (fun () -> Kernel.run_assemble ?domains c.kern ~inputs ~dims)
       | Lower.Compute ->
           if Format.is_all_dense (Tensor_var.format info.Lower.result) then
-            run_exec c (fun () -> Kernel.run_dense c.kern ~inputs ~dims)
+            run_exec c (fun () -> Kernel.run_dense ?domains c.kern ~inputs ~dims)
           else
             Diag.error ~stage:Diag.Execute ~code:"E_EXEC_MODE" ~context:(exec_ctx c)
               "compute-mode kernels with compressed results need a \
                pre-assembled output; use run_with_output")
 
-let run_with_output c ~inputs ~output =
-  run_exec c (fun () -> Kernel.run_compute c.kern ~inputs ~output)
+let run_with_output ?domains c ~inputs ~output =
+  run_exec c (fun () -> Kernel.run_compute ?domains c.kern ~inputs ~output)
 
 let auto_compile ?(name = "kernel") ?mode ?checked ?profile ?opt sched =
   let stmt = Schedule.stmt sched in

@@ -32,6 +32,7 @@ module Codegen_c = Taco_lower.Codegen_c
 module Compile = Taco_exec.Compile
 module Kernel = Taco_exec.Kernel
 module Parallel = Taco_exec.Parallel
+module Budget = Taco_exec.Budget
 module Diag = Taco_support.Diag
 module Trace = Taco_support.Trace
 module Obs = Taco_support.Obs
@@ -74,6 +75,15 @@ val compile :
   Schedule.t ->
   (compiled, Diag.t) result
 
+(** {!Schedule.parallelize} with structured diagnostics: an illegal
+    directive (the variable is not the outermost forall, or iterations
+    reduce into an output location not indexed by it) is reported as a
+    stage-[Concretize] diagnostic with code [E_PAR_ILLEGAL] naming the
+    index. The lowering backstop in {!compile} uses the same code when
+    the marked loop turns out not to be parallelizable structurally
+    (e.g. it is a coiteration merge loop). *)
+val parallelize : Index_var.t -> Schedule.t -> (Schedule.t, Diag.t) result
+
 val kernel : compiled -> Kernel.t
 
 (** The (scheduled) concrete index notation behind a compiled statement. *)
@@ -87,14 +97,23 @@ val cin_string : compiled -> string
 
 (** [run compiled ~inputs] executes; result dimensions are inferred from
     the input tensors' dimensions. For compressed results the kernel must
-    have been compiled in an [Assemble] mode (the default). *)
-val run : compiled -> inputs:(Tensor_var.t * Tensor.t) list -> (Tensor.t, Diag.t) result
+    have been compiled in an [Assemble] mode (the default).
+
+    [?domains] (default 1) is the chunk count for kernels scheduled with
+    {!parallelize}; results are bit-identical for every value (see
+    {!Compile.run}). Kernels without a parallel loop ignore it. *)
+val run :
+  ?domains:int -> compiled -> inputs:(Tensor_var.t * Tensor.t) list -> (Tensor.t, Diag.t) result
 
 (** [run_with_output compiled ~inputs ~output] for [Compute]-mode kernels
     with pre-assembled sparse outputs; the output's values are written in
     place. *)
 val run_with_output :
-  compiled -> inputs:(Tensor_var.t * Tensor.t) list -> output:Tensor.t -> (unit, Diag.t) result
+  ?domains:int ->
+  compiled ->
+  inputs:(Tensor_var.t * Tensor.t) list ->
+  output:Tensor.t ->
+  (unit, Diag.t) result
 
 (** One-shot convenience: parse nothing, schedule nothing — concretize,
     compile and run an index notation statement. *)

@@ -1,8 +1,12 @@
 (* Golden-snapshot generator: prints the C rendering of one of the three
    paper kernels (SpGEMM, SpAdd, MTTKRP), before or after the optimizer
-   pipeline. test/dune diffs the output against committed snapshots so
-   IR changes — and what each optimizer pass does to the paper kernels —
-   stay reviewable as text diffs. Regenerate with `dune promote`. *)
+   pipeline, or parallelized over the outer index and optimized ([par]) —
+   the snapshot pins the `#pragma omp parallel for` annotation, the
+   ordered-append comment and the optimizer's refusal to move code across
+   the parallel boundary. test/dune diffs the output against committed
+   snapshots so IR changes — and what each optimizer pass does to the
+   paper kernels — stay reviewable as text diffs. Regenerate with
+   `dune promote`. *)
 
 open Taco
 
@@ -17,7 +21,7 @@ let vk = ivar "k"
 let vl = ivar "l"
 
 (* SpGEMM: A = B·C, all CSR, workspace transformation (paper Fig. 4). *)
-let spgemm_info () =
+let spgemm_info ?parallel () =
   let a = tensor "A" Format.csr in
   let b = tensor "B" Format.csr in
   let c = tensor "C" Format.csr in
@@ -29,25 +33,25 @@ let spgemm_info () =
   let e = Cin.Mul (Cin.Access (Cin.access b [ vi; vk ]), Cin.Access (Cin.access c [ vk; vj ])) in
   let sched = get (Schedule.precompute_simple ~expr:e ~over:[ vj ] ~workspace:w sched) in
   get
-    (Lower.lower ~name:"spgemm_ws"
+    (Lower.lower ~name:"spgemm_ws" ?parallel
        ~mode:(Lower.Assemble { emit_values = true; sorted = true })
        (Schedule.stmt sched))
 
 (* SpAdd: A = B + C, all CSR, two-way merge (paper Fig. 5a). *)
-let spadd_info () =
+let spadd_info ?parallel () =
   let a = tensor "A" Format.csr in
   let b = tensor "B" Format.csr in
   let c = tensor "C" Format.csr in
   let open Index_notation in
   let stmt = assign a [ vi; vj ] (Add (access b [ vi; vj ], access c [ vi; vj ])) in
   get
-    (Lower.lower ~name:"spadd_merge"
+    (Lower.lower ~name:"spadd_merge" ?parallel
        ~mode:(Lower.Assemble { emit_values = true; sorted = true })
        (Schedule.stmt (get (Schedule.of_index_notation stmt))))
 
 (* MTTKRP: A(i,j) = Σk Σl B(i,k,l)·C(l,j)·D(k,j), CSF operand, dense
    workspace over j (paper §VIII-C). *)
-let mttkrp_info () =
+let mttkrp_info ?parallel () =
   let a = tensor "A" Format.dense_matrix in
   let b = tensor "B" (Format.csf 3) in
   let c = tensor "C" Format.dense_matrix in
@@ -64,26 +68,28 @@ let mttkrp_info () =
   let w = workspace "w" Format.dense_vector in
   let e = Cin.Mul (Cin.Access (Cin.access b [ vi; vk; vl ]), Cin.Access (Cin.access c [ vl; vj ])) in
   let sched = get (Schedule.precompute_simple ~expr:e ~over:[ vj ] ~workspace:w sched) in
-  get (Lower.lower ~name:"mttkrp_ws" ~mode:Lower.Compute (Schedule.stmt sched))
+  get (Lower.lower ~name:"mttkrp_ws" ?parallel ~mode:Lower.Compute (Schedule.stmt sched))
 
 let () =
   let usage () =
-    prerr_endline "usage: golden_gen (spgemm|spadd|mttkrp) (unopt|opt)";
+    prerr_endline "usage: golden_gen (spgemm|spadd|mttkrp) (unopt|opt|par)";
     exit 2
   in
   if Array.length Sys.argv <> 3 then usage ();
+  let parallel = if Sys.argv.(2) = "par" then Some vi else None in
   let info =
     match Sys.argv.(1) with
-    | "spgemm" -> spgemm_info ()
-    | "spadd" -> spadd_info ()
-    | "mttkrp" -> mttkrp_info ()
+    | "spgemm" -> spgemm_info ?parallel ()
+    | "spadd" -> spadd_info ?parallel ()
+    | "mttkrp" -> mttkrp_info ?parallel ()
     | _ -> usage ()
   in
   let kern = info.Lower.kernel in
   let kern =
     match Sys.argv.(2) with
     | "unopt" -> kern
-    | "opt" -> ( match Opt.optimize kern with Ok k -> k | Error e -> failwith e)
+    | "opt" | "par" -> (
+        match Opt.optimize kern with Ok k -> k | Error e -> failwith e)
     | _ -> usage ()
   in
   print_string (Codegen_c.emit kern)

@@ -161,6 +161,44 @@ let test_parallel_empty_operand () =
   let ct = random_tensor 503 [| 6; 6 |] 1.0 F.dense_matrix in
   Alcotest.(check bool) "identical with empty operand" true (check_bit_identical bt ct)
 
+(* --- the domain budget bounds total live domains -------------------- *)
+
+module Budget = Taco_exec.Budget
+module Service = Taco_service.Service
+
+let test_budget_bounds_oversubscription () =
+  (* A worker pool holds one budget permit per worker; a parallel kernel
+     executing inside the pool can only acquire what is left, so the
+     process-wide count of extra domains never exceeds the capacity even
+     when a request asks for 8 chunks. *)
+  let old_cap = Budget.capacity () in
+  Fun.protect ~finally:(fun () -> Budget.set_capacity old_cap) @@ fun () ->
+  Budget.set_capacity 3;
+  Budget.reset_peak ();
+  let svc = Service.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+  Alcotest.(check int) "pool holds one permit per worker" 2 (Budget.live_extra ());
+  let bt = random_tensor 601 [| 16; 8 |] 0.4 F.csr in
+  let ct = random_tensor 602 [| 16; 8 |] 0.4 F.csr in
+  let req =
+    Service.request
+      ~directives:[ Service.Parallelize "i" ]
+      ~result_format:F.csr ~domains:8 ~expr:"A(i,j) = B(i,j) + C(i,j)"
+      ~inputs:[ ("B", bt); ("C", ct) ]
+      ()
+  in
+  (match Service.eval svc req with
+  | Error d ->
+      Alcotest.failf "parallel serve request failed: %s" (Taco_support.Diag.to_string d)
+  | Ok r ->
+      check_dense "parallel serve result"
+        (T.to_dense (Taco_kernels.Spadd.merge_add bt ct))
+        (T.to_dense r.Service.tensor));
+  Alcotest.(check bool) "total extra domains never exceeded the budget" true
+    (Budget.peak_extra () <= 3);
+  Service.shutdown svc;
+  Alcotest.(check int) "permits returned at shutdown" 0 (Budget.live_extra ())
+
 let () =
   Alcotest.run "concurrency"
     [
@@ -178,5 +216,10 @@ let () =
           Alcotest.test_case "domains exceed populated rows" `Quick
             test_parallel_more_domains_than_rows;
           Alcotest.test_case "all-empty split operand" `Quick test_parallel_empty_operand;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "worker pool + parallel kernel stay within budget" `Quick
+            test_budget_bounds_oversubscription;
         ] );
     ]

@@ -206,6 +206,9 @@ let acceptable_reject (d : Diag.t) =
 
 type outcome = Ran | Rejected
 
+(* Instances whose parallel differential leg actually executed. *)
+let par_ran = ref 0
+
 let run_one sc =
   let inst = templates.(sc.template mod Array.length templates) sc in
   (* Random inputs, each checked against the packing invariants. *)
@@ -306,6 +309,54 @@ let run_one sc =
                   "optimizer changed result bits at %d (%h vs %h) on %s"
                   idx x b_unopt.(idx) (Cin.to_string plain))
             b_opt;
+          (* Parallel differential leg: when the outermost loop accepts
+             the parallelize directive, the chunked executor must
+             reproduce the sequential result bit for bit — optimized and
+             unoptimized alike. Refusal (a reduction over the outer
+             variable, a coiteration merge loop) is legitimate; an
+             optimizer-dependent refusal or a divergent result is not. *)
+          (match Schedule.stmt (Taco.schedule_of c) with
+          | Cin.Forall (v, _) -> (
+              match Taco.parallelize v (Taco.schedule_of c) with
+              | Error _ -> ()
+              | Ok ps -> (
+                  let pcompile opt =
+                    match Taco.compile ~checked:true ~opt ps with
+                    | Ok pc -> Some pc
+                    | Error d when d.Diag.code = "E_PAR_ILLEGAL" -> None
+                    | Error d ->
+                        failf "parallelized schedule stopped compiling: %s"
+                          (Diag.to_string d)
+                  in
+                  let check_par what pc =
+                    match Taco.run ~domains:4 pc ~inputs with
+                    | Error d ->
+                        failf "parallel %s run failed: %s" what (Diag.to_string d)
+                    | Ok pr ->
+                        let pb = D.buffer (T.to_dense pr) in
+                        if Array.length pb <> Array.length b_opt then
+                          failf "parallel %s result differs in shape on %s" what
+                            (Cin.to_string plain)
+                        else
+                          Array.iteri
+                            (fun idx x ->
+                              if Int64.bits_of_float x <> Int64.bits_of_float b_opt.(idx)
+                              then
+                                failf
+                                  "parallel %s changed result bits at %d (%h vs %h) on %s"
+                                  what idx x b_opt.(idx) (Cin.to_string plain))
+                            pb
+                  in
+                  match (pcompile Taco.Opt.all, pcompile Taco.Opt.none) with
+                  | Some pc, Some pc_unopt ->
+                      incr par_ran;
+                      check_par "optimized" pc;
+                      check_par "unoptimized" pc_unopt
+                  | None, None -> ()
+                  | Some _, None | None, Some _ ->
+                      failf "the optimizer changed parallelizability on %s"
+                        (Cin.to_string plain)))
+          | _ -> ());
           Ran)
 
 (* ------------------------------------------------------------------ *)
@@ -349,6 +400,7 @@ let ran = ref 0
 
 let rejected = ref 0
 
+
 (* On failure, replay the failing scenario with tracing enabled and dump
    the Chrome trace next to the repro in the failure report, so the
    failing instance's pipeline (which transforms ran, which passes
@@ -391,7 +443,9 @@ let test_pipeline_fuzz =
    share of instances made it all the way through the pipeline rather
    than being rejected. *)
 let test_coverage () =
-  Printf.printf "fuzz campaign: %d instances ran end to end, %d rejected\n%!" !ran !rejected;
+  Printf.printf
+    "fuzz campaign: %d instances ran end to end (%d with a parallel leg), %d rejected\n%!"
+    !ran !par_ran !rejected;
   Alcotest.(check bool)
     (Printf.sprintf "campaign ran %d instances" count)
     true
