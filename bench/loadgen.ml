@@ -93,6 +93,8 @@ let make_workloads ~n ~density prng =
 (* Closed loop                                                         *)
 (* ------------------------------------------------------------------ *)
 
+type backoff = { bk_retries : int; bk_gave_up : int }
+
 type sweep = {
   sw_domains : int;
   sw_elapsed_s : float;
@@ -100,6 +102,7 @@ type sweep = {
   sw_lat_ms : float array;  (* sorted *)
   sw_stats : Service.stats;
   sw_cache : Compile.cache_stats;
+  sw_backoff : backoff;
   sw_nnz : (string * int) list;  (* result nnz per workload, for cross-checking *)
 }
 
@@ -108,19 +111,52 @@ let percentile sorted p =
   if n = 0 then 0.
   else sorted.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 |> max 0))
 
+(* Seeded jittered exponential backoff against E_SERVE_QUEUE_FULL: the
+   first retry honours the service's retry_after_ms hint when present,
+   later ones double a base delay with PRNG jitter so retriers spread
+   out deterministically under a fixed seed. *)
+let max_backoff_attempts = 8
+
+let backoff_sleep prng ~attempt ~hint_ms =
+  let base =
+    match (attempt, hint_ms) with
+    | 0, Some ms -> float_of_int ms /. 1000.
+    | _ -> 0.0005 *. float_of_int (1 lsl min attempt 10)
+  in
+  Unix.sleepf (base +. (Taco_support.Prng.float prng *. base))
+
+let retry_hint_ms d =
+  Option.bind
+    (List.assoc_opt "retry_after_ms" d.Diag.context)
+    int_of_string_opt
+
 (* Keep [window] requests outstanding; await in FIFO order (matching the
-   service's FIFO queue). Returns per-request latency (submit → resolve)
-   and the result nnz observed per workload. *)
-let run_closed_loop svc workloads ~total ~window =
+   service's FIFO queue). Returns per-request latency (submit → resolve),
+   the result nnz observed per workload, and the backoff counters. *)
+let run_closed_loop svc workloads ~total ~window ~prng =
   let lat_ms = Array.make total 0. in
   let nnz : (string, int) Hashtbl.t = Hashtbl.create 4 in
   let outstanding = Queue.create () in
+  let retries = ref 0 and gave_up = ref 0 in
   let submit i =
     let w = workloads.(i mod Array.length workloads) in
     let t = now_ns () in
-    match Service.submit svc w.w_request with
-    | Ok ticket -> Queue.push (w.w_name, t, ticket) outstanding
-    | Error d -> failf "loadgen: submit rejected unexpectedly: %s" (Diag.to_string d)
+    let rec go attempt =
+      match Service.submit svc w.w_request with
+      | Ok ticket -> Queue.push (w.w_name, t, ticket) outstanding
+      | Error d when d.Diag.code = "E_SERVE_QUEUE_FULL" ->
+          if attempt >= max_backoff_attempts then begin
+            incr gave_up;
+            failf "loadgen: gave up on %s after %d backoff attempts" w.w_name attempt
+          end
+          else begin
+            incr retries;
+            backoff_sleep prng ~attempt ~hint_ms:(retry_hint_ms d);
+            go (attempt + 1)
+          end
+      | Error d -> failf "loadgen: submit rejected unexpectedly: %s" (Diag.to_string d)
+    in
+    go 0
   in
   let t0 = now_ns () in
   let submitted = ref 0 and completed = ref 0 in
@@ -144,24 +180,35 @@ let run_closed_loop svc workloads ~total ~window =
     incr completed
   done;
   let elapsed_s = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9 in
-  (elapsed_s, lat_ms, Hashtbl.fold (fun k v acc -> (k, v) :: acc) nnz [])
+  ( elapsed_s,
+    lat_ms,
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) nnz [],
+    { bk_retries = !retries; bk_gave_up = !gave_up } )
 
 let run_sweep workloads ~domains ~total ~window =
-  (* Each sweep restarts the coalescing experiment from an empty cache. *)
+  (* Each sweep restarts the coalescing experiment from an empty cache,
+     and each gets its own fixed-seed PRNG so backoff jitter cannot leak
+     nondeterminism between sweeps. *)
   Compile.cache_clear ();
+  let prng = Taco_support.Prng.create (1000 + domains) in
   let svc = Service.create ~domains ~queue_depth:(max 64 window) () in
-  let elapsed_s, lat_ms, nnz = run_closed_loop svc workloads ~total ~window in
+  let elapsed_s, lat_ms, nnz, backoff = run_closed_loop svc workloads ~total ~window ~prng in
   Service.shutdown svc;
   let stats = Service.stats svc in
   let cache = Compile.cache_stats () in
   if stats.Service.completed <> total then
     failf "loadgen: %d/%d requests completed at %d domains" stats.Service.completed total
       domains;
-  if cache.Compile.misses <> Array.length workloads then
+  (* Shed jobs compile unoptimized — a second legitimate structure per
+     workload — so the exactly-one-build-per-structure assertion only
+     holds verbatim when nothing was shed. *)
+  let structures = Array.length workloads in
+  let max_builds = if stats.Service.shed = 0 then structures else 2 * structures in
+  if cache.Compile.misses > max_builds || cache.Compile.misses < structures then
     failf
       "loadgen: coalescing violated at %d domains: %d closure builds for %d distinct \
-       kernel structures"
-      domains cache.Compile.misses (Array.length workloads);
+       kernel structures (%d shed)"
+      domains cache.Compile.misses structures stats.Service.shed;
   Array.sort compare lat_ms;
   {
     sw_domains = domains;
@@ -170,6 +217,7 @@ let run_sweep workloads ~domains ~total ~window =
     sw_lat_ms = lat_ms;
     sw_stats = stats;
     sw_cache = cache;
+    sw_backoff = backoff;
     sw_nnz = List.sort compare nnz;
   }
 
@@ -212,6 +260,8 @@ let probe_backpressure workloads =
         if d.Diag.code <> "E_SERVE_QUEUE_FULL" then
           failf "loadgen: burst rejected with %s, expected E_SERVE_QUEUE_FULL"
             (Diag.to_string d);
+        if retry_hint_ms d = None then
+          failf "loadgen: queue-full rejection carries no retry_after_ms hint";
         incr rejections
   done;
   List.iter (fun t -> ignore (Service.await t)) !tickets;
@@ -224,6 +274,35 @@ let probe_backpressure workloads =
   expect_code "submit after shutdown" "E_SERVE_SHUTDOWN"
     (Service.submit svc workloads.(0).w_request);
   Printf.printf "probe backpressure: ok (rejected=%d)\n%!" !rejections
+
+(* A burst past a low shed mark must degrade (skip the optimizer) before
+   rejecting, and degraded results must match the optimized ones. *)
+let probe_shedding workloads =
+  let svc = Service.create ~domains:1 ~queue_depth:16 ~shed_queue:2 () in
+  let w = workloads.(0) in
+  let clean =
+    match Service.eval svc w.w_request with
+    | Ok r -> Tensor.nnz r.Service.tensor
+    | Error d -> failf "loadgen: shed probe warmup failed: %s" (Diag.to_string d)
+  in
+  let tickets = List.init 12 (fun _ -> Service.submit svc w.w_request) in
+  List.iter
+    (function
+      | Ok t -> (
+          match Service.await t with
+          | Ok r ->
+              if Tensor.nnz r.Service.tensor <> clean then
+                failf "loadgen: shed result nnz differs from optimized run"
+          | Error d -> failf "loadgen: shed probe request failed: %s" (Diag.to_string d))
+      | Error d -> failf "loadgen: shed probe rejected: %s" (Diag.to_string d))
+    tickets;
+  Service.shutdown svc;
+  let s = Service.stats svc in
+  if s.Service.shed < 1 then
+    failf "loadgen: burst of 12 into shed_queue=2 shed nothing (peak_queue=%d)"
+      s.Service.peak_queue;
+  Printf.printf "probe shedding: ok (shed=%d of %d)\n%!" s.Service.shed
+    s.Service.submitted
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -255,6 +334,18 @@ let sweep_json sw =
             ("peak_queue", Report.Int s.Service.peak_queue);
             ("total_wait_ms", Report.Float (Int64.to_float s.Service.total_wait_ns /. 1e6));
             ("total_run_ms", Report.Float (Int64.to_float s.Service.total_run_ns /. 1e6));
+            ("shed", Report.Int s.Service.shed);
+            ("crashed", Report.Int s.Service.crashed);
+            ("replaced", Report.Int s.Service.replaced);
+            ("quarantined", Report.Int s.Service.quarantined);
+            ("peak_workers", Report.Int s.Service.peak_workers);
+          ] );
+      ( "backoff",
+        Report.Obj
+          [
+            ("retries", Report.Int sw.sw_backoff.bk_retries);
+            ("gave_up", Report.Int sw.sw_backoff.bk_gave_up);
+            ("shed", Report.Int s.Service.shed);
           ] );
       ( "compile_cache",
         Report.Obj
@@ -349,7 +440,8 @@ let () =
   | [] -> failf "loadgen: no domain counts to sweep");
   if !smoke then begin
     probe_deadline workloads;
-    probe_backpressure workloads
+    probe_backpressure workloads;
+    probe_shedding workloads
   end;
   let speedup =
     match (sweeps, List.rev sweeps) with

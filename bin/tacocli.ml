@@ -258,7 +258,7 @@ let protocol_help =
       "  eval& EXPR [; CLAUSE]...                    evaluate asynchronously,";
       "         returns 'ok ticket ID'";
       "  wait ID                                     await an eval& ticket";
-      "  stats                                       service counters";
+      "  stats                                       service counters as one JSON line";
       "  quit                                        end this session";
       "  stop                                        (socket mode) stop the server";
     ]
@@ -415,14 +415,21 @@ let run_serve domains queue_depth socket trace_file =
             Hashtbl.remove tickets id;
             Some (response_line (Service.await t)))
     | "stats" ->
+        (* One JSON line, so scrapers and the fixture test can consume
+           it without a protocol parser. *)
         let s = Service.stats svc in
+        let c = Compile.cache_stats () in
         Some
           (Printf.sprintf
-             "ok stats submitted=%d rejected=%d completed=%d timed_out=%d failed=%d \
-              peak_queue=%d queue=%d domains=%d"
-             s.Service.submitted s.Service.rejected s.Service.completed s.Service.timed_out
-             s.Service.failed s.Service.peak_queue (Service.queue_length svc)
-             (Service.domains svc))
+             "{\"queue\":%d,\"domains\":%d,\"live_workers\":%d,\"peak_workers\":%d,\
+              \"submitted\":%d,\"completed\":%d,\"rejected\":%d,\"timed_out\":%d,\
+              \"failed\":%d,\"peak_queue\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\
+              \"shed\":%d,\"crashed\":%d,\"replaced\":%d,\"quarantined\":%d}"
+             (Service.queue_length svc) (Service.domains svc) s.Service.live_workers
+             s.Service.peak_workers s.Service.submitted s.Service.completed
+             s.Service.rejected s.Service.timed_out s.Service.failed s.Service.peak_queue
+             c.Compile.hits c.Compile.misses s.Service.shed s.Service.crashed
+             s.Service.replaced s.Service.quarantined)
     | "help" -> Some protocol_help
     | "quit" -> raise Exit
     | "stop" ->

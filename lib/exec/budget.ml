@@ -47,6 +47,17 @@ let release got =
       s.live <- max 0 (s.live - got);
       s.available <- min (s.capacity - s.live) (s.available + got) |> max 0)
 
+(* Byte budget for kernel-side allocations (workspaces, assembled
+   outputs, dense results). A plain ref, not mutex-guarded: the guard in
+   the executor reads it once per allocation, and a torn read can only
+   make one allocation use the old or the new limit — both of which were
+   valid limits. [max_int] means unlimited (the default). *)
+let mem_limit_bytes = ref max_int
+
+let set_mem_limit n = mem_limit_bytes := (if n <= 0 then max_int else n)
+
+let mem_limit () = !mem_limit_bytes
+
 let live_extra () = locked (fun () -> s.live)
 
 let peak_extra () = locked (fun () -> s.peak)

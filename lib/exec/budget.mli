@@ -32,6 +32,17 @@ val acquire : int -> int
 (** Return permits granted by a previous {!acquire}. *)
 val release : int -> unit
 
+(** [set_mem_limit bytes] bounds individual kernel-side allocations
+    (workspaces, reallocations, dense outputs): the executor rejects an
+    allocation whose estimated size exceeds the limit with a stage-
+    [Execute] diagnostic ([E_EXEC_MEM]) {e before} allocating, instead
+    of running the process out of memory. [bytes <= 0] removes the
+    limit (the default is unlimited). Process-wide. *)
+val set_mem_limit : int -> unit
+
+(** The current allocation limit in bytes ([max_int] when unlimited). *)
+val mem_limit : unit -> int
+
 (** Permits currently held across the process. *)
 val live_extra : unit -> int
 

@@ -1,6 +1,7 @@
 module Imp = Taco_lower.Imp
 module Diag = Taco_support.Diag
 module Trace = Taco_support.Trace
+module Fault = Taco_support.Faultinject
 
 type arg =
   | Aint of int
@@ -19,6 +20,10 @@ type env = {
       (* Requested chunk count for ParallelFor regions in this run.
          Determines the deterministic chunking, not the number of
          domains actually spawned (that is Budget-limited). *)
+  mutable deadline_ns : int64;
+      (* Cooperative-cancellation deadline on the Trace.now_ns clock;
+         [Int64.max_int] means none. Outermost loops poll it every 256
+         iterations and abort with E_EXEC_CANCELLED once it passes. *)
 }
 
 type slot = { s_dtype : Imp.dtype; s_array : bool; s_index : int }
@@ -87,6 +92,10 @@ type ctx = {
   checked : bool;
   kname : string;
   prof : prof option;
+  depth : int;
+      (* Loop-nesting depth at this statement. Only depth-0 loops carry
+         the deadline watchdog, keeping the poll out of inner hot loops
+         (an outermost loop iterates often enough to bound latency). *)
 }
 
 (* Raised by checked closures on an out-of-bounds array access. *)
@@ -100,6 +109,34 @@ let oob ~ctx ~var ~index ~len =
         ("length", string_of_int len);
       ]
     "array access out of bounds: %s[%d] with %d elements" var index len
+
+(* Raised by the cooperative watchdog when a run's deadline passes while
+   a kernel loop is still going. *)
+let cancelled ~kname =
+  Diag.fail ~stage:Diag.Execute ~code:"E_EXEC_CANCELLED"
+    ~context:[ ("kernel", kname) ]
+    "deadline expired: cancelled kernel %s mid-execution" kname
+
+(* Iterations between watchdog clock reads in guarded loops. *)
+let watchdog_mask = 255
+
+(* Pre-allocation memory guard: every executor allocation estimates its
+   footprint (8 bytes per element for int/float/bool slots alike — a
+   deliberate over-estimate for bools) and rejects with E_EXEC_MEM
+   before touching the allocator when it exceeds [Budget.mem_limit]. *)
+let check_alloc ~kname ~var elems =
+  let limit = Budget.mem_limit () in
+  if limit <> max_int && elems > limit / 8 then
+    Diag.fail ~stage:Diag.Execute ~code:"E_EXEC_MEM"
+      ~context:
+        [
+          ("kernel", kname);
+          ("variable", var);
+          ("bytes", string_of_int (elems * 8));
+          ("limit_bytes", string_of_int limit);
+        ]
+      "allocation of %d elements (%d bytes) for %s exceeds the memory budget (%d bytes)"
+      elems (elems * 8) var limit
 
 (* ------------------------------------------------------------------ *)
 (* Slot assignment                                                     *)
@@ -688,31 +725,44 @@ and cstmt_base ctx (s : Imp.stmt) : env -> unit =
   | Imp.Alloc (t, v, n) -> (
       let i = (find_slot ctx v).s_index in
       let cn = cint ctx n in
+      let kname = ctx.kname in
+      let size env =
+        let m = max 1 (cn env) in
+        Fault.hit ~stage:Diag.Execute "exec.alloc";
+        check_alloc ~kname ~var:v m;
+        m
+      in
       match t with
-      | Imp.Int -> fun env -> env.iarr.(i) <- Array.make (max 1 (cn env)) 0
-      | Imp.Float -> fun env -> env.farr.(i) <- Array.make (max 1 (cn env)) 0.
-      | Imp.Bool -> fun env -> env.barr.(i) <- Array.make (max 1 (cn env)) false)
+      | Imp.Int -> fun env -> env.iarr.(i) <- Array.make (size env) 0
+      | Imp.Float -> fun env -> env.farr.(i) <- Array.make (size env) 0.
+      | Imp.Bool -> fun env -> env.barr.(i) <- Array.make (size env) false)
   | Imp.Realloc (v, n) -> (
       let s = find_slot ctx v in
       let i = s.s_index in
       let cn = cint ctx n in
+      let kname = ctx.kname in
+      let size env old_len =
+        let m = max old_len (cn env) in
+        check_alloc ~kname ~var:v m;
+        m
+      in
       match s.s_dtype with
       | Imp.Int ->
           fun env ->
             let old = env.iarr.(i) in
-            let fresh = Array.make (max (Array.length old) (cn env)) 0 in
+            let fresh = Array.make (size env (Array.length old)) 0 in
             Array.blit old 0 fresh 0 (Array.length old);
             env.iarr.(i) <- fresh
       | Imp.Float ->
           fun env ->
             let old = env.farr.(i) in
-            let fresh = Array.make (max (Array.length old) (cn env)) 0. in
+            let fresh = Array.make (size env (Array.length old)) 0. in
             Array.blit old 0 fresh 0 (Array.length old);
             env.farr.(i) <- fresh
       | Imp.Bool ->
           fun env ->
             let old = env.barr.(i) in
-            let fresh = Array.make (max (Array.length old) (cn env)) false in
+            let fresh = Array.make (size env (Array.length old)) false in
             Array.blit old 0 fresh 0 (Array.length old);
             env.barr.(i) <- fresh)
   | Imp.Memset (v, n) -> (
@@ -746,32 +796,50 @@ and cstmt_base ctx (s : Imp.stmt) : env -> unit =
   | Imp.For (v, lo, hi, body) -> (
       let i = (find_slot ctx v).s_index in
       let clo = cint ctx lo and chi = cint ctx hi in
-      let cbody = seq (Array.of_list (List.map (cstmt ctx) body)) in
+      let bctx = { ctx with depth = ctx.depth + 1 } in
+      let cbody = seq (Array.of_list (List.map (cstmt bctx) body)) in
+      let kname = ctx.kname in
+      let guarded = ctx.depth = 0 in
       match ctx.prof with
       | None ->
           fun env ->
             let hi = chi env in
             let ints = env.ints in
-            (* The loop variable may be read but not written by the body, so
-               the native for counter can own the induction. *)
-            for x = clo env to hi - 1 do
-              Array.unsafe_set ints i x;
-              cbody env
-            done
+            let deadline = env.deadline_ns in
+            if guarded && deadline <> Int64.max_int then
+              for x = clo env to hi - 1 do
+                if x land watchdog_mask = 0 && Trace.now_ns () > deadline then
+                  cancelled ~kname;
+                Array.unsafe_set ints i x;
+                cbody env
+              done
+            else
+              (* The loop variable may be read but not written by the body, so
+                 the native for counter can own the induction. *)
+              for x = clo env to hi - 1 do
+                Array.unsafe_set ints i x;
+                cbody env
+              done
       | Some st ->
           fun env ->
             let lo = clo env in
             let hi = chi env in
             if hi > lo then st.p_iters <- st.p_iters + (hi - lo);
             let ints = env.ints in
+            let deadline = env.deadline_ns in
+            let guarded = guarded && deadline <> Int64.max_int in
             for x = lo to hi - 1 do
+              if guarded && x land watchdog_mask = 0 && Trace.now_ns () > deadline then
+                cancelled ~kname;
               Array.unsafe_set ints i x;
               cbody env
             done)
   | Imp.ParallelFor (v, lo, hi, body, info) -> (
       let i = (find_slot ctx v).s_index in
       let clo = cint ctx lo and chi = cint ctx hi in
-      let cbody = seq (Array.of_list (List.map (cstmt ctx) body)) in
+      let bctx = { ctx with depth = ctx.depth + 1 } in
+      let cbody = seq (Array.of_list (List.map (cstmt bctx) body)) in
+      let kname = ctx.kname in
       (* Resolve the merge metadata to slots up front so a malformed
          annotation fails at compile time, profiled or not. *)
       let array_slot what name =
@@ -809,7 +877,11 @@ and cstmt_base ctx (s : Imp.stmt) : env -> unit =
             let hi = chi env in
             if hi > lo then st.p_iters <- st.p_iters + (hi - lo);
             let ints = env.ints in
+            let deadline = env.deadline_ns in
+            let guarded = deadline <> Int64.max_int in
             for x = lo to hi - 1 do
+              if guarded && x land watchdog_mask = 0 && Trace.now_ns () > deadline then
+                cancelled ~kname;
               Array.unsafe_set ints i x;
               cbody env
             done
@@ -826,7 +898,11 @@ and cstmt_base ctx (s : Imp.stmt) : env -> unit =
             let want = env.par_domains in
             if want <= 1 || total <= 1 then begin
               let ints = env.ints in
+              let deadline = env.deadline_ns in
+              let guarded = deadline <> Int64.max_int in
               for x = lo to hi - 1 do
+                if guarded && x land watchdog_mask = 0 && Trace.now_ns () > deadline
+                then cancelled ~kname;
                 Array.unsafe_set ints i x;
                 cbody env
               done
@@ -854,6 +930,7 @@ and cstmt_base ctx (s : Imp.stmt) : env -> unit =
                     farr = Array.copy env.farr;
                     barr = Array.copy env.barr;
                     par_domains = 1;
+                    deadline_ns = env.deadline_ns;
                   }
                 in
                 List.iter (copy_slot p) priv;
@@ -866,9 +943,14 @@ and cstmt_base ctx (s : Imp.stmt) : env -> unit =
               in
               let penvs = Array.init nchunks (fun _ -> mk_penv ()) in
               let run_chunk d =
+                Fault.hit ~stage:Diag.Execute "par.chunk";
                 let p = penvs.(d) in
                 let ints = p.ints in
+                let deadline = p.deadline_ns in
+                let guarded = deadline <> Int64.max_int in
                 for x = bounds.(d) to bounds.(d + 1) - 1 do
+                  if guarded && x land watchdog_mask = 0 && Trace.now_ns () > deadline
+                  then cancelled ~kname;
                   Array.unsafe_set ints i x;
                   cbody p
                 done
@@ -895,8 +977,21 @@ and cstmt_base ctx (s : Imp.stmt) : env -> unit =
                     let workers =
                       List.init extra (fun g -> Domain.spawn (fun () -> group (g + 1)))
                     in
-                    group 0;
-                    List.iter Domain.join workers
+                    (* Join every worker even when one raises: a chunk
+                       failure (watchdog, injected fault, bounds) must
+                       not leak live domains or skew the Budget pot.
+                       The first failure wins; ours takes precedence
+                       since it fired first in program order. *)
+                    let own = (try group 0; None with e -> Some e) in
+                    let failed =
+                      List.fold_left
+                        (fun acc w ->
+                          match (try Domain.join w; None with e -> Some e) with
+                          | Some _ as e when acc = None -> e
+                          | _ -> acc)
+                        own workers
+                    in
+                    Option.iter raise failed
                   end);
               (* Merge, in chunk order. Stage concatenation first (it
                  reads the pre-loop arrays still referenced by [env]'s
@@ -1001,17 +1096,37 @@ and cstmt_base ctx (s : Imp.stmt) : env -> unit =
             end)
   | Imp.While (c, body) -> (
       let cc = cbool ctx c in
-      let cbody = seq (Array.of_list (List.map (cstmt ctx) body)) in
+      let bctx = { ctx with depth = ctx.depth + 1 } in
+      let cbody = seq (Array.of_list (List.map (cstmt bctx) body)) in
+      let kname = ctx.kname in
+      let guarded = ctx.depth = 0 in
       match ctx.prof with
       | None ->
           fun env ->
-            while cc env do
-              cbody env
-            done
+            if guarded && env.deadline_ns <> Int64.max_int then begin
+              let deadline = env.deadline_ns in
+              let n = ref 0 in
+              while cc env do
+                incr n;
+                if !n land watchdog_mask = 0 && Trace.now_ns () > deadline then
+                  cancelled ~kname;
+                cbody env
+              done
+            end
+            else
+              while cc env do
+                cbody env
+              done
       | Some st ->
           fun env ->
+            let deadline = env.deadline_ns in
+            let guarded = guarded && deadline <> Int64.max_int in
+            let n = ref 0 in
             while cc env do
               st.p_iters <- st.p_iters + 1;
+              incr n;
+              if guarded && !n land watchdog_mask = 0 && Trace.now_ns () > deadline then
+                cancelled ~kname;
               cbody env
             done)
   | Imp.If (c, t, []) ->
@@ -1050,7 +1165,7 @@ let build ~checked ~profile k =
   match
     let slots, counters = assign_slots k in
     let prof = if profile then Some (fresh_prof ()) else None in
-    let ctx = { slots; checked; kname = k.Imp.k_name; prof } in
+    let ctx = { slots; checked; kname = k.Imp.k_name; prof; depth = 0 } in
     let code = seq (Array.of_list (List.map (cstmt ctx) k.Imp.k_body)) in
     {
       c_kernel = k;
@@ -1161,6 +1276,8 @@ let rec evict_over_capacity dropped =
         evict_over_capacity (if present then dropped + 1 else dropped)
 
 let compile_inner ~checked ~profile ?opt ~cache k =
+  (* Before the cache lookup, so an armed rule fires on hits too. *)
+  Fault.hit ~stage:Diag.Compile "compile.build";
   let k =
     match Taco_lower.Opt.optimize ?config:opt k with
     | Ok k' -> k'
@@ -1272,7 +1389,7 @@ let empty_int_array : int array = [||]
 
 let empty_float_array : float array = [||]
 
-let run_plain ?(domains = 1) c ~args =
+let run_plain ?(domains = 1) ?(deadline_ns = Int64.max_int) c ~args =
   let env =
     {
       ints = Array.make (max 1 c.n_ints) 0;
@@ -1282,6 +1399,7 @@ let run_plain ?(domains = 1) c ~args =
       farr = Array.make (max 1 c.n_farr) empty_float_array;
       barr = Array.make (max 1 c.n_barr) [||];
       par_domains = max 1 domains;
+      deadline_ns;
     }
   in
   List.iter
@@ -1309,15 +1427,15 @@ let run_plain ?(domains = 1) c ~args =
         | Imp.Float, false -> Afloat env.floats.(s.s_index)
         | Imp.Bool, true -> invalid_arg "Compile.run: bool array read-back unsupported")
 
-let run ?domains c ~args =
-  if not (Trace.active ()) then run_plain ?domains c ~args
+let run ?domains ?deadline_ns c ~args =
+  if not (Trace.active ()) then run_plain ?domains ?deadline_ns c ~args
   else
     let before = profile_stats c in
     Trace.with_span ~cat:"exec"
       ~args:[ ("kernel", c.c_kernel.Imp.k_name) ]
       "exec.run"
       (fun () ->
-        let reader = run_plain ?domains c ~args in
+        let reader = run_plain ?domains ?deadline_ns c ~args in
         (match (before, profile_stats c) with
         | Some b, Some a ->
             let d f = f a - f b in

@@ -139,5 +139,23 @@ val is_checked : compiled -> bool
     chunks is decided per region by {!Budget.acquire} (degrading to the
     calling domain when the pot is empty). Kernels compiled with
     [~profile:true] execute parallel regions sequentially (the shared
-    profile counters would race), again with identical results. *)
-val run : ?domains:int -> compiled -> args:(string * arg) list -> (string -> arg)
+    profile counters would race), again with identical results.
+
+    [?deadline_ns] arms the cooperative watchdog: outermost loops (and
+    every ParallelFor chunk) compare the {!Taco_support.Trace.now_ns}
+    clock against it every 256 iterations and abort the run with a
+    stage-[Execute] [E_EXEC_CANCELLED] diagnostic once it passes — so a
+    deadline expiring mid-kernel stops the running work instead of only
+    being noticed afterwards. Omitted (or [Int64.max_int]) means no
+    watchdog and zero per-iteration overhead.
+
+    Allocations executed by the kernel (workspaces, growing reallocs)
+    are additionally guarded by {!Budget.set_mem_limit}: an allocation
+    whose 8-bytes-per-element estimate exceeds the budget raises
+    [E_EXEC_MEM] before allocating. *)
+val run :
+  ?domains:int ->
+  ?deadline_ns:int64 ->
+  compiled ->
+  args:(string * arg) list ->
+  (string -> arg)

@@ -57,12 +57,33 @@ let input_args t inputs =
             (Printf.sprintf "Kernel: no binding for input tensor %s" (Tensor_var.name tv)))
     t.info.Lower.inputs
 
-let run_compute ?domains t ~inputs ~output =
+(* Pre-allocation guard for outputs materialized by the wrapper itself
+   (dense results): reject before [Tensor.zero] when the value array
+   alone would blow the byte budget. *)
+let check_output_budget t dims =
+  let limit = Budget.mem_limit () in
+  if limit <> max_int then begin
+    let elems = Array.fold_left (fun acc d -> acc * max 1 d) 1 dims in
+    if elems > limit / 8 then
+      Taco_support.Diag.fail ~stage:Taco_support.Diag.Execute ~code:"E_EXEC_MEM"
+        ~context:
+          [
+            ("kernel", t.info.Lower.kernel.Taco_lower.Imp.k_name);
+            ("variable", "output");
+            ("bytes", string_of_int (elems * 8));
+            ("limit_bytes", string_of_int limit);
+          ]
+        "dense output of %d elements (%d bytes) exceeds the memory budget (%d bytes)"
+        elems (elems * 8) limit
+  end
+
+let run_compute ?domains ?deadline_ns t ~inputs ~output =
   (match t.info.Lower.mode with
   | Lower.Compute -> ()
   | Lower.Assemble _ -> invalid_arg "Kernel.run_compute: kernel is an assembly kernel");
   let args = tensor_args t.info.Lower.result output @ input_args t inputs in
-  ignore (Compile.run ?domains t.compiled ~args : string -> Compile.arg)
+  ignore (Compile.run ?domains ?deadline_ns t.compiled ~args : string -> Compile.arg);
+  Taco_support.Faultinject.corrupt "exec.result" (Tensor.vals output)
 
 (* Dimension-only arguments for an assembled result. *)
 let result_dim_args tv dims =
@@ -70,7 +91,7 @@ let result_dim_args tv dims =
   List.init (Tensor_var.order tv) (fun l ->
       (Lower.dimension_var tv l, Compile.Aint dims.(F.mode_of_level fmt l)))
 
-let run_assemble ?domains t ~inputs ~dims =
+let run_assemble ?domains ?deadline_ns t ~inputs ~dims =
   let emit_values, sorted =
     match t.info.Lower.mode with
     | Lower.Assemble { emit_values; sorted } -> (emit_values, sorted)
@@ -82,14 +103,16 @@ let run_assemble ?domains t ~inputs ~dims =
   if Array.length dims <> order then invalid_arg "Kernel.run_assemble: dims arity";
   if F.is_all_dense fmt then begin
     (* Dense results have nothing to assemble; behave like compute. *)
+    check_output_budget t dims;
     let output = Tensor.zero dims fmt in
     let args = tensor_args result output @ input_args t inputs in
-    ignore (Compile.run ?domains t.compiled ~args : string -> Compile.arg);
+    ignore (Compile.run ?domains ?deadline_ns t.compiled ~args : string -> Compile.arg);
+    Taco_support.Faultinject.corrupt "exec.result" (Tensor.vals output);
     output
   end
   else begin
     let args = result_dim_args result dims @ input_args t inputs in
-    let read = Compile.run ?domains t.compiled ~args in
+    let read = Compile.run ?domains ?deadline_ns t.compiled ~args in
     (* Locate the single compressed level. *)
     let l =
       let rec go l =
@@ -132,6 +155,7 @@ let run_assemble ?domains t ~inputs ~dims =
       for p = 0 to parent_size - 1 do
         Taco_support.Util.sort_paired crd vals pos.(p) pos.(p + 1)
       done;
+    Taco_support.Faultinject.corrupt "exec.result" vals;
     let levels =
       Array.init order (fun lvl ->
           if lvl = l then Tensor.Compressed_data { pos; crd }
@@ -140,22 +164,23 @@ let run_assemble ?domains t ~inputs ~dims =
     Tensor.of_parts ~dims ~format:fmt ~levels ~vals
   end
 
-let run_assemble_raw ?domains t ~inputs ~dims =
+let run_assemble_raw ?domains ?deadline_ns t ~inputs ~dims =
   (match t.info.Lower.mode with
   | Lower.Assemble _ -> ()
   | Lower.Compute -> invalid_arg "Kernel.run_assemble_raw: kernel is a compute kernel");
   let result = t.info.Lower.result in
   if F.is_all_dense (Tensor_var.format result) then
-    ignore (run_assemble ?domains t ~inputs ~dims : Tensor.t)
+    ignore (run_assemble ?domains ?deadline_ns t ~inputs ~dims : Tensor.t)
   else begin
     let args = result_dim_args result dims @ input_args t inputs in
-    ignore (Compile.run ?domains t.compiled ~args : string -> Compile.arg)
+    ignore (Compile.run ?domains ?deadline_ns t.compiled ~args : string -> Compile.arg)
   end
 
-let run_dense ?domains t ~inputs ~dims =
+let run_dense ?domains ?deadline_ns t ~inputs ~dims =
   let result = t.info.Lower.result in
   if not (F.is_all_dense (Tensor_var.format result)) then
     invalid_arg "Kernel.run_dense: result is not dense";
+  check_output_budget t dims;
   let output = Tensor.zero dims (Tensor_var.format result) in
-  run_compute ?domains t ~inputs ~output;
+  run_compute ?domains ?deadline_ns t ~inputs ~output;
   output

@@ -46,9 +46,17 @@ val tensor_args : Tensor_var.t -> Tensor.t -> (string * Compile.arg) list
     On every run entry point, [?domains] (default 1) is the chunk count
     for parallelized kernels — see {!Compile.run}. Results are
     bit-identical for every value; kernels without a ParallelFor region
-    ignore it. *)
+    ignore it. [?deadline_ns] arms the cooperative cancellation
+    watchdog ([E_EXEC_CANCELLED] once the clock passes it — see
+    {!Compile.run}); entry points that materialize a dense output also
+    pre-check it against {!Budget.set_mem_limit} ([E_EXEC_MEM]). *)
 val run_compute :
-  ?domains:int -> t -> inputs:(Tensor_var.t * Tensor.t) list -> output:Tensor.t -> unit
+  ?domains:int ->
+  ?deadline_ns:int64 ->
+  t ->
+  inputs:(Tensor_var.t * Tensor.t) list ->
+  output:Tensor.t ->
+  unit
 
 (** [run_assemble t ~inputs ~dims] executes an [Assemble]-mode kernel and
     builds the result tensor from the assembled arrays. With
@@ -56,15 +64,30 @@ val run_compute :
     structure and zero values (the symbolic/numeric split common in
     numerical code, paper §VI). *)
 val run_assemble :
-  ?domains:int -> t -> inputs:(Tensor_var.t * Tensor.t) list -> dims:int array -> Tensor.t
+  ?domains:int ->
+  ?deadline_ns:int64 ->
+  t ->
+  inputs:(Tensor_var.t * Tensor.t) list ->
+  dims:int array ->
+  Tensor.t
 
 (** Execute an [Assemble]-mode kernel without reading back or wrapping
     the result (no trimming, no sorting of unsorted rows): the timing
     entry point used by benchmarks that measure kernel execution alone. *)
 val run_assemble_raw :
-  ?domains:int -> t -> inputs:(Tensor_var.t * Tensor.t) list -> dims:int array -> unit
+  ?domains:int ->
+  ?deadline_ns:int64 ->
+  t ->
+  inputs:(Tensor_var.t * Tensor.t) list ->
+  dims:int array ->
+  unit
 
 (** Convenience for compute kernels with dense results: allocates the
     output, runs, returns it. *)
 val run_dense :
-  ?domains:int -> t -> inputs:(Tensor_var.t * Tensor.t) list -> dims:int array -> Tensor.t
+  ?domains:int ->
+  ?deadline_ns:int64 ->
+  t ->
+  inputs:(Tensor_var.t * Tensor.t) list ->
+  dims:int array ->
+  Tensor.t

@@ -34,6 +34,7 @@ let run_dense ?(clamp = true) kern ~inputs ~dims ~split ~domains =
         Kernel.run_dense kern ~inputs ~dims
     | [ only ] -> Kernel.run_dense kern ~inputs:((split, only) :: others) ~dims
     | parts ->
+        Taco_support.Faultinject.hit ~stage:Taco_support.Diag.Execute "par.spawn";
         let workers =
           List.map
             (fun part ->
@@ -41,7 +42,15 @@ let run_dense ?(clamp = true) kern ~inputs ~dims ~split ~domains =
                   Kernel.run_dense kern ~inputs:((split, part) :: others) ~dims))
             parts
         in
-        let results = List.map Domain.join workers in
+        (* Join every worker before propagating a failure: bailing on
+           the first raising join would leak the remaining domains (and
+           strand their Budget permits until process exit). *)
+        let outcomes =
+          List.map (fun w -> try Ok (Domain.join w) with e -> Error e) workers
+        in
+        let results =
+          List.map (function Ok r -> r | Error e -> raise e) outcomes
+        in
         (* Sum the dense partials (partitions touch disjoint output rows for
            row-major kernels, but addition is correct regardless). *)
         (match results with

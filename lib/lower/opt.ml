@@ -1201,6 +1201,7 @@ let optimize_stats ?(config = all) k =
             | (name, f) :: rest -> (
                 let nodes_before = node_count k in
                 fires := 0;
+                Taco_support.Faultinject.hit ~stage:Taco_support.Diag.Compile "opt.pass";
                 let t0 = Trace.now_ns () in
                 let k' = f k in
                 let dt = Int64.sub (Trace.now_ns ()) t0 in

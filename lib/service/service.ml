@@ -10,6 +10,7 @@ module Format = Taco_tensor.Format
 module Tensor = Taco_tensor.Tensor
 module Diag = Taco_support.Diag
 module Trace = Taco_support.Trace
+module Fault = Taco_support.Faultinject
 module P = Taco_frontend.Parser
 module Tensor_var = Taco_ir.Var.Tensor_var
 
@@ -49,6 +50,9 @@ type job = {
   j_deadline_ns : int64 option;  (* absolute, from the monotonic clock *)
   j_deadline_ms : int option;  (* as requested, for diagnostics *)
   j_ticket : ticket;
+  j_shed : bool;
+      (* Accepted past the shed high-water mark: serve it degraded
+         (optimizer skipped) to drain the backlog faster. *)
 }
 
 type state = Running | Draining | Stopped
@@ -62,6 +66,12 @@ type stats = {
   peak_queue : int;
   total_wait_ns : int64;
   total_run_ns : int64;
+  shed : int;
+  crashed : int;
+  replaced : int;
+  quarantined : int;
+  live_workers : int;
+  peak_workers : int;
 }
 
 type t = {
@@ -71,8 +81,12 @@ type t = {
   s_queue : job Queue.t;
   s_depth : int;
   s_domains : int;
+  s_shed_hwm : int;  (* queue length at which accepted jobs degrade *)
+  s_crashes : (string, int) Hashtbl.t;  (* request key -> workers killed *)
+  s_quarantine : (string, unit) Hashtbl.t;  (* poison-pill request keys *)
   mutable s_state : state;
   mutable s_workers : unit Domain.t list;
+  mutable s_live : int;  (* workers currently in their loop *)
   mutable s_permits : int;  (* domain-budget permits held for the pool *)
   mutable st_submitted : int;
   mutable st_rejected : int;
@@ -82,6 +96,11 @@ type t = {
   mutable st_peak_queue : int;
   mutable st_total_wait_ns : int64;
   mutable st_total_run_ns : int64;
+  mutable st_shed : int;
+  mutable st_crashed : int;
+  mutable st_replaced : int;
+  mutable st_quarantined : int;
+  mutable st_peak_workers : int;
 }
 
 let serve_error ?context code fmt = Diag.error ~stage:Diag.Serve ~code ?context fmt
@@ -193,7 +212,13 @@ let apply_directive env sched d =
               Diag.of_msg ~stage:Diag.Workspace ~code:"E_WORKSPACE"
                 (Taco.Schedule.precompute_simple ~expr:cexpr ~over ~workspace:w sched)))
 
+(* Identifies a request's structure (expression and directives, not the
+   bound tensors) for crash accounting: a structure that kills workers
+   keeps doing so however often it is resubmitted. *)
+let poison_key req = Digest.to_hex (Digest.string (Marshal.to_string (req.expr, req.directives) []))
+
 let pipeline job =
+  Fault.hit ~stage:Diag.Serve "serve.pipeline";
   let req = job.j_req in
   let ( let* ) = Result.bind in
   let* env, missing = build_env req in
@@ -217,14 +242,20 @@ let pipeline job =
       (Ok sched) req.directives
   in
   let name = "serve_" ^ result_name in
+  (* A shed job skips the optimizer pipeline: an unoptimized kernel
+     compiles faster and computes the bit-identical result, trading its
+     own run time for queue drain. *)
+  let opt = if job.j_shed then Some Taco.Opt.none else None in
+  if job.j_shed then Trace.add "serve.shed.degraded" 1;
   let* compiled =
     if List.mem Auto req.directives then
-      Result.map fst (Taco.auto_compile ~name sched)
-    else Taco.compile ~name sched
+      Result.map fst (Taco.auto_compile ~name ?opt sched)
+    else Taco.compile ~name ?opt sched
   in
   (* The deadline may have passed while compiling; do not burn a worker
      on executing a result nobody is waiting for. *)
   check_deadline job;
+  Fault.hit ~stage:Diag.Serve "serve.exec";
   let inputs =
     List.map (fun (n, tensor) -> (List.assoc n env, tensor)) req.inputs
   in
@@ -232,8 +263,18 @@ let pipeline job =
      the domains it actually spawns against the process-wide budget, of
      which this pool's workers already hold their share — so a parallel
      kernel inside a busy pool degrades to (deterministically identical)
-     sequential chunks instead of oversubscribing the machine. *)
-  let* tensor = Taco.run ?domains:req.domains compiled ~inputs in
+     sequential chunks instead of oversubscribing the machine. The
+     deadline is passed down so the executor's cooperative watchdog can
+     cancel a kernel still running when it expires. *)
+  let* tensor =
+    match
+      Taco.run ?domains:req.domains ?deadline_ns:job.j_deadline_ns compiled ~inputs
+    with
+    | Error d when d.Diag.code = "E_EXEC_CANCELLED" ->
+        (* The watchdog firing mid-kernel is this job's deadline. *)
+        Error (deadline_diag job)
+    | r -> r
+  in
   Ok (tensor, (Taco.Kernel.info (Taco.kernel compiled)).Taco.Lower.kernel.Taco.Imp.k_name)
 
 (* ------------------------------------------------------------------ *)
@@ -334,7 +375,7 @@ let process t job =
     finish t job ~wait_ns ~run_ns outcome
   end
 
-let rec worker t =
+let rec worker_loop t current =
   Mutex.lock t.s_mutex;
   let rec next () =
     if not (Queue.is_empty t.s_queue) then Some (Queue.pop t.s_queue)
@@ -350,17 +391,101 @@ let rec worker t =
   match job with
   | None -> ()
   | Some job ->
+      current := Some job;
+      (* The one fault site outside [process]'s catch-all: a Crash rule
+         here escapes the loop and kills the worker domain, exercising
+         the supervision path below. *)
+      Fault.hit ~stage:Diag.Serve "serve.worker";
       process t job;
-      worker t
+      current := None;
+      worker_loop t current
+
+(* A worker domain: runs the loop, and on an escaped exception reports
+   the death so the pool can replace it. [process] catches everything a
+   request can throw, so escapes are either injected faults or failures
+   of the serving machinery itself — both mean this domain is done. *)
+let rec spawn_worker t =
+  let current = ref None in
+  Domain.spawn (fun () ->
+      try worker_loop t current with exn -> handle_crash t current exn)
+
+and handle_crash t current exn =
+  Trace.add "serve.worker_crash" 1;
+  let victim = !current in
+  Mutex.lock t.s_mutex;
+  t.st_crashed <- t.st_crashed + 1;
+  t.s_live <- t.s_live - 1;
+  let poisoned =
+    match victim with
+    | None -> None
+    | Some job ->
+        let key = poison_key job.j_req in
+        let kills = 1 + Option.value ~default:0 (Hashtbl.find_opt t.s_crashes key) in
+        Hashtbl.replace t.s_crashes key kills;
+        if kills >= 2 then begin
+          (* Second worker killed by the same request structure: stop
+             retrying it, and pre-reject future submissions of it. *)
+          Hashtbl.replace t.s_quarantine key ();
+          t.st_quarantined <- t.st_quarantined + 1;
+          t.st_failed <- t.st_failed + 1;
+          Some (job, kills)
+        end
+        else if t.s_state = Running then begin
+          (* First strike: requeue for one more attempt (possibly on
+             another worker — the crash may have been the worker's). *)
+          Queue.push job t.s_queue;
+          Condition.signal t.s_nonempty;
+          None
+        end
+        else begin
+          (* No replacement is coming during drain; fail it rather than
+             strand the submitter on an unresolved ticket. *)
+          t.st_failed <- t.st_failed + 1;
+          Some (job, kills)
+        end
+  in
+  let replace = t.s_state = Running in
+  if replace then begin
+    let w = spawn_worker t in
+    t.s_workers <- w :: t.s_workers;
+    t.s_live <- t.s_live + 1;
+    t.st_replaced <- t.st_replaced + 1
+  end;
+  Mutex.unlock t.s_mutex;
+  if replace then Trace.add "serve.worker_replaced" 1;
+  match poisoned with
+  | None -> ()
+  | Some (job, kills) ->
+      let context =
+        [ ("workers_killed", string_of_int kills); ("exn", Printexc.to_string exn) ]
+      in
+      let diag =
+        if kills >= 2 then begin
+          Trace.add "serve.quarantined" 1;
+          Diag.make ~stage:Diag.Serve ~code:"E_SERVE_POISON" ~context
+            "request killed a worker domain; quarantined"
+        end
+        else
+          Diag.make ~stage:Diag.Serve ~code:"E_SERVE_INTERNAL" ~context
+            "worker domain died during shutdown"
+      in
+      resolve job.j_ticket (Error diag)
 
 (* ------------------------------------------------------------------ *)
 (* Public API                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(domains = 1) ?(queue_depth = 64) () =
+let create ?(domains = 1) ?(queue_depth = 64) ?shed_queue () =
   if domains < 1 || domains > 128 then
     invalid_arg "Service.create: domains must be in 1..128";
   if queue_depth < 1 then invalid_arg "Service.create: queue_depth must be positive";
+  let shed_hwm =
+    match shed_queue with
+    | None -> max 1 (3 * queue_depth / 4)
+    | Some n ->
+        if n < 1 then invalid_arg "Service.create: shed_queue must be positive";
+        n
+  in
   let t =
     {
       s_mutex = Mutex.create ();
@@ -369,8 +494,12 @@ let create ?(domains = 1) ?(queue_depth = 64) () =
       s_queue = Queue.create ();
       s_depth = queue_depth;
       s_domains = domains;
+      s_shed_hwm = shed_hwm;
+      s_crashes = Hashtbl.create 8;
+      s_quarantine = Hashtbl.create 8;
       s_state = Running;
       s_workers = [];
+      s_live = domains;
       (* Account the worker domains against the process-wide budget:
          while the pool is up, kernels (here or elsewhere) see that many
          fewer domains to spawn. Best-effort — a pool larger than the
@@ -384,9 +513,14 @@ let create ?(domains = 1) ?(queue_depth = 64) () =
       st_peak_queue = 0;
       st_total_wait_ns = 0L;
       st_total_run_ns = 0L;
+      st_shed = 0;
+      st_crashed = 0;
+      st_replaced = 0;
+      st_quarantined = 0;
+      st_peak_workers = domains;
     }
   in
-  t.s_workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker t));
+  t.s_workers <- List.init domains (fun _ -> spawn_worker t);
   t
 
 let submit t ?deadline_ms req =
@@ -394,7 +528,21 @@ let submit t ?deadline_ms req =
   Mutex.lock t.s_mutex;
   let verdict =
     if t.s_state <> Running then `Shutdown
-    else if Queue.length t.s_queue >= t.s_depth then `Full
+    else if
+      Hashtbl.length t.s_quarantine > 0
+      && Hashtbl.mem t.s_quarantine (poison_key req)
+    then `Poison
+    else if Queue.length t.s_queue >= t.s_depth then begin
+      (* Estimate when a slot should free up: the average job service
+         time scaled by how many jobs each live worker has ahead of it.
+         A hint, not a promise — good enough to spread retries. *)
+      let processed = t.st_completed + t.st_timed_out + t.st_failed in
+      let avg_ms =
+        if processed = 0 then 5
+        else max 1 (ms_of_ns (Int64.div t.st_total_run_ns (Int64.of_int processed)))
+      in
+      `Full (max 1 (avg_ms * Queue.length t.s_queue / max 1 t.s_live))
+    end
     else begin
       let ticket = fresh_ticket () in
       let deadline_ns =
@@ -402,6 +550,8 @@ let submit t ?deadline_ms req =
           (fun ms -> Int64.add enq_ns (Int64.mul (Int64.of_int (max 0 ms)) 1_000_000L))
           deadline_ms
       in
+      let shed = Queue.length t.s_queue >= t.s_shed_hwm in
+      if shed then t.st_shed <- t.st_shed + 1;
       Queue.push
         {
           j_req = req;
@@ -409,30 +559,39 @@ let submit t ?deadline_ms req =
           j_deadline_ns = deadline_ns;
           j_deadline_ms = deadline_ms;
           j_ticket = ticket;
+          j_shed = shed;
         }
         t.s_queue;
       t.st_submitted <- t.st_submitted + 1;
       t.st_peak_queue <- max t.st_peak_queue (Queue.length t.s_queue);
       Condition.signal t.s_nonempty;
-      `Accepted ticket
+      `Accepted (ticket, shed)
     end
   in
   (match verdict with
-  | `Shutdown | `Full -> t.st_rejected <- t.st_rejected + 1
+  | `Shutdown | `Full _ | `Poison -> t.st_rejected <- t.st_rejected + 1
   | `Accepted _ -> ());
   Mutex.unlock t.s_mutex;
   match verdict with
-  | `Accepted ticket ->
+  | `Accepted (ticket, shed) ->
       if Trace.enabled () then begin
         Trace.add "serve.submitted" 1;
-        Trace.add "serve.queue_depth" 1
+        Trace.add "serve.queue_depth" 1;
+        if shed then Trace.add "serve.shed" 1
       end;
       Ok ticket
-  | `Full ->
+  | `Full retry_after_ms ->
       Trace.add "serve.rejected" 1;
       serve_error "E_SERVE_QUEUE_FULL"
-        ~context:[ ("queue_depth", string_of_int t.s_depth) ]
+        ~context:
+          [
+            ("queue_depth", string_of_int t.s_depth);
+            ("retry_after_ms", string_of_int retry_after_ms);
+          ]
         "submission queue is full"
+  | `Poison ->
+      Trace.add "serve.rejected" 1;
+      serve_error "E_SERVE_POISON" "request structure is quarantined (killed workers)"
   | `Shutdown ->
       Trace.add "serve.rejected" 1;
       serve_error "E_SERVE_SHUTDOWN" "service is shut down"
@@ -452,6 +611,12 @@ let stats t =
       peak_queue = t.st_peak_queue;
       total_wait_ns = t.st_total_wait_ns;
       total_run_ns = t.st_total_run_ns;
+      shed = t.st_shed;
+      crashed = t.st_crashed;
+      replaced = t.st_replaced;
+      quarantined = t.st_quarantined;
+      live_workers = t.s_live;
+      peak_workers = t.st_peak_workers;
     }
   in
   Mutex.unlock t.s_mutex;
@@ -480,9 +645,23 @@ let shutdown t =
   Mutex.unlock t.s_mutex;
   if workers <> [] then begin
     List.iter Domain.join workers;
+    (* Replacements spawned after the drain snapshot joined the list
+       under the mutex; pick them up until none are left. *)
+    let rec drain_late () =
+      Mutex.lock t.s_mutex;
+      let late = t.s_workers in
+      t.s_workers <- [];
+      Mutex.unlock t.s_mutex;
+      if late <> [] then begin
+        List.iter Domain.join late;
+        drain_late ()
+      end
+    in
+    drain_late ();
     Taco.Budget.release t.s_permits;
     Mutex.lock t.s_mutex;
     t.s_permits <- 0;
+    t.s_live <- 0;
     t.s_state <- Stopped;
     Condition.broadcast t.s_stopped;
     Mutex.unlock t.s_mutex

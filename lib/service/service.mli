@@ -18,26 +18,44 @@
     Operational semantics:
     - {b Backpressure}: {!submit} rejects immediately with a stage-
       [Serve] diagnostic ([E_SERVE_QUEUE_FULL]) when the queue holds
-      [queue_depth] jobs, rather than growing without bound.
+      [queue_depth] jobs, rather than growing without bound. The
+      diagnostic's context carries a [retry_after_ms] hint estimating
+      when a slot should free up.
+    - {b Load shedding}: once the queue length crosses the shed
+      high-water mark ([shed_queue], default 3/4 of [queue_depth]),
+      requests are still accepted but served {e degraded}: the
+      optimizer pipeline is skipped, trading per-kernel run time for
+      faster queue drain. Results are bit-identical (the optimizer is
+      semantics-preserving); only latency differs. Shed counts surface
+      in {!stats} and the [serve.shed] trace counter.
     - {b Deadlines}: a request's optional [deadline_ms] bounds its time
-      in the system. It is checked when a worker dequeues the job and
-      again between compilation and execution; an expired request
-      completes with [E_SERVE_DEADLINE]. Kernel execution itself is not
-      interrupted (compiled closures are uninterruptible).
+      in the system. It is checked when a worker dequeues the job,
+      again between compilation and execution, and — via the executor's
+      cooperative watchdog — every few hundred iterations {e inside}
+      running kernel loops, so an expiry mid-kernel cancels the work.
+      An expired request completes with [E_SERVE_DEADLINE].
+    - {b Supervision}: a worker domain killed by an escaped exception
+      (only injected faults or serving-machinery bugs — request
+      failures are contained) is detected and replaced, and its job is
+      retried once. A request structure that kills two workers is a
+      poison pill: it resolves with [E_SERVE_POISON], its structure is
+      quarantined, and future submissions of it are rejected at
+      admission with the same code.
     - {b Shutdown}: {!shutdown} stops admission ([E_SERVE_SHUTDOWN]),
       lets workers drain every queued job, and joins all worker domains
-      before returning; every outstanding ticket is resolved and no
-      domains are left running.
+      (including any replacements) before returning; every outstanding
+      ticket is resolved and no domains are left running.
     - {b Failure containment}: pipeline failures (parse through
       execute) resolve the ticket with their own staged diagnostic;
-      unexpected exceptions resolve it with [E_SERVE_INTERNAL]. No
-      exception escapes a worker domain.
+      unexpected exceptions resolve it with [E_SERVE_INTERNAL].
 
     When tracing is enabled ({!Taco_support.Trace.enable}), the service
     records per-request [serve.wait] (queue time, retroactive) and
     [serve.exec] spans and maintains the counters [serve.submitted],
     [serve.rejected], [serve.timeout], [serve.completed],
-    [serve.failed] and the gauge [serve.queue_depth]. *)
+    [serve.failed], [serve.shed], [serve.shed.degraded],
+    [serve.worker_crash], [serve.worker_replaced], [serve.quarantined]
+    and the gauge [serve.queue_depth]. *)
 
 module Format = Taco_tensor.Format
 module Tensor = Taco_tensor.Tensor
@@ -101,6 +119,12 @@ type stats = {
   peak_queue : int;  (** high-water mark of the queue *)
   total_wait_ns : int64;  (** summed queue time of processed requests *)
   total_run_ns : int64;  (** summed processing time of processed requests *)
+  shed : int;  (** accepted past the shed mark, served unoptimized *)
+  crashed : int;  (** worker domains killed by escaped exceptions *)
+  replaced : int;  (** replacement workers spawned *)
+  quarantined : int;  (** request structures quarantined as poison *)
+  live_workers : int;  (** workers currently in their serving loop *)
+  peak_workers : int;  (** high-water mark of [live_workers] *)
 }
 
 (** [create ~domains ~queue_depth ()] spawns the worker pool. [domains]
@@ -111,12 +135,17 @@ type stats = {
     values. The pool acquires (best-effort) one {!Taco.Budget} permit per
     worker for its lifetime, so parallel kernels executing inside a busy
     pool cannot oversubscribe the machine; {!shutdown} returns the
-    permits. *)
-val create : ?domains:int -> ?queue_depth:int -> unit -> t
+    permits.
+
+    [shed_queue] sets the queue length at which accepted requests are
+    served degraded (see {e Load shedding} above); default
+    [3 * queue_depth / 4], minimum 1. *)
+val create : ?domains:int -> ?queue_depth:int -> ?shed_queue:int -> unit -> t
 
 (** Enqueue a request. Returns a ticket, or rejects immediately with
-    [E_SERVE_QUEUE_FULL] / [E_SERVE_SHUTDOWN]. [deadline_ms] is relative
-    to submission. *)
+    [E_SERVE_QUEUE_FULL] (context: [retry_after_ms]) /
+    [E_SERVE_POISON] (quarantined structure) / [E_SERVE_SHUTDOWN].
+    [deadline_ms] is relative to submission. *)
 val submit : t -> ?deadline_ms:int -> request -> (ticket, Diag.t) result
 
 (** Block until the ticket resolves. Idempotent. *)

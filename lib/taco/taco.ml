@@ -188,7 +188,7 @@ let run_exec c f =
       Diag.error ~stage:Diag.Execute ~code:"E_EXEC_BINDING" ~context:(exec_ctx c) "%s" e
   | exception Diag.Error d -> Error d
 
-let run ?domains c ~inputs =
+let run ?domains ?deadline_ns c ~inputs =
   let stmt = Schedule.stmt c.sched in
   match infer_result_dims stmt ~inputs with
   | Error e -> Error e
@@ -196,17 +196,20 @@ let run ?domains c ~inputs =
       let info = Kernel.info c.kern in
       match info.Lower.mode with
       | Lower.Assemble _ ->
-          run_exec c (fun () -> Kernel.run_assemble ?domains c.kern ~inputs ~dims)
+          run_exec c (fun () ->
+              Kernel.run_assemble ?domains ?deadline_ns c.kern ~inputs ~dims)
       | Lower.Compute ->
           if Format.is_all_dense (Tensor_var.format info.Lower.result) then
-            run_exec c (fun () -> Kernel.run_dense ?domains c.kern ~inputs ~dims)
+            run_exec c (fun () ->
+                Kernel.run_dense ?domains ?deadline_ns c.kern ~inputs ~dims)
           else
             Diag.error ~stage:Diag.Execute ~code:"E_EXEC_MODE" ~context:(exec_ctx c)
               "compute-mode kernels with compressed results need a \
                pre-assembled output; use run_with_output")
 
-let run_with_output ?domains c ~inputs ~output =
-  run_exec c (fun () -> Kernel.run_compute ?domains c.kern ~inputs ~output)
+let run_with_output ?domains ?deadline_ns c ~inputs ~output =
+  run_exec c (fun () ->
+      Kernel.run_compute ?domains ?deadline_ns c.kern ~inputs ~output)
 
 let auto_compile ?(name = "kernel") ?mode ?checked ?profile ?opt sched =
   let stmt = Schedule.stmt sched in

@@ -101,15 +101,25 @@ val cin_string : compiled -> string
 
     [?domains] (default 1) is the chunk count for kernels scheduled with
     {!parallelize}; results are bit-identical for every value (see
-    {!Compile.run}). Kernels without a parallel loop ignore it. *)
+    {!Compile.run}). Kernels without a parallel loop ignore it.
+
+    [?deadline_ns] arms the executor's cooperative watchdog against the
+    {!Taco_support.Trace.now_ns} clock: a run still inside a kernel loop
+    when the deadline passes is cancelled with [E_EXEC_CANCELLED]
+    (stage [Execute]) instead of running to completion. *)
 val run :
-  ?domains:int -> compiled -> inputs:(Tensor_var.t * Tensor.t) list -> (Tensor.t, Diag.t) result
+  ?domains:int ->
+  ?deadline_ns:int64 ->
+  compiled ->
+  inputs:(Tensor_var.t * Tensor.t) list ->
+  (Tensor.t, Diag.t) result
 
 (** [run_with_output compiled ~inputs ~output] for [Compute]-mode kernels
     with pre-assembled sparse outputs; the output's values are written in
     place. *)
 val run_with_output :
   ?domains:int ->
+  ?deadline_ns:int64 ->
   compiled ->
   inputs:(Tensor_var.t * Tensor.t) list ->
   output:Tensor.t ->

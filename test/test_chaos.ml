@@ -1,0 +1,307 @@
+(* Chaos suite: deterministic fault-injection campaigns against the
+   executor and the serving layer. Every fault point gets driven at
+   least once — worker crash mid-job, poison-pill quarantine, injected
+   compile failure, delays past deadlines, the cooperative watchdog,
+   memory-budget rejection, load shedding under overload, and
+   corrupt-and-detect on result values. All campaigns use fixed seeds so
+   the fault schedule (and thus the asserted outcome) is reproducible. *)
+
+open Helpers
+open Taco_ir
+module F = Taco_tensor.Format
+module T = Taco_tensor.Tensor
+module I = Index_notation
+module Diag = Taco_support.Diag
+module Fault = Taco_support.Faultinject
+module Trace = Taco_support.Trace
+module Budget = Taco_exec.Budget
+module Compile = Taco_exec.Compile
+module Service = Taco_service.Service
+
+let with_fault ~seed rules f =
+  Fault.configure ~seed rules;
+  Fun.protect ~finally:Fault.disarm f
+
+let with_service ?(domains = 1) ?(queue_depth = 64) ?shed_queue f =
+  let svc = Service.create ~domains ~queue_depth ?shed_queue () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) (fun () -> f svc)
+
+let spgemm_request b c =
+  Service.request
+    ~directives:
+      [
+        Service.Reorder ("k", "j");
+        Service.Precompute { expr = "B(i,k) * C(k,j)"; over = [ "j" ]; workspace = "w" };
+      ]
+    ~result_format:F.csr
+    ~expr:"A(i,j) = B(i,k) * C(k,j)"
+    ~inputs:[ ("B", b); ("C", c) ]
+    ()
+
+let await_ok ticket =
+  match Service.await ticket with
+  | Ok r -> r
+  | Error d -> Alcotest.fail (Diag.to_string d)
+
+let eval_ok svc req =
+  match Service.eval svc req with
+  | Ok r -> r
+  | Error d -> Alcotest.fail (Diag.to_string d)
+
+let check_code what code = function
+  | Ok _ -> Alcotest.fail (what ^ ": expected an error")
+  | Error d -> Alcotest.(check string) what code d.Diag.code
+
+(* A directly-compiled SpGEMM (the paper's Fig. 2 schedule) for the
+   executor-level campaigns that bypass the service. *)
+
+let vb = csr_tv "B"
+let vc = csr_tv "C"
+
+let spgemm_compiled () =
+  let va = csr_tv "A" in
+  let stmt =
+    I.assign va [ vi; vj ] (I.sum vk (I.Mul (I.access vb [ vi; vk ], I.access vc [ vk; vj ])))
+  in
+  let sched = get (Schedule.of_index_notation stmt) in
+  let sched = get (Schedule.reorder vk vj sched) in
+  let w = ws_vec "w" in
+  let e = Cin.Mul (Cin.Access (Cin.access vb [ vi; vk ]), Cin.Access (Cin.access vc [ vk; vj ])) in
+  let sched = get (Schedule.precompute_simple ~expr:e ~over:[ vj ] ~workspace:w sched) in
+  getd (Taco.compile ~name:"chaos_spgemm" sched)
+
+let spgemm_inputs seed =
+  [
+    (vb, random_tensor seed [| 24; 24 |] 0.2 F.csr);
+    (vc, random_tensor (seed + 1) [| 24; 24 |] 0.2 F.csr);
+  ]
+
+(* --- a crashed worker is replaced and its job retried --------------- *)
+
+let test_worker_crash_replaced () =
+  let b = random_tensor 301 [| 20; 20 |] 0.2 F.csr in
+  let c = random_tensor 302 [| 20; 20 |] 0.2 F.csr in
+  with_fault ~seed:11 [ Fault.rule ~max_fires:1 "serve.worker" Fault.Crash ] (fun () ->
+      with_service ~domains:1 (fun svc ->
+          (* First request kills the worker once; the supervisor replaces
+             the domain and retries the job, so the caller still gets a
+             result. *)
+          let r = eval_ok svc (spgemm_request b c) in
+          Alcotest.(check bool) "retried request produced a result" true (T.nnz r.Service.tensor >= 0);
+          let s = Service.stats svc in
+          Alcotest.(check int) "one worker crashed" 1 s.Service.crashed;
+          Alcotest.(check int) "one replacement spawned" 1 s.Service.replaced;
+          Alcotest.(check int) "no quarantine on a single strike" 0 s.Service.quarantined;
+          Alcotest.(check int) "pool is back to full strength" 1 s.Service.live_workers;
+          Alcotest.(check int) "peak tracks the original pool" 1 s.Service.peak_workers;
+          (* The replacement keeps serving. *)
+          let r2 = eval_ok svc (spgemm_request b c) in
+          Alcotest.(check int) "replacement serves identical results"
+            (T.nnz r.Service.tensor) (T.nnz r2.Service.tensor);
+          Alcotest.(check int) "exactly one fault fired" 1 (Fault.fires "serve.worker")))
+
+(* --- a request that kills two workers is quarantined ---------------- *)
+
+let test_poison_quarantined () =
+  let b = random_tensor 303 [| 20; 20 |] 0.2 F.csr in
+  let c = random_tensor 304 [| 20; 20 |] 0.2 F.csr in
+  with_fault ~seed:12 [ Fault.rule ~max_fires:2 "serve.worker" Fault.Crash ] (fun () ->
+      with_service ~domains:1 (fun svc ->
+          (* The fault kills the worker on both the first attempt and the
+             retry: two strikes makes the request a poison pill. *)
+          check_code "second strike resolves as poison" "E_SERVE_POISON"
+            (Service.eval svc (spgemm_request b c));
+          let s = Service.stats svc in
+          Alcotest.(check int) "two workers crashed" 2 s.Service.crashed;
+          Alcotest.(check int) "structure quarantined" 1 s.Service.quarantined;
+          Alcotest.(check int) "pool is back to full strength" 1 s.Service.live_workers;
+          (* Resubmitting the same structure is now rejected at admission
+             without touching a worker. *)
+          check_code "quarantined structure rejected at submit" "E_SERVE_POISON"
+            (Service.submit svc (spgemm_request b c));
+          (* A different request structure still serves fine. *)
+          let req =
+            (* Same expression, different directives: a different poison
+               key, and a schedule the autoscheduler is known to find. *)
+            Service.request ~directives:[ Service.Auto ] ~result_format:F.csr
+              ~expr:"A(i,j) = B(i,k) * C(k,j)"
+              ~inputs:[ ("B", b); ("C", c) ]
+              ()
+          in
+          let r = eval_ok svc req in
+          Alcotest.(check bool) "pool keeps serving other structures" true
+            (T.nnz r.Service.tensor >= 0)))
+
+(* --- an injected compile failure is contained to its request -------- *)
+
+let test_compile_fault_contained () =
+  let b = random_tensor 305 [| 20; 20 |] 0.2 F.csr in
+  let c = random_tensor 306 [| 20; 20 |] 0.2 F.csr in
+  with_service ~domains:1 (fun svc ->
+      with_fault ~seed:13 [ Fault.rule ~max_fires:1 "compile.build" Fault.Crash ] (fun () ->
+          check_code "injected compile failure surfaces as its diagnostic" "E_FAULT_INJECTED"
+            (Service.eval svc (spgemm_request b c)));
+      let s = Service.stats svc in
+      Alcotest.(check int) "failure counted, worker survived" 1 s.Service.failed;
+      Alcotest.(check int) "no worker crash: request failures are contained" 0 s.Service.crashed;
+      (* Disarmed, the same request compiles and runs. *)
+      let r = eval_ok svc (spgemm_request b c) in
+      Alcotest.(check bool) "service recovered" true (T.nnz r.Service.tensor >= 0))
+
+(* --- an injected stall trips the request deadline ------------------- *)
+
+let test_delay_past_deadline () =
+  let b = random_tensor 307 [| 20; 20 |] 0.2 F.csr in
+  let c = random_tensor 308 [| 20; 20 |] 0.2 F.csr in
+  with_fault ~seed:14 [ Fault.rule "serve.pipeline" (Fault.Delay 100) ] (fun () ->
+      with_service ~domains:1 (fun svc ->
+          check_code "stalled request expires" "E_SERVE_DEADLINE"
+            (Service.eval svc ~deadline_ms:30 (spgemm_request b c));
+          let s = Service.stats svc in
+          Alcotest.(check int) "expiry counted as timed out" 1 s.Service.timed_out))
+
+(* --- the cooperative watchdog cancels running kernels --------------- *)
+
+let test_watchdog_cancels () =
+  (* Directly at the executor: a deadline already in the past must
+     cancel the kernel from inside its loops. *)
+  let compiled = spgemm_compiled () in
+  let inputs = spgemm_inputs 309 in
+  let expired = Int64.sub (Trace.now_ns ()) 1L in
+  (match Taco.run ~deadline_ns:expired compiled ~inputs with
+  | Ok _ -> Alcotest.fail "expired deadline: expected cancellation"
+  | Error d -> Alcotest.(check string) "watchdog code" "E_EXEC_CANCELLED" d.Diag.code);
+  (* The same kernel without a deadline still runs. *)
+  (match Taco.run compiled ~inputs with
+  | Ok _ -> ()
+  | Error d -> Alcotest.fail (Diag.to_string d));
+  (* Through the service: a stall between compile and execute leaves the
+     watchdog to cancel mid-kernel, surfaced as the request deadline. *)
+  let b = random_tensor 311 [| 20; 20 |] 0.2 F.csr in
+  let c = random_tensor 312 [| 20; 20 |] 0.2 F.csr in
+  with_fault ~seed:15 [ Fault.rule "serve.exec" (Fault.Delay 80) ] (fun () ->
+      with_service ~domains:1 (fun svc ->
+          check_code "cancelled execution surfaces as the deadline" "E_SERVE_DEADLINE"
+            (Service.eval svc ~deadline_ms:40 (spgemm_request b c))))
+
+(* --- the memory budget rejects over-sized allocations up front ------ *)
+
+let test_mem_budget () =
+  Fun.protect
+    ~finally:(fun () -> Budget.set_mem_limit 0)
+    (fun () ->
+      let compiled = spgemm_compiled () in
+      let inputs = spgemm_inputs 313 in
+      (* 128 bytes = 16 elements: the 24-wide dense workspace (and the
+         output structure) cannot be admitted. *)
+      Budget.set_mem_limit 128;
+      (match Taco.run compiled ~inputs with
+      | Ok _ -> Alcotest.fail "over-budget run: expected rejection"
+      | Error d ->
+          Alcotest.(check string) "memory guard code" "E_EXEC_MEM" d.Diag.code;
+          Alcotest.(check bool) "context names the limit" true
+            (List.mem_assoc "limit_bytes" d.Diag.context));
+      (* The guard fires through the service too, as a contained
+         request failure. *)
+      let b = random_tensor 314 [| 20; 20 |] 0.2 F.csr in
+      let c = random_tensor 315 [| 20; 20 |] 0.2 F.csr in
+      with_service ~domains:1 (fun svc ->
+          check_code "service surfaces the memory guard" "E_EXEC_MEM"
+            (Service.eval svc (spgemm_request b c));
+          Alcotest.(check int) "worker survived the rejection" 1
+            (Service.stats svc).Service.live_workers);
+      (* Lifting the budget restores service. *)
+      Budget.set_mem_limit 0;
+      match Taco.run compiled ~inputs with
+      | Ok _ -> ()
+      | Error d -> Alcotest.fail (Diag.to_string d))
+
+(* --- overload sheds to unoptimized kernels, then rejects ------------ *)
+
+let test_shed_under_overload () =
+  let b = random_tensor 316 [| 24; 24 |] 0.2 F.csr in
+  let c = random_tensor 317 [| 24; 24 |] 0.2 F.csr in
+  Trace.enable ();
+  let shed_before = Trace.counter_total "serve.shed" in
+  Fun.protect ~finally:Trace.disable (fun () ->
+      (* A clean run for the differential check: shed (unoptimized)
+         results must be bit-identical. *)
+      let clean =
+        with_service ~domains:1 (fun svc -> (eval_ok svc (spgemm_request b c)).Service.tensor)
+      in
+      with_fault ~seed:16 [ Fault.rule "serve.pipeline" (Fault.Delay 20) ] (fun () ->
+          with_service ~domains:1 ~queue_depth:8 ~shed_queue:2 (fun svc ->
+              (* Each job stalls 20ms, so submissions pile up: past queue
+                 length 2 they are shed, past 8 rejected. *)
+              let rec burst n tickets full =
+                if n = 0 then (List.rev tickets, full)
+                else
+                  match Service.submit svc (spgemm_request b c) with
+                  | Ok t -> burst (n - 1) (t :: tickets) full
+                  | Error d -> burst (n - 1) tickets (Some d)
+              in
+              let tickets, full = burst 16 [] None in
+              let responses = List.map await_ok tickets in
+              List.iter
+                (fun r ->
+                  Alcotest.(check bool) "shed results bit-identical to optimized" true
+                    (T.to_dense r.Service.tensor = T.to_dense clean))
+                responses;
+              let s = Service.stats svc in
+              Alcotest.(check bool) "requests were shed" true (s.Service.shed > 0);
+              Alcotest.(check bool) "shed surfaces in the trace counters" true
+                (Trace.counter_total "serve.shed" > shed_before);
+              match full with
+              | None -> Alcotest.fail "expected at least one E_SERVE_QUEUE_FULL rejection"
+              | Some d ->
+                  Alcotest.(check string) "overfull queue rejects" "E_SERVE_QUEUE_FULL" d.Diag.code;
+                  Alcotest.(check bool) "rejection carries a retry hint" true
+                    (List.mem_assoc "retry_after_ms" d.Diag.context))))
+
+(* --- corrupt-and-detect: injected bit flips are observable ---------- *)
+
+let test_corrupt_detected () =
+  let compiled = spgemm_compiled () in
+  let inputs = spgemm_inputs 318 in
+  let clean =
+    match Taco.run compiled ~inputs with
+    | Ok t -> T.vals t
+    | Error d -> Alcotest.fail (Diag.to_string d)
+  in
+  Alcotest.(check bool) "kernel produced values to corrupt" true (Array.length clean > 0);
+  with_fault ~seed:17 [ Fault.rule "exec.result" Fault.Corrupt ] (fun () ->
+      let dirty =
+        match Taco.run compiled ~inputs with
+        | Ok t -> T.vals t
+        | Error d -> Alcotest.fail (Diag.to_string d)
+      in
+      Alcotest.(check bool) "corruption fired" true (Fault.fires "exec.result" > 0);
+      Alcotest.(check int) "corruption preserves shape" (Array.length clean) (Array.length dirty);
+      let differs = ref 0 in
+      Array.iteri
+        (fun i v -> if Int64.bits_of_float v <> Int64.bits_of_float dirty.(i) then incr differs)
+        clean;
+      Alcotest.(check int) "exactly one value bit-flipped" 1 !differs)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "supervision",
+        [
+          Alcotest.test_case "crashed worker replaced, job retried" `Quick test_worker_crash_replaced;
+          Alcotest.test_case "two-strike poison pill quarantined" `Quick test_poison_quarantined;
+          Alcotest.test_case "compile fault contained to its request" `Quick test_compile_fault_contained;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "injected stall trips the deadline" `Quick test_delay_past_deadline;
+          Alcotest.test_case "watchdog cancels running kernels" `Quick test_watchdog_cancels;
+        ] );
+      ( "resources",
+        [
+          Alcotest.test_case "memory budget rejects before allocating" `Quick test_mem_budget;
+          Alcotest.test_case "overload sheds, then rejects with a hint" `Quick test_shed_under_overload;
+        ] );
+      ( "integrity",
+        [ Alcotest.test_case "injected corruption is detectable" `Quick test_corrupt_detected ] );
+    ]

@@ -40,6 +40,7 @@ module Schedule = Taco_ir.Schedule
 module Imp = Taco_lower.Imp
 module Lower = Taco_lower.Lower
 module Diag = Taco_support.Diag
+module Fault = Taco_support.Faultinject
 open Taco_ir.Var
 
 let vi = Index_var.make "i"
@@ -209,6 +210,13 @@ type outcome = Ran | Rejected
 (* Instances whose parallel differential leg actually executed. *)
 let par_ran = ref 0
 
+(* Fault-injected leg bookkeeping: instances where an injected fault
+   fired (and was reported as [E_FAULT_INJECTED]) vs instances that
+   survived the armed campaign and had to reproduce the exact bits. *)
+let fault_injected = ref 0
+
+let fault_survived = ref 0
+
 let run_one sc =
   let inst = templates.(sc.template mod Array.length templates) sc in
   (* Random inputs, each checked against the packing invariants. *)
@@ -357,6 +365,47 @@ let run_one sc =
                       failf "the optimizer changed parallelizability on %s"
                         (Cin.to_string plain)))
           | _ -> ());
+          (* Fault-injected leg: rerun compile + execute under a seeded
+             crash campaign on the compile and allocation fault points.
+             A run that fails must fail with the injected diagnostic —
+             faults never corrupt silently — and a run the faults happen
+             to miss must still reproduce the optimized bits exactly.
+             (The injected [Diag.Error] can escape [Taco.compile] as an
+             exception, hence the [Diag.to_result] wrapper.) *)
+          Fault.configure
+            ~seed:((2 * sc.seed) + 1)
+            [
+              Fault.rule ~prob:0.4 "compile.build" Fault.Crash;
+              Fault.rule ~prob:0.3 "exec.alloc" Fault.Crash;
+            ];
+          Fun.protect ~finally:Fault.disarm (fun () ->
+              let outcome =
+                Diag.to_result (fun () ->
+                    match compile_with Taco.Opt.all with
+                    | Error d -> Error d
+                    | Ok cf -> Taco.run cf ~inputs)
+              in
+              match Result.join outcome with
+              | Error d when d.Diag.code = "E_FAULT_INJECTED" ->
+                  incr fault_injected;
+                  if not (List.mem_assoc "fault_point" d.Diag.context) then
+                    failf "injected fault lost its fault_point context: %s"
+                      (Diag.to_string d)
+              | Error d ->
+                  failf "non-injected failure under fault campaign: %s" (Diag.to_string d)
+              | Ok fr ->
+                  incr fault_survived;
+                  let fb = D.buffer (T.to_dense fr) in
+                  if Array.length fb <> Array.length b_opt then
+                    failf "fault-leg result differs in shape on %s" (Cin.to_string plain)
+                  else
+                    Array.iteri
+                      (fun idx x ->
+                        if Int64.bits_of_float x <> Int64.bits_of_float b_opt.(idx) then
+                          failf
+                            "fault campaign changed result bits at %d (%h vs %h) on %s"
+                            idx x b_opt.(idx) (Cin.to_string plain))
+                      fb);
           Ran)
 
 (* ------------------------------------------------------------------ *)
@@ -444,8 +493,14 @@ let test_pipeline_fuzz =
    than being rejected. *)
 let test_coverage () =
   Printf.printf
-    "fuzz campaign: %d instances ran end to end (%d with a parallel leg), %d rejected\n%!"
-    !ran !par_ran !rejected;
+    "fuzz campaign: %d instances ran end to end (%d with a parallel leg), %d rejected; \
+     fault leg: %d injected, %d survived bit-identical\n%!"
+    !ran !par_ran !rejected !fault_injected !fault_survived;
+  Alcotest.(check bool)
+    (Printf.sprintf "fault leg covered both outcomes (%d injected, %d survived)"
+       !fault_injected !fault_survived)
+    true
+    (!ran = 0 || (!fault_injected > 0 && !fault_survived > 0));
   Alcotest.(check bool)
     (Printf.sprintf "campaign ran %d instances" count)
     true
