@@ -126,6 +126,43 @@ let opt_cmd =
           full pipeline on the paper's workspace kernels.")
     Term.(const run $ seed_arg $ opt_reps_arg $ opt_dim_arg $ opt_out_arg $ smoke_arg)
 
+let cback_dim_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "dim" ] ~doc:"Base matrix dimension for the backend-comparison workloads.")
+
+let cback_reps_arg =
+  Arg.(
+    value & opt int 7
+    & info [ "reps" ] ~doc:"Repetitions per measurement (best of batches).")
+
+let cback_out_arg =
+  Arg.(
+    value & opt string "BENCH_cbackend.json"
+    & info [ "out" ] ~doc:"Where to write the machine-readable backend comparison.")
+
+let cback_smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:
+          "CI mode: one micro SpGEMM built natively, exit 1 if the result is not \
+           bit-identical to the closure executor (exit 0 with no C compiler). \
+           Writes no JSON.")
+
+let cbackend_cmd =
+  let run seed reps dim out smoke =
+    if smoke then Cbackend.smoke () else Cbackend.run ~seed ~reps ~dim ~out
+  in
+  Cmd.v
+    (Cmd.info "cbackend"
+       ~doc:
+         "Closure executor vs the native C backend (kernels compiled to shared objects \
+          with the system compiler) on the paper's workspace kernels, with a hard \
+          bit-identity gate.")
+    Term.(const run $ seed_arg $ cback_reps_arg $ cback_dim_arg $ cback_out_arg
+          $ cback_smoke_arg)
+
 let par_max_domains_arg =
   Arg.(
     value & opt int 4
@@ -194,6 +231,7 @@ let () =
             fig13_cmd;
             ablation_cmd;
             opt_cmd;
+            cbackend_cmd;
             par_cmd;
             micro_cmd;
             all_cmd;

@@ -58,10 +58,19 @@ let parse_format name order spec =
 (* Main                                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* "--backend c" (or "native") requests the native C backend; it
+   downgrades to closures — with a note on stderr — when no C compiler
+   is around, matching the executor's never-fail contract. *)
+let parse_backend = function
+  | "closure" -> `Closure
+  | "c" | "native" -> `Native
+  | s -> die "unknown backend %S (use closure, or c for the native C backend)" s
+
 let run_cli expr_str formats dims density seed reorders precomputes split_specs auto
-    print_cin print_c do_run do_time trace_file do_stats =
+    backend_str print_cin print_c do_run do_time trace_file do_stats =
   protect @@ fun () ->
   Obs.setup ();
+  let backend = parse_backend backend_str in
   let observing = trace_file <> None || do_stats in
   if observing then Trace.enable ();
   let parse_pair what s =
@@ -118,17 +127,24 @@ let run_cli expr_str formats dims density seed reorders precomputes split_specs 
   in
   (* Compile, automatically scheduling if requested (or if needed and
      nothing manual was given). *)
+  (* Profiling counters only exist in the closure executor; requesting
+     them would pin a --backend c run to closures, so they win only when
+     the closure backend was asked for anyway. *)
+  let profile = observing && backend = `Closure in
   let compiled, steps =
     if auto then
-      let c, steps = getd (auto_compile ~profile:observing !sched) in
+      let c, steps = getd (auto_compile ~profile ~backend !sched) in
       (c, steps)
     else
-      match compile ~splits ~profile:observing !sched with
+      match compile ~splits ~profile ~backend !sched with
       | Ok c -> (c, [])
       | Error e ->
           die "%s\n(hint: pass --auto to search for a schedule automatically)"
             (Diag.to_string e)
   in
+  if backend = `Native && backend_of compiled = `Closure then
+    prerr_endline
+      "tacocli: native backend unavailable, running through the closure executor";
   List.iter (fun s -> Printf.printf "auto:        %s\n" (Autoschedule.step_to_string s)) steps;
   Printf.printf "concrete:    %s\n" (cin_string compiled);
   if print_cin then ();
@@ -254,7 +270,7 @@ let protocol_help =
       "         e.g.: tensor B ds 1000,1000 density 0.01";
       "  eval EXPR [; CLAUSE]...                     evaluate and wait;";
       "         clauses: reorder A,B | precompute EXPR|VARS|NAME | parallelize V | domains N | auto";
-      "                  format NAME:FMT (result storage) | deadline MS";
+      "                  format NAME:FMT (result storage) | deadline MS | backend c|closure";
       "  eval& EXPR [; CLAUSE]...                    evaluate asynchronously,";
       "         returns 'ok ticket ID'";
       "  wait ID                                     await an eval& ticket";
@@ -309,7 +325,7 @@ let build_request tensors line =
   | [] | "" :: _ -> fail_input "usage: eval EXPR [; CLAUSE]..."
   | expr :: clauses ->
       let deadline = ref None and directives = ref [] and fmt_clause = ref None in
-      let domains = ref None in
+      let domains = ref None and backend = ref None in
       List.iter
         (fun clause ->
           if clause <> "" then
@@ -338,6 +354,11 @@ let build_request tensors line =
                 | v -> directives := Service.Parallelize v :: !directives)
             | "domains", arg -> domains := Some (int_of_string arg)
             | "deadline", arg -> deadline := Some (int_of_string arg)
+            | "backend", arg -> (
+                match String.trim arg with
+                | "closure" -> backend := Some `Closure
+                | "c" | "native" -> backend := Some `Native
+                | b -> fail_input "unknown backend %S (use c or closure)" b)
             | "format", arg -> (
                 match String.index_opt arg ':' with
                 | Some k ->
@@ -369,7 +390,7 @@ let build_request tensors line =
               scanned
           in
           ( Service.request ~directives:(List.rev !directives) ?result_format
-              ?domains:!domains ~expr ~inputs (),
+              ?domains:!domains ?backend:!backend ~expr ~inputs (),
             !deadline ))
 
 let response_line = function
@@ -424,12 +445,14 @@ let run_serve domains queue_depth socket trace_file =
              "{\"queue\":%d,\"domains\":%d,\"live_workers\":%d,\"peak_workers\":%d,\
               \"submitted\":%d,\"completed\":%d,\"rejected\":%d,\"timed_out\":%d,\
               \"failed\":%d,\"peak_queue\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\
-              \"shed\":%d,\"crashed\":%d,\"replaced\":%d,\"quarantined\":%d}"
+              \"shed\":%d,\"crashed\":%d,\"replaced\":%d,\"quarantined\":%d,\
+              \"exec_native\":%d,\"exec_closure\":%d,\"backend_downgraded\":%d}"
              (Service.queue_length svc) (Service.domains svc) s.Service.live_workers
              s.Service.peak_workers s.Service.submitted s.Service.completed
              s.Service.rejected s.Service.timed_out s.Service.failed s.Service.peak_queue
              c.Compile.hits c.Compile.misses s.Service.shed s.Service.crashed
-             s.Service.replaced s.Service.quarantined)
+             s.Service.replaced s.Service.quarantined s.Service.exec_native
+             s.Service.exec_closure s.Service.backend_downgraded)
     | "help" -> Some protocol_help
     | "quit" -> raise Exit
     | "stop" ->
@@ -523,6 +546,14 @@ let split_arg =
 
 let auto_arg = Arg.(value & flag & info [ "auto" ] ~doc:"Search for a schedule automatically.")
 
+let backend_arg =
+  Arg.(value & opt string "closure"
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Execution backend: closure (default) interprets the kernel in-process; \
+                 c (or native) compiles the generated C into a shared object with the \
+                 system compiler and runs that, falling back to closure when no \
+                 compiler is available.")
+
 let print_cin_arg = Arg.(value & flag & info [ "print-cin" ] ~doc:"Print concrete index notation (always shown).")
 
 let print_c_arg = Arg.(value & flag & info [ "print-c" ] ~doc:"Print the generated C code.")
@@ -564,8 +595,8 @@ let () =
   let term =
     Term.(
       const run_cli $ expr_arg $ formats_arg $ dims_arg $ density_arg $ seed_arg
-      $ reorder_arg $ precompute_arg $ split_arg $ auto_arg $ print_cin_arg $ print_c_arg
-      $ run_arg $ time_arg $ trace_arg $ stats_arg)
+      $ reorder_arg $ precompute_arg $ split_arg $ auto_arg $ backend_arg
+      $ print_cin_arg $ print_c_arg $ run_arg $ time_arg $ trace_arg $ stats_arg)
   in
   let info =
     Cmd.info "tacocli"

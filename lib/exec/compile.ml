@@ -62,10 +62,40 @@ type run_stats = {
   sorts : int;
 }
 
+(* Which executor runs the kernel. [`Closure] interprets the Imp IR
+   through the compiled OCaml closures below; [`Native] renders the
+   kernel to C, builds it with the system compiler and calls it through
+   dlopen (see {!Native}), falling back to the closures — with a
+   counted, traced downgrade — whenever the native path is unavailable. *)
+type backend = [ `Closure | `Native ]
+
+type backend_stats = {
+  native_builds : int;  (** successful emit+cc+dlopen builds *)
+  native_runs : int;  (** kernel executions through the native entry *)
+  closure_runs : int;  (** kernel executions through closures *)
+  downgrades : int;  (** native requests served by closures instead *)
+}
+
+let bs_native_builds = Atomic.make 0
+let bs_native_runs = Atomic.make 0
+let bs_closure_runs = Atomic.make 0
+let bs_downgrades = Atomic.make 0
+
+let backend_stats () =
+  {
+    native_builds = Atomic.get bs_native_builds;
+    native_runs = Atomic.get bs_native_runs;
+    closure_runs = Atomic.get bs_closure_runs;
+    downgrades = Atomic.get bs_downgrades;
+  }
+
 type compiled = {
   c_kernel : Imp.kernel;
   c_checked : bool;
   c_prof : prof option;
+  c_requested : backend;  (* what the caller asked for (part of cache validity) *)
+  c_native : Native.loaded option;  (* Some when the native build succeeded *)
+  c_downgrade : string option;  (* why a [`Native] request fell back, if it did *)
   slots : (string, slot) Hashtbl.t;
   n_ints : int;
   n_floats : int;
@@ -75,6 +105,13 @@ type compiled = {
   n_barr : int;
   code : env -> unit;
 }
+
+(* The executor that will actually run this kernel. *)
+let backend_of c : backend = if c.c_native = None then `Closure else `Native
+
+let downgrade_reason c = c.c_downgrade
+
+let native_phases c = Option.map (fun l -> l.Native.l_phases) c.c_native
 
 let kernel c = c.c_kernel
 
@@ -1161,16 +1198,43 @@ and cstmt_base ctx (s : Imp.stmt) : env -> unit =
         sort_int_range arr lo hi
   | Imp.Comment _ -> fun _ -> ()
 
-let build ~checked ~profile k =
+let build ~checked ~profile ~backend k =
   match
     let slots, counters = assign_slots k in
     let prof = if profile then Some (fresh_prof ()) else None in
     let ctx = { slots; checked; kname = k.Imp.k_name; prof; depth = 0 } in
     let code = seq (Array.of_list (List.map (cstmt ctx) k.Imp.k_body)) in
+    (* The closures are always built: they are the checked/profiled
+       executors, the fallback when the native path degrades, and cheap
+       next to a gcc invocation. *)
+    let native, downgrade =
+      match backend with
+      | `Closure -> (None, None)
+      | `Native ->
+          if checked || profile then
+            (* Bounds checking and work profiling are closure-executor
+               instruments; a [`Native] request with either flag pins
+               the closures deliberately (documented, not a downgrade). *)
+            (None, None)
+          else begin
+            match Native.load k with
+            | Ok l ->
+                Atomic.incr bs_native_builds;
+                (Some l, None)
+            | Error reason ->
+                Atomic.incr bs_downgrades;
+                Trace.add "exec.backend.downgrade" 1;
+                Trace.set_args [ ("backend_downgrade", reason) ];
+                (None, Some reason)
+          end
+    in
     {
       c_kernel = k;
       c_checked = checked;
       c_prof = prof;
+      c_requested = backend;
+      c_native = native;
+      c_downgrade = downgrade;
       slots;
       n_ints = counters.(0);
       n_floats = counters.(1);
@@ -1235,8 +1299,15 @@ let locked f =
   Mutex.lock cache_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock cache_mutex) f
 
-let cache_key ~checked ~profile (k : Imp.kernel) =
-  Digest.string (Marshal.to_string (checked, profile, k) [])
+let cache_key ~checked ~profile ~backend (k : Imp.kernel) =
+  (* The compiler string joins the key for native entries: a cached .so
+     built by one TACO_CC must not be served when the variable changes
+     (the downgraded form of a native entry is compiler-specific too —
+     a bogus compiler's fallback must not mask a working one). *)
+  let btag =
+    match backend with `Closure -> "closure" | `Native -> "native:" ^ Native.compiler_id ()
+  in
+  Digest.string (Marshal.to_string (checked, profile, btag, k) [])
 
 let cache_stats () =
   locked (fun () ->
@@ -1275,7 +1346,7 @@ let rec evict_over_capacity dropped =
         end;
         evict_over_capacity (if present then dropped + 1 else dropped)
 
-let compile_inner ~checked ~profile ?opt ~cache k =
+let compile_inner ~checked ~profile ?opt ~cache ~backend k =
   (* Before the cache lookup, so an armed rule fires on hits too. *)
   Fault.hit ~stage:Diag.Compile "compile.build";
   let k =
@@ -1285,17 +1356,24 @@ let compile_inner ~checked ~profile ?opt ~cache k =
   in
   let build_traced () =
     Trace.with_span ~cat:"compile" ~args:[ ("kernel", k.Imp.k_name) ] "compile.build"
-      (fun () -> build ~checked ~profile k)
+      (fun () -> build ~checked ~profile ~backend k)
   in
   if not cache then build_traced ()
   else begin
-    let key = cache_key ~checked ~profile k in
+    let key = cache_key ~checked ~profile ~backend k in
     (* Single-flight: under the mutex, either take a valid entry (hit),
        or — when another domain is already building this key — wait for
        its completion signal and re-check (a coalesced hit), or claim
        the build by marking the key in flight. Many concurrent requests
-       for the same kernel structure thus compile it exactly once. *)
-    let valid c = c.c_checked = checked && c.c_prof <> None = profile && c.c_kernel = k in
+       for the same kernel structure thus compile it exactly once —
+       including the gcc invocation of a native build, which is the
+       cache's most expensive coalesced unit. *)
+    let valid c =
+      c.c_checked = checked
+      && c.c_prof <> None = profile
+      && c.c_requested = backend
+      && c.c_kernel = k
+    in
     let decision =
       locked (fun () ->
           let rec acquire ~waited =
@@ -1347,12 +1425,12 @@ let compile_inner ~checked ~profile ?opt ~cache k =
         c
   end
 
-let compile ?(checked = false) ?(profile = false) ?opt ?(cache = true) k =
+let compile ?(checked = false) ?(profile = false) ?opt ?(cache = true) ?(backend = `Closure) k =
   Trace.with_span ~cat:"compile" ~args:[ ("kernel", k.Imp.k_name) ] "compile" (fun () ->
-      compile_inner ~checked ~profile ?opt ~cache k)
+      compile_inner ~checked ~profile ?opt ~cache ~backend k)
 
-let compile_res ?checked ?profile ?opt ?cache k =
-  match compile ?checked ?profile ?opt ?cache k with
+let compile_res ?checked ?profile ?opt ?cache ?backend k =
+  match compile ?checked ?profile ?opt ?cache ?backend k with
   | c -> Ok c
   | exception Invalid_argument msg ->
       Diag.error ~stage:Diag.Compile ~code:"E_COMPILE_TYPE"
@@ -1389,7 +1467,72 @@ let empty_int_array : int array = [||]
 
 let empty_float_array : float array = [||]
 
-let run_plain ?(domains = 1) ?(deadline_ns = Int64.max_int) c ~args =
+(* Execute through the native entry point. Bindings are validated with
+   the same messages as the closure path; array parameters cross by
+   pointer (floats) or round-trip copy (ints, written ones copied
+   back), arrays the kernel allocates come back as the escape list.
+   Runtime failures map to the closure executor's diagnostics and are
+   deliberately NOT downgraded: by the time the kernel runs, output
+   parameters may be partially written, so retrying through closures
+   could double-apply work — and both failure modes (budget, deadline)
+   are client-visible semantics, not environment problems. *)
+let run_native c l ~deadline_ns ~args =
+  let kname = c.c_kernel.Imp.k_name in
+  let ints = ref [] and arrays = ref [] in
+  List.iter
+    (fun p ->
+      let name = p.Imp.p_name in
+      match (List.assoc_opt name args, p.Imp.p_dtype, p.Imp.p_array) with
+      | Some (Aint v), Imp.Int, false -> ints := v :: !ints
+      | Some (Aint_array v), Imp.Int, true -> arrays := Obj.repr v :: !arrays
+      | Some (Afloat_array v), Imp.Float, true -> arrays := Obj.repr v :: !arrays
+      | Some _, _, _ -> invalid_arg (Printf.sprintf "Compile.run: bad binding for %s" name)
+      | None, _, _ -> invalid_arg (Printf.sprintf "Compile.run: missing binding for %s" name))
+    c.c_kernel.k_params;
+  let spec =
+    {
+      Native.cs_ints = Array.of_list (List.rev !ints);
+      cs_floats = [||];
+      cs_arrays = Array.of_list (List.rev !arrays);
+      cs_kinds = l.Native.l_arr_kinds;
+      cs_esc_kinds =
+        Array.of_list
+          (List.map (fun (_, t) -> if t = Imp.Int then 0 else 1) l.Native.l_escapes);
+      cs_mem_limit =
+        (let lim = Budget.mem_limit () in
+         if lim = max_int then Int64.max_int else Int64.of_int lim);
+      cs_deadline = deadline_ns;
+    }
+  in
+  let rc, escs = Native.run l spec in
+  (match rc with
+  | 0 -> ()
+  | 1 ->
+      Diag.fail ~stage:Diag.Execute ~code:"E_EXEC_MEM"
+        ~context:
+          [
+            ("kernel", kname);
+            ("backend", "native");
+            ("limit_bytes", string_of_int (Budget.mem_limit ()));
+          ]
+        "allocation exceeds the memory budget in native kernel %s" kname
+  | 2 -> cancelled ~kname
+  | n ->
+      Diag.fail ~stage:Diag.Execute ~code:"E_EXEC_NATIVE"
+        ~context:[ ("kernel", kname); ("rc", string_of_int n) ]
+        "native kernel %s failed with unexpected return code %d" kname n);
+  let escapes = List.mapi (fun i (nm, t) -> (nm, (t, i))) l.Native.l_escapes in
+  fun name ->
+    match List.assoc_opt name escapes with
+    | Some (Imp.Int, i) -> Aint_array (Obj.obj escs.(i) : int array)
+    | Some (Imp.Float, i) -> Afloat_array (Obj.obj escs.(i) : float array)
+    | Some (Imp.Bool, _) -> invalid_arg "Compile.run: bool array read-back unsupported"
+    | None -> (
+        match List.assoc_opt name args with
+        | Some v -> v
+        | None -> invalid_arg (Printf.sprintf "Compile.run: unknown variable %s" name))
+
+let run_closure ~domains ~deadline_ns c ~args =
   let env =
     {
       ints = Array.make (max 1 c.n_ints) 0;
@@ -1426,6 +1569,18 @@ let run_plain ?(domains = 1) ?(deadline_ns = Int64.max_int) c ~args =
         | Imp.Bool, false -> Aint (if env.bools.(s.s_index) then 1 else 0)
         | Imp.Float, false -> Afloat env.floats.(s.s_index)
         | Imp.Bool, true -> invalid_arg "Compile.run: bool array read-back unsupported")
+
+let run_plain ?(domains = 1) ?(deadline_ns = Int64.max_int) c ~args =
+  match c.c_native with
+  | Some l ->
+      (* [domains] is a closure-chunking knob; the native path hands
+         parallel loops to OpenMP, whose thread count is the runtime's
+         business. Results are bit-identical either way. *)
+      Atomic.incr bs_native_runs;
+      run_native c l ~deadline_ns ~args
+  | None ->
+      Atomic.incr bs_closure_runs;
+      run_closure ~domains ~deadline_ns c ~args
 
 let run ?domains ?deadline_ns c ~args =
   if not (Trace.active ()) then run_plain ?domains ?deadline_ns c ~args

@@ -17,6 +17,43 @@ type arg =
   | Aint_array of int array
   | Afloat_array of float array
 
+(** Which executor runs the kernel. [`Closure] (the default) interprets
+    the IR through OCaml closures; [`Native] renders it to C
+    ({!Taco_lower.Codegen_c.emit_exec}), builds a shared object with the
+    system compiler and calls it through [dlopen] — see {!Native}.
+
+    [`Native] is a request, not a guarantee: when the compiler is
+    missing, the build fails, or the kernel is not expressible under the
+    native ABI, compilation silently downgrades to closures. The
+    downgrade is counted in {!backend_stats}, traced as an
+    ["exec.backend.downgrade"] counter, and its reason is kept on the
+    compiled kernel ({!downgrade_reason}) — it is never a client error.
+    [~checked] and [~profile] also pin execution to closures (the native
+    code carries neither bounds checks nor profiling counters); that
+    deliberate narrowing is not counted as a downgrade. *)
+type backend = [ `Closure | `Native ]
+
+(** Process-wide per-backend counters. *)
+type backend_stats = {
+  native_builds : int;  (** Shared objects built and loaded. *)
+  native_runs : int;  (** Runs dispatched to native code. *)
+  closure_runs : int;  (** Runs dispatched to closures. *)
+  downgrades : int;  (** [`Native] requests served by closures. *)
+}
+
+val backend_stats : unit -> backend_stats
+
+(** The backend that will actually run this kernel ([`Closure] when a
+    [`Native] request was downgraded). *)
+val backend_of : compiled -> backend
+
+(** Why a [`Native] request fell back to closures, if it did. *)
+val downgrade_reason : compiled -> string option
+
+(** Build-phase timings (emit / cc / dlopen) for natively compiled
+    kernels; [None] for closure-backed ones. *)
+val native_phases : compiled -> Native.phases option
+
 (** Typecheck and compile a kernel. Raises [Invalid_argument] on malformed
     IR (unknown variables, type mismatches).
 
@@ -28,8 +65,12 @@ type arg =
 
     With [~cache:true] (the default) compiled kernels are memoized in a
     process-wide table keyed by the structure of the post-optimization
-    kernel and the [checked] flag; recompiling an identical kernel
-    returns the cached closures.
+    kernel, the [checked]/[profile] flags and the requested [backend]
+    (including the resolved compiler for [`Native], so changing
+    [TACO_CC] never serves a stale entry); recompiling an identical
+    kernel returns the cached executable. Native builds join the same
+    single-flight discipline: one [cc] invocation per distinct
+    structure, however many domains race for it.
 
     With [~checked:true] the compiled closures bounds-check every array
     load, store and memset; a violation raises
@@ -51,6 +92,7 @@ val compile :
   ?profile:bool ->
   ?opt:Taco_lower.Opt.config ->
   ?cache:bool ->
+  ?backend:backend ->
   Taco_lower.Imp.kernel ->
   compiled
 
@@ -61,6 +103,7 @@ val compile_res :
   ?profile:bool ->
   ?opt:Taco_lower.Opt.config ->
   ?cache:bool ->
+  ?backend:backend ->
   Taco_lower.Imp.kernel ->
   (compiled, Taco_support.Diag.t) result
 
@@ -152,7 +195,17 @@ val is_checked : compiled -> bool
     Allocations executed by the kernel (workspaces, growing reallocs)
     are additionally guarded by {!Budget.set_mem_limit}: an allocation
     whose 8-bytes-per-element estimate exceeds the budget raises
-    [E_EXEC_MEM] before allocating. *)
+    [E_EXEC_MEM] before allocating.
+
+    Kernels compiled with [~backend:`Native] (and not downgraded)
+    dispatch to the shared object instead: same argument binding, same
+    reader contract, same [E_EXEC_MEM]/[E_EXEC_CANCELLED] semantics
+    (the budget and deadline cross the ABI and are enforced inside the
+    generated C). Two narrowings, both documented in DESIGN.md: the
+    watchdog does not poll inside OpenMP parallel loops, and [?domains]
+    is ignored (OpenMP picks the thread count). A native entry point
+    failing in a way the closures cannot (nonzero unexpected return
+    code) raises a stage-[Execute] [E_EXEC_NATIVE] diagnostic. *)
 val run :
   ?domains:int ->
   ?deadline_ns:int64 ->

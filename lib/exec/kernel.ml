@@ -6,10 +6,14 @@ module Lower = Taco_lower.Lower
 
 type t = { info : Taco_lower.Lower.kernel_info; compiled : Compile.compiled }
 
-let prepare ?checked ?profile ?opt info =
-  { info; compiled = Compile.compile ?checked ?profile ?opt info.Lower.kernel }
+let prepare ?checked ?profile ?opt ?backend info =
+  { info; compiled = Compile.compile ?checked ?profile ?opt ?backend info.Lower.kernel }
 
 let info t = t.info
+
+let backend t = Compile.backend_of t.compiled
+
+let native_phases t = Compile.native_phases t.compiled
 
 let profile_stats t = Compile.profile_stats t.compiled
 

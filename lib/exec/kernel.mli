@@ -10,15 +10,27 @@ type t
 (** Compile a lowered kernel once; it can be run many times. [checked]
     enables the bounds-checked execution mode of {!Compile.compile};
     [profile] its runtime work counters (see {!Compile.run_stats});
-    [opt] selects the optimizer passes applied first (default: all). *)
+    [opt] selects the optimizer passes applied first (default: all);
+    [backend] the executor ([`Closure] default, [`Native] compiles the
+    emitted C to a shared object, downgrading to closures when no
+    compiler is available — see {!Compile.backend}). *)
 val prepare :
   ?checked:bool ->
   ?profile:bool ->
   ?opt:Taco_lower.Opt.config ->
+  ?backend:Compile.backend ->
   Taco_lower.Lower.kernel_info ->
   t
 
 val info : t -> Taco_lower.Lower.kernel_info
+
+(** The backend actually executing this kernel ([`Closure] when a
+    [`Native] request was downgraded — see {!Compile.backend_of}). *)
+val backend : t -> Compile.backend
+
+(** Native build-phase timings (emit / cc / dlopen); [None] for
+    closure-backed kernels. *)
+val native_phases : t -> Native.phases option
 
 (** Accumulated executor counters of a kernel prepared with
     [~profile:true]; [None] otherwise. *)

@@ -66,15 +66,190 @@ let estr e =
   expr buf e;
   Buffer.contents buf
 
-let rec stmt buf ind s =
+(* ------------------------------------------------------------------ *)
+(* Static analyses shared by the inspection renderer and the native-  *)
+(* backend (exec) renderer.                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Names whose value is read somewhere in [body]: every variable in an
+   expression plus every array whose pointer is consumed by a builtin
+   (memset/realloc/qsort and stores read the pointer). A declared name
+   absent from this set would trip gcc's -Wunused-variable /
+   -Wunused-but-set-variable under -Wall -Werror. *)
+let used_tbl body =
+  let tbl = Hashtbl.create 64 in
+  let add v = Hashtbl.replace tbl v () in
+  let add_e e = List.iter add (Imp.expr_vars e) in
+  let rec go = function
+    | Imp.Decl (_, _, e) | Imp.Assign (_, e) | Imp.Alloc (_, _, e) -> add_e e
+    | Imp.Store (a, i, v) | Imp.Store_add (a, i, v) ->
+        add a;
+        add_e i;
+        add_e v
+    | Imp.Realloc (v, n) | Imp.Memset (v, n) ->
+        add v;
+        add_e n
+    | Imp.For (_, lo, hi, b) | Imp.ParallelFor (_, lo, hi, b, _) ->
+        add_e lo;
+        add_e hi;
+        List.iter go b
+    | Imp.While (c, b) ->
+        add_e c;
+        List.iter go b
+    | Imp.If (c, t, e) ->
+        add_e c;
+        List.iter go t;
+        List.iter go e
+    | Imp.Sort (v, lo, hi) ->
+        add v;
+        add_e lo;
+        add_e hi
+    | Imp.Comment _ -> ()
+  in
+  List.iter go body;
+  tbl
+
+(* Array names the kernel writes through (store, +=, memset, realloc,
+   sort). Everything else can be passed as [const]. *)
+let written_arrays kernel =
+  let tbl = Hashtbl.create 16 in
+  let rec go = function
+    | Imp.Store (a, _, _) | Imp.Store_add (a, _, _) -> Hashtbl.replace tbl a ()
+    | Imp.Memset (a, _) | Imp.Realloc (a, _) | Imp.Sort (a, _, _) ->
+        Hashtbl.replace tbl a ()
+    | Imp.Alloc (_, v, _) -> Hashtbl.replace tbl v ()
+    | Imp.For (_, _, _, b) | Imp.ParallelFor (_, _, _, b, _) | Imp.While (_, b) ->
+        List.iter go b
+    | Imp.If (_, t, e) ->
+        List.iter go t;
+        List.iter go e
+    | Imp.Decl _ | Imp.Assign _ | Imp.Comment _ -> ()
+  in
+  List.iter go kernel.Imp.k_body;
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+
+let rec stmt_exists p s =
+  p s
+  ||
+  match s with
+  | Imp.For (_, _, _, b) | Imp.ParallelFor (_, _, _, b, _) | Imp.While (_, b) ->
+      List.exists (stmt_exists p) b
+  | Imp.If (_, t, e) -> List.exists (stmt_exists p) t || List.exists (stmt_exists p) e
+  | _ -> false
+
+let body_has p body = List.exists (stmt_exists p) body
+
+let has_sort body = body_has (function Imp.Sort _ -> true | _ -> false) body
+
+let has_parallel kernel =
+  body_has (function Imp.ParallelFor _ -> true | _ -> false) kernel.Imp.k_body
+
+(* Arrays the kernel allocates, in first-Alloc order (deduplicated:
+   an array re-allocated on several branches keeps one entry). *)
+let alloc_list body =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec go = function
+    | Imp.Alloc (t, v, _) ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          out := (v, t) :: !out
+        end
+    | Imp.For (_, _, _, b) | Imp.ParallelFor (_, _, _, b, _) | Imp.While (_, b) ->
+        List.iter go b
+    | Imp.If (_, t, e) ->
+        List.iter go t;
+        List.iter go e
+    | _ -> ()
+  in
+  List.iter go body;
+  List.rev !out
+
+(* The arrays the exec rendering hands back to the host: every allocated
+   int/float array, in first-Alloc order. Bool workspaces stay internal
+   (the host ABI has no bool buffers, and no reader ever asks for them). *)
+let exec_escapes kernel =
+  List.filter (fun (_, t) -> t <> Imp.Bool) (alloc_list kernel.Imp.k_body)
+
+(* Scalars assigned inside [body] (used to decide whether a ParallelFor
+   body mutates state declared outside itself). *)
+let assign_targets body =
+  let out = ref [] in
+  let rec go = function
+    | Imp.Assign (v, _) -> out := v :: !out
+    | Imp.For (_, _, _, b) | Imp.ParallelFor (_, _, _, b, _) | Imp.While (_, b) ->
+        List.iter go b
+    | Imp.If (_, t, e) ->
+        List.iter go t;
+        List.iter go e
+    | _ -> ()
+  in
+  List.iter go body;
+  !out
+
+(* Kernels the exec rendering cannot express under the flat ABI. *)
+let exec_unsupported kernel =
+  let allocs = alloc_list kernel.Imp.k_body in
+  if List.exists (fun p -> p.Imp.p_dtype = Imp.Bool) kernel.Imp.k_params then
+    Some "bool parameter"
+  else if
+    body_has
+      (function
+        | Imp.Realloc (v, _) -> not (List.mem_assoc v allocs) | _ -> false)
+      kernel.Imp.k_body
+  then Some "realloc of a parameter array"
+  else None
+
+(* Rename arrays (used when giving OpenMP threads private workspace
+   copies). Scalars and arrays share one namespace, so renaming [Var]
+   too is safe and keeps the substitution total. *)
+let rec subst_expr f = function
+  | Imp.Var v -> Imp.Var (f v)
+  | (Imp.Int_lit _ | Imp.Float_lit _ | Imp.Bool_lit _) as e -> e
+  | Imp.Load (a, i) -> Imp.Load (f a, subst_expr f i)
+  | Imp.Binop (op, a, b) -> Imp.Binop (op, subst_expr f a, subst_expr f b)
+  | Imp.Not e -> Imp.Not (subst_expr f e)
+  | Imp.Ternary (c, a, b) ->
+      Imp.Ternary (subst_expr f c, subst_expr f a, subst_expr f b)
+  | Imp.Round_single e -> Imp.Round_single (subst_expr f e)
+
+let rec subst_stmt f s =
+  let e = subst_expr f in
+  match s with
+  | Imp.Decl (t, v, x) -> Imp.Decl (t, v, e x)
+  | Imp.Assign (v, x) -> Imp.Assign (f v, e x)
+  | Imp.Store (a, i, x) -> Imp.Store (f a, e i, e x)
+  | Imp.Store_add (a, i, x) -> Imp.Store_add (f a, e i, e x)
+  | Imp.Alloc (t, v, n) -> Imp.Alloc (t, v, e n)
+  | Imp.Realloc (v, n) -> Imp.Realloc (f v, e n)
+  | Imp.Memset (v, n) -> Imp.Memset (f v, e n)
+  | Imp.For (v, lo, hi, b) -> Imp.For (v, e lo, e hi, List.map (subst_stmt f) b)
+  | Imp.ParallelFor (v, lo, hi, b, info) ->
+      Imp.ParallelFor (v, e lo, e hi, List.map (subst_stmt f) b, info)
+  | Imp.While (c, b) -> Imp.While (e c, List.map (subst_stmt f) b)
+  | Imp.If (c, t, el) ->
+      Imp.If (e c, List.map (subst_stmt f) t, List.map (subst_stmt f) el)
+  | Imp.Sort (v, lo, hi) -> Imp.Sort (f v, e lo, e hi)
+  | Imp.Comment _ as c -> c
+
+(* ------------------------------------------------------------------ *)
+(* Inspection rendering (paper Fig. 6 style): one C function with the *)
+(* tensor buffers as parameters, allocations as plain calloc.         *)
+(* ------------------------------------------------------------------ *)
+
+let rec stmt ?(unused = fun _ -> false) buf ind s =
   let pad () = Buffer.add_string buf (String.make (2 * ind) ' ') in
   let line fmt = Printf.ksprintf (fun s -> pad (); Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let stmt = stmt ~unused in
   match s with
-  | Imp.Decl (t, v, e) -> line "%s %s = %s;" (ctype t) v (estr e)
+  | Imp.Decl (t, v, e) ->
+      line "%s %s = %s;%s" (ctype t) v (estr e) (if unused v then " (void)" ^ v ^ ";" else "")
   | Imp.Assign (v, e) -> line "%s = %s;" v (estr e)
   | Imp.Store (a, i, v) -> line "%s[%s] = %s;" a (estr i) (estr v)
   | Imp.Store_add (a, i, v) -> line "%s[%s] += %s;" a (estr i) (estr v)
-  | Imp.Alloc (t, v, n) -> line "%s* %s = (%s*)calloc(%s, sizeof(%s));" (ctype t) v (ctype t) (estr n) (ctype t)
+  | Imp.Alloc (t, v, n) ->
+      line "%s* %s = (%s*)calloc(%s, sizeof(%s));%s" (ctype t) v (ctype t) (estr n) (ctype t)
+        (if unused v then " (void)" ^ v ^ ";" else "")
   | Imp.Realloc (v, n) -> line "%s = realloc(%s, %s * sizeof(*%s));" v v (estr n) v
   | Imp.Memset (v, n) -> line "memset(%s, 0, %s * sizeof(*%s));" v (estr n) v
   | Imp.For (v, lo, hi, body) ->
@@ -84,11 +259,15 @@ let rec stmt buf ind s =
   | Imp.ParallelFor (v, lo, hi, body, info) ->
       (* Annotation for inspection: the closure executor implements the
          chunked schedule itself, but the C rendering shows what a system
-         compiler would be told. Private workspaces and ordered-append
-         staging are spelled out so the concatenation contract is
-         reviewable. *)
+         compiler would be told. Workspaces are [firstprivate] — every
+         chunk starts from a copy of the pre-loop workspace, which is
+         OpenMP's copy-in clause (plain [private] would leave them
+         uninitialized) — and ordered-append staging is spelled out so
+         the concatenation contract is reviewable. *)
       let privates =
-        match info.Imp.par_private with [] -> "" | ps -> " private(" ^ String.concat ", " ps ^ ")"
+        match info.Imp.par_private with
+        | [] -> ""
+        | ps -> " firstprivate(" ^ String.concat ", " ps ^ ")"
       in
       let stage =
         match info.Imp.par_stage with
@@ -130,22 +309,32 @@ let emit_body kernel =
   List.iter (stmt buf 1) kernel.Imp.k_body;
   Buffer.contents buf
 
-let emit_untraced kernel =
-  let buf = Buffer.create 2048 in
+let prelude ~sort buf =
   Buffer.add_string buf "#include <stdint.h>\n#include <stdbool.h>\n#include <stdlib.h>\n#include <string.h>\n";
   Buffer.add_string buf "#define TACO_MIN(a, b) ((a) < (b) ? (a) : (b))\n";
   Buffer.add_string buf "#define TACO_MAX(a, b) ((a) > (b) ? (a) : (b))\n";
-  Buffer.add_string buf
-    "static int cmp_int32(const void* a, const void* b) { return *(const int32_t*)a - *(const int32_t*)b; }\n\n";
+  if sort then
+    Buffer.add_string buf
+      "static int cmp_int32(const void* a, const void* b) { return *(const int32_t*)a - *(const int32_t*)b; }\n"
+
+let emit_untraced kernel =
+  let buf = Buffer.create 2048 in
+  prelude ~sort:(has_sort kernel.Imp.k_body) buf;
+  Buffer.add_char buf '\n';
+  let written = written_arrays kernel in
   let param p =
     let t = ctype p.Imp.p_dtype in
-    if p.Imp.p_array then Printf.sprintf "%s* restrict %s" t p.Imp.p_name
+    if p.Imp.p_array then
+      if List.mem p.Imp.p_name written then Printf.sprintf "%s* restrict %s" t p.Imp.p_name
+      else Printf.sprintf "const %s* restrict %s" t p.Imp.p_name
     else Printf.sprintf "%s %s" t p.Imp.p_name
   in
   Buffer.add_string buf
     (Printf.sprintf "int %s(%s) {\n" kernel.Imp.k_name
        (String.concat ", " (List.map param kernel.Imp.k_params)));
-  Buffer.add_string buf (emit_body kernel);
+  let used = used_tbl kernel.Imp.k_body in
+  let unused v = not (Hashtbl.mem used v) in
+  List.iter (stmt ~unused buf 1) kernel.Imp.k_body;
   Buffer.add_string buf "  return 0;\n}\n";
   Buffer.contents buf
 
@@ -154,3 +343,282 @@ let emit kernel =
     ~args:[ ("kernel", kernel.Imp.k_name) ]
     "codegen_c"
     (fun () -> emit_untraced kernel)
+
+(* ------------------------------------------------------------------ *)
+(* Exec rendering: the translation unit the native backend compiles   *)
+(* with the system C compiler and calls through dlopen. One exported  *)
+(* entry point with a flat ABI:                                       *)
+(*                                                                    *)
+(*   int taco_entry(const int64_t* iargs, const double* fargs,        *)
+(*                  void** aargs, void** esc, int64_t* esc_len,       *)
+(*                  int64_t mem_limit, int64_t deadline_ns)           *)
+(*                                                                    *)
+(* Scalar parameters arrive in iargs/fargs and array parameters in    *)
+(* aargs, each in kernel-parameter order. Arrays the kernel allocates *)
+(* (workspaces and assembled outputs) are returned through esc[] /    *)
+(* esc_len[] in {!exec_escapes} order; ownership of those buffers     *)
+(* passes to the caller on success. Return codes: 0 ok, 1 allocation  *)
+(* failed or exceeded [mem_limit] (host maps it to E_EXEC_MEM), 2     *)
+(* deadline expired (E_EXEC_CANCELLED). On a nonzero return every     *)
+(* kernel allocation has been freed and esc[] is untouched.           *)
+(*                                                                    *)
+(* Semantics mirror the closure executor so results are bit-identical:*)
+(* allocations are [max 1 n] elements zeroed, reallocs grow to        *)
+(* [max old n] with a zeroed tail, the budget check is element-count  *)
+(* > limit/8 on the clamped size, and outermost For loops poll the    *)
+(* deadline every 256 iterations. The host passes -ffp-contract=off   *)
+(* so the compiler cannot fuse a*b+c into fma and change rounding.    *)
+(* ------------------------------------------------------------------ *)
+
+type ectx = {
+  ebuf : Buffer.t;
+  allocs : (string * Imp.dtype) list;
+  used : (string, unit) Hashtbl.t;
+  mutable uses_clock : bool;
+  mutable uses_fail : bool;
+  mutable par_id : int;
+}
+
+(* A ParallelFor the exec rendering can hand to OpenMP directly: no
+   ordered-append staging, every private an allocated array (each
+   thread gets a heap copy), no allocation inside the body, and no
+   assignment to scalars declared outside the body. Anything else runs
+   sequentially (the closure executor's chunk-merge protocol has no
+   cheap OpenMP equivalent, and a goto out of a parallel region —
+   which the allocation failure paths need — is illegal C). *)
+let omp_parallelizable ctx body info =
+  info.Imp.par_stage = None
+  && List.for_all (fun p -> List.mem_assoc p ctx.allocs) info.Imp.par_private
+  && (not
+        (body_has
+           (function Imp.Alloc _ | Imp.Realloc _ -> true | _ -> false)
+           body))
+  &&
+  let decl = Imp.declared body in
+  List.for_all (fun v -> List.mem v decl) (assign_targets body)
+
+let rec stmt_exec ctx ind ~depth s =
+  let buf = ctx.ebuf in
+  let pad () = Buffer.add_string buf (String.make (2 * ind) ' ') in
+  let line fmt = Printf.ksprintf (fun s -> pad (); Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let fail rc = Printf.sprintf "{ taco_rc = %d; goto taco_fail; }" rc in
+  match s with
+  | Imp.Decl (t, v, e) ->
+      line "%s %s = %s;%s" (ctype t) v (estr e)
+        (if Hashtbl.mem ctx.used v then "" else " (void)" ^ v ^ ";")
+  | Imp.Assign (v, e) -> line "%s = %s;" v (estr e)
+  | Imp.Store (a, i, v) -> line "%s[%s] = %s;" a (estr i) (estr v)
+  | Imp.Store_add (a, i, v) -> line "%s[%s] += %s;" a (estr i) (estr v)
+  | Imp.Alloc (t, v, n) ->
+      ctx.uses_fail <- true;
+      line "{";
+      line "  int64_t taco_n = (int64_t)(%s);" (estr n);
+      line "  if (taco_n < 1) taco_n = 1;";
+      line "  if (taco_mem_limit != INT64_MAX && taco_n > taco_mem_limit / 8) %s" (fail 1);
+      line "  free(%s);" v;
+      line "  %s = (%s*)calloc((size_t)taco_n, sizeof(%s));" v (ctype t) (ctype t);
+      line "  if (!%s) %s" v (fail 1);
+      line "  taco_cap_%s = taco_n;" v;
+      line "}"
+  | Imp.Realloc (v, n) ->
+      ctx.uses_fail <- true;
+      let t = try List.assoc v ctx.allocs with Not_found -> invalid_arg "Codegen_c.emit_exec: realloc of a parameter array" in
+      line "{";
+      line "  int64_t taco_n = (int64_t)(%s);" (estr n);
+      line "  if (taco_n < taco_cap_%s) taco_n = taco_cap_%s;" v v;
+      line "  if (taco_mem_limit != INT64_MAX && taco_n > taco_mem_limit / 8) %s" (fail 1);
+      line "  %s* taco_p = (%s*)realloc(%s, (size_t)taco_n * sizeof(%s));" (ctype t) (ctype t) v (ctype t);
+      line "  if (!taco_p) %s" (fail 1);
+      line "  memset(taco_p + taco_cap_%s, 0, (size_t)(taco_n - taco_cap_%s) * sizeof(%s));" v v (ctype t);
+      line "  %s = taco_p;" v;
+      line "  taco_cap_%s = taco_n;" v;
+      line "}"
+  | Imp.Memset (v, n) -> line "memset(%s, 0, (size_t)(%s) * sizeof(*%s));" v (estr n) v
+  | Imp.For (v, lo, hi, body) ->
+      line "for (int32_t %s = %s; %s < %s; %s++) {" v (estr lo) v (estr hi) v;
+      if depth = 0 then begin
+        ctx.uses_clock <- true;
+        ctx.uses_fail <- true;
+        line "  if (taco_deadline_ns != INT64_MAX && (%s & %d) == 0 && taco_now_ns() > taco_deadline_ns) %s"
+          v 255 (fail 2)
+      end;
+      List.iter (stmt_exec ctx (ind + 1) ~depth:(depth + 1)) body;
+      line "}"
+  | Imp.ParallelFor (v, lo, hi, body, info) ->
+      if not (omp_parallelizable ctx body info) then begin
+        line "// taco: parallel loop run sequentially by the native backend (staged append)";
+        stmt_exec ctx ind ~depth (Imp.For (v, lo, hi, body))
+      end
+      else begin
+        let id = ctx.par_id in
+        ctx.par_id <- ctx.par_id + 1;
+        let privates =
+          List.map (fun p -> (p, List.assoc p ctx.allocs)) info.Imp.par_private
+        in
+        let pv p = Printf.sprintf "taco_pv%d_%s" id p in
+        let body =
+          if privates = [] then body
+          else
+            let f a = if List.mem_assoc a privates then pv a else a in
+            List.map (subst_stmt f) body
+        in
+        (* No deadline poll inside these loops: a goto out of an OpenMP
+           region is illegal C, so parallel loops are not cancellable
+           mid-flight (the host documents this narrowing). *)
+        if privates = [] then begin
+          line "#pragma omp parallel for schedule(static)";
+          line "for (int32_t %s = %s; %s < %s; %s++) {" v (estr lo) v (estr hi) v;
+          List.iter (stmt_exec ctx (ind + 1) ~depth:(depth + 1)) body;
+          line "}"
+        end
+        else begin
+          ctx.uses_fail <- true;
+          line "{";
+          line "  int taco_oom%d = 0;" id;
+          line "  #pragma omp parallel reduction(|:taco_oom%d)" id;
+          line "  {";
+          List.iter
+            (fun (p, t) ->
+              line "    %s* %s = (%s*)malloc((size_t)TACO_MAX(taco_cap_%s, 1) * sizeof(%s));"
+                (ctype t) (pv p) (ctype t) p (ctype t))
+            privates;
+          line "    int taco_ok%d = %s;" id
+            (String.concat " && " (List.map (fun (p, _) -> pv p ^ " != NULL") privates));
+          line "    if (taco_ok%d) {" id;
+          List.iter
+            (fun (p, t) ->
+              line "      memcpy(%s, %s, (size_t)taco_cap_%s * sizeof(%s));" (pv p) p p (ctype t))
+            privates;
+          line "    } else {";
+          line "      taco_oom%d = 1;" id;
+          line "    }";
+          line "    #pragma omp for schedule(static)";
+          line "    for (int32_t %s = %s; %s < %s; %s++) {" v (estr lo) v (estr hi) v;
+          line "      if (taco_ok%d) {" id;
+          List.iter (stmt_exec ctx (ind + 4) ~depth:(depth + 1)) body;
+          line "      }";
+          line "    }";
+          List.iter (fun (p, _) -> line "    free(%s);" (pv p)) privates;
+          line "  }";
+          line "  if (taco_oom%d) %s" id (fail 1);
+          line "}"
+        end
+      end
+  | Imp.While (c, body) ->
+      line "while (%s) {" (estr c);
+      List.iter (stmt_exec ctx (ind + 1) ~depth:(depth + 1)) body;
+      line "}"
+  | Imp.If (c, t, []) ->
+      line "if (%s) {" (estr c);
+      List.iter (stmt_exec ctx (ind + 1) ~depth) t;
+      line "}"
+  | Imp.If (c, [], e) ->
+      line "if (%s) {" (estr (Imp.Not c));
+      List.iter (stmt_exec ctx (ind + 1) ~depth) e;
+      line "}"
+  | Imp.If (c, t, e) ->
+      line "if (%s) {" (estr c);
+      List.iter (stmt_exec ctx (ind + 1) ~depth) t;
+      line "} else {";
+      List.iter (stmt_exec ctx (ind + 1) ~depth) e;
+      line "}"
+  | Imp.Sort (v, lo, hi) ->
+      line "qsort(%s + %s, %s - %s, sizeof(int32_t), cmp_int32);" v (estr lo) (estr hi) (estr lo)
+  | Imp.Comment c -> line "// %s" c
+
+let entry_name = "taco_entry"
+
+let emit_exec_untraced kernel =
+  (match exec_unsupported kernel with
+  | Some r -> invalid_arg ("Codegen_c.emit_exec: " ^ r)
+  | None -> ());
+  let body = kernel.Imp.k_body in
+  let allocs = alloc_list body in
+  let escapes = exec_escapes kernel in
+  let written = written_arrays kernel in
+  let used = used_tbl body in
+  let ctx = { ebuf = Buffer.create 4096; allocs; used; uses_clock = false; uses_fail = false; par_id = 0 } in
+  List.iter (stmt_exec ctx 1 ~depth:0) body;
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (Printf.sprintf "// taco native rendering of kernel %s\n" kernel.Imp.k_name);
+  prelude ~sort:(has_sort body) buf;
+  if ctx.uses_clock then begin
+    Buffer.add_string buf "#include <time.h>\n";
+    Buffer.add_string buf
+      "static int64_t taco_now_ns(void) {\n\
+      \  struct timespec taco_ts;\n\
+      \  clock_gettime(CLOCK_MONOTONIC, &taco_ts);\n\
+      \  return (int64_t)taco_ts.tv_sec * 1000000000LL + (int64_t)taco_ts.tv_nsec;\n\
+       }\n"
+  end;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nint %s(const int64_t* taco_iargs, const double* taco_fargs, void** taco_aargs,\n\
+       \               void** taco_esc, int64_t* taco_esc_len, int64_t taco_mem_limit,\n\
+       \               int64_t taco_deadline_ns) {\n" entry_name);
+  Buffer.add_string buf
+    "  (void)taco_iargs; (void)taco_fargs; (void)taco_aargs; (void)taco_esc;\n\
+    \  (void)taco_esc_len; (void)taco_mem_limit; (void)taco_deadline_ns;\n";
+  if ctx.uses_fail then Buffer.add_string buf "  int taco_rc = 0;\n";
+  (* Parameter bindings, in kernel-parameter order with one running
+     index per argument bank. *)
+  let ii = ref 0 and fi = ref 0 and ai = ref 0 in
+  List.iter
+    (fun p ->
+      let n = p.Imp.p_name in
+      let silence = if Hashtbl.mem used n then "" else Printf.sprintf " (void)%s;" n in
+      (if not p.Imp.p_array then begin
+         match p.Imp.p_dtype with
+         | Imp.Int ->
+             Buffer.add_string buf
+               (Printf.sprintf "  int32_t %s = (int32_t)taco_iargs[%d];%s\n" n !ii silence);
+             incr ii
+         | Imp.Float ->
+             Buffer.add_string buf
+               (Printf.sprintf "  double %s = taco_fargs[%d];%s\n" n !fi silence);
+             incr fi
+         | Imp.Bool -> invalid_arg "Codegen_c.emit_exec: bool parameter"
+       end
+       else
+         let t = ctype p.Imp.p_dtype in
+         let decl =
+           if List.mem n written then Printf.sprintf "  %s* restrict %s = (%s*)taco_aargs[%d];%s\n" t n t !ai silence
+           else Printf.sprintf "  const %s* restrict %s = (const %s*)taco_aargs[%d];%s\n" t n t !ai silence
+         in
+         Buffer.add_string buf decl;
+         incr ai))
+    kernel.Imp.k_params;
+  (* Allocated arrays: declared up front (NULL) with a capacity tracker
+     so re-allocation, the zeroed realloc tail and the escape lengths
+     all have one source of truth, and so the failure path can free
+     everything unconditionally. *)
+  List.iter
+    (fun (v, t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s* %s = NULL; int64_t taco_cap_%s = 0; (void)taco_cap_%s;\n" (ctype t) v v v))
+    allocs;
+  Buffer.add_string buf (Buffer.contents ctx.ebuf);
+  (* Success epilogue: hand escaping buffers to the host, free the rest. *)
+  List.iteri
+    (fun i (v, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  taco_esc[%d] = %s; taco_esc_len[%d] = taco_cap_%s;\n" i v i v))
+    escapes;
+  List.iter
+    (fun (v, t) ->
+      if t = Imp.Bool then Buffer.add_string buf (Printf.sprintf "  free(%s);\n" v))
+    allocs;
+  Buffer.add_string buf "  return 0;\n";
+  if ctx.uses_fail then begin
+    Buffer.add_string buf "taco_fail:\n";
+    List.iter (fun (v, _) -> Buffer.add_string buf (Printf.sprintf "  free(%s);\n" v)) allocs;
+    Buffer.add_string buf "  return taco_rc;\n"
+  end;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let emit_exec kernel =
+  Taco_support.Trace.with_span ~cat:"lower"
+    ~args:[ ("kernel", kernel.Imp.k_name) ]
+    "codegen_c.exec"
+    (fun () -> emit_exec_untraced kernel)

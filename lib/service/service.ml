@@ -26,10 +26,11 @@ type request = {
   inputs : (string * Tensor.t) list;
   result_format : Format.t option;
   domains : int option;
+  backend : Taco.Compile.backend option;
 }
 
-let request ?(directives = []) ?result_format ?domains ~expr ~inputs () =
-  { expr; directives; inputs; result_format; domains }
+let request ?(directives = []) ?result_format ?domains ?backend ~expr ~inputs () =
+  { expr; directives; inputs; result_format; domains; backend }
 
 type response = {
   tensor : Tensor.t;
@@ -72,6 +73,9 @@ type stats = {
   quarantined : int;
   live_workers : int;
   peak_workers : int;
+  exec_native : int;
+  exec_closure : int;
+  backend_downgraded : int;
 }
 
 type t = {
@@ -101,6 +105,9 @@ type t = {
   mutable st_replaced : int;
   mutable st_quarantined : int;
   mutable st_peak_workers : int;
+  mutable st_exec_native : int;
+  mutable st_exec_closure : int;
+  mutable st_backend_downgraded : int;
 }
 
 let serve_error ?context code fmt = Diag.error ~stage:Diag.Serve ~code ?context fmt
@@ -217,7 +224,19 @@ let apply_directive env sched d =
    keeps doing so however often it is resubmitted. *)
 let poison_key req = Digest.to_hex (Digest.string (Marshal.to_string (req.expr, req.directives) []))
 
-let pipeline job =
+(* Per-request backend accounting: which executor actually serves the
+   kernel, and whether a native request fell back to closures. *)
+let record_backend t compiled ~requested =
+  let actual = Taco.backend_of compiled in
+  Mutex.lock t.s_mutex;
+  (match actual with
+  | `Native -> t.st_exec_native <- t.st_exec_native + 1
+  | `Closure -> t.st_exec_closure <- t.st_exec_closure + 1);
+  if requested = `Native && actual = `Closure then
+    t.st_backend_downgraded <- t.st_backend_downgraded + 1;
+  Mutex.unlock t.s_mutex
+
+let pipeline t job =
   Fault.hit ~stage:Diag.Serve "serve.pipeline";
   let req = job.j_req in
   let ( let* ) = Result.bind in
@@ -249,9 +268,11 @@ let pipeline job =
   if job.j_shed then Trace.add "serve.shed.degraded" 1;
   let* compiled =
     if List.mem Auto req.directives then
-      Result.map fst (Taco.auto_compile ~name ?opt sched)
-    else Taco.compile ~name ?opt sched
+      Result.map fst (Taco.auto_compile ~name ?opt ?backend:req.backend sched)
+    else Taco.compile ~name ?opt ?backend:req.backend sched
   in
+  record_backend t compiled
+    ~requested:(Option.value ~default:`Closure req.backend);
   (* The deadline may have passed while compiling; do not burn a worker
      on executing a result nobody is waiting for. *)
   check_deadline job;
@@ -357,7 +378,7 @@ let process t job =
         Trace.with_span ~cat:"serve"
           ~args:[ ("expr", job.j_req.expr) ]
           "serve.exec"
-          (fun () -> pipeline job)
+          (fun () -> pipeline t job)
       with
       | outcome -> outcome
       | exception Expired d -> Error d
@@ -518,6 +539,9 @@ let create ?(domains = 1) ?(queue_depth = 64) ?shed_queue () =
       st_replaced = 0;
       st_quarantined = 0;
       st_peak_workers = domains;
+      st_exec_native = 0;
+      st_exec_closure = 0;
+      st_backend_downgraded = 0;
     }
   in
   t.s_workers <- List.init domains (fun _ -> spawn_worker t);
@@ -617,6 +641,9 @@ let stats t =
       quarantined = t.st_quarantined;
       live_workers = t.s_live;
       peak_workers = t.st_peak_workers;
+      exec_native = t.st_exec_native;
+      exec_closure = t.st_exec_closure;
+      backend_downgraded = t.st_backend_downgraded;
     }
   in
   Mutex.unlock t.s_mutex;
@@ -664,7 +691,10 @@ let shutdown t =
     t.s_live <- 0;
     t.s_state <- Stopped;
     Condition.broadcast t.s_stopped;
-    Mutex.unlock t.s_mutex
+    Mutex.unlock t.s_mutex;
+    (* Temp-artifact hygiene: sweep native build leftovers now that no
+       worker can be mid-compile (loaded kernels stay callable). *)
+    Taco.Native.cleanup ()
   end
   else begin
     (* Another domain owns the drain; wait for it to finish. *)

@@ -84,14 +84,21 @@ type request = {
           domains actually spawned are clamped against the process-wide
           {!Taco.Budget}, of which this pool's workers hold their share;
           results are bit-identical either way. *)
+  backend : Taco.Compile.backend option;
+      (** execution backend (default [`Closure]). [`Native] compiles
+          the kernel's emitted C to a shared object; when no C compiler
+          is available the request is served by closures anyway and
+          counted in [stats.backend_downgraded] — never a client
+          error. *)
 }
 
-(** Convenience constructor; [directives], [result_format] and [domains]
-    default to none. *)
+(** Convenience constructor; [directives], [result_format], [domains]
+    and [backend] default to none. *)
 val request :
   ?directives:directive list ->
   ?result_format:Format.t ->
   ?domains:int ->
+  ?backend:Taco.Compile.backend ->
   expr:string ->
   inputs:(string * Tensor.t) list ->
   unit ->
@@ -125,6 +132,11 @@ type stats = {
   quarantined : int;  (** request structures quarantined as poison *)
   live_workers : int;  (** workers currently in their serving loop *)
   peak_workers : int;  (** high-water mark of [live_workers] *)
+  exec_native : int;  (** requests whose kernel ran natively *)
+  exec_closure : int;  (** requests whose kernel ran through closures *)
+  backend_downgraded : int;
+      (** [`Native] requests served by closures (compiler unavailable
+          or build failed) *)
 }
 
 (** [create ~domains ~queue_depth ()] spawns the worker pool. [domains]
@@ -165,6 +177,8 @@ val queue_length : t -> int
 (** Worker-domain count of the pool. *)
 val domains : t -> int
 
-(** Stop admission, drain the queue, join every worker domain.
-    Idempotent; concurrent callers all return after the drain. *)
+(** Stop admission, drain the queue, join every worker domain, then
+    sweep the native backend's on-disk build artifacts
+    ({!Taco.Native.cleanup}). Idempotent; concurrent callers all return
+    after the drain. *)
 val shutdown : t -> unit

@@ -23,6 +23,7 @@ module Lower = Taco_lower.Lower
 module Opt = Taco_lower.Opt
 module Codegen_c = Taco_lower.Codegen_c
 module Compile = Taco_exec.Compile
+module Native = Taco_exec.Native
 module Kernel = Taco_exec.Kernel
 module Parallel = Taco_exec.Parallel
 module Budget = Taco_exec.Budget
@@ -48,8 +49,8 @@ let default_mode stmt =
       Lower.Assemble { emit_values = true; sorted = true }
   | Some _ | None -> Lower.Compute
 
-let prepare_res ?checked ?profile ?opt info =
-  match Kernel.prepare ?checked ?profile ?opt info with
+let prepare_res ?checked ?profile ?opt ?backend info =
+  match Kernel.prepare ?checked ?profile ?opt ?backend info with
   | kern -> Ok kern
   | exception Invalid_argument msg ->
       Diag.error ~stage:Diag.Compile ~code:"E_COMPILE_TYPE"
@@ -71,7 +72,7 @@ let parallelize v sched =
         ~context:[ ("index", Index_var.name v) ]
         "%s" msg
 
-let compile ?(name = "kernel") ?mode ?splits ?checked ?profile ?opt sched =
+let compile ?(name = "kernel") ?mode ?splits ?checked ?profile ?opt ?backend sched =
   let stmt = Schedule.stmt sched in
   let mode = match mode with Some m -> m | None -> default_mode stmt in
   match Lower.lower ~name ?splits ?parallel:(Schedule.parallel sched) ~mode stmt with
@@ -80,11 +81,13 @@ let compile ?(name = "kernel") ?mode ?splits ?checked ?profile ?opt sched =
         ~code:(if par_illegal msg then "E_PAR_ILLEGAL" else "E_LOWER")
         "%s" msg
   | Ok info -> (
-      match prepare_res ?checked ?profile ?opt info with
+      match prepare_res ?checked ?profile ?opt ?backend info with
       | Error e -> Error e
       | Ok kern -> Ok { sched; kern })
 
 let kernel c = c.kern
+
+let backend_of c = Kernel.backend c.kern
 
 let schedule_of c = c.sched
 
@@ -211,7 +214,7 @@ let run_with_output ?domains ?deadline_ns c ~inputs ~output =
   run_exec c (fun () ->
       Kernel.run_compute ?domains ?deadline_ns c.kern ~inputs ~output)
 
-let auto_compile ?(name = "kernel") ?mode ?checked ?profile ?opt sched =
+let auto_compile ?(name = "kernel") ?mode ?checked ?profile ?opt ?backend sched =
   let stmt = Schedule.stmt sched in
   let mode = match mode with Some m -> m | None -> default_mode stmt in
   let lowerable s = Result.map (fun (_ : Lower.kernel_info) -> ()) (Lower.lower ~name ~mode s) in
@@ -224,7 +227,7 @@ let auto_compile ?(name = "kernel") ?mode ?checked ?profile ?opt sched =
       match Diag.of_msg ~stage:Diag.Lower ~code:"E_LOWER" (Lower.lower ~name ~mode stmt') with
       | Error e -> Error e
       | Ok info -> (
-          match prepare_res ?checked ?profile ?opt info with
+          match prepare_res ?checked ?profile ?opt ?backend info with
           | Error e -> Error e
           | Ok kern -> Ok ({ sched = Schedule.of_stmt stmt'; kern }, steps)))
 

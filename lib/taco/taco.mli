@@ -30,6 +30,7 @@ module Lower = Taco_lower.Lower
 module Opt = Taco_lower.Opt
 module Codegen_c = Taco_lower.Codegen_c
 module Compile = Taco_exec.Compile
+module Native = Taco_exec.Native
 module Kernel = Taco_exec.Kernel
 module Parallel = Taco_exec.Parallel
 module Budget = Taco_exec.Budget
@@ -62,9 +63,12 @@ type compiled
     reported as stage-[Execute] diagnostics naming the kernel, variable
     and index. [opt] selects the {!Opt} passes applied to the lowered
     kernel (default: all); [profile] compiles in the counter-gathering
-    execution mode (see {!Compile.run_stats}). Failures are
-    stage-tagged diagnostics ([Lower] for lowering rejections,
-    [Compile] for kernel compilation). *)
+    execution mode (see {!Compile.run_stats}). [backend] selects the
+    executor: [`Closure] (default) or [`Native], which compiles the
+    emitted C to a shared object and downgrades to closures — counted,
+    never an error — when no C compiler is available (see
+    {!Compile.backend}). Failures are stage-tagged diagnostics ([Lower]
+    for lowering rejections, [Compile] for kernel compilation). *)
 val compile :
   ?name:string ->
   ?mode:Lower.mode ->
@@ -72,6 +76,7 @@ val compile :
   ?checked:bool ->
   ?profile:bool ->
   ?opt:Opt.config ->
+  ?backend:Compile.backend ->
   Schedule.t ->
   (compiled, Diag.t) result
 
@@ -85,6 +90,10 @@ val compile :
 val parallelize : Index_var.t -> Schedule.t -> (Schedule.t, Diag.t) result
 
 val kernel : compiled -> Kernel.t
+
+(** The backend actually executing this statement's kernel ([`Closure]
+    when a [`Native] request was downgraded). *)
+val backend_of : compiled -> Compile.backend
 
 (** The (scheduled) concrete index notation behind a compiled statement. *)
 val schedule_of : compiled -> Schedule.t
@@ -141,6 +150,7 @@ val auto_compile :
   ?checked:bool ->
   ?profile:bool ->
   ?opt:Opt.config ->
+  ?backend:Compile.backend ->
   Schedule.t ->
   (compiled * Autoschedule.step list, Diag.t) result
 

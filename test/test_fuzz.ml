@@ -210,6 +210,11 @@ type outcome = Ran | Rejected
 (* Instances whose parallel differential leg actually executed. *)
 let par_ran = ref 0
 
+(* Instances whose native-backend differential leg really ran a
+   compiled shared object (0 on machines without a C compiler — the
+   leg skips cleanly there). *)
+let native_ran = ref 0
+
 (* Fault-injected leg bookkeeping: instances where an injected fault
    fired (and was reported as [E_FAULT_INJECTED]) vs instances that
    survived the armed campaign and had to reproduce the exact bits. *)
@@ -317,6 +322,42 @@ let run_one sc =
                   "optimizer changed result bits at %d (%h vs %h) on %s"
                   idx x b_unopt.(idx) (Cin.to_string plain))
             b_opt;
+          (* Native differential leg: the same schedule built by the C
+             backend must reproduce the closure bits exactly. A
+             downgrade (no compiler, or a structurally unsupported
+             kernel) falls back to closures and the comparison is
+             trivially satisfied; only genuine native runs count
+             towards coverage. Compiled without [~checked] — checked
+             kernels deliberately pin to the closure executor. *)
+          (if Taco_exec.Native.available () then
+             let ncompile () =
+               match Taco.compile ~backend:`Native sched with
+               | Ok nc -> Ok nc
+               | Error _ -> Result.map fst (Taco.auto_compile ~backend:`Native sched)
+             in
+             match ncompile () with
+             | Error d ->
+                 if not (acceptable_reject d) then
+                   failf "native-backend compile rejection: %s" (Diag.to_string d)
+             | Ok nc -> (
+                 if Taco.backend_of nc = `Native then incr native_ran;
+                 match Taco.run nc ~inputs with
+                 | Error d ->
+                     if not (acceptable_reject d) then
+                       failf "native run failed: %s" (Diag.to_string d)
+                 | Ok nr ->
+                     let nb = D.buffer (T.to_dense nr) in
+                     if Array.length nb <> Array.length b_opt then
+                       failf "native result differs in shape on %s" (Cin.to_string plain)
+                     else
+                       Array.iteri
+                         (fun idx x ->
+                           if Int64.bits_of_float x <> Int64.bits_of_float b_opt.(idx)
+                           then
+                             failf
+                               "native backend changed result bits at %d (%h vs %h) on %s"
+                               idx x b_opt.(idx) (Cin.to_string plain))
+                         nb));
           (* Parallel differential leg: when the outermost loop accepts
              the parallelize directive, the chunked executor must
              reproduce the sequential result bit for bit — optimized and
@@ -493,9 +534,9 @@ let test_pipeline_fuzz =
    than being rejected. *)
 let test_coverage () =
   Printf.printf
-    "fuzz campaign: %d instances ran end to end (%d with a parallel leg), %d rejected; \
-     fault leg: %d injected, %d survived bit-identical\n%!"
-    !ran !par_ran !rejected !fault_injected !fault_survived;
+    "fuzz campaign: %d instances ran end to end (%d with a parallel leg, %d native), \
+     %d rejected; fault leg: %d injected, %d survived bit-identical\n%!"
+    !ran !par_ran !native_ran !rejected !fault_injected !fault_survived;
   Alcotest.(check bool)
     (Printf.sprintf "fault leg covered both outcomes (%d injected, %d survived)"
        !fault_injected !fault_survived)
