@@ -95,11 +95,48 @@ let make_workloads ~n ~density prng =
 
 type backoff = { bk_retries : int; bk_gave_up : int }
 
+(* Per-workload latency distribution, reservoir-sampled (Algorithm R)
+   with a deterministic PRNG so the sample — and hence the reported
+   percentiles — is reproducible run to run. The reservoir bounds
+   memory at high request counts while keeping every workload's
+   percentiles unbiased; below [reservoir_capacity] observations it is
+   simply exact. *)
+let reservoir_capacity = 512
+
+type reservoir = {
+  rv_sample : float array;
+  mutable rv_seen : int;
+  rv_prng : Taco_support.Prng.t;
+}
+
+let reservoir_make seed =
+  {
+    rv_sample = Array.make reservoir_capacity 0.;
+    rv_seen = 0;
+    rv_prng = Taco_support.Prng.create seed;
+  }
+
+let reservoir_add rv v =
+  if rv.rv_seen < reservoir_capacity then rv.rv_sample.(rv.rv_seen) <- v
+  else begin
+    let j = Taco_support.Prng.int rv.rv_prng (rv.rv_seen + 1) in
+    if j < reservoir_capacity then rv.rv_sample.(j) <- v
+  end;
+  rv.rv_seen <- rv.rv_seen + 1
+
+(* (sorted sample, observations seen) *)
+let reservoir_finish rv =
+  let n = min rv.rv_seen reservoir_capacity in
+  let s = Array.sub rv.rv_sample 0 n in
+  Array.sort compare s;
+  (s, rv.rv_seen)
+
 type sweep = {
   sw_domains : int;
   sw_elapsed_s : float;
   sw_throughput_rps : float;
-  sw_lat_ms : float array;  (* sorted *)
+  sw_lat_ms : float array;  (* sorted, all workloads *)
+  sw_lat_by_workload : (string * (float array * int)) list;
   sw_stats : Service.stats;
   sw_cache : Compile.cache_stats;
   sw_backoff : backoff;
@@ -135,6 +172,10 @@ let retry_hint_ms d =
    the result nnz observed per workload, and the backoff counters. *)
 let run_closed_loop svc workloads ~total ~window ~prng =
   let lat_ms = Array.make total 0. in
+  let reservoirs =
+    Array.to_list workloads
+    |> List.mapi (fun i w -> (w.w_name, reservoir_make (7000 + i)))
+  in
   let nnz : (string, int) Hashtbl.t = Hashtbl.create 4 in
   let outstanding = Queue.create () in
   let retries = ref 0 and gave_up = ref 0 in
@@ -175,13 +216,17 @@ let run_closed_loop svc workloads ~total ~window ~prng =
             failf "loadgen: %s result nnz changed between requests (%d vs %d)" name prev n
         | Some _ -> ())
     | Error d -> failf "loadgen: %s failed: %s" name (Diag.to_string d));
-    lat_ms.(!completed) <-
-      Int64.to_float (Int64.sub (now_ns ()) t_submit) /. 1e6;
+    let ms = Int64.to_float (Int64.sub (now_ns ()) t_submit) /. 1e6 in
+    lat_ms.(!completed) <- ms;
+    (match List.assoc_opt name reservoirs with
+    | Some rv -> reservoir_add rv ms
+    | None -> ());
     incr completed
   done;
   let elapsed_s = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9 in
   ( elapsed_s,
     lat_ms,
+    List.map (fun (name, rv) -> (name, reservoir_finish rv)) reservoirs,
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) nnz [],
     { bk_retries = !retries; bk_gave_up = !gave_up } )
 
@@ -192,7 +237,9 @@ let run_sweep workloads ~domains ~total ~window =
   Compile.cache_clear ();
   let prng = Taco_support.Prng.create (1000 + domains) in
   let svc = Service.create ~domains ~queue_depth:(max 64 window) () in
-  let elapsed_s, lat_ms, nnz, backoff = run_closed_loop svc workloads ~total ~window ~prng in
+  let elapsed_s, lat_ms, by_workload, nnz, backoff =
+    run_closed_loop svc workloads ~total ~window ~prng
+  in
   Service.shutdown svc;
   let stats = Service.stats svc in
   let cache = Compile.cache_stats () in
@@ -215,6 +262,7 @@ let run_sweep workloads ~domains ~total ~window =
     sw_elapsed_s = elapsed_s;
     sw_throughput_rps = float_of_int total /. elapsed_s;
     sw_lat_ms = lat_ms;
+    sw_lat_by_workload = by_workload;
     sw_stats = stats;
     sw_cache = cache;
     sw_backoff = backoff;
@@ -323,6 +371,20 @@ let sweep_json sw =
             ("p99", Report.Float (percentile sw.sw_lat_ms 99.));
             ("max", Report.Float (percentile sw.sw_lat_ms 100.));
           ] );
+      ( "latency_by_workload_ms",
+        Report.Obj
+          (List.map
+             (fun (name, (sample, seen)) ->
+               ( name,
+                 Report.Obj
+                   [
+                     ("p50", Report.Float (percentile sample 50.));
+                     ("p95", Report.Float (percentile sample 95.));
+                     ("p99", Report.Float (percentile sample 99.));
+                     ("samples", Report.Int (Array.length sample));
+                     ("observations", Report.Int seen);
+                   ] ))
+             sw.sw_lat_by_workload) );
       ( "service",
         Report.Obj
           [
@@ -365,6 +427,7 @@ let sweep_json sw =
 
 let () =
   let smoke = ref false in
+  let metrics = ref false in
   let total = ref 0 in
   let window = ref 8 in
   let size = ref 0 in
@@ -375,6 +438,9 @@ let () =
     | [] -> ()
     | "--smoke" :: rest ->
         smoke := true;
+        parse rest
+    | "--metrics" :: rest ->
+        metrics := true;
         parse rest
     | "--requests" :: n :: rest ->
         total := int_of_string n;
@@ -396,7 +462,7 @@ let () =
         parse rest
     | arg :: _ ->
         Printf.eprintf
-          "usage: loadgen [--smoke] [--requests N] [--window N] [--size N]\n\
+          "usage: loadgen [--smoke] [--metrics] [--requests N] [--window N] [--size N]\n\
           \               [--domains 1,2,4] [--trace FILE] [--out FILE]\n\
            unknown argument %S\n"
           arg;
@@ -407,6 +473,10 @@ let () =
   let size = if !size > 0 then !size else if !smoke then 150 else 400 in
   Obs.setup ();
   if !trace_file <> None then Trace.enable ();
+  (* --metrics exists for the overhead A/B: the same run with and
+     without the registry recording must agree on throughput to within
+     a few percent (see EXPERIMENTS.md). *)
+  if !metrics then Metrics.enable ();
   let prng = Taco_support.Prng.create 42 in
   let workloads = make_workloads ~n:size ~density:0.02 prng in
   Printf.printf
@@ -425,6 +495,13 @@ let () =
           domains sw.sw_throughput_rps (percentile sw.sw_lat_ms 50.)
           (percentile sw.sw_lat_ms 99.) sw.sw_stats.Service.peak_queue
           sw.sw_cache.Compile.misses sw.sw_cache.Compile.coalesced;
+        List.iter
+          (fun (name, (sample, seen)) ->
+            Printf.printf
+              "  %-8s p50=%6.2fms p95=%6.2fms p99=%6.2fms  (%d of %d observations)\n%!"
+              name (percentile sample 50.) (percentile sample 95.)
+              (percentile sample 99.) (Array.length sample) seen)
+          sw.sw_lat_by_workload;
         sw)
       !domain_counts
   in

@@ -1,0 +1,200 @@
+(* A small recursive-descent JSON parser over the stdlib, shared by the
+   observability checkers (trace_check, metrics_check) and benchdiff.
+   The image has no JSON library, and the files these tools read — trace
+   dumps, metrics snapshots, bench reports — use a plain subset of JSON
+   anyway.
+
+   [Bad] carries a byte position in its message; callers decide the exit
+   discipline. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance st;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect st c =
+  skip_ws st;
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail "expected %c at byte %d, found %c" c st.pos c'
+  | None -> fail "expected %c at byte %d, found end of input" c st.pos
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail "unterminated string at byte %d" st.pos
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> fail "dangling escape at byte %d" st.pos
+        | Some 'u' ->
+            advance st;
+            if st.pos + 4 > String.length st.src then fail "truncated \\u escape";
+            let hex = String.sub st.src st.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with Failure _ -> fail "bad \\u escape %S" hex
+            in
+            (* Keep it simple: escapes in these files are control chars. *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else Buffer.add_string b (Printf.sprintf "\\u%s" hex);
+            st.pos <- st.pos + 4;
+            go ()
+        | Some c ->
+            advance st;
+            Buffer.add_char b
+              (match c with
+              | 'n' -> '\n'
+              | 't' -> '\t'
+              | 'r' -> '\r'
+              | 'b' -> '\b'
+              | 'f' -> '\012'
+              | '"' | '\\' | '/' -> c
+              | c -> fail "unknown escape \\%c" c);
+            go ())
+    | Some c ->
+        advance st;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail "bad number %S at byte %d" s start
+
+let parse_literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail "bad literal at byte %d" st.pos
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail "unexpected end of input"
+  | Some '"' -> Str (parse_string st)
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              advance st;
+              List.rev ((k, v) :: acc)
+          | _ -> fail "expected , or } at byte %d" st.pos
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              elements (v :: acc)
+          | Some ']' ->
+              advance st;
+              List.rev (v :: acc)
+          | _ -> fail "expected , or ] at byte %d" st.pos
+        in
+        Arr (elements [])
+      end
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some _ -> Num (parse_number st)
+
+let parse_document src =
+  let st = { src; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length src then
+    fail "trailing bytes after JSON document at byte %d" st.pos;
+  v
+
+let of_file file =
+  let ic = open_in_bin file in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_document src
+
+(* ---- accessors ---- *)
+
+let field obj k = match obj with Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let str_field what obj k =
+  match field obj k with
+  | Some (Str s) -> s
+  | Some _ -> fail "%s: %S is not a string" what k
+  | None -> fail "%s: missing %S" what k
+
+let num_field what obj k =
+  match field obj k with
+  | Some (Num f) -> f
+  | Some _ -> fail "%s: %S is not a number" what k
+  | None -> fail "%s: missing %S" what k

@@ -67,12 +67,13 @@ let parse_backend = function
   | s -> die "unknown backend %S (use closure, or c for the native C backend)" s
 
 let run_cli expr_str formats dims density seed reorders precomputes split_specs auto
-    backend_str print_cin print_c do_run do_time trace_file do_stats =
+    backend_str print_cin print_c do_run do_time trace_file do_stats do_metrics =
   protect @@ fun () ->
   Obs.setup ();
   let backend = parse_backend backend_str in
   let observing = trace_file <> None || do_stats in
   if observing then Trace.enable ();
+  if do_metrics then Metrics.enable ();
   let parse_pair what s =
     match String.index_opt s ':' with
     | Some k -> (String.sub s 0 k, String.sub s (k + 1) (String.length s - k - 1))
@@ -247,6 +248,7 @@ let run_cli expr_str formats dims density seed reorders precomputes split_specs 
           s.Compile.iterations s.Compile.scalar_ops s.Compile.allocs s.Compile.alloc_elems
           s.Compile.zero_bytes s.Compile.reallocs s.Compile.sorts
   end;
+  if do_metrics then prerr_string (Metrics.to_prometheus ());
   match trace_file with
   | None -> ()
   | Some file ->
@@ -275,6 +277,8 @@ let protocol_help =
       "         returns 'ok ticket ID'";
       "  wait ID                                     await an eval& ticket";
       "  stats                                       service counters as one JSON line";
+      "  metrics                                     Prometheus text exposition of the";
+      "         metrics registry, framed as 'ok metrics N' + N lines";
       "  quit                                        end this session";
       "  stop                                        (socket mode) stop the server";
     ]
@@ -406,6 +410,10 @@ let run_serve domains queue_depth socket trace_file =
   protect @@ fun () ->
   Obs.setup ();
   if trace_file <> None then Trace.enable ();
+  (* Metrics are always on in a serving process: the registry is cheap
+     (lock-free per-domain shards) and a server that cannot answer
+     `metrics` is flying blind. *)
+  Metrics.enable ();
   let svc = Service.create ~domains ~queue_depth () in
   let tensors : (string, Tensor.t) Hashtbl.t = Hashtbl.create 16 in
   let tickets : (int, Service.ticket) Hashtbl.t = Hashtbl.create 16 in
@@ -437,22 +445,44 @@ let run_serve domains queue_depth socket trace_file =
             Some (response_line (Service.await t)))
     | "stats" ->
         (* One JSON line, so scrapers and the fixture test can consume
-           it without a protocol parser. *)
+           it without a protocol parser. The p50/p99 fields come from
+           the metrics registry's latency histograms (merged across all
+           backend/outcome series); 0 on a fresh session. *)
         let s = Service.stats svc in
         let c = Compile.cache_stats () in
+        let q_us name q =
+          match Metrics.quantile_ns name q with
+          | None -> 0
+          | Some ns -> int_of_float (ns /. 1e3)
+        in
         Some
           (Printf.sprintf
              "{\"queue\":%d,\"domains\":%d,\"live_workers\":%d,\"peak_workers\":%d,\
               \"submitted\":%d,\"completed\":%d,\"rejected\":%d,\"timed_out\":%d,\
               \"failed\":%d,\"peak_queue\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\
               \"shed\":%d,\"crashed\":%d,\"replaced\":%d,\"quarantined\":%d,\
-              \"exec_native\":%d,\"exec_closure\":%d,\"backend_downgraded\":%d}"
+              \"exec_native\":%d,\"exec_closure\":%d,\"backend_downgraded\":%d,\
+              \"wait_p50_us\":%d,\"wait_p99_us\":%d,\"run_p50_us\":%d,\"run_p99_us\":%d}"
              (Service.queue_length svc) (Service.domains svc) s.Service.live_workers
              s.Service.peak_workers s.Service.submitted s.Service.completed
              s.Service.rejected s.Service.timed_out s.Service.failed s.Service.peak_queue
              c.Compile.hits c.Compile.misses s.Service.shed s.Service.crashed
              s.Service.replaced s.Service.quarantined s.Service.exec_native
-             s.Service.exec_closure s.Service.backend_downgraded)
+             s.Service.exec_closure s.Service.backend_downgraded
+             (q_us "taco_serve_wait_seconds" 0.5)
+             (q_us "taco_serve_wait_seconds" 0.99)
+             (q_us "taco_serve_run_seconds" 0.5)
+             (q_us "taco_serve_run_seconds" 0.99))
+    | "metrics" ->
+        (* Prometheus text exposition, framed for the line protocol:
+           "ok metrics N" then exactly N exposition lines, so a client
+           (or the @metrics-smoke checker) can cut them out of a session
+           transcript without guessing where they end. *)
+        let text = Metrics.to_prometheus () in
+        let lines = String.split_on_char '\n' text |> List.filter (( <> ) "") in
+        Some
+          (String.concat "\n"
+             (Printf.sprintf "ok metrics %d" (List.length lines) :: lines))
     | "help" -> Some protocol_help
     | "quit" -> raise Exit
     | "stop" ->
@@ -571,6 +601,11 @@ let trace_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print a span/counter summary and kernel work counters to stderr.")
 
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+       ~doc:"Record metrics (latency histograms per pipeline stage, counters) \
+             and dump the registry in Prometheus text exposition to stderr on exit.")
+
 let serve_cmd =
   let domains_arg =
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains in the pool.")
@@ -596,7 +631,8 @@ let () =
     Term.(
       const run_cli $ expr_arg $ formats_arg $ dims_arg $ density_arg $ seed_arg
       $ reorder_arg $ precompute_arg $ split_arg $ auto_arg $ backend_arg
-      $ print_cin_arg $ print_c_arg $ run_arg $ time_arg $ trace_arg $ stats_arg)
+      $ print_cin_arg $ print_c_arg $ run_arg $ time_arg $ trace_arg $ stats_arg
+      $ metrics_arg)
   in
   let info =
     Cmd.info "tacocli"

@@ -13,200 +13,22 @@
    - timestamps are non-decreasing in array order (the exporter sorts);
    - B and E events balance like a stack per "tid" (spans nest within a
      domain; events from different domains interleave freely), with each
-     E naming the span opened by the matching B on the same tid;
+     E naming the span opened by the matching B on the same tid — i.e.
+     every span is closed;
    - X (complete) events carry a numeric "dur" >= 0;
+   - a "rid" argument (the service's request id, stamped by
+     Trace.set_request_id) is a positive decimal integer, and the
+     events of any one request id have non-decreasing timestamps;
    - each REQUIRED_SPAN appears (as a B/E pair or an X event) with a
      strictly positive total duration. With no explicit names the
      default list covers the full pipeline: parse, concretize,
      schedule.reorder, schedule.precompute, lower, every default
      optimizer pass, codegen_c, compile, compile.build and exec.run.
 
-   Stdlib only (no yojson in the image), so JSON parsing is a small
-   recursive-descent parser over the subset trace files use. *)
+   JSON parsing is the shared stdlib-only Mini_json (no yojson in the
+   image). *)
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
-
-exception Bad of string
-
-let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
-
-(* ---- parsing ---- *)
-
-type state = { src : string; mutable pos : int }
-
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
-
-let advance st = st.pos <- st.pos + 1
-
-let skip_ws st =
-  while
-    match peek st with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance st;
-        true
-    | _ -> false
-  do
-    ()
-  done
-
-let expect st c =
-  skip_ws st;
-  match peek st with
-  | Some c' when c' = c -> advance st
-  | Some c' -> fail "expected %c at byte %d, found %c" c st.pos c'
-  | None -> fail "expected %c at byte %d, found end of input" c st.pos
-
-let parse_string st =
-  expect st '"';
-  let b = Buffer.create 16 in
-  let rec go () =
-    match peek st with
-    | None -> fail "unterminated string at byte %d" st.pos
-    | Some '"' -> advance st
-    | Some '\\' -> (
-        advance st;
-        match peek st with
-        | None -> fail "dangling escape at byte %d" st.pos
-        | Some 'u' ->
-            advance st;
-            if st.pos + 4 > String.length st.src then fail "truncated \\u escape";
-            let hex = String.sub st.src st.pos 4 in
-            let code =
-              try int_of_string ("0x" ^ hex)
-              with Failure _ -> fail "bad \\u escape %S" hex
-            in
-            (* Keep it simple: escapes in trace files are control chars. *)
-            if code < 0x80 then Buffer.add_char b (Char.chr code)
-            else Buffer.add_string b (Printf.sprintf "\\u%s" hex);
-            st.pos <- st.pos + 4;
-            go ()
-        | Some c ->
-            advance st;
-            Buffer.add_char b
-              (match c with
-              | 'n' -> '\n'
-              | 't' -> '\t'
-              | 'r' -> '\r'
-              | 'b' -> '\b'
-              | 'f' -> '\012'
-              | '"' | '\\' | '/' -> c
-              | c -> fail "unknown escape \\%c" c);
-            go ())
-    | Some c ->
-        advance st;
-        Buffer.add_char b c;
-        go ()
-  in
-  go ();
-  Buffer.contents b
-
-let parse_number st =
-  let start = st.pos in
-  let is_num_char = function
-    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-    | _ -> false
-  in
-  while (match peek st with Some c -> is_num_char c | None -> false) do
-    advance st
-  done;
-  let s = String.sub st.src start (st.pos - start) in
-  match float_of_string_opt s with
-  | Some f -> f
-  | None -> fail "bad number %S at byte %d" s start
-
-let parse_literal st word v =
-  let n = String.length word in
-  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
-    st.pos <- st.pos + n;
-    v
-  end
-  else fail "bad literal at byte %d" st.pos
-
-let rec parse_value st =
-  skip_ws st;
-  match peek st with
-  | None -> fail "unexpected end of input"
-  | Some '"' -> Str (parse_string st)
-  | Some '{' ->
-      advance st;
-      skip_ws st;
-      if peek st = Some '}' then begin
-        advance st;
-        Obj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws st;
-          let k = parse_string st in
-          expect st ':';
-          let v = parse_value st in
-          skip_ws st;
-          match peek st with
-          | Some ',' ->
-              advance st;
-              members ((k, v) :: acc)
-          | Some '}' ->
-              advance st;
-              List.rev ((k, v) :: acc)
-          | _ -> fail "expected , or } at byte %d" st.pos
-        in
-        Obj (members [])
-      end
-  | Some '[' ->
-      advance st;
-      skip_ws st;
-      if peek st = Some ']' then begin
-        advance st;
-        Arr []
-      end
-      else begin
-        let rec elements acc =
-          let v = parse_value st in
-          skip_ws st;
-          match peek st with
-          | Some ',' ->
-              advance st;
-              elements (v :: acc)
-          | Some ']' ->
-              advance st;
-              List.rev (v :: acc)
-          | _ -> fail "expected , or ] at byte %d" st.pos
-        in
-        Arr (elements [])
-      end
-  | Some 't' -> parse_literal st "true" (Bool true)
-  | Some 'f' -> parse_literal st "false" (Bool false)
-  | Some 'n' -> parse_literal st "null" Null
-  | Some _ -> Num (parse_number st)
-
-let parse_document src =
-  let st = { src; pos = 0 } in
-  let v = parse_value st in
-  skip_ws st;
-  if st.pos <> String.length src then fail "trailing bytes after JSON document at byte %d" st.pos;
-  v
-
-(* ---- schema checks ---- *)
-
-let field obj k = match obj with Obj kvs -> List.assoc_opt k kvs | _ -> None
-
-let str_field what obj k =
-  match field obj k with
-  | Some (Str s) -> s
-  | Some _ -> fail "%s: %S is not a string" what k
-  | None -> fail "%s: missing %S" what k
-
-let num_field what obj k =
-  match field obj k with
-  | Some (Num f) -> f
-  | Some _ -> fail "%s: %S is not a number" what k
-  | None -> fail "%s: missing %S" what k
+open Mini_json
 
 let default_required =
   [
@@ -248,6 +70,29 @@ let check_events events =
         Hashtbl.replace stacks tid s;
         s
   in
+  (* Per-request-id timestamp high-water marks: a request's events must
+     not go backwards even if the global sort ever changes. *)
+  let rid_ts : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let rid_events = ref 0 in
+  let check_rid what e ts =
+    match field e "args" with
+    | None -> ()
+    | Some args -> (
+        match field args "rid" with
+        | None -> ()
+        | Some (Str s) -> (
+            match int_of_string_opt s with
+            | Some rid when rid > 0 ->
+                incr rid_events;
+                (match Hashtbl.find_opt rid_ts rid with
+                | Some prev when ts < prev ->
+                    fail "%s: rid %d timestamp %.3f goes backwards (previous %.3f)"
+                      what rid ts prev
+                | _ -> ());
+                Hashtbl.replace rid_ts rid ts
+            | _ -> fail "%s: \"rid\" %S is not a positive integer" what s)
+        | Some _ -> fail "%s: \"rid\" is not a string" what)
+  in
   let last_ts = ref neg_infinity in
   List.iteri
     (fun i e ->
@@ -263,6 +108,7 @@ let check_events events =
       if ts < !last_ts then
         fail "%s: timestamp %.3f goes backwards (previous %.3f)" what ts !last_ts;
       last_ts := ts;
+      check_rid what e ts;
       match ph with
       | "B" ->
           let name = str_field what e "name" in
@@ -294,7 +140,7 @@ let check_events events =
       | (name, _) :: _ ->
           fail "unbalanced trace: span %S on tid %d is never closed" name tid)
     stacks;
-  durations
+  (durations, Hashtbl.length rid_ts, !rid_events)
 
 let () =
   let file, required =
@@ -304,14 +150,8 @@ let () =
         prerr_endline "usage: trace_check FILE [REQUIRED_SPAN ...]";
         exit 2
   in
-  let src =
-    let ic = open_in_bin file in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
   match
-    let doc = parse_document src in
+    let doc = of_file file in
     let events =
       match field doc "traceEvents" with
       | Some (Arr evs) -> evs
@@ -319,7 +159,7 @@ let () =
       | None -> fail "missing \"traceEvents\""
     in
     if events = [] then fail "empty trace";
-    let durations = check_events events in
+    let durations, n_rids, n_rid_events = check_events events in
     List.iter
       (fun name ->
         match Hashtbl.find_opt durations name with
@@ -327,11 +167,13 @@ let () =
         | Some d when d <= 0. -> fail "required span %S has zero duration" name
         | Some _ -> ())
       required;
-    (List.length events, Hashtbl.length durations)
+    (List.length events, Hashtbl.length durations, n_rids, n_rid_events)
   with
-  | n_events, n_spans ->
-      Printf.printf "trace_check: %s OK (%d events, %d span names, %d required spans present)\n"
-        file n_events n_spans (List.length required)
+  | n_events, n_spans, n_rids, n_rid_events ->
+      Printf.printf
+        "trace_check: %s OK (%d events, %d span names, %d required spans present, \
+         %d request ids over %d events)\n"
+        file n_events n_spans (List.length required) n_rids n_rid_events
   | exception Bad msg ->
       Printf.eprintf "trace_check: %s: %s\n" file msg;
       exit 1

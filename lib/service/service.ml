@@ -10,9 +10,19 @@ module Format = Taco_tensor.Format
 module Tensor = Taco_tensor.Tensor
 module Diag = Taco_support.Diag
 module Trace = Taco_support.Trace
+module Metrics = Taco_support.Metrics
+module Events = Taco_support.Events
 module Fault = Taco_support.Faultinject
 module P = Taco_frontend.Parser
 module Tensor_var = Taco_ir.Var.Tensor_var
+
+let log_src = Logs.Src.create "taco.service" ~doc:"Taco evaluation service"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Request ids are process-global (one sequence across all pools), so a
+   trace, the event log and client-side bookkeeping agree on them. *)
+let next_rid = Atomic.make 1
 
 type directive =
   | Reorder of string * string
@@ -46,6 +56,7 @@ type ticket = {
 }
 
 type job = {
+  j_rid : int;
   j_req : request;
   j_enq_ns : int64;
   j_deadline_ns : int64 option;  (* absolute, from the monotonic clock *)
@@ -54,6 +65,10 @@ type job = {
   j_shed : bool;
       (* Accepted past the shed high-water mark: serve it degraded
          (optimizer skipped) to drain the backlog faster. *)
+  mutable j_backend : string;
+      (* executor that actually served it: native/closure/downgraded,
+         or "none" before (or without) a successful compile *)
+  mutable j_compile_ns : int64;  (* measured compile-phase duration *)
 }
 
 type state = Running | Draining | Stopped
@@ -225,15 +240,20 @@ let apply_directive env sched d =
 let poison_key req = Digest.to_hex (Digest.string (Marshal.to_string (req.expr, req.directives) []))
 
 (* Per-request backend accounting: which executor actually serves the
-   kernel, and whether a native request fell back to closures. *)
-let record_backend t compiled ~requested =
+   kernel, and whether a native request fell back to closures. The job
+   carries the answer as a metric label ("downgraded" rather than the
+   executor it landed on, so fallbacks stay visible in histograms). *)
+let record_backend t job compiled ~requested =
   let actual = Taco.backend_of compiled in
+  let downgraded = requested = `Native && actual = `Closure in
+  job.j_backend <-
+    (if downgraded then "downgraded"
+     else match actual with `Native -> "native" | `Closure -> "closure");
   Mutex.lock t.s_mutex;
   (match actual with
   | `Native -> t.st_exec_native <- t.st_exec_native + 1
   | `Closure -> t.st_exec_closure <- t.st_exec_closure + 1);
-  if requested = `Native && actual = `Closure then
-    t.st_backend_downgraded <- t.st_backend_downgraded + 1;
+  if downgraded then t.st_backend_downgraded <- t.st_backend_downgraded + 1;
   Mutex.unlock t.s_mutex
 
 let pipeline t job =
@@ -266,13 +286,20 @@ let pipeline t job =
      own run time for queue drain. *)
   let opt = if job.j_shed then Some Taco.Opt.none else None in
   if job.j_shed then Trace.add "serve.shed.degraded" 1;
-  let* compiled =
+  let compile_t0 = Trace.now_ns () in
+  let compiled_r =
     if List.mem Auto req.directives then
       Result.map fst (Taco.auto_compile ~name ?opt ?backend:req.backend sched)
     else Taco.compile ~name ?opt ?backend:req.backend sched
   in
-  record_backend t compiled
+  job.j_compile_ns <- Int64.sub (Trace.now_ns ()) compile_t0;
+  let* compiled = compiled_r in
+  record_backend t job compiled
     ~requested:(Option.value ~default:`Closure req.backend);
+  if Metrics.enabled () then
+    Metrics.observe_ns
+      ~labels:[ ("backend", job.j_backend) ]
+      "taco_serve_compile_seconds" job.j_compile_ns;
   (* The deadline may have passed while compiling; do not burn a worker
      on executing a result nobody is waiting for. *)
   check_deadline job;
@@ -336,8 +363,12 @@ let poll ticket =
 
 let ms_of_ns ns = Int64.to_int (Int64.div ns 1_000_000L)
 
+let set_worker_gauge live =
+  if Metrics.enabled () then
+    Metrics.set_gauge "taco_serve_live_workers" (float_of_int live)
+
 (* Classify and record one finished job. Called on the worker, off the
-   service mutex for the trace counters. *)
+   service mutex for the trace counters, metrics and the event log. *)
 let finish t job ~wait_ns ~run_ns outcome =
   let kind =
     match outcome with
@@ -357,44 +388,99 @@ let finish t job ~wait_ns ~run_ns outcome =
   | `Completed -> Trace.add "serve.completed" 1
   | `Timed_out -> Trace.add "serve.timeout" 1
   | `Failed -> Trace.add "serve.failed" 1);
+  (* A shed job that still completed is its own outcome: it was served
+     degraded, and its latency belongs in a separate series. Timeouts
+     and failures of shed jobs keep the failure outcome — that is the
+     more important fact about them. *)
+  let outcome_l =
+    match kind with
+    | `Completed -> if job.j_shed then "shed" else "completed"
+    | `Timed_out -> "timed_out"
+    | `Failed -> "failed"
+  in
+  let code =
+    match (kind, outcome) with
+    | `Failed, Error d -> Some d.Diag.code
+    | _ -> None
+  in
+  if Metrics.enabled () then begin
+    Metrics.inc
+      ~labels:
+        (("outcome", outcome_l)
+        :: (match code with Some c -> [ ("code", c) ] | None -> []))
+      "taco_serve_requests_total";
+    let bl = [ ("backend", job.j_backend); ("outcome", outcome_l) ] in
+    Metrics.observe_ns ~labels:bl "taco_serve_wait_seconds" wait_ns;
+    Metrics.observe_ns ~labels:bl "taco_serve_run_seconds" run_ns;
+    let cs = Taco.Compile.cache_stats () in
+    let lookups = cs.Taco.Compile.hits + cs.Taco.Compile.misses in
+    if lookups > 0 then
+      Metrics.set_gauge "taco_compile_cache_hit_ratio"
+        (float_of_int cs.Taco.Compile.hits /. float_of_int lookups)
+  end;
+  if Events.enabled () then
+    Events.emit "serve.request"
+      ([
+         ("rid", Events.Int job.j_rid);
+         ("expr", Events.Str job.j_req.expr);
+         ("outcome", Events.Str outcome_l);
+         ("backend", Events.Str job.j_backend);
+         ("shed", Events.Bool job.j_shed);
+         ("wait_ns", Events.I64 wait_ns);
+         ("run_ns", Events.I64 run_ns);
+         ("compile_ns", Events.I64 job.j_compile_ns);
+       ]
+      @ (match code with Some c -> [ ("code", Events.Str c) ] | None -> [])
+      @
+      match job.j_deadline_ms with
+      | Some ms -> [ ("deadline_ms", Events.Int ms) ]
+      | None -> []);
+  Log.debug (fun m ->
+      m "rid=%d %s backend=%s wait=%dms run=%dms" job.j_rid outcome_l
+        job.j_backend (ms_of_ns wait_ns) (ms_of_ns run_ns));
   resolve job.j_ticket outcome
 
 let process t job =
+  (* Bind the request id to this worker domain for the job's duration:
+     every trace span and instant the pipeline emits below is stamped
+     with it, joining the trace to the event log and the submitter. *)
+  Trace.set_request_id (Some job.j_rid);
   let dequeue_ns = Trace.now_ns () in
   let wait_ns = Int64.sub dequeue_ns job.j_enq_ns in
-  if Trace.enabled () then begin
+  if Trace.active () then begin
     Trace.add "serve.queue_depth" (-1);
     Trace.span_complete ~cat:"serve" ~ts:job.j_enq_ns ~dur_ns:wait_ns "serve.wait"
   end;
   let expired =
     match job.j_deadline_ns with Some d -> dequeue_ns > d | None -> false
   in
-  if expired then
-    finish t job ~wait_ns ~run_ns:0L
-      (Error (deadline_diag ~waited_ms:(ms_of_ns wait_ns) job))
-  else begin
-    let outcome =
-      match
-        Trace.with_span ~cat:"serve"
-          ~args:[ ("expr", job.j_req.expr) ]
-          "serve.exec"
-          (fun () -> pipeline t job)
-      with
-      | outcome -> outcome
-      | exception Expired d -> Error d
-      | exception Diag.Error d -> Error d
-      | exception exn ->
-          serve_error "E_SERVE_INTERNAL" "unexpected exception: %s"
-            (Printexc.to_string exn)
-    in
-    let run_ns = Int64.sub (Trace.now_ns ()) dequeue_ns in
-    let outcome =
-      Result.map
-        (fun (tensor, kernel_name) -> { tensor; kernel_name; wait_ns; run_ns })
-        outcome
-    in
-    finish t job ~wait_ns ~run_ns outcome
-  end
+  (if expired then
+     finish t job ~wait_ns ~run_ns:0L
+       (Error (deadline_diag ~waited_ms:(ms_of_ns wait_ns) job))
+   else begin
+     let outcome =
+       match
+         Trace.with_span ~cat:"serve"
+           ~args:[ ("expr", job.j_req.expr) ]
+           "serve.exec"
+           (fun () -> pipeline t job)
+       with
+       | outcome -> outcome
+       | exception Expired d -> Error d
+       | exception Diag.Error d -> Error d
+       | exception exn ->
+           serve_error "E_SERVE_INTERNAL" "unexpected exception: %s"
+             (Printexc.to_string exn)
+     in
+     let run_ns = Int64.sub (Trace.now_ns ()) dequeue_ns in
+     let outcome =
+       Result.map
+         (fun (tensor, kernel_name) -> { tensor; kernel_name; wait_ns; run_ns })
+         outcome
+     in
+     finish t job ~wait_ns ~run_ns outcome
+   end);
+  Trace.set_request_id None
 
 let rec worker_loop t current =
   Mutex.lock t.s_mutex;
@@ -408,6 +494,11 @@ let rec worker_loop t current =
       | Draining | Stopped -> None
   in
   let job = next () in
+  (match job with
+  | Some _ ->
+      Metrics.set_gauge "taco_serve_queue_depth"
+        (float_of_int (Queue.length t.s_queue))
+  | None -> ());
   Mutex.unlock t.s_mutex;
   match job with
   | None -> ()
@@ -472,7 +563,12 @@ and handle_crash t current exn =
     t.s_live <- t.s_live + 1;
     t.st_replaced <- t.st_replaced + 1
   end;
+  let live = t.s_live in
   Mutex.unlock t.s_mutex;
+  Log.warn (fun m ->
+      m "worker domain died (%s); %s" (Printexc.to_string exn)
+        (if replace then "replaced" else "not replacing during drain"));
+  set_worker_gauge live;
   if replace then Trace.add "serve.worker_replaced" 1;
   match poisoned with
   | None -> ()
@@ -545,10 +641,29 @@ let create ?(domains = 1) ?(queue_depth = 64) ?shed_queue () =
     }
   in
   t.s_workers <- List.init domains (fun _ -> spawn_worker t);
+  set_worker_gauge domains;
   t
+
+(* A submission that never reached the queue still counts as a request
+   (outcome="rejected") and still gets an event-log line, so load
+   studies see the offered load, not just the accepted one. *)
+let note_rejected rid req code =
+  Trace.add "serve.rejected" 1;
+  if Metrics.enabled () then
+    Metrics.inc
+      ~labels:[ ("outcome", "rejected"); ("code", code) ]
+      "taco_serve_requests_total";
+  if Events.enabled () then
+    Events.emit "serve.reject"
+      [
+        ("rid", Events.Int rid);
+        ("expr", Events.Str req.expr);
+        ("code", Events.Str code);
+      ]
 
 let submit t ?deadline_ms req =
   let enq_ns = Trace.now_ns () in
+  let rid = Atomic.fetch_and_add next_rid 1 in
   Mutex.lock t.s_mutex;
   let verdict =
     if t.s_state <> Running then `Shutdown
@@ -578,16 +693,24 @@ let submit t ?deadline_ms req =
       if shed then t.st_shed <- t.st_shed + 1;
       Queue.push
         {
+          j_rid = rid;
           j_req = req;
           j_enq_ns = enq_ns;
           j_deadline_ns = deadline_ns;
           j_deadline_ms = deadline_ms;
           j_ticket = ticket;
           j_shed = shed;
+          j_backend = "none";
+          j_compile_ns = 0L;
         }
         t.s_queue;
       t.st_submitted <- t.st_submitted + 1;
       t.st_peak_queue <- max t.st_peak_queue (Queue.length t.s_queue);
+      (* Under the service mutex so enqueue/dequeue gauge writes are
+         ordered (the gauge table has its own lock and never takes this
+         one back — no deadlock). *)
+      Metrics.set_gauge "taco_serve_queue_depth"
+        (float_of_int (Queue.length t.s_queue));
       Condition.signal t.s_nonempty;
       `Accepted (ticket, shed)
     end
@@ -603,9 +726,10 @@ let submit t ?deadline_ms req =
         Trace.add "serve.queue_depth" 1;
         if shed then Trace.add "serve.shed" 1
       end;
+      Metrics.inc "taco_serve_submitted_total";
       Ok ticket
   | `Full retry_after_ms ->
-      Trace.add "serve.rejected" 1;
+      note_rejected rid req "E_SERVE_QUEUE_FULL";
       serve_error "E_SERVE_QUEUE_FULL"
         ~context:
           [
@@ -614,10 +738,10 @@ let submit t ?deadline_ms req =
           ]
         "submission queue is full"
   | `Poison ->
-      Trace.add "serve.rejected" 1;
+      note_rejected rid req "E_SERVE_POISON";
       serve_error "E_SERVE_POISON" "request structure is quarantined (killed workers)"
   | `Shutdown ->
-      Trace.add "serve.rejected" 1;
+      note_rejected rid req "E_SERVE_SHUTDOWN";
       serve_error "E_SERVE_SHUTDOWN" "service is shut down"
 
 let eval t ?deadline_ms req =
@@ -692,6 +816,7 @@ let shutdown t =
     t.s_state <- Stopped;
     Condition.broadcast t.s_stopped;
     Mutex.unlock t.s_mutex;
+    set_worker_gauge 0;
     (* Temp-artifact hygiene: sweep native build leftovers now that no
        worker can be mid-compile (loaded kernels stay callable). *)
     Taco.Native.cleanup ()

@@ -55,7 +55,30 @@
     [serve.rejected], [serve.timeout], [serve.completed],
     [serve.failed], [serve.shed], [serve.shed.degraded],
     [serve.worker_crash], [serve.worker_replaced], [serve.quarantined]
-    and the gauge [serve.queue_depth]. *)
+    and the gauge [serve.queue_depth].
+
+    {b Metrics.} When {!Taco_support.Metrics.enable} is on, every
+    request feeds the registry: [taco_serve_requests_total{outcome
+    [,code]}] (outcomes [completed]/[shed]/[timed_out]/[failed]/
+    [rejected]; failures and rejections carry their diagnostic [code]),
+    [taco_serve_submitted_total], latency histograms
+    [taco_serve_wait_seconds] and [taco_serve_run_seconds] labeled by
+    [backend] ([native]/[closure]/[downgraded]/[none]) and [outcome],
+    [taco_serve_compile_seconds{backend}] for the compile phase, and
+    gauges [taco_serve_queue_depth], [taco_serve_live_workers] and
+    [taco_compile_cache_hit_ratio]. Pipeline stages land in
+    [taco_stage_duration_seconds{stage}] via the trace span hook.
+
+    {b Request ids.} Each submission draws a process-global request id;
+    while a worker processes the job the id is bound to the domain
+    ({!Taco_support.Trace.set_request_id}), so its trace spans carry a
+    [rid] argument, and the structured event log ([TACO_EVENTS=path],
+    {!Taco_support.Events}) gets one [serve.request] line per finished
+    job (and a [serve.reject] line per refused submission) carrying the
+    same id, joining trace, log and client-side bookkeeping.
+
+    The service logs through the [taco.service] source — enable it
+    alone with [TACO_LOG=warn,service=debug]. *)
 
 module Format = Taco_tensor.Format
 module Tensor = Taco_tensor.Tensor

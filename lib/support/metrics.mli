@@ -1,0 +1,109 @@
+(** Process-wide metrics: counters, gauges and log-linear latency
+    histograms, cheap enough to leave enabled in a serving process.
+
+    The registry mirrors {!Trace}'s discipline: everything is behind one
+    [enabled] flag, and a disabled entry point returns after a single
+    flag read — no clock, no allocation, no locking — so instrumented
+    hot paths cost nothing when observability is off.
+
+    {b Sharding.} Counter increments and histogram observations go to a
+    per-domain shard (via [Domain.DLS], the same pattern as {!Trace}'s
+    per-domain span stacks), so worker domains record concurrently
+    without contending on a lock. Shards are merged at scrape time
+    ({!snapshot}, {!to_prometheus}, {!to_json}). A scrape that races
+    recording domains may observe a slightly stale view; after the
+    recording domains are joined the merge is exact. Gauges are
+    last-write-wins process globals (sets are rare — queue depth, live
+    workers), kept in a small mutex-guarded table.
+
+    {b Histograms} are HDR-style log-linear: 16 sub-buckets per power of
+    two, so any recorded duration is bucketed with a relative error of
+    at most 1/16 (~6.25%), using a fixed ~600-slot int array per series
+    per domain and no allocation per observation. Values are
+    nanoseconds; quantiles interpolate within the resolved bucket.
+
+    {b Series identity} is (metric name, sorted label pairs). Metric
+    names should already be valid Prometheus names
+    ([[a-zA-Z_:][a-zA-Z0-9_:]*]); the encoders sanitize defensively.
+    Histogram metrics are duration-valued by convention: name them
+    [*_seconds] — the Prometheus and JSON encoders convert the stored
+    nanoseconds to seconds on output.
+
+    {b Pipeline stages.} {!enable} installs a {!Trace} span-close hook
+    that feeds every closed span's duration into the
+    [taco_stage_duration_seconds{stage=<span name>}] histogram, so the
+    tracer and the metrics registry share one clock and one set of stage
+    names — a request's [--trace] spans and its scraped stage histograms
+    are the same measurements. *)
+
+type labels = (string * string) list
+
+val enabled : unit -> bool
+
+(** Turn recording on and hook {!Trace} span closes into the
+    [taco_stage_duration_seconds] histogram. *)
+val enable : unit -> unit
+
+(** Turn recording off and uninstall the {!Trace} hook. *)
+val disable : unit -> unit
+
+(** Drop every recorded series (all domains' shards and the gauge
+    table). Call while no other domain is recording. *)
+val reset : unit -> unit
+
+(** {2 Recording} *)
+
+(** [inc name] adds [by] (default 1) to the counter series
+    [(name, labels)]. Labels default to none. *)
+val inc : ?labels:labels -> ?by:int -> string -> unit
+
+(** Last-write-wins gauge set. *)
+val set_gauge : ?labels:labels -> string -> float -> unit
+
+(** Record one duration (nanoseconds) into a histogram series. Negative
+    values clamp to 0. *)
+val observe_ns : ?labels:labels -> string -> int64 -> unit
+
+(** Time [f] and record its duration into the histogram (the timing is
+    skipped entirely when disabled). *)
+val time : ?labels:labels -> string -> (unit -> 'a) -> 'a
+
+(** {2 Scraping} *)
+
+(** A merged histogram: total count, summed nanoseconds, and the raw
+    log-linear bucket counts. *)
+type histogram = { h_count : int; h_sum_ns : float; h_buckets : int array }
+
+(** [quantile h q] for [q] in [0,1]: an estimate of the [q]-quantile in
+    nanoseconds, within one bucket width (≤ 1/16 relative error) of the
+    true order statistic. 0 when the histogram is empty. *)
+val quantile : histogram -> float -> float
+
+type snapshot = {
+  counters : ((string * labels) * int) list;
+  gauges : ((string * labels) * float) list;
+  histograms : ((string * labels) * histogram) list;
+}
+
+(** Merge all shards into a deterministic (name- then label-sorted)
+    snapshot. *)
+val snapshot : unit -> snapshot
+
+(** [quantile_ns name q] merges every histogram series of family [name]
+    (or exactly the [(name, labels)] series when [labels] is given) and
+    returns its [q]-quantile in nanoseconds; [None] when nothing was
+    recorded. *)
+val quantile_ns : ?labels:labels -> string -> float -> float option
+
+(** Prometheus text exposition (version 0.0.4). Counters and gauges
+    expose as their own types; histograms expose as summaries with
+    [quantile] labels 0.5/0.9/0.99/0.999 plus [_sum]/[_count] (seconds).
+    Families are sorted by name, series by labels, so output is
+    deterministic for a deterministic recording. *)
+val to_prometheus : unit -> string
+
+(** The same snapshot as one JSON object
+    [{"counters":[...],"gauges":[...],"histograms":[...]}], each series
+    with its labels, histograms with count/sum and p50/p90/p99/p999 (in
+    seconds, like the Prometheus encoder). *)
+val to_json : unit -> string

@@ -2,7 +2,14 @@
    messages plus a TACO_LOG-driven setup used by every executable
    entry point (tacocli, bench). Libraries log through [Log] freely;
    nothing prints unless an executable called [setup] (or installed its
-   own reporter). *)
+   own reporter).
+
+   TACO_LOG is a comma-separated spec: a bare level sets the global
+   level, and SRC=LEVEL fragments override individual sources (matched
+   by full name or with the "taco." prefix implied), e.g.
+
+     TACO_LOG=warn,service=debug     # quiet compiler, chatty service
+     TACO_LOG=debug                  # everything *)
 
 let src = Logs.Src.create "taco" ~doc:"Taco tensor algebra compiler"
 
@@ -16,18 +23,51 @@ let level_of_string s =
   | "info" -> Ok (Some Logs.Info)
   | "debug" -> Ok (Some Logs.Debug)
   | "app" -> Ok (Some Logs.App)
-  | _ -> Error (`Msg (Printf.sprintf "TACO_LOG: unknown level %S (try quiet|error|warn|info|debug)" s))
+  | _ -> Error (`Msg (Printf.sprintf "unknown level %S (try quiet|error|warn|info|debug)" s))
 
+(* A malformed fragment falls back (globally to [default], per-source to
+   the global level) but always says which fragment was bad — a typo'd
+   TACO_LOG must not silently turn into the default. *)
 let setup ?(default = Some Logs.Warning) () =
-  let level =
-    match Sys.getenv_opt "TACO_LOG" with
-    | None -> default
-    | Some s -> (
-        match level_of_string s with
-        | Ok l -> l
-        | Error (`Msg m) ->
-            Printf.eprintf "%s\n%!" m;
-            default)
-  in
   Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level level
+  match Sys.getenv_opt "TACO_LOG" with
+  | None -> Logs.set_level default
+  | Some spec ->
+      let frags =
+        String.split_on_char ',' spec |> List.map String.trim |> List.filter (( <> ) "")
+      in
+      let globals, per_src = List.partition (fun f -> not (String.contains f '=')) frags in
+      let level =
+        List.fold_left
+          (fun acc frag ->
+            match level_of_string frag with
+            | Ok l -> l
+            | Error (`Msg m) ->
+                Printf.eprintf "TACO_LOG: bad fragment %S: %s\n%!" frag m;
+                acc)
+          default globals
+      in
+      Logs.set_level level;
+      List.iter
+        (fun frag ->
+          match String.index_opt frag '=' with
+          | None -> ()
+          | Some i -> (
+              let name = String.trim (String.sub frag 0 i) in
+              let lvl_s = String.sub frag (i + 1) (String.length frag - i - 1) in
+              match level_of_string lvl_s with
+              | Error (`Msg m) ->
+                  Printf.eprintf "TACO_LOG: bad fragment %S: %s\n%!" frag m
+              | Ok lvl -> (
+                  let matches s =
+                    let n = Logs.Src.name s in
+                    n = name || n = "taco." ^ name
+                  in
+                  match List.filter matches (Logs.Src.list ()) with
+                  | [] ->
+                      Printf.eprintf "TACO_LOG: bad fragment %S: no log source %S (have: %s)\n%!"
+                        frag name
+                        (String.concat ", "
+                           (List.sort String.compare (List.map Logs.Src.name (Logs.Src.list ()))))
+                  | srcs -> List.iter (fun s -> Logs.Src.set_level s lvl) srcs)))
+        per_src

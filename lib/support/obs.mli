@@ -2,19 +2,27 @@
 
     Libraries log through {!Log} (source ["taco"]); nothing is printed
     until an executable installs a reporter, which {!setup} does based
-    on the [TACO_LOG] environment variable
-    ([quiet|error|warn|info|debug], default warn). [TACO_LOG=debug]
+    on the [TACO_LOG] environment variable. [TACO_LOG=debug]
     additionally makes {!Trace.with_span} time and log every span even
-    when the trace buffer is disabled. *)
+    when the trace buffer is disabled.
+
+    [TACO_LOG] is a comma-separated spec. A bare level
+    ([quiet|error|warn|info|debug], default warn) sets the global level;
+    [SRC=LEVEL] fragments override one source, with the ["taco."]
+    prefix implied — [TACO_LOG=warn,service=debug] debugs the service
+    layer ([taco.service]) without drowning in compiler logs. Malformed
+    or unmatched fragments fall back and print the offending fragment
+    on stderr. *)
 
 val src : Logs.src
 
 module Log : Logs.LOG
 
-(** Parse a [TACO_LOG] level string. *)
+(** Parse a [TACO_LOG] level string (one level, not the full
+    comma-separated spec). *)
 val level_of_string : string -> (Logs.level option, [ `Msg of string ]) result
 
-(** Install a {!Logs_fmt} reporter and set the global level from
-    [TACO_LOG], falling back to [default] (default: warnings) when the
-    variable is unset or unparseable. *)
+(** Install a {!Logs_fmt} reporter and apply the [TACO_LOG] spec,
+    falling back to [default] (default: warnings) when the variable is
+    unset or its global fragment is unparseable. *)
 val setup : ?default:Logs.level option -> unit -> unit

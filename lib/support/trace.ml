@@ -67,7 +67,36 @@ let enabled () = !on
 let logging () =
   match Logs.Src.level src with Some Logs.Debug -> true | _ -> false
 
-let active () = !on || logging ()
+(* Span-close hook (installed by Metrics.enable): called with every
+   closed span's duration, whether or not the buffer is recording, so
+   per-stage latency histograms share the tracer's clock and names. *)
+type span_hook = name:string -> cat:string -> dur_ns:int64 -> unit
+
+let span_hook : span_hook option ref = ref None
+
+let set_span_hook h = span_hook := h
+
+let hook_on () = Option.is_some !span_hook
+
+let call_hook name cat dur_ns =
+  match !span_hook with None -> () | Some f -> f ~name ~cat ~dur_ns
+
+let active () = !on || logging () || hook_on ()
+
+(* The current request id is domain-local, like the span stack: a worker
+   domain serves one request at a time, and every event it records while
+   the id is set is stamped with it (an ["rid"] argument), making trace
+   output joinable with the service's per-request event log. *)
+let rid_key : int option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let set_request_id rid = Domain.DLS.get rid_key := rid
+
+let request_id () = !(Domain.DLS.get rid_key)
+
+let rid_args args =
+  match request_id () with
+  | None -> args
+  | Some r -> ("rid", string_of_int r) :: args
 
 let enable () = on := true
 let disable () = on := false
@@ -90,7 +119,9 @@ let log_span name t0 t1 =
 let with_span ?(cat = "taco") ?(args = []) name f =
   if !on then begin
     let t = tid () in
-    let sp = { sp_name = name; sp_cat = cat; sp_ts = now_ns (); sp_tid = t; sp_args = args } in
+    let sp =
+      { sp_name = name; sp_cat = cat; sp_ts = now_ns (); sp_tid = t; sp_args = rid_args args }
+    in
     let stack = my_stack () in
     locked (fun () ->
         push (E_begin sp);
@@ -103,12 +134,18 @@ let with_span ?(cat = "taco") ?(args = []) name f =
         locked (fun () ->
             decr open_count;
             push (E_end { e_name = name; e_ts = t1; e_tid = t }));
+        call_hook name cat (Int64.sub t1 sp.sp_ts);
         log_span name sp.sp_ts t1)
       f
   end
-  else if logging () then begin
+  else if logging () || hook_on () then begin
     let t0 = now_ns () in
-    Fun.protect ~finally:(fun () -> log_span name t0 (now_ns ())) f
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = now_ns () in
+        call_hook name cat (Int64.sub t1 t0);
+        log_span name t0 t1)
+      f
   end
   else f ()
 
@@ -121,11 +158,13 @@ let set_args kv =
 let span_complete ?(cat = "taco") ?(args = []) ~ts ~dur_ns name =
   if !on then begin
     let t = tid () in
+    let args = rid_args args in
     locked (fun () ->
         push
           (E_complete
              { x_name = name; x_cat = cat; x_ts = ts; x_dur = dur_ns; x_tid = t; x_args = args }))
   end;
+  call_hook name cat dur_ns;
   if logging () then log_span name ts (Int64.add ts dur_ns)
 
 let add name n =
@@ -138,6 +177,7 @@ let add name n =
 let instant ?(args = []) name =
   if !on then
     let t = tid () in
+    let args = rid_args args in
     locked (fun () -> push (E_instant { i_name = name; i_ts = now_ns (); i_tid = t; i_args = args }))
 
 let counter_total name =

@@ -44,10 +44,31 @@ val now_ns : unit -> int64
 (** Is the buffer recording? *)
 val enabled : unit -> bool
 
-(** [enabled () || debug-logging on]: whether instrumented paths should
-    bother gathering data (used by callers that compute span arguments
-    eagerly). *)
+(** [enabled () || debug-logging on || a span hook is installed]:
+    whether instrumented paths should bother gathering data (used by
+    callers that compute span arguments eagerly, and to route execution
+    through the instrumented path when only metrics are on). *)
 val active : unit -> bool
+
+(** A span-close callback: called with every closed span's name,
+    category and measured duration — from {!with_span} (even when the
+    buffer is disabled; the span is timed just for the hook) and
+    {!span_complete}. Installed by [Metrics.enable] to feed per-stage
+    latency histograms from the same measurements the tracer records. *)
+type span_hook = name:string -> cat:string -> dur_ns:int64 -> unit
+
+val set_span_hook : span_hook option -> unit
+
+(** {2 Request ids}
+
+    The current request id is domain-local. While set, every event the
+    domain records carries an ["rid"] argument, so Chrome traces join
+    against the service's per-request event log (and [bin/trace_check]
+    can validate per-request invariants). *)
+
+val set_request_id : int option -> unit
+
+val request_id : unit -> int option
 
 val enable : unit -> unit
 

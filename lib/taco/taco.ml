@@ -30,6 +30,8 @@ module Budget = Taco_exec.Budget
 module Diag = Taco_support.Diag
 module Trace = Taco_support.Trace
 module Obs = Taco_support.Obs
+module Metrics = Taco_support.Metrics
+module Events = Taco_support.Events
 
 let ivar = Index_var.make
 
