@@ -1,0 +1,319 @@
+(* Cost-based autoscheduler vs the breadth-first policy. Each workload
+   starts from the unscheduled concretized statement; both policies plan
+   it (the cost search sees real per-tensor statistics), both plans are
+   lowered and run on the same inputs, and where the paper gives a hand
+   schedule (SpGEMM Gustavson, MTTKRP with workspace) that is measured
+   too as the expert reference. The two plans' results must agree
+   (Tensor.equal, eps 1e-9) — a hard gate, not a report field.
+
+   Times, chosen steps, estimated costs and the search's own overhead go
+   to BENCH_autoschedule.json; @bench-drift self-diffs that baseline. *)
+
+open Taco
+
+let get = Harness.get
+
+let fused = Lower.Assemble { emit_values = true; sorted = true }
+
+type workload = {
+  a_name : string;
+  a_stmt : Cin.stmt;  (* unscheduled root *)
+  a_mode : Lower.mode;
+  a_inputs : (Tensor_var.t * Tensor.t) list;
+  a_dims : int array;  (* result dims *)
+  a_dense : bool;  (* run_dense vs run_assemble *)
+  a_hand : Cin.stmt option;  (* expert reference schedule, if any *)
+}
+
+let vi = Harness.vi
+let vj = Harness.vj
+let vk = Harness.vk
+let vl = Harness.vl
+
+let root_of stmt = Schedule.stmt (get (Schedule.of_index_notation stmt))
+
+(* SpGEMM A = B·C, all CSR. Hand reference: the paper's Fig. 2 schedule
+   (reorder k,j + dense workspace over j = Gustavson). *)
+let spgemm ~seed ~dim =
+  let a = tensor "A" Format.csr in
+  let b = tensor "B" Format.csr in
+  let c = tensor "C" Format.csr in
+  let open Index_notation in
+  let stmt = assign a [ vi; vj ] (sum vk (Mul (access b [ vi; vk ], access c [ vk; vj ]))) in
+  let hand, hb, hc = Harness.spgemm_stmt () in
+  let density = 32. /. float_of_int dim in
+  let bt = Inputs.uniform_matrix ~seed ~rows:dim ~cols:dim ~density in
+  let ct = Inputs.uniform_matrix ~seed:(seed + 1) ~rows:dim ~cols:dim ~density in
+  ignore hb;
+  ignore hc;
+  {
+    a_name = "spgemm";
+    a_stmt = root_of stmt;
+    a_mode = fused;
+    a_inputs = [ (b, bt); (c, ct) ];
+    a_dims = [| dim; dim |];
+    a_dense = false;
+    a_hand = Some hand;
+  }
+
+(* SpMV with the matrix in CSC: the row-major loop order of the
+   statement cannot iterate a column-major format, so every policy must
+   at least reorder; the cost model additionally knows the j-outer loop
+   is as cheap as nnz(B). *)
+let spmv_csc ~seed ~dim =
+  let y = tensor "y" Format.dense_vector in
+  let b = tensor "B" Format.csc in
+  let x = tensor "x" Format.dense_vector in
+  let open Index_notation in
+  let stmt = assign y [ vi ] (sum vj (Mul (access b [ vi; vj ], access x [ vj ]))) in
+  let density = 64. /. float_of_int dim in
+  let bt =
+    Tensor.repack (Inputs.uniform_matrix ~seed ~rows:dim ~cols:dim ~density) Format.csc
+  in
+  let xt = Tensor.of_dense (Dense.init [| dim |] (fun _ -> 1.0)) Format.dense_vector in
+  {
+    a_name = "spmv_csc";
+    a_stmt = root_of stmt;
+    a_mode = Lower.Compute;
+    a_inputs = [ (b, bt); (x, xt) ];
+    a_dims = [| dim |];
+    a_dense = true;
+    a_hand = None;
+  }
+
+(* MTTKRP with dense output and factors, sparse 3-tensor. Hand
+   reference: the §VIII-C schedule (reorders + dense workspace). *)
+let mttkrp ~seed ~dim =
+  let a = tensor "A" Format.dense_matrix in
+  let b = tensor "B" (Format.csf 3) in
+  let c = tensor "C" Format.dense_matrix in
+  let d = tensor "D" Format.dense_matrix in
+  let open Index_notation in
+  let stmt =
+    assign a [ vi; vj ]
+      (sum vk (sum vl (Mul (Mul (access b [ vi; vk; vl ], access c [ vl; vj ]), access d [ vk; vj ]))))
+  in
+  let hand, _, _, _ = Harness.mttkrp_sched ~use_workspace:true in
+  let prng = Taco_support.Prng.create seed in
+  let bt =
+    Gen.random_density prng ~dims:[| dim; dim / 2; dim / 2 |]
+      ~density:(32. /. float_of_int (dim * dim)) (Format.csf 3)
+  in
+  let cols = 32 in
+  let ct = Inputs.dense_factor ~seed:(seed + 1) ~rows:(dim / 2) ~cols in
+  let dt = Inputs.dense_factor ~seed:(seed + 2) ~rows:(dim / 2) ~cols in
+  {
+    a_name = "mttkrp";
+    a_stmt = root_of stmt;
+    a_mode = Lower.Compute;
+    a_inputs = [ (b, bt); (c, ct); (d, dt) ];
+    a_dims = [| dim; cols |];
+    a_dense = true;
+    a_hand = Some hand;
+  }
+
+(* Three-matrix chain A = B·C·D, all CSR: two reduction variables, so a
+   lowerable plan needs nontrivial scheduling. No hand reference — this
+   is exactly the statement class the policy system is for. *)
+let chain3 ~seed ~dim =
+  let a = tensor "A" Format.csr in
+  let b = tensor "B" Format.csr in
+  let c = tensor "C" Format.csr in
+  let d = tensor "D" Format.csr in
+  let open Index_notation in
+  let stmt =
+    assign a [ vi; vj ]
+      (sum vk
+         (sum vl (Mul (Mul (access b [ vi; vk ], access c [ vk; vl ]), access d [ vl; vj ]))))
+  in
+  let density = 32. /. float_of_int dim in
+  let bt = Inputs.uniform_matrix ~seed ~rows:dim ~cols:dim ~density in
+  let ct = Inputs.uniform_matrix ~seed:(seed + 1) ~rows:dim ~cols:dim ~density in
+  let dt = Inputs.uniform_matrix ~seed:(seed + 2) ~rows:dim ~cols:dim ~density in
+  {
+    a_name = "chain3";
+    a_stmt = root_of stmt;
+    a_mode = fused;
+    a_inputs = [ (b, bt); (c, ct); (d, dt) ];
+    a_dims = [| dim; dim |];
+    a_dense = false;
+    a_hand = None;
+  }
+
+(* --- running one plan -------------------------------------------------- *)
+
+let kernel_of w stmt =
+  Result.map Kernel.prepare (Lower.lower ~name:("autosched_" ^ w.a_name) ~mode:w.a_mode stmt)
+
+let result_of w k =
+  if w.a_dense then Kernel.run_dense k ~inputs:w.a_inputs ~dims:w.a_dims
+  else Kernel.run_assemble k ~inputs:w.a_inputs ~dims:w.a_dims
+
+let raw_run w k () =
+  if w.a_dense then ignore (Kernel.run_dense k ~inputs:w.a_inputs ~dims:w.a_dims : Tensor.t)
+  else Kernel.run_assemble_raw k ~inputs:w.a_inputs ~dims:w.a_dims
+
+(* Best-of-[reps] over ~60ms batches with the plans interleaved
+   round-robin (cbackend's estimator): noise is strictly additive, and
+   interleaving keeps heap growth or a sustained slow phase from landing
+   on whichever plan happens to be measured last. *)
+let time_plans ~reps w kerns =
+  Gc.compact ();
+  let t0 =
+    List.fold_left
+      (fun acc (_, k) ->
+        let _, t = Taco_support.Util.time (raw_run w k) in
+        Float.max acc t)
+      1e-6 kerns
+  in
+  let batch = max 1 (int_of_float (0.06 /. t0)) in
+  let run_batch k =
+    Gc.full_major ();
+    let _, t =
+      Taco_support.Util.time (fun () ->
+          for _ = 1 to batch do
+            raw_run w k ()
+          done)
+    in
+    t /. float_of_int batch
+  in
+  let best = Array.make (List.length kerns) infinity in
+  for _ = 1 to max 1 reps do
+    List.iteri (fun q (_, k) -> best.(q) <- Float.min best.(q) (run_batch k)) kerns
+  done;
+  List.mapi (fun q (n, _) -> (n, best.(q))) kerns
+
+let plan_json ?cost ?search_ns ~best_s ~steps label =
+  Report.Obj
+    ([
+       ("policy", Report.Str label);
+       ("steps", Report.List (List.map (fun s -> Report.Str s) steps));
+       ("best_s", Report.Float best_s);
+     ]
+    @ (match cost with Some c -> [ ("est_cost", Report.Float c) ] | None -> [])
+    @
+    match search_ns with
+    | Some ns -> [ ("search_ns", Report.Int (Int64.to_int ns)) ]
+    | None -> [])
+
+let run_workload ~reps w =
+  Harness.header (Printf.sprintf "autoschedule: %s" w.a_name);
+  let lowerable s = Result.map ignore (Lower.lower ~name:"probe" ~mode:w.a_mode s) in
+  let stats =
+    List.map (fun (tv, t) -> (Tensor_var.name tv, Stats.of_tensor t)) w.a_inputs
+  in
+  match Autoschedule.run ~lowerable w.a_stmt with
+  | Error e ->
+      Harness.row "  breadth-first policy failed: %s" e;
+      Report.Obj [ ("name", Report.Str w.a_name); ("error", Report.Str e) ]
+  | Ok (stmt_default, steps_default) ->
+      let plan, explain = get (Autoschedule.search ~stats ~lowerable w.a_stmt) in
+      let kd = get (kernel_of w stmt_default) in
+      let kc = get (kernel_of w plan.Autoschedule.p_stmt) in
+      let kh = Option.map (fun s -> get (kernel_of w s)) w.a_hand in
+      (* Identity gate first, before any timing, so the compared results
+         are not retained across the measurements. *)
+      let identical = Tensor.equal ~eps:1e-9 (result_of w kd) (result_of w kc) in
+      if not identical then
+        failwith
+          (Printf.sprintf "%s: cost-chosen plan's result diverges from the default plan's"
+             w.a_name);
+      let kerns =
+        (("default", kd) :: ("cost", kc)
+        :: match kh with Some k -> [ ("hand", k) ] | None -> [])
+      in
+      let times = time_plans ~reps w kerns in
+      let steps_of = function
+        | "default" -> List.map Autoschedule.step_to_string steps_default
+        | "cost" -> List.map Autoschedule.step_to_string plan.Autoschedule.p_steps
+        | _ -> []
+      in
+      let speedup = List.assoc "default" times /. List.assoc "cost" times in
+      List.iter
+        (fun (n, t) ->
+          Harness.row "  %-8s | %10.4fs  %s" n t (String.concat "; " (steps_of n)))
+        times;
+      Harness.row "  cost vs default: %.2fx  (search %.1fms, %d states, %d lowerable)"
+        speedup
+        (Int64.to_float explain.Autoschedule.e_search_ns /. 1e6)
+        explain.Autoschedule.e_considered explain.Autoschedule.e_lowerable;
+      Report.Obj
+        [
+          ("name", Report.Str w.a_name);
+          ( "plans",
+            Report.List
+              (List.map
+                 (fun (n, t) ->
+                   match n with
+                   | "default" ->
+                       plan_json ~cost:explain.Autoschedule.e_default_cost ~best_s:t
+                         ~steps:(steps_of n) n
+                   | "cost" ->
+                       plan_json ~cost:explain.Autoschedule.e_chosen_cost
+                         ~search_ns:explain.Autoschedule.e_search_ns ~best_s:t
+                         ~steps:(steps_of n) n
+                   | _ -> plan_json ~best_s:t ~steps:[] n)
+                 times) );
+          ("speedup_cost_vs_default", Report.Float speedup);
+          ( "parallel_advisory",
+            match plan.Autoschedule.p_par with
+            | Some v -> Report.Str (Index_var.name v)
+            | None -> Report.Null );
+          ("results_equal", Report.Bool true);
+          ( "explain",
+            Report.Obj
+              [
+                ("considered", Report.Int explain.Autoschedule.e_considered);
+                ("lowerable", Report.Int explain.Autoschedule.e_lowerable);
+                ("default_cost", Report.Float explain.Autoschedule.e_default_cost);
+                ("chosen_cost", Report.Float explain.Autoschedule.e_chosen_cost);
+                ("search_ns", Report.Int (Int64.to_int explain.Autoschedule.e_search_ns));
+              ] );
+        ]
+
+let run ~seed ~reps ~dim ~out =
+  Harness.header "Autoscheduler: cost-based search vs breadth-first policy";
+  let workloads =
+    [ spgemm ~seed ~dim; spmv_csc ~seed ~dim:(dim * 4); mttkrp ~seed ~dim; chain3 ~seed ~dim ]
+  in
+  let rows = List.map (run_workload ~reps) workloads in
+  Report.write out
+    (Report.Obj
+       [
+         ("bench", Report.Str "autoschedule");
+         ("seed", Report.Int seed);
+         ("reps", Report.Int reps);
+         ("dim", Report.Int dim);
+         ("workloads", Report.List rows);
+       ])
+
+(* CI gate: on a micro SpGEMM the cost-chosen plan must agree with the
+   default plan bit-for-bit when they coincide (and within eps always),
+   and the search must not pick a plan estimated costlier than the
+   default. Wall-clock is NOT gated — too noisy for CI. *)
+let smoke () =
+  Harness.header "autoschedule smoke (cost-chosen plan validity)";
+  let w = spgemm ~seed:2019 ~dim:300 in
+  let lowerable s = Result.map ignore (Lower.lower ~name:"probe" ~mode:w.a_mode s) in
+  let stats =
+    List.map (fun (tv, t) -> (Tensor_var.name tv, Stats.of_tensor t)) w.a_inputs
+  in
+  let stmt_default, _ = get (Autoschedule.run ~lowerable w.a_stmt) in
+  let plan, explain = get (Autoschedule.search ~stats ~lowerable w.a_stmt) in
+  if explain.Autoschedule.e_chosen_cost > explain.Autoschedule.e_default_cost then begin
+    Taco_support.Obs.Log.err (fun m ->
+        m "autosched-smoke FAILED: chosen plan estimated costlier than default");
+    exit 1
+  end;
+  let kd = get (kernel_of w stmt_default) in
+  let kc = get (kernel_of w plan.Autoschedule.p_stmt) in
+  let rd = result_of w kd and rc = result_of w kc in
+  if not (Tensor.equal ~eps:1e-9 rd rc) then begin
+    Taco_support.Obs.Log.err (fun m ->
+        m "autosched-smoke FAILED: cost plan result diverges from default plan");
+    exit 1
+  end;
+  Printf.printf
+    "autosched-smoke spgemm: default cost %.3g, chosen cost %.3g, %d steps, results agree\n%!"
+    explain.Autoschedule.e_default_cost explain.Autoschedule.e_chosen_cost
+    (List.length plan.Autoschedule.p_steps)

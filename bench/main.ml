@@ -163,6 +163,42 @@ let cbackend_cmd =
     Term.(const run $ seed_arg $ cback_reps_arg $ cback_dim_arg $ cback_out_arg
           $ cback_smoke_arg)
 
+let autosched_dim_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "dim" ] ~doc:"Base matrix dimension for the autoscheduler workloads.")
+
+let autosched_reps_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "reps" ] ~doc:"Repetitions per measurement (median).")
+
+let autosched_out_arg =
+  Arg.(
+    value & opt string "BENCH_autoschedule.json"
+    & info [ "out" ] ~doc:"Where to write the machine-readable plan comparison.")
+
+let autosched_smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:
+          "CI mode: one micro SpGEMM, exit 1 if the cost-chosen plan is estimated \
+           costlier than the breadth-first plan or its result diverges. Writes no JSON.")
+
+let autosched_cmd =
+  let run seed reps dim out smoke =
+    if smoke then Autosched_bench.smoke () else Autosched_bench.run ~seed ~reps ~dim ~out
+  in
+  Cmd.v
+    (Cmd.info "autosched"
+       ~doc:
+         "Cost-based autoscheduler vs the breadth-first policy on unscheduled \
+          statements (SpGEMM, SpMV over CSC, MTTKRP, 3-matrix chain), with real \
+          per-tensor statistics driving the cost model and a result-identity gate.")
+    Term.(const run $ seed_arg $ autosched_reps_arg $ autosched_dim_arg
+          $ autosched_out_arg $ autosched_smoke_arg)
+
 let par_max_domains_arg =
   Arg.(
     value & opt int 4
@@ -232,6 +268,7 @@ let () =
             ablation_cmd;
             opt_cmd;
             cbackend_cmd;
+            autosched_cmd;
             par_cmd;
             micro_cmd;
             all_cmd;

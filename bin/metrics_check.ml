@@ -22,7 +22,13 @@
    - each REQUIRED_FAMILY is present. The default list pins the serving
      acceptance surface: the wait/run latency summaries must expose
      quantiles 0.5 and 0.99 with both "backend" and "outcome" labels,
-     plus the request counters and the queue/worker gauges. *)
+     plus the request counters and the queue/worker gauges.
+
+   A required family may be written "FAMILY>N" (e.g.
+   "taco_plan_cache_hits_total>0"): the family must be present AND
+   carry at least one sample whose value exceeds N — how @plan-smoke
+   asserts that plan-cache hits actually happened, not merely that the
+   counter exists. *)
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Mini_json.Bad s)) fmt
 
@@ -180,6 +186,8 @@ let () =
     let companions : (string * (string * string) list, unit) Hashtbl.t =
       Hashtbl.create 32
     in
+    (* Largest sample seen per family, for the FAMILY>N requirements. *)
+    let max_sample : (string, float) Hashtbl.t = Hashtbl.create 32 in
     let n_samples = ref 0 in
     List.iteri
       (fun i line ->
@@ -203,6 +211,9 @@ let () =
           let name, labels, value = parse_sample what line in
           let family = family_of types name in
           let ty = Hashtbl.find types family in
+          (match Hashtbl.find_opt max_sample family with
+          | Some m when m >= value -> ()
+          | Some _ | None -> Hashtbl.replace max_sample family value);
           (match ty with
           | "counter" ->
               if value < 0. then fail "%s: counter %s is negative" what name
@@ -261,9 +272,25 @@ let () =
     (* The acceptance surface: the latency summaries must be scrapeable
        with p50/p99 split by backend and outcome. *)
     List.iter
-      (fun family ->
+      (fun req ->
+        let family, floor =
+          match String.index_opt req '>' with
+          | Some i ->
+              let thr = String.sub req (i + 1) (String.length req - i - 1) in
+              (match float_of_string_opt thr with
+              | Some f -> (String.sub req 0 i, Some f)
+              | None -> fail "bad requirement %S: %S is not a number" req thr)
+          | None -> (req, None)
+        in
         if not (Hashtbl.mem types family) then
           fail "required family %S is missing" family;
+        (match floor with
+        | Some f -> (
+            match Hashtbl.find_opt max_sample family with
+            | Some m when m > f -> ()
+            | Some m -> fail "required family %S: max sample %g is not > %g" family m f
+            | None -> fail "required family %S has no samples" family)
+        | None -> ());
         if Hashtbl.find types family = "summary" then begin
           let series =
             Hashtbl.fold

@@ -67,7 +67,8 @@ let parse_backend = function
   | s -> die "unknown backend %S (use closure, or c for the native C backend)" s
 
 let run_cli expr_str formats dims density seed reorders precomputes split_specs auto
-    backend_str print_cin print_c do_run do_time trace_file do_stats do_metrics =
+    backend_str print_cin print_c do_run do_time trace_file do_stats do_metrics
+    do_explain =
   protect @@ fun () ->
   Obs.setup ();
   let backend = parse_backend backend_str in
@@ -132,13 +133,13 @@ let run_cli expr_str formats dims density seed reorders precomputes split_specs 
      them would pin a --backend c run to closures, so they win only when
      the closure backend was asked for anyway. *)
   let profile = observing && backend = `Closure in
-  let compiled, steps =
-    if auto then
-      let c, steps = getd (auto_compile ~profile ~backend !sched) in
-      (c, steps)
+  let compiled, steps, explain =
+    if auto || do_explain then
+      let c, steps, ex = getd (auto_compile_explained ~profile ~backend !sched) in
+      (c, steps, Some ex)
     else
       match compile ~splits ~profile ~backend !sched with
-      | Ok c -> (c, [])
+      | Ok c -> (c, [], None)
       | Error e ->
           die "%s\n(hint: pass --auto to search for a schedule automatically)"
             (Diag.to_string e)
@@ -147,6 +148,19 @@ let run_cli expr_str formats dims density seed reorders precomputes split_specs 
     prerr_endline
       "tacocli: native backend unavailable, running through the closure executor";
   List.iter (fun s -> Printf.printf "auto:        %s\n" (Autoschedule.step_to_string s)) steps;
+  (match explain with
+  | Some ex when do_explain ->
+      Printf.printf
+        "explain:     considered=%d lowerable=%d default_cost=%.4g chosen_cost=%.4g \
+         search_us=%Ld cache=%s\n"
+        ex.Autoschedule.e_considered ex.Autoschedule.e_lowerable
+        ex.Autoschedule.e_default_cost ex.Autoschedule.e_chosen_cost
+        (Int64.div ex.Autoschedule.e_search_ns 1000L)
+        (if ex.Autoschedule.e_cache_hit then "hit" else "miss");
+      List.iter
+        (fun (s, c) -> Printf.printf "candidate:   cost=%.4g  %s\n" c s)
+        ex.Autoschedule.e_top
+  | Some _ | None -> ());
   Printf.printf "concrete:    %s\n" (cin_string compiled);
   if print_cin then ();
   if print_c then begin
@@ -450,6 +464,7 @@ let run_serve domains queue_depth socket trace_file =
            backend/outcome series); 0 on a fresh session. *)
         let s = Service.stats svc in
         let c = Compile.cache_stats () in
+        let pc = Autoschedule.cache_stats () in
         let q_us name q =
           match Metrics.quantile_ns name q with
           | None -> 0
@@ -460,13 +475,15 @@ let run_serve domains queue_depth socket trace_file =
              "{\"queue\":%d,\"domains\":%d,\"live_workers\":%d,\"peak_workers\":%d,\
               \"submitted\":%d,\"completed\":%d,\"rejected\":%d,\"timed_out\":%d,\
               \"failed\":%d,\"peak_queue\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\
+              \"plan_hits\":%d,\"plan_misses\":%d,\
               \"shed\":%d,\"crashed\":%d,\"replaced\":%d,\"quarantined\":%d,\
               \"exec_native\":%d,\"exec_closure\":%d,\"backend_downgraded\":%d,\
               \"wait_p50_us\":%d,\"wait_p99_us\":%d,\"run_p50_us\":%d,\"run_p99_us\":%d}"
              (Service.queue_length svc) (Service.domains svc) s.Service.live_workers
              s.Service.peak_workers s.Service.submitted s.Service.completed
              s.Service.rejected s.Service.timed_out s.Service.failed s.Service.peak_queue
-             c.Compile.hits c.Compile.misses s.Service.shed s.Service.crashed
+             c.Compile.hits c.Compile.misses pc.Plan_cache.hits pc.Plan_cache.misses
+             s.Service.shed s.Service.crashed
              s.Service.replaced s.Service.quarantined s.Service.exec_native
              s.Service.exec_closure s.Service.backend_downgraded
              (q_us "taco_serve_wait_seconds" 0.5)
@@ -606,6 +623,12 @@ let metrics_arg =
        ~doc:"Record metrics (latency histograms per pipeline stage, counters) \
              and dump the registry in Prometheus text exposition to stderr on exit.")
 
+let explain_arg =
+  Arg.(value & flag & info [ "explain" ]
+       ~doc:"Autoschedule (implies --auto) and print the plan search's audit \
+             record: candidates considered, estimated default vs. chosen cost, \
+             search time, and the cheapest alternatives.")
+
 let serve_cmd =
   let domains_arg =
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains in the pool.")
@@ -632,7 +655,7 @@ let () =
       const run_cli $ expr_arg $ formats_arg $ dims_arg $ density_arg $ seed_arg
       $ reorder_arg $ precompute_arg $ split_arg $ auto_arg $ backend_arg
       $ print_cin_arg $ print_c_arg $ run_arg $ time_arg $ trace_arg $ stats_arg
-      $ metrics_arg)
+      $ metrics_arg $ explain_arg)
   in
   let info =
     Cmd.info "tacocli"

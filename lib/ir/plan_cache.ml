@@ -1,0 +1,72 @@
+(* Bounded, thread-safe string-keyed cache for chosen plans. FIFO
+   eviction keeps the implementation obviously correct; plan searches
+   are expensive enough that any hit pays for the simplicity. *)
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+type 'a t = {
+  capacity : int;
+  lock : Mutex.t;
+  table : (string, 'a) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, oldest first *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
+  {
+    capacity;
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some v ->
+          t.hits <- t.hits + 1;
+          Some v
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add t key value =
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        if Hashtbl.length t.table >= t.capacity then begin
+          match Queue.take_opt t.order with
+          | Some oldest ->
+              Hashtbl.remove t.table oldest;
+              t.evictions <- t.evictions + 1
+          | None -> ()
+        end;
+        Hashtbl.replace t.table key value;
+        Queue.add key t.order
+      end)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.table;
+      })
+
+let clear t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      Queue.clear t.order;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)

@@ -1,0 +1,27 @@
+(** Bounded, thread-safe cache mapping plan keys to chosen plans.
+
+    Keys are opaque strings built by the caller from (expression
+    structure, stats bucket) — see {!Autoschedule.search} — so repeat
+    traffic on the service skips the plan search entirely. FIFO
+    eviction; all operations take an internal mutex, so worker domains
+    can share one instance. *)
+
+type 'a t
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+(** [create ()] with the given capacity (default 256 entries). Raises
+    [Invalid_argument] on a non-positive capacity. *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** Lookup; counts a hit or a miss. *)
+val find : 'a t -> string -> 'a option
+
+(** Insert (first writer wins; re-adding an existing key is a no-op).
+    Evicts the oldest entry when full. *)
+val add : 'a t -> string -> 'a -> unit
+
+val stats : 'a t -> stats
+
+(** Drop all entries and reset the counters. *)
+val clear : 'a t -> unit

@@ -288,8 +288,18 @@ let pipeline t job =
   if job.j_shed then Trace.add "serve.shed.degraded" 1;
   let compile_t0 = Trace.now_ns () in
   let compiled_r =
-    if List.mem Auto req.directives then
-      Result.map fst (Taco.auto_compile ~name ?opt ?backend:req.backend sched)
+    if List.mem Auto req.directives then begin
+      (* Input sparsity statistics drive the cost-ranked plan search;
+         collection is memoized on tensor identity, and passing stats
+         also keys the chosen plan into the plan cache, so repeat
+         traffic on the same expression shape skips the search. *)
+      let stats =
+        List.map (fun (n, tensor) -> (n, Taco.Stats.of_tensor_memo tensor)) req.inputs
+      in
+      Result.map
+        (fun (c, _, _) -> c)
+        (Taco.auto_compile_explained ~name ?opt ?backend:req.backend ~stats sched)
+    end
     else Taco.compile ~name ?opt ?backend:req.backend sched
   in
   job.j_compile_ns <- Int64.sub (Trace.now_ns ()) compile_t0;

@@ -68,6 +68,25 @@ val observe_ns : ?labels:labels -> string -> int64 -> unit
     skipped entirely when disabled). *)
 val time : ?labels:labels -> string -> (unit -> 'a) -> 'a
 
+(** {2 Log-linear buckets}
+
+    The bucket machinery is exposed so other subsystems (tensor
+    sparsity statistics in [Taco_stats]) can histogram arbitrary
+    non-negative integers — segment lengths, fills — with the same
+    ≤ 1/16 relative-error log-linear layout the latency histograms
+    use. *)
+
+(** Number of buckets in a log-linear histogram array. *)
+val n_buckets : int
+
+(** [bucket_of v] maps a non-negative integer to its bucket index in
+    [\[0, n_buckets)]. Negative values clamp to 0. *)
+val bucket_of : int -> int
+
+(** [bucket_bounds i] is the (lower edge, width) of bucket [i] — the
+    inverse of {!bucket_of} up to bucket resolution. *)
+val bucket_bounds : int -> float * float
+
 (** {2 Scraping} *)
 
 (** A merged histogram: total count, summed nanoseconds, and the raw

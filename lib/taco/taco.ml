@@ -17,6 +17,9 @@ module Workspace = Taco_ir.Workspace
 module Heuristics = Taco_ir.Heuristics
 module Schedule = Taco_ir.Schedule
 module Autoschedule = Taco_ir.Autoschedule
+module Stats = Taco_stats.Stats
+module Cost = Taco_ir.Cost
+module Plan_cache = Taco_ir.Plan_cache
 module Imp = Taco_lower.Imp
 module Merge_lattice = Taco_lower.Merge_lattice
 module Lower = Taco_lower.Lower
@@ -216,22 +219,100 @@ let run_with_output ?domains ?deadline_ns c ~inputs ~output =
   run_exec c (fun () ->
       Kernel.run_compute ?domains ?deadline_ns c.kern ~inputs ~output)
 
-let auto_compile ?(name = "kernel") ?mode ?checked ?profile ?opt ?backend sched =
+let mode_tag = function
+  | Lower.Compute -> "compute"
+  | Lower.Assemble { emit_values; sorted } ->
+      Printf.sprintf "assemble:%b:%b" emit_values sorted
+
+(* Plan-cache key: expression structure x tensor formats x lowering
+   mode x stats bucket. The structure string pins the exact schedule
+   search input; the format list matters because [Cin.to_string] renders
+   tensors by name only, and a cached plan embeds its tensor variables —
+   formats included — so two statements that print alike but store their
+   operands differently must not share a plan. The stats bucket
+   (power-of-two quantized dims/nnz) lets tensors with similar shapes
+   share one plan without letting a cached plan hide a 10x sparsity
+   change. *)
+let plan_key stmt mode stats =
+  let formats =
+    Cin.tensors stmt
+    |> List.map (fun tv ->
+           Tensor_var.name tv ^ ":" ^ Format.to_string (Tensor_var.format tv))
+    |> List.sort compare
+    |> String.concat ";"
+  in
+  let buckets =
+    stats
+    |> List.map (fun (n, s) -> n ^ "=" ^ Stats.bucket s)
+    |> List.sort compare
+    |> String.concat ";"
+  in
+  Cin.to_string stmt ^ "|" ^ formats ^ "|" ^ mode_tag mode ^ "|" ^ buckets
+
+let plan_id stmt = String.sub (Digest.to_hex (Digest.string (Cin.to_string stmt))) 0 12
+
+(* One "plan.chosen" event per search, joinable with serve.request
+   lines by rid: plan id, estimated cost, search time, cache hit. *)
+let emit_plan_event plan (explain : Autoschedule.explain) =
+  if Events.enabled () then begin
+    let base =
+      [
+        ("plan", Events.Str (plan_id plan.Autoschedule.p_stmt));
+        ("est_cost", Events.Float plan.Autoschedule.p_cost);
+        ("default_cost", Events.Float explain.Autoschedule.e_default_cost);
+        ("search_ns", Events.I64 explain.Autoschedule.e_search_ns);
+        ("cache_hit", Events.Bool explain.Autoschedule.e_cache_hit);
+        ("steps", Events.Int (List.length plan.Autoschedule.p_steps));
+      ]
+    in
+    let fields =
+      match Trace.request_id () with
+      | Some rid -> ("rid", Events.Int rid) :: base
+      | None -> base
+    in
+    Events.emit "plan.chosen" fields
+  end
+
+let auto_compile_explained ?(name = "kernel") ?mode ?checked ?profile ?opt ?backend
+    ?stats sched =
   let stmt = Schedule.stmt sched in
   let mode = match mode with Some m -> m | None -> default_mode stmt in
-  let lowerable s = Result.map (fun (_ : Lower.kernel_info) -> ()) (Lower.lower ~name ~mode s) in
+  let lowerable s =
+    Result.map (fun (_ : Lower.kernel_info) -> ()) (Lower.lower ~name ~mode s)
+  in
+  let key = Option.map (plan_key stmt mode) stats in
+  let stats = Option.value ~default:[] stats in
   match
     Diag.of_msg ~stage:Diag.Workspace ~code:"E_AUTOSCHEDULE"
-      (Autoschedule.run ~lowerable stmt)
+      (Autoschedule.search ~stats ?key ~lowerable stmt)
   with
   | Error e -> Error e
-  | Ok (stmt', steps) -> (
-      match Diag.of_msg ~stage:Diag.Lower ~code:"E_LOWER" (Lower.lower ~name ~mode stmt') with
+  | Ok (plan, explain) -> (
+      emit_plan_event plan explain;
+      let sched' =
+        let s = Schedule.of_stmt plan.Autoschedule.p_stmt in
+        match plan.Autoschedule.p_par with
+        | None -> s
+        | Some v -> (
+            (* Advisory; a refusal here just means sequential execution. *)
+            match Schedule.parallelize v s with Ok s' -> s' | Error _ -> s)
+      in
+      match
+        Diag.of_msg ~stage:Diag.Lower ~code:"E_LOWER"
+          (Lower.lower ~name ?parallel:(Schedule.parallel sched') ~mode
+             plan.Autoschedule.p_stmt)
+      with
       | Error e -> Error e
       | Ok info -> (
           match prepare_res ?checked ?profile ?opt ?backend info with
           | Error e -> Error e
-          | Ok kern -> Ok ({ sched = Schedule.of_stmt stmt'; kern }, steps)))
+          | Ok kern ->
+              Ok ({ sched = sched'; kern }, plan.Autoschedule.p_steps, explain)))
+
+let auto_compile ?name ?mode ?checked ?profile ?opt ?backend sched =
+  Result.map
+    (fun (c, steps, _explain) -> (c, steps))
+    (auto_compile_explained ?name ?mode ?checked ?profile ?opt ?backend sched)
 
 let concretize_res stmt =
   Diag.of_msg ~stage:Diag.Concretize ~code:"E_CONCRETIZE"

@@ -24,6 +24,9 @@ module Workspace = Taco_ir.Workspace
 module Heuristics = Taco_ir.Heuristics
 module Schedule = Taco_ir.Schedule
 module Autoschedule = Taco_ir.Autoschedule
+module Stats = Taco_stats.Stats
+module Cost = Taco_ir.Cost
+module Plan_cache = Taco_ir.Plan_cache
 module Imp = Taco_lower.Imp
 module Merge_lattice = Taco_lower.Merge_lattice
 module Lower = Taco_lower.Lower
@@ -155,6 +158,28 @@ val auto_compile :
   ?backend:Compile.backend ->
   Schedule.t ->
   (compiled * Autoschedule.step list, Diag.t) result
+
+(** {!auto_compile} with the full decision surface exposed: pass
+    per-tensor statistics ([stats], names matching the statement's
+    tensor variables — see {!Stats.of_tensor}) to drive the cost model
+    with real sparsity instead of defaults, and receive the search's
+    {!Autoschedule.explain} audit record. When [stats] is given the
+    chosen plan is also cached under (expression structure, lowering
+    mode, stats bucket), so an identical follow-up call skips the search
+    — [e_cache_hit] reports this, and the [taco_plan_cache_*] metrics
+    count it. Each search emits one ["plan.chosen"] event (plan id,
+    estimated cost, search time) into the {!Events} log, joinable with
+    serve requests by rid. *)
+val auto_compile_explained :
+  ?name:string ->
+  ?mode:Lower.mode ->
+  ?checked:bool ->
+  ?profile:bool ->
+  ?opt:Opt.config ->
+  ?backend:Compile.backend ->
+  ?stats:(string * Stats.t) list ->
+  Schedule.t ->
+  (compiled * Autoschedule.step list * Autoschedule.explain, Diag.t) result
 
 (** {!einsum} with autoscheduling: handles statements (like sparse matrix
     multiplication) that plain einsum rejects. *)

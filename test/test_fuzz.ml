@@ -222,6 +222,9 @@ let fault_injected = ref 0
 
 let fault_survived = ref 0
 
+(* Instances whose cost-search leg ran end to end. *)
+let cost_ran = ref 0
+
 let run_one sc =
   let inst = templates.(sc.template mod Array.length templates) sc in
   (* Random inputs, each checked against the packing invariants. *)
@@ -447,6 +450,61 @@ let run_one sc =
                             "fault campaign changed result bits at %d (%h vs %h) on %s"
                             idx x b_opt.(idx) (Cin.to_string plain))
                       fb);
+          (* Cost-search leg (auto-scheduled instances only): the
+             statistics-driven policy must agree with the oracle, pick
+             the same plan on a repeat call (the second goes through the
+             plan cache), and — when its plan coincides with the
+             schedule the main leg compiled — reproduce those bits
+             exactly. Plans that legitimately differ (the cost model
+             preferred another loop order) are only held to the eps
+             oracle, since reassociating a float reduction may round
+             differently. *)
+          (if sc.sched mod 3 = 1 then
+             let stats =
+               List.map
+                 (fun (tv, t) -> (Tensor_var.name tv, Taco.Stats.of_tensor t))
+                 inputs
+             in
+             let explained () = Taco.auto_compile_explained ~checked:true ~stats sched in
+             match (explained (), explained ()) with
+             | Error d, _ ->
+                 if not (acceptable_reject d) then
+                   failf "cost-search compile rejection: %s" (Diag.to_string d)
+             | Ok _, Error d ->
+                 failf "cost search succeeded then failed on a repeat: %s" (Diag.to_string d)
+             | Ok (cc, steps1, _), Ok (_, steps2, _) -> (
+                 let render = List.map Taco.Autoschedule.step_to_string in
+                 if render steps1 <> render steps2 then
+                   failf "cost search picked different plans on a repeat of %s"
+                     (Cin.to_string plain);
+                 match Taco.run cc ~inputs with
+                 | Error d ->
+                     if not (acceptable_reject d) then
+                       failf "cost-plan run failed: %s" (Diag.to_string d)
+                 | Ok cr ->
+                     incr cost_ran;
+                     if not (D.equal ~eps:1e-9 oracle (T.to_dense cr)) then
+                       failf "cost-plan MISMATCH vs the reference interpreter on %s"
+                         (Cin.to_string plain);
+                     if
+                       Cin.to_string (Schedule.stmt (Taco.schedule_of cc))
+                       = Cin.to_string (Schedule.stmt (Taco.schedule_of c))
+                     then begin
+                       let cb = D.buffer (T.to_dense cr) in
+                       if Array.length cb <> Array.length b_opt then
+                         failf "cost-plan result differs in shape on %s"
+                           (Cin.to_string plain)
+                       else
+                         Array.iteri
+                           (fun idx x ->
+                             if Int64.bits_of_float x <> Int64.bits_of_float b_opt.(idx)
+                             then
+                               failf
+                                 "cost plan equals the default schedule but changed \
+                                  result bits at %d (%h vs %h) on %s"
+                                 idx x b_opt.(idx) (Cin.to_string plain))
+                           cb
+                     end));
           Ran)
 
 (* ------------------------------------------------------------------ *)
@@ -534,9 +592,9 @@ let test_pipeline_fuzz =
    than being rejected. *)
 let test_coverage () =
   Printf.printf
-    "fuzz campaign: %d instances ran end to end (%d with a parallel leg, %d native), \
-     %d rejected; fault leg: %d injected, %d survived bit-identical\n%!"
-    !ran !par_ran !native_ran !rejected !fault_injected !fault_survived;
+    "fuzz campaign: %d instances ran end to end (%d with a parallel leg, %d native, \
+     %d cost-search), %d rejected; fault leg: %d injected, %d survived bit-identical\n%!"
+    !ran !par_ran !native_ran !cost_ran !rejected !fault_injected !fault_survived;
   Alcotest.(check bool)
     (Printf.sprintf "fault leg covered both outcomes (%d injected, %d survived)"
        !fault_injected !fault_survived)
