@@ -1,0 +1,232 @@
+(* Graph workload benchmarks: PageRank, BFS, Bellman-Ford and triangle
+   counting from lib/graph — semiring-generalized compiled kernels
+   iterated to fixpoint — timed under both the closure executor and the
+   native C backend on one random graph per shape. The two backends'
+   results must be bit-identical (the fixpoint drivers are deterministic
+   and the native build pins -ffp-contract=off, so iterate sequences
+   coincide exactly); divergence fails the bench. Results go to stdout
+   as a table and to BENCH_graph.json for the @bench-drift gate. *)
+
+open Taco
+module G = Taco_graph.Graph
+module Prng = Taco_support.Prng
+module Coo = Taco_tensor.Coo
+
+let get = Harness.get
+
+(* A directed graph as a CSR 0/1 (or positively weighted) adjacency; an
+   undirected one as its symmetric closure. *)
+let random_graph ~seed ~nodes ~edge_prob ~kind =
+  let prng = Prng.create seed in
+  let coo = Coo.create [| nodes; nodes |] in
+  let edges = ref 0 in
+  (match kind with
+  | `Undirected ->
+      for i = 0 to nodes - 1 do
+        for j = i + 1 to nodes - 1 do
+          if Prng.bool prng edge_prob then begin
+            Coo.push coo [| i; j |] 1.;
+            Coo.push coo [| j; i |] 1.;
+            edges := !edges + 2
+          end
+        done
+      done
+  | `Weighted ->
+      for i = 0 to nodes - 1 do
+        for j = 0 to nodes - 1 do
+          if i <> j && Prng.bool prng edge_prob then begin
+            Coo.push coo [| i; j |] (0.5 +. (5. *. Prng.float prng));
+            incr edges
+          end
+        done
+      done
+  | `Directed ->
+      for i = 0 to nodes - 1 do
+        for j = 0 to nodes - 1 do
+          if i <> j && Prng.bool prng edge_prob then begin
+            Coo.push coo [| i; j |] 1.;
+            incr edges
+          end
+        done
+      done);
+  (Tensor.pack coo Format.csr, !edges)
+
+type workload = {
+  g_name : string;
+  (* Full fixpoint under a backend: (cells for the identity gate, iteration count). *)
+  g_run : G.backend -> float array * int;
+}
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri
+        (fun q x ->
+          if Int64.bits_of_float x <> Int64.bits_of_float b.(q) then ok := false)
+        a;
+      !ok)
+
+(* Best-of-[reps] over ~50ms batches, backends interleaved round-robin:
+   the same additive-noise estimator as the backend comparison. Kernels
+   are compiled once per (op, semiring, backend) by lib/graph's cache,
+   so only the first warm-up run pays the C compile. *)
+let time_backends ~reps w backends =
+  Gc.compact ();
+  let t0 =
+    List.fold_left
+      (fun acc (_, b) ->
+        let _, t = Taco_support.Util.time (fun () -> ignore (w.g_run b)) in
+        Float.max acc t)
+      1e-6 backends
+  in
+  let batch = max 1 (int_of_float (0.05 /. t0)) in
+  let run_batch b =
+    Gc.full_major ();
+    let _, t =
+      Taco_support.Util.time (fun () ->
+          for _ = 1 to batch do
+            ignore (w.g_run b)
+          done)
+    in
+    t /. float_of_int batch
+  in
+  let best = Array.make (List.length backends) infinity in
+  for _ = 1 to max 1 reps do
+    List.iteri (fun q (_, b) -> best.(q) <- Float.min best.(q) (run_batch b)) backends
+  done;
+  List.mapi (fun q (n, _) -> (n, best.(q))) backends
+
+type row = {
+  r_name : string;
+  r_closure_s : float;
+  r_native_s : float;
+  r_iters : int;
+  r_identical : bool;
+  r_native_backend : bool;
+}
+
+let run_workload ~reps native_available w =
+  (* Warm-up runs double as the identity gate and compile the kernels. *)
+  let cc, citers = w.g_run `Closure in
+  let nc, niters = w.g_run `Native in
+  let identical = bits_equal cc nc && citers = niters in
+  let times = time_backends ~reps w [ ("closure", `Closure); ("native", `Native) ] in
+  {
+    r_name = w.g_name;
+    r_closure_s = List.assoc "closure" times;
+    r_native_s = List.assoc "native" times;
+    r_iters = citers;
+    r_identical = identical;
+    r_native_backend = native_available;
+  }
+
+let row_json r =
+  Report.Obj
+    [
+      ("name", Report.Str r.r_name);
+      ( "measurements",
+        Report.List
+          [
+            Report.Obj
+              [ ("backend", Report.Str "closure"); ("best_s", Report.Float r.r_closure_s) ];
+            Report.Obj
+              [ ("backend", Report.Str "native"); ("best_s", Report.Float r.r_native_s) ];
+          ] );
+      ("speedup_native", Report.Float (r.r_closure_s /. r.r_native_s));
+      ("iterations", Report.Int r.r_iters);
+      ("bit_identical", Report.Bool r.r_identical);
+      ("native_backend", Report.Bool r.r_native_backend);
+    ]
+
+let run ~seed ~reps ~nodes ~out =
+  Harness.header "graph workloads: semiring kernels to fixpoint, closure vs native";
+  let native_available = Native.available () in
+  Printf.printf "compiler: %s (%s); %d nodes\n\n" (Native.compiler ())
+    (if native_available then "available" else "NOT available - native degrades to closures")
+    nodes;
+  (* Average out-degree ~8 independent of the node count. *)
+  let edge_prob = Float.min 0.5 (8. /. float_of_int nodes) in
+  let adj, dir_edges = random_graph ~seed ~nodes ~edge_prob ~kind:`Directed in
+  let wadj, _ = random_graph ~seed:(seed + 1) ~nodes ~edge_prob ~kind:`Weighted in
+  let uadj, undir_edges = random_graph ~seed:(seed + 2) ~nodes ~edge_prob ~kind:`Undirected in
+  Printf.printf "directed: %d edges; undirected: %d edges\n\n" dir_edges undir_edges;
+  let workloads =
+    [
+      {
+        g_name = "pagerank";
+        g_run =
+          (fun b ->
+            let r, it = get (G.pagerank ~backend:b adj) in
+            (r, it));
+      };
+      {
+        g_name = "bfs";
+        g_run =
+          (fun b ->
+            let levels, it = get (G.bfs ~backend:b adj ~src:0) in
+            (Array.map float_of_int levels, it));
+      };
+      {
+        g_name = "bellman_ford";
+        g_run =
+          (fun b ->
+            let dist, it = get (G.bellman_ford ~backend:b wadj ~src:0) in
+            (dist, it));
+      };
+      {
+        g_name = "triangles";
+        g_run =
+          (fun b ->
+            let t = get (G.triangle_count ~backend:b uadj) in
+            ([| t |], 1));
+      };
+    ]
+  in
+  Harness.row "%-14s | %12s %12s %9s %6s %5s" "workload" "closure(s)" "native(s)"
+    "speedup" "iters" "ok";
+  let rows =
+    List.map
+      (fun w ->
+        let r = run_workload ~reps native_available w in
+        Harness.row "%-14s | %12.5f %12.5f %8.2fx %6d %5s" r.r_name r.r_closure_s
+          r.r_native_s
+          (r.r_closure_s /. r.r_native_s)
+          r.r_iters
+          (if not r.r_identical then "DIFF"
+           else if not r.r_native_backend then "degr"
+           else "bit=");
+        if not r.r_identical then
+          failwith
+            (Printf.sprintf "%s: native fixpoint diverges from the closure executor"
+               r.r_name);
+        r)
+      workloads
+  in
+  (if native_available then
+     let geomean =
+       Harness.geomean (List.map (fun r -> r.r_closure_s /. r.r_native_s) rows)
+     in
+     Printf.printf "\nnative geomean speedup = %.2fx over %d workloads\n%!" geomean
+       (List.length rows));
+  Report.write out
+    (Report.Obj
+       [
+         ("bench", Report.Str "graph");
+         ("seed", Report.Int seed);
+         ("reps", Report.Int reps);
+         ("nodes", Report.Int nodes);
+         ("directed_edges", Report.Int dir_edges);
+         ("undirected_edges", Report.Int undir_edges);
+         ( "compiler",
+           Report.Obj
+             [
+               ("command", Report.Str (Native.compiler ()));
+               ("available", Report.Bool native_available);
+             ] );
+         ("workloads", Report.List (List.map row_json rows));
+         ( "geomean_native_speedup",
+           if native_available then
+             Report.Float
+               (Harness.geomean (List.map (fun r -> r.r_closure_s /. r.r_native_s) rows))
+           else Report.Null );
+       ])

@@ -199,6 +199,30 @@ let autosched_cmd =
     Term.(const run $ seed_arg $ autosched_reps_arg $ autosched_dim_arg
           $ autosched_out_arg $ autosched_smoke_arg)
 
+let graph_nodes_arg =
+  Arg.(
+    value & opt int 1500
+    & info [ "nodes" ] ~doc:"Node count of the random benchmark graphs (average degree ~8).")
+
+let graph_reps_arg =
+  Arg.(
+    value & opt int 5 & info [ "reps" ] ~doc:"Repetitions per measurement (best of batches).")
+
+let graph_out_arg =
+  Arg.(
+    value & opt string "BENCH_graph.json"
+    & info [ "out" ] ~doc:"Where to write the machine-readable workload results.")
+
+let graph_cmd =
+  let run seed reps nodes out = Graph.run ~seed ~reps ~nodes ~out in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:
+         "Graph workloads (PageRank, BFS, Bellman-Ford, triangle counting) built on \
+          semiring-generalized kernels iterated to fixpoint, closure executor vs the \
+          native C backend, with a bit-identity gate between the two.")
+    Term.(const run $ seed_arg $ graph_reps_arg $ graph_nodes_arg $ graph_out_arg)
+
 let par_max_domains_arg =
   Arg.(
     value & opt int 4
@@ -269,6 +293,7 @@ let () =
             opt_cmd;
             cbackend_cmd;
             autosched_cmd;
+            graph_cmd;
             par_cmd;
             micro_cmd;
             all_cmd;

@@ -67,11 +67,18 @@ let parse_backend = function
   | s -> die "unknown backend %S (use closure, or c for the native C backend)" s
 
 let run_cli expr_str formats dims density seed reorders precomputes split_specs auto
-    backend_str print_cin print_c do_run do_time trace_file do_stats do_metrics
-    do_explain =
+    backend_str semiring_str print_cin print_c do_run do_time trace_file do_stats
+    do_metrics do_explain =
   protect @@ fun () ->
   Obs.setup ();
   let backend = parse_backend backend_str in
+  let semiring =
+    match Semiring.of_string semiring_str with
+    | Some sr -> sr
+    | None ->
+        die "unknown semiring %S (known: %s)" semiring_str
+          (String.concat ", " Semiring.names)
+  in
   let observing = trace_file <> None || do_stats in
   if observing then Trace.enable ();
   if do_metrics then Metrics.enable ();
@@ -135,10 +142,10 @@ let run_cli expr_str formats dims density seed reorders precomputes split_specs 
   let profile = observing && backend = `Closure in
   let compiled, steps, explain =
     if auto || do_explain then
-      let c, steps, ex = getd (auto_compile_explained ~profile ~backend !sched) in
+      let c, steps, ex = getd (auto_compile_explained ~semiring ~profile ~backend !sched) in
       (c, steps, Some ex)
     else
-      match compile ~splits ~profile ~backend !sched with
+      match compile ~splits ~semiring ~profile ~backend !sched with
       | Ok c -> (c, [], None)
       | Error e ->
           die "%s\n(hint: pass --auto to search for a schedule automatically)"
@@ -287,6 +294,7 @@ let protocol_help =
       "  eval EXPR [; CLAUSE]...                     evaluate and wait;";
       "         clauses: reorder A,B | precompute EXPR|VARS|NAME | parallelize V | domains N | auto";
       "                  format NAME:FMT (result storage) | deadline MS | backend c|closure";
+      "                  semiring NAME (plus_times | min_plus | max_times | bool_or_and)";
       "  eval& EXPR [; CLAUSE]...                    evaluate asynchronously,";
       "         returns 'ok ticket ID'";
       "  wait ID                                     await an eval& ticket";
@@ -343,7 +351,7 @@ let build_request tensors line =
   | [] | "" :: _ -> fail_input "usage: eval EXPR [; CLAUSE]..."
   | expr :: clauses ->
       let deadline = ref None and directives = ref [] and fmt_clause = ref None in
-      let domains = ref None and backend = ref None in
+      let domains = ref None and backend = ref None and semiring = ref None in
       List.iter
         (fun clause ->
           if clause <> "" then
@@ -377,6 +385,14 @@ let build_request tensors line =
                 | "closure" -> backend := Some `Closure
                 | "c" | "native" -> backend := Some `Native
                 | b -> fail_input "unknown backend %S (use c or closure)" b)
+            | "semiring", arg -> (
+                (* Validated again service-side; rejecting unknown names
+                   here keeps the error on the offending line. *)
+                match Semiring.of_string (String.trim arg) with
+                | Some _ -> semiring := Some (String.trim arg)
+                | None ->
+                    fail_input "unknown semiring %S (known: %s)" (String.trim arg)
+                      (String.concat ", " Semiring.names))
             | "format", arg -> (
                 match String.index_opt arg ':' with
                 | Some k ->
@@ -408,7 +424,7 @@ let build_request tensors line =
               scanned
           in
           ( Service.request ~directives:(List.rev !directives) ?result_format
-              ?domains:!domains ?backend:!backend ~expr ~inputs (),
+              ?domains:!domains ?backend:!backend ?semiring:!semiring ~expr ~inputs (),
             !deadline ))
 
 let response_line = function
@@ -563,6 +579,86 @@ let run_serve domains queue_depth socket trace_file =
       Printf.eprintf "trace written to %s\n" file
 
 (* ------------------------------------------------------------------ *)
+(* graph: the semiring-kernel workloads on a random graph               *)
+(* ------------------------------------------------------------------ *)
+
+module G = Taco_graph.Graph
+
+let run_graph workload nodes edge_prob seed src backend_str damping =
+  protect @@ fun () ->
+  let backend = parse_backend backend_str in
+  if nodes < 1 then die "need at least one node";
+  if src < 0 || src >= nodes then die "source node %d out of range [0, %d)" src nodes;
+  let prng = Taco_support.Prng.create seed in
+  let coo = Taco_tensor.Coo.create [| nodes; nodes |] in
+  let edges = ref 0 in
+  (* Triangles need a symmetric 0/1 adjacency; Bellman-Ford strictly
+     positive weights; BFS and PageRank take any non-zero weights. *)
+  (match workload with
+  | "triangles" ->
+      for i = 0 to nodes - 1 do
+        for j = i + 1 to nodes - 1 do
+          if Taco_support.Prng.bool prng edge_prob then begin
+            Taco_tensor.Coo.push coo [| i; j |] 1.;
+            Taco_tensor.Coo.push coo [| j; i |] 1.;
+            edges := !edges + 2
+          end
+        done
+      done
+  | _ ->
+      for i = 0 to nodes - 1 do
+        for j = 0 to nodes - 1 do
+          if i <> j && Taco_support.Prng.bool prng edge_prob then begin
+            let w =
+              if workload = "bellman-ford" then
+                0.5 +. (5. *. Taco_support.Prng.float prng)
+              else 1.
+            in
+            Taco_tensor.Coo.push coo [| i; j |] w;
+            incr edges
+          end
+        done
+      done);
+  let a = Tensor.pack coo Format.csr in
+  Printf.printf "graph: %d nodes, %d edges (seed %d)\n" nodes !edges seed;
+  match workload with
+  | "pagerank" ->
+      let ranks, iters = get (G.pagerank ~backend ~damping a) in
+      Printf.printf "pagerank: converged in %d iterations (damping %g)\n" iters damping;
+      let order = Array.init nodes (fun i -> i) in
+      Array.sort (fun i j -> compare ranks.(j) ranks.(i)) order;
+      Array.iteri
+        (fun k i -> if k < 5 then Printf.printf "  #%d node %d: %.6f\n" (k + 1) i ranks.(i))
+        order
+  | "bfs" ->
+      let levels, rounds = get (G.bfs ~backend a ~src) in
+      let reached = Array.fold_left (fun n l -> if l >= 0 then n + 1 else n) 0 levels in
+      let depth = Array.fold_left max 0 levels in
+      Printf.printf "bfs: from %d reached %d/%d nodes, depth %d, %d frontier expansions\n"
+        src reached nodes depth rounds;
+      if nodes <= 20 then
+        Array.iteri
+          (fun i l ->
+            Printf.printf "  node %d: %s\n" i
+              (if l < 0 then "unreachable" else string_of_int l))
+          levels
+  | "bellman-ford" ->
+      let dist, rounds = get (G.bellman_ford ~backend a ~src) in
+      let reached = Array.fold_left (fun n d -> if d < infinity then n + 1 else n) 0 dist in
+      Printf.printf "bellman-ford: from %d reached %d/%d nodes in %d relaxation rounds\n"
+        src reached nodes rounds;
+      if nodes <= 20 then
+        Array.iteri
+          (fun i d ->
+            Printf.printf "  node %d: %s\n" i
+              (if d = infinity then "unreachable" else Printf.sprintf "%g" d))
+          dist
+  | "triangles" ->
+      let t = get (G.triangle_count ~backend a) in
+      Printf.printf "triangles: %.0f\n" t
+  | w -> die "unknown graph workload %S (pagerank, bfs, bellman-ford, triangles)" w
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -600,6 +696,14 @@ let backend_arg =
                  c (or native) compiles the generated C into a shared object with the \
                  system compiler and runs that, falling back to closure when no \
                  compiler is available.")
+
+let semiring_arg =
+  Arg.(value & opt string "plus_times"
+       & info [ "semiring" ] ~docv:"NAME"
+           ~doc:"Semiring to evaluate under: plus_times (default), min_plus (tropical: \
+                 shortest paths), max_times, or bool_or_and (reachability). Sparse \
+                 absent entries act as the semiring zero; dense operand cells are \
+                 literal carrier values.")
 
 let print_cin_arg = Arg.(value & flag & info [ "print-cin" ] ~doc:"Print concrete index notation (always shown).")
 
@@ -649,13 +753,42 @@ let serve_cmd =
        ~doc:"Run the concurrent evaluation service over a line protocol (type 'help' at the prompt).")
     Term.(const run_serve $ domains_arg $ depth_arg $ socket_arg $ serve_trace_arg)
 
+let graph_cmd =
+  let workload_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"One of pagerank, bfs, bellman-ford, triangles.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 200 & info [ "nodes" ] ~docv:"N" ~doc:"Number of graph nodes.")
+  in
+  let prob_arg =
+    Arg.(value & opt float 0.02
+         & info [ "edge-prob" ] ~docv:"P" ~doc:"Probability of each possible edge.")
+  in
+  let gseed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+  in
+  let src_arg =
+    Arg.(value & opt int 0 & info [ "src" ] ~docv:"NODE" ~doc:"Source node for bfs and bellman-ford.")
+  in
+  let damping_arg =
+    Arg.(value & opt float 0.85 & info [ "damping" ] ~doc:"PageRank damping factor.")
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Run a graph workload (PageRank, BFS, Bellman-Ford, triangle counting) on \
+             a random graph via semiring-generalized compiled kernels: BFS iterates a \
+             boolean or-and SpMV, Bellman-Ford a min-plus SpMV, to fixpoint.")
+    Term.(const run_graph $ workload_arg $ nodes_arg $ prob_arg $ gseed_arg $ src_arg
+          $ backend_arg $ damping_arg)
+
 let () =
   let term =
     Term.(
       const run_cli $ expr_arg $ formats_arg $ dims_arg $ density_arg $ seed_arg
       $ reorder_arg $ precompute_arg $ split_arg $ auto_arg $ backend_arg
-      $ print_cin_arg $ print_c_arg $ run_arg $ time_arg $ trace_arg $ stats_arg
-      $ metrics_arg $ explain_arg)
+      $ semiring_arg $ print_cin_arg $ print_c_arg $ run_arg $ time_arg $ trace_arg
+      $ stats_arg $ metrics_arg $ explain_arg)
   in
   let info =
     Cmd.info "tacocli"
@@ -664,6 +797,6 @@ let () =
   in
   (* A positional EXPR can be anything, so [Cmd.group ~default] cannot
      distinguish it from an unknown subcommand — dispatch by hand. *)
-  if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then
-    exit (Cmd.eval (Cmd.group info [ serve_cmd ]))
+  if Array.length Sys.argv > 1 && (Sys.argv.(1) = "serve" || Sys.argv.(1) = "graph")
+  then exit (Cmd.eval (Cmd.group info [ serve_cmd; graph_cmd ]))
   else exit (Cmd.eval (Cmd.v info term))

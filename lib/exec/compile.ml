@@ -212,8 +212,8 @@ let assign_slots (k : Imp.kernel) =
     | Imp.If (_, a, b) ->
         List.iter scan a;
         List.iter scan b
-    | Imp.Assign _ | Imp.Store _ | Imp.Store_add _ | Imp.Realloc _ | Imp.Memset _
-    | Imp.Sort _ | Imp.Comment _ -> ()
+    | Imp.Assign _ | Imp.Store _ | Imp.Store_add _ | Imp.Store_reduce _ | Imp.Realloc _
+    | Imp.Memset _ | Imp.Fill _ | Imp.Sort _ | Imp.Comment _ -> ()
   in
   List.iter scan k.k_body;
   (slots, counters)
@@ -601,7 +601,7 @@ let rec cstmt ctx (s : Imp.stmt) : env -> unit =
   | None -> f
   | Some st -> (
       match s with
-      | Imp.Decl _ | Imp.Assign _ | Imp.Store _ | Imp.Store_add _ ->
+      | Imp.Decl _ | Imp.Assign _ | Imp.Store _ | Imp.Store_add _ | Imp.Store_reduce _ ->
           fun env ->
             st.p_scalar_ops <- st.p_scalar_ops + 1;
             f env
@@ -615,7 +615,7 @@ let rec cstmt ctx (s : Imp.stmt) : env -> unit =
             st.p_alloc_elems <- st.p_alloc_elems + m;
             st.p_zero_elems <- st.p_zero_elems + m;
             f env
-      | Imp.Memset (_, n) ->
+      | Imp.Memset (_, n) | Imp.Fill (_, n, _) ->
           let cn = cint ctx n in
           fun env ->
             st.p_zero_elems <- st.p_zero_elems + max 0 (cn env);
@@ -759,6 +759,43 @@ and cstmt_base ctx (s : Imp.stmt) : env -> unit =
                   let k = g env in
                   arr.(k) <- arr.(k) + cv env)
       | Imp.Bool -> terror "+= on bool array %s" a)
+  | Imp.Store_reduce (r, a, idx, v) -> (
+      let s = find_slot ctx a in
+      let i = s.s_index in
+      let combine =
+        match r with
+        | Imp.Red_min -> fun a v -> if v < a then v else a
+        | Imp.Red_max -> fun a v -> if v > a then v else a
+        | Imp.Red_or -> fun a v -> if a <> 0. || v <> 0. then 1. else 0.
+      in
+      match s.s_dtype with
+      | Imp.Float -> (
+          let cv = cfloat ctx v in
+          if ctx.checked then
+            let cidx = cint ctx idx in
+            fun env ->
+              let arr = Array.unsafe_get env.farr i in
+              let k = cidx env in
+              if k < 0 || k >= Array.length arr then
+                oob ~ctx ~var:a ~index:k ~len:(Array.length arr);
+              Array.unsafe_set arr k (combine (Array.unsafe_get arr k) (cv env))
+          else
+            match ishape ctx idx with
+            | ISlot j ->
+                fun env ->
+                  let arr = Array.unsafe_get env.farr i in
+                  let k = Array.unsafe_get env.ints j in
+                  arr.(k) <- combine arr.(k) (cv env)
+            | ILit n ->
+                fun env ->
+                  let arr = Array.unsafe_get env.farr i in
+                  arr.(n) <- combine arr.(n) (cv env)
+            | IGen g ->
+                fun env ->
+                  let arr = Array.unsafe_get env.farr i in
+                  let k = g env in
+                  arr.(k) <- combine arr.(k) (cv env))
+      | Imp.Int | Imp.Bool -> terror "reduce-store on non-float array %s" a)
   | Imp.Alloc (t, v, n) -> (
       let i = (find_slot ctx v).s_index in
       let cn = cint ctx n in
@@ -830,6 +867,24 @@ and cstmt_base ctx (s : Imp.stmt) : env -> unit =
               let arr = env.barr.(i) in
               Array.fill arr 0 (checked_n env (Array.length arr)) false
           else fun env -> Array.fill env.barr.(i) 0 (cn env) false)
+  | Imp.Fill (v, n, x) -> (
+      let s = find_slot ctx v in
+      let i = s.s_index in
+      let cn = cint ctx n in
+      let checked_n env len =
+        let n = cn env in
+        if n < 0 || n > len then oob ~ctx ~var:v ~index:n ~len;
+        n
+      in
+      match s.s_dtype with
+      | Imp.Float ->
+          let cx = cfloat ctx x in
+          if ctx.checked then
+            fun env ->
+              let arr = env.farr.(i) in
+              Array.fill arr 0 (checked_n env (Array.length arr)) (cx env)
+          else fun env -> Array.fill env.farr.(i) 0 (cn env) (cx env)
+      | Imp.Int | Imp.Bool -> terror "fill on non-float array %s" v)
   | Imp.For (v, lo, hi, body) -> (
       let i = (find_slot ctx v).s_index in
       let clo = cint ctx lo and chi = cint ctx hi in

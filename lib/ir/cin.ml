@@ -210,16 +210,48 @@ let rec simplify e =
       | Literal x, Literal y when y <> 0. -> Literal (x /. y)
       | a', b' -> Div (a', b'))
 
-let rec zero_tensor_raw tv = function
-  | Literal v -> Literal v
-  | Access a -> if Tensor_var.equal a.tensor tv then Literal 0. else Access a
-  | Neg e -> Neg (zero_tensor_raw tv e)
-  | Add (a, b) -> Add (zero_tensor_raw tv a, zero_tensor_raw tv b)
-  | Sub (a, b) -> Sub (zero_tensor_raw tv a, zero_tensor_raw tv b)
-  | Mul (a, b) -> Mul (zero_tensor_raw tv a, zero_tensor_raw tv b)
-  | Div (a, b) -> Div (zero_tensor_raw tv a, zero_tensor_raw tv b)
+let is_lit v = function
+  | Literal x -> x = v
+  | Access _ | Neg _ | Add _ | Sub _ | Mul _ | Div _ -> false
 
-let zero_tensor tv e = simplify (zero_tensor_raw tv e)
+(* Identity/annihilator elimination under a semiring reading of the
+   tree: [Add] is the semiring add (identity [zero]) and [Mul] the
+   semiring mul (identity [one]; [zero] annihilates only when the
+   semiring says so). No constant folding — [Literal 3. + Literal 4.]
+   is min-plus 3, not 7, so folding with float (+) would lie. *)
+let rec simplify_sr ~zero ~one ~annihilates e =
+  let s = simplify_sr ~zero ~one ~annihilates in
+  match e with
+  | Literal _ | Access _ -> e
+  | Neg a -> Neg (s a)
+  | Add (a, b) -> (
+      match (s a, s b) with
+      | a', b' when is_lit zero a' -> b'
+      | a', b' when is_lit zero b' -> a'
+      | a', b' -> Add (a', b'))
+  | Sub (a, b) -> Sub (s a, s b)
+  | Mul (a, b) -> (
+      match (s a, s b) with
+      | a', _ when annihilates && is_lit zero a' -> Literal zero
+      | _, b' when annihilates && is_lit zero b' -> Literal zero
+      | a', b' when is_lit one a' -> b'
+      | a', b' when is_lit one b' -> a'
+      | a', b' -> Mul (a', b'))
+  | Div (a, b) -> Div (s a, s b)
+
+let rec zero_tensor_raw ~zero tv = function
+  | Literal v -> Literal v
+  | Access a -> if Tensor_var.equal a.tensor tv then Literal zero else Access a
+  | Neg e -> Neg (zero_tensor_raw ~zero tv e)
+  | Add (a, b) -> Add (zero_tensor_raw ~zero tv a, zero_tensor_raw ~zero tv b)
+  | Sub (a, b) -> Sub (zero_tensor_raw ~zero tv a, zero_tensor_raw ~zero tv b)
+  | Mul (a, b) -> Mul (zero_tensor_raw ~zero tv a, zero_tensor_raw ~zero tv b)
+  | Div (a, b) -> Div (zero_tensor_raw ~zero tv a, zero_tensor_raw ~zero tv b)
+
+let zero_tensor tv e = simplify (zero_tensor_raw ~zero:0. tv e)
+
+let zero_tensor_sr ~zero ~one ~annihilates tv e =
+  simplify_sr ~zero ~one ~annihilates (zero_tensor_raw ~zero tv e)
 
 let rec peel_foralls = function
   | Forall (v, s) ->

@@ -1,0 +1,76 @@
+(* Semirings: the (zero, add, mul) algebra a kernel computes over.
+
+   The lowering pipeline only assumes an additive reduction into a
+   workspace/result and a multiplicative combine, so the algebra is a
+   parameter rather than a hard-wired (+, ×) over floats.  A semiring
+   here is a small closed vocabulary of add/mul operators (enough for
+   the graph workloads: shortest paths, reachability, Viterbi-style
+   max products) instead of arbitrary closures, so kernels stay
+   marshalable for the compiled-kernel cache and emit plain C.
+
+   Sparsity contract: a stored-out value equals [zero], and [zero]
+   must annihilate under [mul] ([annihilates]) for sparse operands to
+   be prunable from merge-lattice branches. *)
+
+type add_op = Add_plus | Add_min | Add_max | Add_or
+type mul_op = Mul_times | Mul_plus | Mul_and
+
+type t = {
+  name : string;
+  zero : float;  (* additive identity; the "absent value" of sparse storage *)
+  one : float;  (* multiplicative identity *)
+  add : add_op;
+  mul : mul_op;
+  annihilates : bool;  (* zero (x) x = zero, so absent operands prune *)
+}
+
+let plus_times =
+  { name = "plus_times"; zero = 0.; one = 1.; add = Add_plus; mul = Mul_times; annihilates = true }
+
+(* Tropical / shortest-path semiring: (min, +) over R ∪ {+inf}. *)
+let min_plus =
+  { name = "min_plus"; zero = infinity; one = 0.; add = Add_min; mul = Mul_plus; annihilates = true }
+
+(* Viterbi-style semiring over the non-negative reals: (max, ×). *)
+let max_times =
+  { name = "max_times"; zero = 0.; one = 1.; add = Add_max; mul = Mul_times; annihilates = true }
+
+(* Boolean reachability semiring, encoded in floats: 0. / 1. *)
+let bool_or_and =
+  { name = "bool_or_and"; zero = 0.; one = 1.; add = Add_or; mul = Mul_and; annihilates = true }
+
+let all = [ plus_times; min_plus; max_times; bool_or_and ]
+
+let is_plus_times sr = sr.add = Add_plus && sr.mul = Mul_times
+
+(* Whether the additive identity is all-zero bits, i.e. whether
+   memset(0) produces a zeroed array.  min_plus (+inf) is the
+   counterexample: zeroing must go through an explicit fill loop. *)
+let zero_is_bits0 sr = Int64.equal (Int64.bits_of_float sr.zero) 0L
+
+let to_string sr = sr.name
+
+let of_string = function
+  | "plus_times" | "default" -> Some plus_times
+  | "min_plus" | "minplus" | "tropical" -> Some min_plus
+  | "max_times" | "maxtimes" -> Some max_times
+  | "bool_or_and" | "boolor" | "boolean" -> Some bool_or_and
+  | _ -> None
+
+let names = List.map to_string all
+
+(* Reference float-level evaluation, for oracles and law tests. *)
+let add_f sr a b =
+  match sr.add with
+  | Add_plus -> a +. b
+  | Add_min -> Float.min a b
+  | Add_max -> Float.max a b
+  | Add_or -> if a <> 0. || b <> 0. then 1. else 0.
+
+let mul_f sr a b =
+  match sr.mul with
+  | Mul_times -> a *. b
+  | Mul_plus -> a +. b
+  | Mul_and -> if a <> 0. && b <> 0. then 1. else 0.
+
+let pp ppf sr = Fmt.string ppf sr.name

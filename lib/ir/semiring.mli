@@ -1,0 +1,57 @@
+(** Semirings: the (zero, add, mul) algebra a kernel computes over.
+
+    The add/mul operators come from a small closed vocabulary (enough
+    for graph workloads) so kernels stay marshalable and emit plain C.
+    Sparsity contract: absent values equal [zero], which must
+    annihilate under [mul] for sparse operands to prune. *)
+
+type add_op = Add_plus | Add_min | Add_max | Add_or
+type mul_op = Mul_times | Mul_plus | Mul_and
+
+type t = {
+  name : string;
+  zero : float;
+  one : float;
+  add : add_op;
+  mul : mul_op;
+  annihilates : bool;
+}
+
+val plus_times : t
+(** The default arithmetic semiring: (+, ×) over floats, zero 0. *)
+
+val min_plus : t
+(** Tropical / shortest-path semiring: (min, +), zero +inf, one 0. *)
+
+val max_times : t
+(** Viterbi-style semiring over non-negative reals: (max, ×). *)
+
+val bool_or_and : t
+(** Boolean reachability semiring encoded in floats (0. / 1.). *)
+
+val all : t list
+
+val is_plus_times : t -> bool
+(** Whether the semiring is the default algebra, i.e. lowering may use
+    the plain [+]/[*]/[+=] paths (and all existing rewrites). *)
+
+val zero_is_bits0 : t -> bool
+(** Whether the additive identity is all-zero bits, i.e. memset(0) is a
+    valid zeroing of an array of [zero]s. False for min_plus (+inf):
+    zeroing must go through an explicit fill loop. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Accepts canonical names and a few aliases ("tropical", "boolor",
+    "default"); [None] for unknown names. *)
+
+val names : string list
+
+val add_f : t -> float -> float -> float
+(** Reference evaluation of the additive operator. *)
+
+val mul_f : t -> float -> float -> float
+(** Reference evaluation of the multiplicative operator. *)
+
+val pp : Format.formatter -> t -> unit

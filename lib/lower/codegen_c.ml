@@ -20,7 +20,12 @@ let rec expr buf = function
   | Imp.Var v -> Buffer.add_string buf v
   | Imp.Int_lit n -> Buffer.add_string buf (string_of_int n)
   | Imp.Float_lit v ->
-      if Float.is_integer v && Float.abs v < 1e15 then
+      (* Non-finite literals (the min-plus zero is +inf) have no C
+         literal syntax; use the math.h macro. *)
+      if v = Float.infinity then Buffer.add_string buf "INFINITY"
+      else if v = Float.neg_infinity then Buffer.add_string buf "(-INFINITY)"
+      else if Float.is_nan v then Buffer.add_string buf "NAN"
+      else if Float.is_integer v && Float.abs v < 1e15 then
         Buffer.add_string buf (Printf.sprintf "%.1f" v)
       else Buffer.add_string buf (Printf.sprintf "%.17g" v)
   | Imp.Bool_lit b -> Buffer.add_string buf (if b then "1" else "0")
@@ -66,6 +71,16 @@ let estr e =
   expr buf e;
   Buffer.contents buf
 
+(* A reduce-store as a single C statement. Min/max go through fmin/fmax
+   (math.h, pulled into the prelude on demand); boolean-or reads as a
+   short-circuiting test over the 0./1. encoding. *)
+let reduce_line r a i v =
+  match r with
+  | Imp.Red_min -> Printf.sprintf "%s[%s] = fmin(%s[%s], %s);" a i a i v
+  | Imp.Red_max -> Printf.sprintf "%s[%s] = fmax(%s[%s], %s);" a i a i v
+  | Imp.Red_or ->
+      Printf.sprintf "%s[%s] = ((%s[%s] != 0.0) || ((%s) != 0.0)) ? 1.0 : 0.0;" a i a i v
+
 (* ------------------------------------------------------------------ *)
 (* Static analyses shared by the inspection renderer and the native-  *)
 (* backend (exec) renderer.                                           *)
@@ -82,7 +97,8 @@ let used_tbl body =
   let add_e e = List.iter add (Imp.expr_vars e) in
   let rec go = function
     | Imp.Decl (_, _, e) | Imp.Assign (_, e) | Imp.Alloc (_, _, e) -> add_e e
-    | Imp.Store (a, i, v) | Imp.Store_add (a, i, v) ->
+    | Imp.Store (a, i, v) | Imp.Store_add (a, i, v) | Imp.Store_reduce (_, a, i, v)
+    | Imp.Fill (a, i, v) ->
         add a;
         add_e i;
         add_e v
@@ -114,8 +130,9 @@ let used_tbl body =
 let written_arrays kernel =
   let tbl = Hashtbl.create 16 in
   let rec go = function
-    | Imp.Store (a, _, _) | Imp.Store_add (a, _, _) -> Hashtbl.replace tbl a ()
-    | Imp.Memset (a, _) | Imp.Realloc (a, _) | Imp.Sort (a, _, _) ->
+    | Imp.Store (a, _, _) | Imp.Store_add (a, _, _) | Imp.Store_reduce (_, a, _, _) ->
+        Hashtbl.replace tbl a ()
+    | Imp.Memset (a, _) | Imp.Fill (a, _, _) | Imp.Realloc (a, _) | Imp.Sort (a, _, _) ->
         Hashtbl.replace tbl a ()
     | Imp.Alloc (_, v, _) -> Hashtbl.replace tbl v ()
     | Imp.For (_, _, _, b) | Imp.ParallelFor (_, _, _, b, _) | Imp.While (_, b) ->
@@ -140,6 +157,50 @@ let rec stmt_exists p s =
 let body_has p body = List.exists (stmt_exists p) body
 
 let has_sort body = body_has (function Imp.Sort _ -> true | _ -> false) body
+
+let rec expr_exists p e =
+  p e
+  ||
+  match e with
+  | Imp.Load (_, i) -> expr_exists p i
+  | Imp.Binop (_, a, b) -> expr_exists p a || expr_exists p b
+  | Imp.Not a | Imp.Round_single a -> expr_exists p a
+  | Imp.Ternary (c, a, b) -> expr_exists p c || expr_exists p a || expr_exists p b
+  | Imp.Var _ | Imp.Int_lit _ | Imp.Float_lit _ | Imp.Bool_lit _ -> false
+
+let stmt_exprs = function
+  | Imp.Decl (_, _, e) | Imp.Assign (_, e) | Imp.Alloc (_, _, e)
+  | Imp.Realloc (_, e)
+  | Imp.Memset (_, e) ->
+      [ e ]
+  | Imp.Store (_, i, v)
+  | Imp.Store_add (_, i, v)
+  | Imp.Store_reduce (_, _, i, v)
+  | Imp.Fill (_, i, v)
+  | Imp.Sort (_, i, v) ->
+      [ i; v ]
+  | Imp.For (_, lo, hi, _) | Imp.ParallelFor (_, lo, hi, _, _) -> [ lo; hi ]
+  | Imp.While (c, _) -> [ c ]
+  | Imp.If (c, _, _) -> [ c ]
+  | Imp.Comment _ -> []
+
+(* math.h is needed by fmin/fmax (min/max reduce-stores) and by the
+   INFINITY/NAN macros that render non-finite float literals (the
+   min-plus semiring zeroes arrays with +inf). *)
+let needs_math body =
+  let nonfinite = function
+    | Imp.Float_lit v -> not (Float.is_finite v)
+    | Imp.Var _ | Imp.Int_lit _ | Imp.Bool_lit _ | Imp.Load _ | Imp.Binop _
+    | Imp.Not _ | Imp.Ternary _ | Imp.Round_single _ ->
+        false
+  in
+  body_has
+    (fun s ->
+      (match s with
+      | Imp.Store_reduce ((Imp.Red_min | Imp.Red_max), _, _, _) -> true
+      | _ -> false)
+      || List.exists (expr_exists nonfinite) (stmt_exprs s))
+    body
 
 let has_parallel kernel =
   body_has (function Imp.ParallelFor _ -> true | _ -> false) kernel.Imp.k_body
@@ -220,9 +281,11 @@ let rec subst_stmt f s =
   | Imp.Assign (v, x) -> Imp.Assign (f v, e x)
   | Imp.Store (a, i, x) -> Imp.Store (f a, e i, e x)
   | Imp.Store_add (a, i, x) -> Imp.Store_add (f a, e i, e x)
+  | Imp.Store_reduce (r, a, i, x) -> Imp.Store_reduce (r, f a, e i, e x)
   | Imp.Alloc (t, v, n) -> Imp.Alloc (t, v, e n)
   | Imp.Realloc (v, n) -> Imp.Realloc (f v, e n)
   | Imp.Memset (v, n) -> Imp.Memset (f v, e n)
+  | Imp.Fill (a, n, x) -> Imp.Fill (f a, e n, e x)
   | Imp.For (v, lo, hi, b) -> Imp.For (v, e lo, e hi, List.map (subst_stmt f) b)
   | Imp.ParallelFor (v, lo, hi, b, info) ->
       Imp.ParallelFor (v, e lo, e hi, List.map (subst_stmt f) b, info)
@@ -247,11 +310,15 @@ let rec stmt ?(unused = fun _ -> false) buf ind s =
   | Imp.Assign (v, e) -> line "%s = %s;" v (estr e)
   | Imp.Store (a, i, v) -> line "%s[%s] = %s;" a (estr i) (estr v)
   | Imp.Store_add (a, i, v) -> line "%s[%s] += %s;" a (estr i) (estr v)
+  | Imp.Store_reduce (r, a, i, v) -> line "%s" (reduce_line r a (estr i) (estr v))
   | Imp.Alloc (t, v, n) ->
       line "%s* %s = (%s*)calloc(%s, sizeof(%s));%s" (ctype t) v (ctype t) (estr n) (ctype t)
         (if unused v then " (void)" ^ v ^ ";" else "")
   | Imp.Realloc (v, n) -> line "%s = realloc(%s, %s * sizeof(*%s));" v v (estr n) v
   | Imp.Memset (v, n) -> line "memset(%s, 0, %s * sizeof(*%s));" v (estr n) v
+  | Imp.Fill (a, n, v) ->
+      line "for (int32_t taco_fi = 0; taco_fi < %s; taco_fi++) %s[taco_fi] = %s;" (estr n) a
+        (estr v)
   | Imp.For (v, lo, hi, body) ->
       line "for (int32_t %s = %s; %s < %s; %s++) {" v (estr lo) v (estr hi) v;
       List.iter (stmt buf (ind + 1)) body;
@@ -309,8 +376,9 @@ let emit_body kernel =
   List.iter (stmt buf 1) kernel.Imp.k_body;
   Buffer.contents buf
 
-let prelude ~sort buf =
+let prelude ~sort ~math buf =
   Buffer.add_string buf "#include <stdint.h>\n#include <stdbool.h>\n#include <stdlib.h>\n#include <string.h>\n";
+  if math then Buffer.add_string buf "#include <math.h>\n";
   Buffer.add_string buf "#define TACO_MIN(a, b) ((a) < (b) ? (a) : (b))\n";
   Buffer.add_string buf "#define TACO_MAX(a, b) ((a) > (b) ? (a) : (b))\n";
   if sort then
@@ -319,7 +387,7 @@ let prelude ~sort buf =
 
 let emit_untraced kernel =
   let buf = Buffer.create 2048 in
-  prelude ~sort:(has_sort kernel.Imp.k_body) buf;
+  prelude ~sort:(has_sort kernel.Imp.k_body) ~math:(needs_math kernel.Imp.k_body) buf;
   Buffer.add_char buf '\n';
   let written = written_arrays kernel in
   let param p =
@@ -409,6 +477,7 @@ let rec stmt_exec ctx ind ~depth s =
   | Imp.Assign (v, e) -> line "%s = %s;" v (estr e)
   | Imp.Store (a, i, v) -> line "%s[%s] = %s;" a (estr i) (estr v)
   | Imp.Store_add (a, i, v) -> line "%s[%s] += %s;" a (estr i) (estr v)
+  | Imp.Store_reduce (r, a, i, v) -> line "%s" (reduce_line r a (estr i) (estr v))
   | Imp.Alloc (t, v, n) ->
       ctx.uses_fail <- true;
       line "{";
@@ -434,6 +503,9 @@ let rec stmt_exec ctx ind ~depth s =
       line "  taco_cap_%s = taco_n;" v;
       line "}"
   | Imp.Memset (v, n) -> line "memset(%s, 0, (size_t)(%s) * sizeof(*%s));" v (estr n) v
+  | Imp.Fill (a, n, v) ->
+      line "for (int32_t taco_fi = 0; taco_fi < %s; taco_fi++) %s[taco_fi] = %s;" (estr n) a
+        (estr v)
   | Imp.For (v, lo, hi, body) ->
       line "for (int32_t %s = %s; %s < %s; %s++) {" v (estr lo) v (estr hi) v;
       if depth = 0 then begin
@@ -541,7 +613,7 @@ let emit_exec_untraced kernel =
   List.iter (stmt_exec ctx 1 ~depth:0) body;
   let buf = Buffer.create 8192 in
   Buffer.add_string buf (Printf.sprintf "// taco native rendering of kernel %s\n" kernel.Imp.k_name);
-  prelude ~sort:(has_sort body) buf;
+  prelude ~sort:(has_sort body) ~math:(needs_math body) buf;
   if ctx.uses_clock then begin
     Buffer.add_string buf "#include <time.h>\n";
     Buffer.add_string buf

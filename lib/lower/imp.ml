@@ -35,14 +35,18 @@ type par_append = {
 
 type par_info = { par_private : string list; par_stage : par_append option }
 
+type reduce = Red_min | Red_max | Red_or
+
 type stmt =
   | Decl of dtype * string * expr
   | Assign of string * expr
   | Store of string * expr * expr
   | Store_add of string * expr * expr
+  | Store_reduce of reduce * string * expr * expr
   | Alloc of dtype * string * expr
   | Realloc of string * expr
   | Memset of string * expr
+  | Fill of string * expr * expr
   | For of string * expr * expr * stmt list
   | ParallelFor of string * expr * expr * stmt list * par_info
   | While of expr * stmt list
@@ -110,7 +114,9 @@ let rec declared_stmt = function
   | For (v, _, _, body) | ParallelFor (v, _, _, body, _) -> v :: declared body
   | While (_, body) -> declared body
   | If (_, t, e) -> declared t @ declared e
-  | Assign _ | Store _ | Store_add _ | Realloc _ | Memset _ | Sort _ | Comment _ -> []
+  | Assign _ | Store _ | Store_add _ | Store_reduce _ | Realloc _ | Memset _ | Fill _
+  | Sort _ | Comment _ ->
+      []
 
 and declared stmts = List.concat_map declared_stmt stmts
 
@@ -124,7 +130,9 @@ let rec expr_nodes = function
 let rec stmt_nodes = function
   | Decl (_, _, e) | Assign (_, e) | Alloc (_, _, e) | Realloc (_, e) | Memset (_, e) ->
       1 + expr_nodes e
-  | Store (_, i, v) | Store_add (_, i, v) | Sort (_, i, v) -> 1 + expr_nodes i + expr_nodes v
+  | Store (_, i, v) | Store_add (_, i, v) | Store_reduce (_, _, i, v) | Fill (_, i, v)
+  | Sort (_, i, v) ->
+      1 + expr_nodes i + expr_nodes v
   | For (_, lo, hi, body) | ParallelFor (_, lo, hi, body, _) ->
       1 + expr_nodes lo + expr_nodes hi + stmts_nodes body
   | While (c, body) -> 1 + expr_nodes c + stmts_nodes body
@@ -162,7 +170,7 @@ let check kernel =
     | Assign (v, e) ->
         use_expr e;
         use_var v
-    | Store (a, i, v) | Store_add (a, i, v) ->
+    | Store (a, i, v) | Store_add (a, i, v) | Store_reduce (_, a, i, v) | Fill (a, i, v) ->
         use_var a;
         use_expr i;
         use_expr v
@@ -299,6 +307,10 @@ let validate kernel =
         if t = Bool then problem "+= on bool array %s" a;
         expect Int i (Printf.sprintf "index into %s" a);
         expect t v (Printf.sprintf "value accumulated into %s" a)
+    | Store_reduce (_, a, i, v) ->
+        if array a <> Float then problem "reduce-store on non-float array %s" a;
+        expect Int i (Printf.sprintf "index into %s" a);
+        expect Float v (Printf.sprintf "value reduced into %s" a)
     | Alloc (t, v, n) ->
         expect Int n (Printf.sprintf "allocation size of %s" v);
         declare v t true
@@ -308,6 +320,10 @@ let validate kernel =
     | Memset (v, n) ->
         ignore (array v : dtype);
         expect Int n (Printf.sprintf "memset length of %s" v)
+    | Fill (a, n, v) ->
+        if array a <> Float then problem "fill on non-float array %s" a;
+        expect Int n (Printf.sprintf "fill length of %s" a);
+        expect Float v (Printf.sprintf "fill value of %s" a)
     | For (v, lo, hi, body) ->
         expect Int lo "loop lower bound";
         expect Int hi "loop upper bound";
@@ -362,6 +378,8 @@ let binop_str = function
   | And -> "&&"
   | Or -> "||"
 
+let reduce_str = function Red_min -> "min" | Red_max -> "max" | Red_or -> "or"
+
 let rec pp_expr fmt = function
   | Var v -> Format.pp_print_string fmt v
   | Int_lit n -> Format.pp_print_int fmt n
@@ -387,9 +405,14 @@ and pp_stmt_indent fmt n s =
   | Store (a, i, v) -> Format.fprintf fmt "%s%s[%a] = %a;@." ind a pp_expr i pp_expr v
   | Store_add (a, i, v) ->
       Format.fprintf fmt "%s%s[%a] += %a;@." ind a pp_expr i pp_expr v
+  | Store_reduce (r, a, i, v) ->
+      Format.fprintf fmt "%s%s[%a] = %s(%s[%a], %a);@." ind a pp_expr i (reduce_str r) a
+        pp_expr i pp_expr v
   | Alloc (_, v, e) -> Format.fprintf fmt "%s%s = alloc(%a);@." ind v pp_expr e
   | Realloc (v, e) -> Format.fprintf fmt "%s%s = realloc(%a);@." ind v pp_expr e
   | Memset (v, e) -> Format.fprintf fmt "%smemset(%s, 0, %a);@." ind v pp_expr e
+  | Fill (a, n, v) ->
+      Format.fprintf fmt "%sfill(%s, %a, %a);@." ind a pp_expr n pp_expr v
   | For (v, lo, hi, body) ->
       Format.fprintf fmt "%sfor (%s = %a; %s < %a; %s++) {@." ind v pp_expr lo v
         pp_expr hi v;

@@ -57,14 +57,26 @@ type par_append = {
     across chunks. *)
 type par_info = { par_private : string list; par_stage : par_append option }
 
+(** Non-plus additive reductions for semiring accumulation: emitted in
+    C as [fmin]/[fmax]/a short-circuiting boolean-or over 0./1.
+    encodings. The default (+, ×) semiring keeps using {!Store_add}. *)
+type reduce = Red_min | Red_max | Red_or
+
 type stmt =
   | Decl of dtype * string * expr
   | Assign of string * expr
   | Store of string * expr * expr  (** [arr[idx] = v] *)
   | Store_add of string * expr * expr  (** [arr[idx] += v] *)
+  | Store_reduce of reduce * string * expr * expr
+      (** [arr[idx] = reduce(arr[idx], v)] — float arrays only *)
   | Alloc of dtype * string * expr  (** array of [size] elements, zeroed *)
   | Realloc of string * expr  (** grow array to a new capacity, keeping contents *)
   | Memset of string * expr  (** zero the first [n] elements *)
+  | Fill of string * expr * expr
+      (** [Fill (arr, n, v)]: set the first [n] elements of a float
+          array to the value [v] — the zeroing path for semirings whose
+          additive identity is not all-zero bits (e.g. +inf), where
+          {!Memset} would scribble the wrong value *)
   | For of string * expr * expr * stmt list  (** [for (v = lo; v < hi; v++)] *)
   | ParallelFor of string * expr * expr * stmt list * par_info
       (** [For] whose iterations are split into contiguous chunks across

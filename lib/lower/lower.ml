@@ -1,5 +1,6 @@
 open Taco_ir.Var
 module Cin = Taco_ir.Cin
+module Semiring = Taco_ir.Semiring
 module F = Taco_tensor.Format
 module L = Taco_tensor.Level
 module Util = Taco_support.Util
@@ -129,42 +130,89 @@ let value_of_access ctx (acc : Cin.access) =
   if Tensor_var.order tv = 0 && Tensor_var.is_workspace tv then Imp.Var (scalar_var tv)
   else Imp.Load (vals_var tv, pos_at ctx acc (Tensor_var.order tv - 1))
 
-let rec compile_expr ctx = function
+(* Imp expression builders for the semiring's operators. [Ternary]
+   renders in C as [(c ? a : b)], so the boolean-encoded ops get
+   short-circuit evaluation for free. Values stay doubles throughout:
+   the or-and semiring encodes truth as 0./1. *)
+let ne0 e = Imp.Binop (Imp.Ne, e, Imp.Float_lit 0.)
+
+let sr_add (sr : Semiring.t) a b =
+  match sr.Semiring.add with
+  | Semiring.Add_plus -> Imp.Binop (Imp.Add, a, b)
+  | Semiring.Add_min -> Imp.Binop (Imp.Min, a, b)
+  | Semiring.Add_max -> Imp.Binop (Imp.Max, a, b)
+  | Semiring.Add_or ->
+      Imp.Ternary (Imp.Binop (Imp.Or, ne0 a, ne0 b), Imp.Float_lit 1., Imp.Float_lit 0.)
+
+let sr_mul (sr : Semiring.t) a b =
+  match sr.Semiring.mul with
+  | Semiring.Mul_times -> Imp.Binop (Imp.Mul, a, b)
+  | Semiring.Mul_plus -> Imp.Binop (Imp.Add, a, b)
+  | Semiring.Mul_and ->
+      Imp.Ternary (Imp.Binop (Imp.And, ne0 a, ne0 b), Imp.Float_lit 1., Imp.Float_lit 0.)
+
+(* Array accumulation: (+, ×) keeps {!Imp.Store_add}; the other additive
+   monoids map to a {!Imp.Store_reduce}. *)
+let sr_reduce (sr : Semiring.t) =
+  match sr.Semiring.add with
+  | Semiring.Add_plus -> None
+  | Semiring.Add_min -> Some Imp.Red_min
+  | Semiring.Add_max -> Some Imp.Red_max
+  | Semiring.Add_or -> Some Imp.Red_or
+
+let rec compile_expr sr ctx = function
   | Cin.Literal v -> Imp.Float_lit v
   | Cin.Access a -> value_of_access ctx a
-  | Cin.Neg e -> Imp.Binop (Imp.Sub, Imp.Float_lit 0., compile_expr ctx e)
-  | Cin.Add (a, b) -> Imp.Binop (Imp.Add, compile_expr ctx a, compile_expr ctx b)
-  | Cin.Sub (a, b) -> Imp.Binop (Imp.Sub, compile_expr ctx a, compile_expr ctx b)
-  | Cin.Mul (a, b) -> Imp.Binop (Imp.Mul, compile_expr ctx a, compile_expr ctx b)
-  | Cin.Div (a, b) -> Imp.Binop (Imp.Div, compile_expr ctx a, compile_expr ctx b)
+  | Cin.Neg e ->
+      if not (Semiring.is_plus_times sr) then
+        fail "negation is not defined under the %s semiring" sr.Semiring.name;
+      Imp.Binop (Imp.Sub, Imp.Float_lit 0., compile_expr sr ctx e)
+  | Cin.Add (a, b) -> sr_add sr (compile_expr sr ctx a) (compile_expr sr ctx b)
+  | Cin.Sub (a, b) ->
+      if not (Semiring.is_plus_times sr) then
+        fail "subtraction is not defined under the %s semiring" sr.Semiring.name;
+      Imp.Binop (Imp.Sub, compile_expr sr ctx a, compile_expr sr ctx b)
+  | Cin.Mul (a, b) -> sr_mul sr (compile_expr sr ctx a) (compile_expr sr ctx b)
+  | Cin.Div (a, b) ->
+      if not (Semiring.is_plus_times sr) then
+        fail "division is not defined under the %s semiring" sr.Semiring.name;
+      Imp.Binop (Imp.Div, compile_expr sr ctx a, compile_expr sr ctx b)
 
 (* Symbolically exhaust an access in a statement (merge-lattice branch
-   bodies): its reads become zero and the statement simplifies. *)
-let rec zero_access (acc : Cin.access) = function
+   bodies): its reads become the semiring zero and the statement
+   simplifies. The (+, ×) path keeps the folding {!Cin.simplify} so its
+   emitted kernels stay byte-identical. *)
+let rec zero_access sr (acc : Cin.access) = function
   | Cin.Assignment { lhs; op; rhs } ->
-      Cin.Assignment
-        {
-          lhs;
-          op;
-          rhs =
-            Cin.simplify (Cin.subst_expr ~from:(Cin.Access acc) ~into:(Cin.Literal 0.) rhs);
-        }
-  | Cin.Forall (v, s) -> Cin.Forall (v, zero_access acc s)
-  | Cin.Where (c, p) -> Cin.Where (zero_access acc c, zero_access acc p)
-  | Cin.Sequence (a, b) -> Cin.Sequence (zero_access acc a, zero_access acc b)
+      let zero = sr.Semiring.zero in
+      let substituted =
+        Cin.subst_expr ~from:(Cin.Access acc) ~into:(Cin.Literal zero) rhs
+      in
+      let rhs =
+        if Semiring.is_plus_times sr then Cin.simplify substituted
+        else
+          Cin.simplify_sr ~zero ~one:sr.Semiring.one
+            ~annihilates:sr.Semiring.annihilates substituted
+      in
+      Cin.Assignment { lhs; op; rhs }
+  | Cin.Forall (v, s) -> Cin.Forall (v, zero_access sr acc s)
+  | Cin.Where (c, p) -> Cin.Where (zero_access sr acc c, zero_access sr acc p)
+  | Cin.Sequence (a, b) -> Cin.Sequence (zero_access sr acc a, zero_access sr acc b)
 
 (* Drop statements that became no-ops after zero substitution. *)
-let rec prune = function
-  | Cin.Assignment { op = Cin.Accumulate; rhs = Cin.Literal 0.; _ } -> None
+let rec prune sr = function
+  | Cin.Assignment { op = Cin.Accumulate; rhs = Cin.Literal z; _ }
+    when z = sr.Semiring.zero ->
+      None
   | Cin.Assignment _ as a -> Some a
-  | Cin.Forall (v, s) -> Option.map (fun s -> Cin.Forall (v, s)) (prune s)
+  | Cin.Forall (v, s) -> Option.map (fun s -> Cin.Forall (v, s)) (prune sr s)
   | Cin.Where (c, p) -> (
-      match prune c with
+      match prune sr c with
       | None -> None
       | Some c -> (
-          match prune p with None -> Some c | Some p -> Some (Cin.Where (c, p))))
+          match prune sr p with None -> Some c | Some p -> Some (Cin.Where (c, p))))
   | Cin.Sequence (a, b) -> (
-      match (prune a, prune b) with
+      match (prune sr a, prune sr b) with
       | None, None -> None
       | Some a, None -> Some a
       | None, Some b -> Some b
@@ -201,9 +249,26 @@ let result_compressed_level tv =
   in
   match go 0 [] with [] -> None | [ l ] -> Some l | _ :: _ :: _ -> Some (-2)
 
-let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ?parallel ~mode stmt =
+let lower ?(name = "kernel") ?(splits = []) ?(single_precision = [])
+    ?(semiring = Semiring.plus_times) ?parallel ~mode stmt =
   let build () =
     (match Cin.validate stmt with Ok () -> () | Error e -> fail "invalid statement: %s" e);
+    let sr = semiring in
+    if single_precision <> [] && not (Semiring.is_plus_times sr) then
+      fail "mixed precision is only supported under the (+, ×) semiring";
+    (* Zero the first [n] elements of a float array: memset when the
+       semiring zero is all-zero bits, an explicit fill otherwise
+       (min-plus zeroes with +inf, which memset cannot write). *)
+    let zeroer arr n =
+      if Semiring.zero_is_bits0 sr then Imp.Memset (arr, n)
+      else Imp.Fill (arr, n, Imp.Float_lit sr.Semiring.zero)
+    in
+    (* Accumulate into a float array slot under the semiring add. *)
+    let store_acc arr off rhs =
+      match sr_reduce sr with
+      | None -> Imp.Store_add (arr, off, rhs)
+      | Some r -> Imp.Store_reduce (r, arr, off, rhs)
+    in
     let result =
       match
         List.filter (fun tv -> not (Tensor_var.is_workspace tv)) (Cin.tensors_written stmt)
@@ -271,7 +336,7 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ?parallel ~
     let push_top s = st.top <- st.top @ [ s ] in
     (* --- assignment emission ------------------------------------------- *)
     let lower_assignment ctx (lhs : Cin.access) op rhs_cin =
-      let rhs = compile_expr ctx rhs_cin in
+      let rhs = compile_expr sr ctx rhs_cin in
       let tv = lhs.tensor in
       let single = List.exists (Tensor_var.equal tv) single_precision in
       let rhs = if single then Imp.Round_single rhs else rhs in
@@ -286,7 +351,7 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ?parallel ~
               && Tensor_var.order a.tensor > 0
             then begin
               let off = pos_at ctx a (Tensor_var.order a.tensor - 1) in
-              Imp.Store (vals_var a.tensor, off, Imp.Float_lit 0.)
+              Imp.Store (vals_var a.tensor, off, Imp.Float_lit sr.Semiring.zero)
               ::
               (if List.mem wname st.has_seen then
                  [ Imp.Store (seen_var wname, off, Imp.Bool_lit false) ]
@@ -300,7 +365,7 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ?parallel ~
           match (op, single) with
           | Cin.Assign, _ -> [ Imp.Assign (scalar_var tv, rhs) ]
           | Cin.Accumulate, false ->
-              [ Imp.Assign (scalar_var tv, Imp.Binop (Imp.Add, Imp.Var (scalar_var tv), rhs)) ]
+              [ Imp.Assign (scalar_var tv, sr_add sr (Imp.Var (scalar_var tv)) rhs) ]
           | Cin.Accumulate, true ->
               [
                 Imp.Assign
@@ -312,7 +377,7 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ?parallel ~
           let store =
             match (op, single) with
             | Cin.Assign, _ -> Imp.Store (vals_var tv, off, rhs)
-            | Cin.Accumulate, false -> Imp.Store_add (vals_var tv, off, rhs)
+            | Cin.Accumulate, false -> store_acc (vals_var tv) off rhs
             | Cin.Accumulate, true ->
                 (* Round after every accumulation, as 32-bit storage would. *)
                 Imp.Store
@@ -378,7 +443,7 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ?parallel ~
               let pos = pos_at ctx lhs (Tensor_var.order tv - 1) in
               match (op, single) with
               | Cin.Assign, _ -> [ Imp.Store (vals_var tv, pos, rhs) ]
-              | Cin.Accumulate, false -> [ Imp.Store_add (vals_var tv, pos, rhs) ]
+              | Cin.Accumulate, false -> [ store_acc (vals_var tv) pos rhs ]
               | Cin.Accumulate, true ->
                   [
                     Imp.Store
@@ -422,8 +487,8 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ?parallel ~
             (fun (a : Cin.access) -> not (List.memq a present))
             sparse_iters
         in
-        let body' = List.fold_left (fun b a -> zero_access a b) body absent in
-        match prune body' with None -> [] | Some b -> lower_stmt ctx' b
+        let body' = List.fold_left (fun b a -> zero_access sr a b) body absent in
+        match prune sr body' with None -> [] | Some b -> lower_stmt ctx' b
       in
       (* Close a pending pos-finalize whose parent loop is v. *)
       let closes () =
@@ -834,9 +899,9 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ?parallel ~
           if Tensor_var.order w = 0 then begin
             if not (List.mem wname st.allocated) then begin
               st.allocated <- wname :: st.allocated;
-              push_top (Imp.Decl (Imp.Float, scalar_var w, Imp.Float_lit 0.))
+              push_top (Imp.Decl (Imp.Float, scalar_var w, Imp.Float_lit sr.Semiring.zero))
             end;
-            emit (Imp.Assign (scalar_var w, Imp.Float_lit 0.))
+            emit (Imp.Assign (scalar_var w, Imp.Float_lit sr.Semiring.zero))
           end
           else begin
             let dims =
@@ -878,10 +943,10 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ?parallel ~
             if covered then begin
               if not (List.mem wname st.reset_on_read) then begin
                 st.reset_on_read <- wname :: st.reset_on_read;
-                push_top (Imp.Memset (vals_var w, size))
+                push_top (zeroer (vals_var w) size)
               end
             end
-            else emit (Imp.Memset (vals_var w, size));
+            else emit (zeroer (vals_var w) size);
             (* Coordinate tracking for assembly: the consumer copies this
                workspace into the compressed result. *)
             (match st.mode with
@@ -1017,8 +1082,8 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ?parallel ~
              execution unsound, so reject it. *)
           let rec assigned acc = function
             | Imp.Assign (n, _) -> n :: acc
-            | Imp.Decl _ | Imp.Store _ | Imp.Store_add _ | Imp.Alloc _
-            | Imp.Realloc _ | Imp.Memset _ | Imp.Sort _ | Imp.Comment _ ->
+            | Imp.Decl _ | Imp.Store _ | Imp.Store_add _ | Imp.Store_reduce _ | Imp.Alloc _
+            | Imp.Realloc _ | Imp.Memset _ | Imp.Fill _ | Imp.Sort _ | Imp.Comment _ ->
                 acc
             | Imp.For (_, _, _, b) | Imp.ParallelFor (_, _, _, b, _) | Imp.While (_, b) ->
                 List.fold_left assigned acc b
@@ -1070,8 +1135,13 @@ let lower ?(name = "kernel") ?(splits = []) ?(single_precision = []) ?parallel ~
     (* Kernel prelude for the result. *)
     let result_prelude =
       if F.is_all_dense (Tensor_var.format result) then
-        if Tensor_var.order result = 0 then []
-        else [ Imp.Memset (vals_var result, dims_product result (Tensor_var.order result)) ]
+        if Tensor_var.order result = 0 then
+          (* The runtime hands the kernel a bit-zeroed value buffer; only
+             a non-bit-zero semiring zero needs an explicit store. *)
+          if Semiring.zero_is_bits0 sr then []
+          else
+            [ Imp.Store (vals_var result, Imp.Int_lit 0, Imp.Float_lit sr.Semiring.zero) ]
+        else [ zeroer (vals_var result) (dims_product result (Tensor_var.order result)) ]
       else
         match st.mode with
         | Compute -> []

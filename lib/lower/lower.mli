@@ -59,6 +59,7 @@ val lower :
   ?name:string ->
   ?splits:(Taco_ir.Var.Index_var.t * int) list ->
   ?single_precision:Tensor_var.t list ->
+  ?semiring:Taco_ir.Semiring.t ->
   ?parallel:Taco_ir.Var.Index_var.t ->
   mode:mode ->
   Taco_ir.Cin.stmt ->
@@ -70,6 +71,14 @@ val lower :
     precision product stream in a double workspace, or vice versa).
     Storage stays 64-bit; only the value range is narrowed, which is what
     determines the numerics. *)
+
+(** [semiring] (default {!Taco_ir.Semiring.plus_times}) reinterprets the
+    statement's [+]/[*] as the semiring's add/mul: accumulation becomes
+    the additive monoid's reduce, sparsity exploits the semiring zero and
+    its annihilator law, and workspace/result zeroing writes the semiring
+    zero (an explicit fill when it is not all-zero bits, e.g. min-plus
+    +inf). Negation, subtraction, division and mixed precision are only
+    defined under (+, ×). *)
 
 (** {2 Parameter naming conventions}
 

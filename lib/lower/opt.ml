@@ -69,7 +69,9 @@ let kernel_env (k : kernel) : vkind SM.t =
         go_stmts (declare env v (Vscalar Int)) body
     | While (_, body) -> go_stmts env body
     | If (_, t, e) -> go_stmts (go_stmts env t) e
-    | Assign _ | Store _ | Store_add _ | Realloc _ | Memset _ | Sort _ | Comment _ -> env
+    | Assign _ | Store _ | Store_add _ | Store_reduce _ | Realloc _ | Memset _ | Fill _
+    | Sort _ | Comment _ ->
+        env
   in
   go_stmts env k.k_body
 
@@ -123,14 +125,17 @@ let assigned_scalars ss =
         List.fold_left go (SS.add v acc) body
     | While (_, body) -> List.fold_left go acc body
     | If (_, t, e) -> List.fold_left go (List.fold_left go acc t) e
-    | Store _ | Store_add _ | Alloc _ | Realloc _ | Memset _ | Sort _ | Comment _ -> acc
+    | Store _ | Store_add _ | Store_reduce _ | Alloc _ | Realloc _ | Memset _ | Fill _
+    | Sort _ | Comment _ ->
+        acc
   in
   List.fold_left go SS.empty ss
 
 (* Arrays written (or replaced) by the statements, at any depth. *)
 let mutated_arrays ss =
   let rec go acc = function
-    | Store (a, _, _) | Store_add (a, _, _) | Realloc (a, _) | Memset (a, _) | Sort (a, _, _)
+    | Store (a, _, _) | Store_add (a, _, _) | Store_reduce (_, a, _, _) | Realloc (a, _)
+    | Memset (a, _) | Fill (a, _, _) | Sort (a, _, _)
       ->
         SS.add a acc
     | Alloc (_, a, _) -> SS.add a acc
@@ -151,7 +156,9 @@ let assign_targets ss =
     | For (_, _, _, body) | ParallelFor (_, _, _, body, _) | While (_, body) ->
         List.fold_left go acc body
     | If (_, t, e) -> List.fold_left go (List.fold_left go acc t) e
-    | Store _ | Store_add _ | Alloc _ | Realloc _ | Memset _ | Sort _ | Comment _ -> acc
+    | Store _ | Store_add _ | Store_reduce _ | Alloc _ | Realloc _ | Memset _ | Fill _
+    | Sort _ | Comment _ ->
+        acc
   in
   List.fold_left go SS.empty ss
 
@@ -161,9 +168,11 @@ let map_stmt_exprs f =
     | Assign (v, e) -> Assign (v, f e)
     | Store (a, i, x) -> Store (a, f i, f x)
     | Store_add (a, i, x) -> Store_add (a, f i, f x)
+    | Store_reduce (r, a, i, x) -> Store_reduce (r, a, f i, f x)
     | Alloc (t, v, n) -> Alloc (t, v, f n)
     | Realloc (a, n) -> Realloc (a, f n)
     | Memset (a, n) -> Memset (a, f n)
+    | Fill (a, n, x) -> Fill (a, f n, f x)
     | Sort (a, lo, hi) -> Sort (a, f lo, f hi)
     | For (v, lo, hi, body) -> For (v, f lo, f hi, List.map go body)
     | ParallelFor (v, lo, hi, body, info) ->
@@ -344,9 +353,12 @@ and simp_stmt env subst s =
   | Store (a, i, x) -> ([ Store (a, simp_expr env subst i, simp_expr env subst x) ], subst)
   | Store_add (a, i, x) ->
       ([ Store_add (a, simp_expr env subst i, simp_expr env subst x) ], subst)
+  | Store_reduce (r, a, i, x) ->
+      ([ Store_reduce (r, a, simp_expr env subst i, simp_expr env subst x) ], subst)
   | Alloc (t, v, n) -> ([ Alloc (t, v, simp_expr env subst n) ], subst)
   | Realloc (a, n) -> ([ Realloc (a, simp_expr env subst n) ], subst)
   | Memset (a, n) -> ([ Memset (a, simp_expr env subst n) ], subst)
+  | Fill (a, n, x) -> ([ Fill (a, simp_expr env subst n, simp_expr env subst x) ], subst)
   | Sort (a, lo, hi) -> ([ Sort (a, simp_expr env subst lo, simp_expr env subst hi) ], subst)
   | Comment _ -> ([ s ], subst)
   | If (c, t, e) -> (
@@ -426,8 +438,11 @@ let memset_fusion_pass k =
       let keeps_zero = function
         (* Statements that cannot write v or change what n evaluates to. *)
         | Decl (_, x, _) | Assign (x, _) -> not (SS.mem x n_names)
-        | Store (a, _, _) | Store_add (a, _, _) | Realloc (a, _) | Memset (a, _)
-        | Sort (a, _, _) ->
+        (* Fill is an array write like the rest; it is never itself
+           absorbed (scan only drops Memset), so a non-bit-zero fill of
+           a freshly calloc'd workspace always survives this pass. *)
+        | Store (a, _, _) | Store_add (a, _, _) | Store_reduce (_, a, _, _)
+        | Realloc (a, _) | Memset (a, _) | Fill (a, _, _) | Sort (a, _, _) ->
             a <> v && not (SS.mem a n_names)
         | Alloc (_, x, _) -> x <> v && not (SS.mem x n_names)
         | Comment _ -> true
@@ -729,7 +744,8 @@ let cse_pass k =
   and count_stmt e vars = function
     | Decl (_, v, x) | Assign (v, x) -> (count_expr e x, SS.mem v vars)
     | Alloc (_, v, n) -> (count_expr e n, SS.mem v vars)
-    | Store (_, i, x) | Store_add (_, i, x) -> (count_expr e i + count_expr e x, false)
+    | Store (_, i, x) | Store_add (_, i, x) | Store_reduce (_, _, i, x) | Fill (_, i, x) ->
+        (count_expr e i + count_expr e x, false)
     | Realloc (_, n) | Memset (_, n) -> (count_expr e n, false)
     | Sort (_, lo, hi) -> (count_expr e lo + count_expr e hi, false)
     | Comment _ -> (0, false)
@@ -772,7 +788,8 @@ let cse_pass k =
   let immediate_exprs = function
     | Decl (_, _, e) | Assign (_, e) | Alloc (_, _, e) | Realloc (_, e) | Memset (_, e) ->
         [ e ]
-    | Store (_, i, x) | Store_add (_, i, x) -> [ i; x ]
+    | Store (_, i, x) | Store_add (_, i, x) | Store_reduce (_, _, i, x) | Fill (_, i, x) ->
+        [ i; x ]
     | Sort (_, lo, hi) -> [ lo; hi ]
     | If (c, _, _) -> [ c ]
     | For (_, lo, hi, _) | ParallelFor (_, lo, hi, _, _) -> [ lo; hi ]
@@ -806,9 +823,11 @@ let cse_pass k =
     | Assign (v, e) -> (Assign (v, rw avail e), kill1 v avail)
     | Store (a, i, x) -> (Store (a, rw avail i, rw avail x), avail)
     | Store_add (a, i, x) -> (Store_add (a, rw avail i, rw avail x), avail)
+    | Store_reduce (r, a, i, x) -> (Store_reduce (r, a, rw avail i, rw avail x), avail)
     | Alloc (t, v, n) -> (Alloc (t, v, rw avail n), kill1 v avail)
     | Realloc (a, n) -> (Realloc (a, rw avail n), avail)
     | Memset (a, n) -> (Memset (a, rw avail n), avail)
+    | Fill (a, n, x) -> (Fill (a, rw avail n, rw avail x), avail)
     | Sort (a, lo, hi) -> (Sort (a, rw avail lo, rw avail hi), avail)
     | Comment _ -> (s, avail)
     | If (c, t, e) ->
@@ -896,7 +915,8 @@ let licm_pass k =
     let ce acc e = collect_expr ~effects_ok:spine ~asg ~muts acc e in
     match s with
     | Decl (_, _, e) | Assign (_, e) | Realloc (_, e) | Memset (_, e) -> ce acc e
-    | Store (_, i, x) | Store_add (_, i, x) -> ce (ce acc i) x
+    | Store (_, i, x) | Store_add (_, i, x) | Store_reduce (_, _, i, x) | Fill (_, i, x) ->
+        ce (ce acc i) x
     | Alloc (_, _, n) -> ce acc n
     | Sort (_, lo, hi) -> ce (ce acc lo) hi
     | Comment _ -> acc
@@ -1027,7 +1047,7 @@ let rec ue_stmts ss =
 and ue_stmt = function
   | Decl (_, v, e) | Assign (v, e) -> (expr_names e, SS.singleton v)
   | Alloc (_, v, n) -> (expr_names n, SS.singleton v)
-  | Store (a, i, x) | Store_add (a, i, x) ->
+  | Store (a, i, x) | Store_add (a, i, x) | Store_reduce (_, a, i, x) | Fill (a, i, x) ->
       (SS.add a (SS.union (expr_names i) (expr_names x)), SS.empty)
   | Realloc (a, n) | Memset (a, n) -> (SS.add a (expr_names n), SS.empty)
   | Sort (a, lo, hi) -> (SS.add a (SS.union (expr_names lo) (expr_names hi)), SS.empty)
@@ -1092,7 +1112,8 @@ let dce_pass k =
           ([], live, later)
         end
         else ([ s ], re (SS.remove v live) e, SS.add v later)
-    | Store (a, i, x) | Store_add (a, i, x) -> ([ s ], SS.add a (re (re live i) x), later)
+    | Store (a, i, x) | Store_add (a, i, x) | Store_reduce (_, a, i, x) | Fill (a, i, x) ->
+        ([ s ], SS.add a (re (re live i) x), later)
     | Alloc (_, _, n) -> ([ s ], re live n, later)
     | Realloc (a, n) | Memset (a, n) -> ([ s ], SS.add a (re live n), later)
     | Sort (a, lo, hi) -> ([ s ], SS.add a (re (re live lo) hi), later)

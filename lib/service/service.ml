@@ -37,10 +37,12 @@ type request = {
   result_format : Format.t option;
   domains : int option;
   backend : Taco.Compile.backend option;
+  semiring : string option;
 }
 
-let request ?(directives = []) ?result_format ?domains ?backend ~expr ~inputs () =
-  { expr; directives; inputs; result_format; domains; backend }
+let request ?(directives = []) ?result_format ?domains ?backend ?semiring ~expr ~inputs
+    () =
+  { expr; directives; inputs; result_format; domains; backend; semiring }
 
 type response = {
   tensor : Tensor.t;
@@ -237,7 +239,8 @@ let apply_directive env sched d =
 (* Identifies a request's structure (expression and directives, not the
    bound tensors) for crash accounting: a structure that kills workers
    keeps doing so however often it is resubmitted. *)
-let poison_key req = Digest.to_hex (Digest.string (Marshal.to_string (req.expr, req.directives) []))
+let poison_key req =
+  Digest.to_hex (Digest.string (Marshal.to_string (req.expr, req.directives, req.semiring) []))
 
 (* Per-request backend accounting: which executor actually serves the
    kernel, and whether a native request fell back to closures. The job
@@ -281,6 +284,20 @@ let pipeline t job =
       (Ok sched) req.directives
   in
   let name = "serve_" ^ result_name in
+  (* An unknown semiring name is a client error at admission quality:
+     reject with the known names rather than defaulting silently. *)
+  let* semiring =
+    match req.semiring with
+    | None -> Ok None
+    | Some sname -> (
+        match Taco.Semiring.of_string sname with
+        | Some sr -> Ok (Some sr)
+        | None ->
+            serve_error "E_SERVE_SEMIRING"
+              ~context:[ ("semiring", sname) ]
+              "unknown semiring %S (known: %s)" sname
+              (String.concat ", " Taco.Semiring.names))
+  in
   (* A shed job skips the optimizer pipeline: an unoptimized kernel
      compiles faster and computes the bit-identical result, trading its
      own run time for queue drain. *)
@@ -298,9 +315,10 @@ let pipeline t job =
       in
       Result.map
         (fun (c, _, _) -> c)
-        (Taco.auto_compile_explained ~name ?opt ?backend:req.backend ~stats sched)
+        (Taco.auto_compile_explained ~name ?semiring ?opt ?backend:req.backend ~stats
+           sched)
     end
-    else Taco.compile ~name ?opt ?backend:req.backend sched
+    else Taco.compile ~name ?semiring ?opt ?backend:req.backend sched
   in
   job.j_compile_ns <- Int64.sub (Trace.now_ns ()) compile_t0;
   let* compiled = compiled_r in

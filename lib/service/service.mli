@@ -113,15 +113,21 @@ type request = {
           is available the request is served by closures anyway and
           counted in [stats.backend_downgraded] — never a client
           error. *)
+  semiring : string option;
+      (** semiring to evaluate under, by name or alias (see
+          {!Taco.Semiring.of_string}; default the ordinary (+, ×)
+          arithmetic). An unknown name fails the request with
+          [E_SERVE_SEMIRING] listing the known names. *)
 }
 
-(** Convenience constructor; [directives], [result_format], [domains]
-    and [backend] default to none. *)
+(** Convenience constructor; [directives], [result_format], [domains],
+    [backend] and [semiring] default to none. *)
 val request :
   ?directives:directive list ->
   ?result_format:Format.t ->
   ?domains:int ->
   ?backend:Taco.Compile.backend ->
+  ?semiring:string ->
   expr:string ->
   inputs:(string * Tensor.t) list ->
   unit ->

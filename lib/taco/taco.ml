@@ -11,6 +11,7 @@ module Tensor_var = Taco_ir.Var.Tensor_var
 module Index_notation = Taco_ir.Index_notation
 module Cin = Taco_ir.Cin
 module Cin_eval = Taco_ir.Cin_eval
+module Semiring = Taco_ir.Semiring
 module Concretize = Taco_ir.Concretize
 module Reorder = Taco_ir.Reorder
 module Workspace = Taco_ir.Workspace
@@ -77,10 +78,13 @@ let parallelize v sched =
         ~context:[ ("index", Index_var.name v) ]
         "%s" msg
 
-let compile ?(name = "kernel") ?mode ?splits ?checked ?profile ?opt ?backend sched =
+let compile ?(name = "kernel") ?mode ?splits ?semiring ?checked ?profile ?opt ?backend sched
+    =
   let stmt = Schedule.stmt sched in
   let mode = match mode with Some m -> m | None -> default_mode stmt in
-  match Lower.lower ~name ?splits ?parallel:(Schedule.parallel sched) ~mode stmt with
+  match
+    Lower.lower ~name ?splits ?semiring ?parallel:(Schedule.parallel sched) ~mode stmt
+  with
   | Error msg ->
       Diag.error ~stage:Diag.Lower
         ~code:(if par_illegal msg then "E_PAR_ILLEGAL" else "E_LOWER")
@@ -273,14 +277,24 @@ let emit_plan_event plan (explain : Autoschedule.explain) =
     Events.emit "plan.chosen" fields
   end
 
-let auto_compile_explained ?(name = "kernel") ?mode ?checked ?profile ?opt ?backend
-    ?stats sched =
+let auto_compile_explained ?(name = "kernel") ?mode ?semiring ?checked ?profile ?opt
+    ?backend ?stats sched =
   let stmt = Schedule.stmt sched in
   let mode = match mode with Some m -> m | None -> default_mode stmt in
   let lowerable s =
-    Result.map (fun (_ : Lower.kernel_info) -> ()) (Lower.lower ~name ~mode s)
+    Result.map (fun (_ : Lower.kernel_info) -> ()) (Lower.lower ~name ?semiring ~mode s)
   in
-  let key = Option.map (plan_key stmt mode) stats in
+  (* The searched plan (loop order, workspaces) is semiring-independent,
+     but legality is not, so cached plans are keyed per semiring. *)
+  let key =
+    Option.map
+      (fun st ->
+        let base = plan_key stmt mode st in
+        match semiring with
+        | None -> base
+        | Some sr -> base ^ "|" ^ sr.Taco_ir.Semiring.name)
+      stats
+  in
   let stats = Option.value ~default:[] stats in
   match
     Diag.of_msg ~stage:Diag.Workspace ~code:"E_AUTOSCHEDULE"
@@ -299,7 +313,7 @@ let auto_compile_explained ?(name = "kernel") ?mode ?checked ?profile ?opt ?back
       in
       match
         Diag.of_msg ~stage:Diag.Lower ~code:"E_LOWER"
-          (Lower.lower ~name ?parallel:(Schedule.parallel sched') ~mode
+          (Lower.lower ~name ?semiring ?parallel:(Schedule.parallel sched') ~mode
              plan.Autoschedule.p_stmt)
       with
       | Error e -> Error e
@@ -309,10 +323,10 @@ let auto_compile_explained ?(name = "kernel") ?mode ?checked ?profile ?opt ?back
           | Ok kern ->
               Ok ({ sched = sched'; kern }, plan.Autoschedule.p_steps, explain)))
 
-let auto_compile ?name ?mode ?checked ?profile ?opt ?backend sched =
+let auto_compile ?name ?mode ?semiring ?checked ?profile ?opt ?backend sched =
   Result.map
     (fun (c, steps, _explain) -> (c, steps))
-    (auto_compile_explained ?name ?mode ?checked ?profile ?opt ?backend sched)
+    (auto_compile_explained ?name ?mode ?semiring ?checked ?profile ?opt ?backend sched)
 
 let concretize_res stmt =
   Diag.of_msg ~stage:Diag.Concretize ~code:"E_CONCRETIZE"

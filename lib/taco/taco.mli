@@ -18,6 +18,7 @@ module Tensor_var = Taco_ir.Var.Tensor_var
 module Index_notation = Taco_ir.Index_notation
 module Cin = Taco_ir.Cin
 module Cin_eval = Taco_ir.Cin_eval
+module Semiring = Taco_ir.Semiring
 module Concretize = Taco_ir.Concretize
 module Reorder = Taco_ir.Reorder
 module Workspace = Taco_ir.Workspace
@@ -72,12 +73,16 @@ type compiled
     executor: [`Closure] (default) or [`Native], which compiles the
     emitted C to a shared object and downgrades to closures — counted,
     never an error — when no C compiler is available (see
-    {!Compile.backend}). Failures are stage-tagged diagnostics ([Lower]
-    for lowering rejections, [Compile] for kernel compilation). *)
+    {!Compile.backend}). [semiring] (default (+, ×)) reinterprets the
+    statement's operators over another semiring — min-plus, max-times or
+    boolean or-and (see {!Lower.lower}). Failures are stage-tagged
+    diagnostics ([Lower] for lowering rejections, [Compile] for kernel
+    compilation). *)
 val compile :
   ?name:string ->
   ?mode:Lower.mode ->
   ?splits:(Index_var.t * int) list ->
+  ?semiring:Semiring.t ->
   ?checked:bool ->
   ?profile:bool ->
   ?opt:Opt.config ->
@@ -152,6 +157,7 @@ val einsum :
 val auto_compile :
   ?name:string ->
   ?mode:Lower.mode ->
+  ?semiring:Semiring.t ->
   ?checked:bool ->
   ?profile:bool ->
   ?opt:Opt.config ->
@@ -173,6 +179,7 @@ val auto_compile :
 val auto_compile_explained :
   ?name:string ->
   ?mode:Lower.mode ->
+  ?semiring:Semiring.t ->
   ?checked:bool ->
   ?profile:bool ->
   ?opt:Opt.config ->

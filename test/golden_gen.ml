@@ -70,12 +70,49 @@ let mttkrp_info ?parallel () =
   let sched = get (Schedule.precompute_simple ~expr:e ~over:[ vj ] ~workspace:w sched) in
   get (Lower.lower ~name:"mttkrp_ws" ?parallel ~mode:Lower.Compute (Schedule.stmt sched))
 
+(* Semiring SpMV: y(i) = ⊕j A(i,j) ⊗ x(j) under min-plus or boolean
+   or-and. The snapshot pins the semiring combine/reduce rendering
+   (fmin over +, short-circuiting or over 0./1.) and the zeroing path:
+   min-plus must fill the result with INFINITY instead of memset. *)
+let spmv_sr_info ?parallel sr =
+  let a = tensor "A" Format.csr in
+  let x = tensor "x" Format.dense_vector in
+  let y = tensor "y" Format.dense_vector in
+  let open Index_notation in
+  let stmt = assign y [ vi ] (sum vj (Mul (access a [ vi; vj ], access x [ vj ]))) in
+  get
+    (Lower.lower
+       ~name:("spmv_" ^ Semiring.to_string sr)
+       ~semiring:sr ?parallel ~mode:Lower.Compute
+       (Schedule.stmt (get (Schedule.of_index_notation stmt))))
+
+(* The optimized sequential kernel followed by the parallel one, in one
+   snapshot per semiring. *)
+let spmv_sr_pair sr =
+  let optimize info =
+    match Opt.optimize info.Lower.kernel with Ok k -> k | Error e -> failwith e
+  in
+  Codegen_c.emit (optimize (spmv_sr_info sr))
+  ^ "\n"
+  ^ Codegen_c.emit (optimize (spmv_sr_info ~parallel:vi sr))
+
 let () =
   let usage () =
-    prerr_endline "usage: golden_gen (spgemm|spadd|mttkrp) (unopt|opt|par)";
+    prerr_endline
+      "usage: golden_gen (spgemm|spadd|mttkrp) (unopt|opt|par)\n\
+      \   or: golden_gen (spmv_minplus|spmv_boolor) pair";
     exit 2
   in
   if Array.length Sys.argv <> 3 then usage ();
+  (match (Sys.argv.(1), Sys.argv.(2)) with
+  | "spmv_minplus", "pair" ->
+      print_string (spmv_sr_pair Semiring.min_plus);
+      exit 0
+  | "spmv_boolor", "pair" ->
+      print_string (spmv_sr_pair Semiring.bool_or_and);
+      exit 0
+  | ("spmv_minplus" | "spmv_boolor"), _ -> usage ()
+  | _ -> ());
   let parallel = if Sys.argv.(2) = "par" then Some vi else None in
   let info =
     match Sys.argv.(1) with

@@ -22,6 +22,12 @@ let get_err what = function
   | Error e -> e
   | Ok _ -> Alcotest.fail (what ^ ": expected an error")
 
+(* Substring test for assertions on emitted sources and messages. *)
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  go 0
+
 let dense_testable = Alcotest.testable D.pp (D.equal ~eps:1e-9)
 
 let check_dense = Alcotest.check dense_testable

@@ -508,6 +508,131 @@ let run_one sc =
           Ran)
 
 (* ------------------------------------------------------------------ *)
+(* Semiring leg: closure vs native bit-identity                        *)
+(* ------------------------------------------------------------------ *)
+
+(* For every semiring, the native backend must reproduce the closure
+   executor's bits exactly on spmv / spadd / spgemm-shaped kernels.
+   Kernels are compiled once per (template, semiring, backend) and
+   cached — only the inputs vary per instance — so the leg stays cheap
+   even under the large fixed-seed campaign. *)
+
+module Semiring = Taco_ir.Semiring
+module Coo = Taco_tensor.Coo
+module Prng = Taco_support.Prng
+
+let sr_ran = ref 0
+
+let sr_native_ran = ref 0
+
+(* Carrier values the semiring's ops stay closed over; stored entries
+   are never the carrier 0 (a stored zero is indistinguishable from a
+   structural one). *)
+let sr_value prng (sr : Semiring.t) =
+  match sr.Semiring.name with
+  | "bool_or_and" -> 1.
+  | "min_plus" -> 1. +. float_of_int (Prng.int prng 9)
+  | _ -> 0.5 +. Prng.float prng
+
+let sr_matrix prng sr n m =
+  let coo = Coo.create [| n; m |] in
+  for i = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      if Prng.bool prng 0.4 then Coo.push coo [| i; j |] (sr_value prng sr)
+    done
+  done;
+  T.pack coo F.csr
+
+(* Dense cells are literal carrier values and may include the semiring
+   zero (+inf under min-plus — exercising the non-finite literal path
+   through the C backend). *)
+let sr_dense prng sr dims =
+  let len = Array.fold_left ( * ) 1 dims in
+  let buf =
+    Array.init len (fun _ ->
+        if Prng.bool prng 0.25 then sr.Semiring.zero else sr_value prng sr)
+  in
+  T.of_dense (D.of_buffer dims buf)
+    (if Array.length dims = 1 then F.dense_vector else F.dense_matrix)
+
+let sr_y = Tensor_var.make "y" ~order:1 ~format:F.dense_vector
+
+let sr_a = Tensor_var.make "A" ~order:2 ~format:F.csr
+
+let sr_x = Tensor_var.make "x" ~order:1 ~format:F.dense_vector
+
+let sr_b = Tensor_var.make "B" ~order:2 ~format:F.csr
+
+let sr_c = Tensor_var.make "C" ~order:2 ~format:F.csr
+
+let sr_r = Tensor_var.make "R" ~order:2 ~format:F.dense_matrix
+
+let sr_d = Tensor_var.make "D" ~order:2 ~format:F.dense_matrix
+
+let sr_stmt = function
+  | 0 -> I.assign sr_y [ vi ] (I.sum vj (I.Mul (I.access sr_a [ vi; vj ], I.access sr_x [ vj ])))
+  | 1 -> I.assign sr_r [ vi; vj ] (I.Add (I.access sr_b [ vi; vj ], I.access sr_c [ vi; vj ]))
+  | _ ->
+      I.assign sr_r [ vi; vj ]
+        (I.sum vk (I.Mul (I.access sr_b [ vi; vk ], I.access sr_d [ vk; vj ])))
+
+let sr_cache : (string, Taco.compiled) Hashtbl.t = Hashtbl.create 32
+
+let sr_compiled template sr backend =
+  let key =
+    Printf.sprintf "%d|%s|%s" template sr.Semiring.name
+      (match backend with `Closure -> "closure" | `Native -> "native")
+  in
+  match Hashtbl.find_opt sr_cache key with
+  | Some c -> c
+  | None -> (
+      let sched =
+        match Schedule.of_index_notation (sr_stmt template) with
+        | Ok s -> s
+        | Error e -> failf "semiring leg: concretize failed on %s: %s" key e
+      in
+      match Taco.compile ~name:"fuzz_sr" ~semiring:sr ~backend sched with
+      | Ok c ->
+          Hashtbl.add sr_cache key c;
+          c
+      | Error d -> failf "semiring leg: compile failed on %s: %s" key (Diag.to_string d))
+
+let run_sr (template, sel, n, m, k, seed) =
+  let template = template mod 3 in
+  let sr = List.nth Semiring.all (sel mod List.length Semiring.all) in
+  let prng = Prng.create seed in
+  let inputs =
+    match template with
+    | 0 -> [ (sr_a, sr_matrix prng sr n m); (sr_x, sr_dense prng sr [| m |]) ]
+    | 1 -> [ (sr_b, sr_matrix prng sr n m); (sr_c, sr_matrix prng sr n m) ]
+    | _ -> [ (sr_b, sr_matrix prng sr n k); (sr_d, sr_dense prng sr [| k; m |]) ]
+  in
+  let run backend =
+    let c = sr_compiled template sr backend in
+    match Taco.run c ~inputs with
+    | Ok r -> (Taco.backend_of c, T.vals r)
+    | Error d ->
+        failf "semiring leg: %s run failed under %s: %s" sr.Semiring.name
+          (match backend with `Closure -> "closure" | `Native -> "native")
+          (Diag.to_string d)
+  in
+  let _, cb = run `Closure in
+  incr sr_ran;
+  if Taco_exec.Native.available () then begin
+    let nbk, nb = run `Native in
+    if nbk = `Native then incr sr_native_ran;
+    if Array.length nb <> Array.length cb then
+      failf "semiring leg: %s native result differs in shape" sr.Semiring.name
+    else
+      Array.iteri
+        (fun idx x ->
+          if Int64.bits_of_float x <> Int64.bits_of_float cb.(idx) then
+            failf "semiring leg: %s native changed result bits at %d (%h vs %h)"
+              sr.Semiring.name idx x cb.(idx))
+        nb
+  end
+
+(* ------------------------------------------------------------------ *)
 (* QCheck wiring                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -587,14 +712,42 @@ let test_pipeline_fuzz =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count ~name:"differential pipeline fuzz" scenario_arb prop)
 
+let sr_scenario_gen =
+  QCheck.Gen.(
+    let* template = int_bound 2 and* sel = int_bound 3 in
+    let* n = int_range 1 8 and* m = int_range 1 8 and* k = int_range 1 6 in
+    let* seed = int_bound 100_000 in
+    return (template, sel, n, m, k, seed))
+
+let sr_scenario_print (template, sel, n, m, k, seed) =
+  Printf.sprintf "{template=%d; semiring=%d; n=%d; m=%d; k=%d; seed=%d}" template sel n m k
+    seed
+
+let sr_prop sc =
+  match run_sr sc with
+  | () -> true
+  | exception Fuzz_failure msg -> QCheck.Test.fail_report msg
+
+let test_semiring_fuzz =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name:"semiring closure vs native bit-identity"
+       (QCheck.make ~print:sr_scenario_print sr_scenario_gen)
+       sr_prop)
+
 (* The campaign is only meaningful if it actually ran and a healthy
    share of instances made it all the way through the pipeline rather
    than being rejected. *)
 let test_coverage () =
   Printf.printf
     "fuzz campaign: %d instances ran end to end (%d with a parallel leg, %d native, \
-     %d cost-search), %d rejected; fault leg: %d injected, %d survived bit-identical\n%!"
-    !ran !par_ran !native_ran !cost_ran !rejected !fault_injected !fault_survived;
+     %d cost-search), %d rejected; fault leg: %d injected, %d survived bit-identical; \
+     semiring leg: %d ran, %d native\n%!"
+    !ran !par_ran !native_ran !cost_ran !rejected !fault_injected !fault_survived !sr_ran
+    !sr_native_ran;
+  Alcotest.(check bool)
+    (Printf.sprintf "semiring leg ran natively when a C compiler exists (%d)" !sr_native_ran)
+    true
+    (!sr_ran = 0 || (not (Taco_exec.Native.available ())) || !sr_native_ran > 0);
   Alcotest.(check bool)
     (Printf.sprintf "fault leg covered both outcomes (%d injected, %d survived)"
        !fault_injected !fault_survived)
@@ -614,5 +767,9 @@ let () =
   Alcotest.run "fuzz"
     [
       ( "pipeline",
-        [ test_pipeline_fuzz; Alcotest.test_case "coverage" `Quick test_coverage ] );
+        [
+          test_pipeline_fuzz;
+          test_semiring_fuzz;
+          Alcotest.test_case "coverage" `Quick test_coverage;
+        ] );
     ]

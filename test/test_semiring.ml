@@ -1,0 +1,237 @@
+(* Semiring law battery (qcheck) and differential tests: the compiled
+   spmv/spadd/spgemm kernels under min-plus, max-times and boolean
+   or-and must match a naive dense evaluator that folds the semiring's
+   reference [add_f]/[mul_f] directly. *)
+
+open Taco_ir
+open Taco_ir.Var
+module T = Taco_tensor.Tensor
+module F = Taco_tensor.Format
+module D = Taco_tensor.Dense
+module Prng = Taco_support.Prng
+
+let get = Helpers.get
+
+let srs = Semiring.all
+
+(* Value generator per semiring: finite carriers the ops stay closed
+   over (or-and works on 0/1; min-plus includes its +inf zero). *)
+let value_gen (sr : Semiring.t) =
+  let open QCheck.Gen in
+  match sr.Semiring.name with
+  | "bool_or_and" -> map (fun b -> if b then 1. else 0.) bool
+  | "min_plus" ->
+      frequency [ (1, return infinity); (9, map (fun f -> float_of_int (f mod 100)) int) ]
+  | "max_times" -> map abs_float (float_bound_inclusive 10.)
+  | _ -> float_bound_inclusive 100.
+
+let triple_arb sr =
+  let g = value_gen sr in
+  QCheck.make
+    ~print:(fun (a, b, c) -> Printf.sprintf "(%g, %g, %g)" a b c)
+    QCheck.Gen.(triple g g g)
+
+let feq a b = (a = b) || (Float.is_nan a && Float.is_nan b) || abs_float (a -. b) <= 1e-9 *. (1. +. abs_float a +. abs_float b)
+
+(* One qcheck law suite per semiring. *)
+let law_tests (sr : Semiring.t) =
+  let ( <+> ) a b = Semiring.add_f sr a b in
+  let ( <*> ) a b = Semiring.mul_f sr a b in
+  let arb = triple_arb sr in
+  let case name prop = Helpers.qcheck_case ~count:200 (sr.Semiring.name ^ ": " ^ name) arb prop in
+  [
+    case "add associative" (fun (a, b, c) -> feq ((a <+> b) <+> c) (a <+> (b <+> c)));
+    case "add commutative" (fun (a, b, _) -> feq (a <+> b) (b <+> a));
+    case "add identity" (fun (a, _, _) -> feq (sr.Semiring.zero <+> a) a);
+    case "mul associative" (fun (a, b, c) -> feq ((a <*> b) <*> c) (a <*> (b <*> c)));
+    case "mul identity" (fun (a, _, _) ->
+        feq (sr.Semiring.one <*> a) a && feq (a <*> sr.Semiring.one) a);
+    case "zero annihilates mul" (fun (a, _, _) ->
+        (not sr.Semiring.annihilates)
+        || (feq (sr.Semiring.zero <*> a) sr.Semiring.zero
+           && feq (a <*> sr.Semiring.zero) sr.Semiring.zero));
+    case "mul distributes over add" (fun (a, b, c) ->
+        feq (a <*> (b <+> c)) ((a <*> b) <+> (a <*> c)));
+  ]
+
+(* --- differential: compiled kernels vs a naive dense evaluator -------- *)
+
+(* Random sparse matrix whose absent entries mean the semiring zero and
+   whose stored values are non-zero carrier elements. *)
+let random_matrix prng (sr : Semiring.t) n m density =
+  let coo = Taco_tensor.Coo.create [| n; m |] in
+  for i = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      if Prng.bool prng density then
+        let v =
+          match sr.Semiring.name with
+          | "bool_or_and" -> 1.
+          | "min_plus" -> 1. +. float_of_int (Prng.int prng 9)
+          | _ -> 0.5 +. Prng.float prng
+        in
+        Taco_tensor.Coo.push coo [| i; j |] v
+    done
+  done;
+  T.pack coo F.csr
+
+(* Read entry (i, j) under the semiring: absent storage is the zero. *)
+let entry (sr : Semiring.t) t idx =
+  let v = T.get t idx in
+  if v = 0. then sr.Semiring.zero else v
+
+let dense_spmv sr a x n m =
+  Array.init n (fun i ->
+      let acc = ref sr.Semiring.zero in
+      for j = 0 to m - 1 do
+        acc := Semiring.add_f sr !acc (Semiring.mul_f sr (entry sr a [| i; j |]) x.(j))
+      done;
+      !acc)
+
+let dense_spadd sr a b n m =
+  Array.init (n * m) (fun q ->
+      let i = q / m and j = q mod m in
+      Semiring.add_f sr (entry sr a [| i; j |]) (entry sr b [| i; j |]))
+
+(* [b] is a fully-populated dense operand: its cells are literal
+   carrier values (a dense 0. under min-plus means distance 0, not
+   absence), so only the sparse [a] goes through [entry]. *)
+let dense_spgemm sr a b n k m =
+  Array.init (n * m) (fun q ->
+      let i = q / m and j = q mod m in
+      let acc = ref sr.Semiring.zero in
+      for l = 0 to k - 1 do
+        acc :=
+          Semiring.add_f sr !acc
+            (Semiring.mul_f sr (entry sr a [| i; l |]) b.((l * m) + j))
+      done;
+      !acc)
+
+let check_cells ~msg want got =
+  Array.iteri
+    (fun q w ->
+      if not (feq w got.(q)) then
+        Alcotest.failf "%s: cell %d differs: oracle %g, kernel %g" msg q w got.(q))
+    want
+
+let vi = Index_var.make "i"
+
+let vj = Index_var.make "j"
+
+let vk = Index_var.make "k"
+
+let compile_sr ?(backend = `Closure) ~name ~semiring stmt =
+  let sched = get (Schedule.of_index_notation stmt) in
+  Helpers.getd (Taco.compile ~name ~semiring ~backend sched)
+
+let test_diff_spmv (sr : Semiring.t) () =
+  let prng = Prng.create 515 in
+  let av = Tensor_var.make "A" ~order:2 ~format:F.csr in
+  let xv = Tensor_var.make "x" ~order:1 ~format:F.dense_vector in
+  let yv = Tensor_var.make "y" ~order:1 ~format:F.dense_vector in
+  let stmt =
+    Index_notation.assign yv [ vi ]
+      (Index_notation.sum vj
+         (Index_notation.Mul (Index_notation.access av [ vi; vj ], Index_notation.access xv [ vj ])))
+  in
+  let c = compile_sr ~name:("spmv_" ^ sr.Semiring.name) ~semiring:sr stmt in
+  for case = 1 to 6 do
+    let n = 1 + Prng.int prng 12 and m = 1 + Prng.int prng 12 in
+    let a = random_matrix prng sr n m 0.3 in
+    let x =
+      Array.init m (fun _ ->
+          match sr.Semiring.name with
+          | "bool_or_and" -> if Prng.bool prng 0.5 then 1. else 0.
+          | "min_plus" -> if Prng.bool prng 0.3 then infinity else float_of_int (Prng.int prng 10)
+          | _ -> Prng.float prng)
+    in
+    let xt = T.of_dense (D.of_buffer [| m |] x) F.dense_vector in
+    let y = Helpers.getd (Taco.run c ~inputs:[ (av, a); (xv, xt) ]) in
+    check_cells
+      ~msg:(Printf.sprintf "%s spmv case %d" sr.Semiring.name case)
+      (dense_spmv sr a x n m) (T.vals y)
+  done
+
+let test_diff_spadd (sr : Semiring.t) () =
+  let prng = Prng.create 626 in
+  let av = Tensor_var.make "B" ~order:2 ~format:F.csr in
+  let bv = Tensor_var.make "C" ~order:2 ~format:F.csr in
+  let rv = Tensor_var.make "A" ~order:2 ~format:F.dense_matrix in
+  let stmt =
+    Index_notation.assign rv [ vi; vj ]
+      (Index_notation.Add
+         (Index_notation.access av [ vi; vj ], Index_notation.access bv [ vi; vj ]))
+  in
+  let c = compile_sr ~name:("spadd_" ^ sr.Semiring.name) ~semiring:sr stmt in
+  for case = 1 to 6 do
+    let n = 1 + Prng.int prng 10 and m = 1 + Prng.int prng 10 in
+    let a = random_matrix prng sr n m 0.3 and b = random_matrix prng sr n m 0.3 in
+    let r = Helpers.getd (Taco.run c ~inputs:[ (av, a); (bv, b) ]) in
+    check_cells
+      ~msg:(Printf.sprintf "%s spadd case %d" sr.Semiring.name case)
+      (dense_spadd sr a b n m) (T.vals r)
+  done
+
+let test_diff_spgemm (sr : Semiring.t) () =
+  let prng = Prng.create 737 in
+  let av = Tensor_var.make "B" ~order:2 ~format:F.csr in
+  let bv = Tensor_var.make "C" ~order:2 ~format:F.dense_matrix in
+  let rv = Tensor_var.make "A" ~order:2 ~format:F.dense_matrix in
+  let stmt =
+    Index_notation.assign rv [ vi; vj ]
+      (Index_notation.sum vk
+         (Index_notation.Mul (Index_notation.access av [ vi; vk ], Index_notation.access bv [ vk; vj ])))
+  in
+  let c = compile_sr ~name:("spgemm_" ^ sr.Semiring.name) ~semiring:sr stmt in
+  for case = 1 to 5 do
+    let n = 1 + Prng.int prng 8 and k = 1 + Prng.int prng 8 and m = 1 + Prng.int prng 8 in
+    let a = random_matrix prng sr n k 0.3 in
+    let b_arr =
+      Array.init (k * m) (fun _ ->
+          match sr.Semiring.name with
+          | "bool_or_and" -> if Prng.bool prng 0.5 then 1. else 0.
+          | "min_plus" -> float_of_int (Prng.int prng 10)
+          | _ -> Prng.float prng)
+    in
+    let b = T.of_dense (D.of_buffer [| k; m |] b_arr) F.dense_matrix in
+    let r = Helpers.getd (Taco.run c ~inputs:[ (av, a); (bv, b) ]) in
+    check_cells
+      ~msg:(Printf.sprintf "%s spgemm case %d" sr.Semiring.name case)
+      (dense_spgemm sr a b_arr n k m)
+      (T.vals r)
+  done
+
+(* The default semiring must keep matching the float evaluator, too. *)
+let test_of_string () =
+  List.iter
+    (fun (alias, want) ->
+      let got =
+        match Semiring.of_string alias with
+        | Some sr -> sr
+        | None -> Alcotest.fail ("of_string rejected " ^ alias)
+      in
+      Alcotest.(check string) alias want got.Semiring.name)
+    [
+      ("default", "plus_times");
+      ("plus_times", "plus_times");
+      ("minplus", "min_plus");
+      ("tropical", "min_plus");
+      ("min_plus", "min_plus");
+      ("max_times", "max_times");
+      ("maxtimes", "max_times");
+      ("bool_or_and", "bool_or_and");
+      ("boolor", "bool_or_and");
+      ("boolean", "bool_or_and");
+    ];
+  Alcotest.(check bool) "unknown name rejected" true (Semiring.of_string "nosuch" = None)
+
+let per_sr name f = List.map (fun sr -> Alcotest.test_case (name ^ " " ^ sr.Semiring.name) `Quick (f sr)) srs
+
+let () =
+  Alcotest.run "semiring"
+    [
+      ("laws", List.concat_map law_tests srs);
+      ("naming", [ Alcotest.test_case "of_string aliases" `Quick test_of_string ]);
+      ("differential-spmv", per_sr "vs dense" test_diff_spmv);
+      ("differential-spadd", per_sr "vs dense" test_diff_spadd);
+      ("differential-spgemm", per_sr "vs dense" test_diff_spgemm);
+    ]
